@@ -1,0 +1,283 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation (§V), plus
+// the design-choice ablations DESIGN.md calls out. Each benchmark runs a
+// reduced-scale version of the corresponding experiment; use
+// cmd/firestore-bench for full-scale runs with printed tables.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"firestore/internal/backend"
+	"firestore/internal/bench"
+	"firestore/internal/core"
+	"firestore/internal/doc"
+	"firestore/internal/query"
+	"firestore/internal/ycsb"
+)
+
+var benchOpts = bench.Options{Scale: 0.02, Seed: 1}
+
+var priv = backend.Principal{Privileged: true}
+
+// BenchmarkFig6FleetStats regenerates the fleet-variance boxplots.
+func BenchmarkFig6FleetStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := bench.Fig6(benchOpts)
+		if len(tab.Rows) != 3 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkFig7YCSBRead measures the YCSB read path (workload B op mix)
+// against a region, the unit of Figure 7's y-axis.
+func BenchmarkFig7YCSBRead(b *testing.B) {
+	region, client := ycsbRegion(b)
+	defer region.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.Read(ctx, ycsb.Key(i%200)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8YCSBUpdate measures the YCSB update path, the unit of
+// Figure 8's y-axis.
+func BenchmarkFig8YCSBUpdate(b *testing.B) {
+	region, client := ycsbRegion(b)
+	defer region.Close()
+	ctx := context.Background()
+	value := make([]byte, 900)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.Update(ctx, ycsb.Key(i%200), value); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ycsbRegion(b *testing.B) (*core.Region, ycsb.Client) {
+	b.Helper()
+	region := core.NewRegion(core.Config{Seed: 1})
+	region.CreateDatabase("ycsb")
+	client := regionYCSB{region}
+	if err := ycsb.Load(context.Background(), client, ycsb.WorkloadB, 200, 8); err != nil {
+		b.Fatal(err)
+	}
+	return region, client
+}
+
+type regionYCSB struct{ region *core.Region }
+
+func (c regionYCSB) name(key string) doc.Name {
+	n, _ := doc.MustCollection("/ycsb").Doc(key)
+	return n
+}
+
+func (c regionYCSB) Read(ctx context.Context, key string) error {
+	_, _, err := c.region.GetDocument(ctx, "ycsb", priv, c.name(key), 0)
+	return err
+}
+
+func (c regionYCSB) Update(ctx context.Context, key string, value []byte) error {
+	_, err := c.region.Commit(ctx, "ycsb", priv, []backend.WriteOp{{
+		Kind: backend.OpSet, Name: c.name(key),
+		Fields: map[string]doc.Value{"field0": doc.Bytes(value)},
+	}})
+	return err
+}
+
+func (c regionYCSB) Insert(ctx context.Context, key string, value []byte) error {
+	return c.Update(ctx, key, value)
+}
+
+// BenchmarkFig9Notification measures one write fanning out to 100
+// real-time listeners, Figure 9's unit of work.
+func BenchmarkFig9Notification(b *testing.B) {
+	region := core.NewRegion(core.Config{Seed: 1})
+	defer region.Close()
+	region.CreateDatabase("scores")
+	ctx := context.Background()
+	game := doc.MustName("/scores/game1")
+	region.Commit(ctx, "scores", priv, []backend.WriteOp{{
+		Kind: backend.OpSet, Name: game, Fields: map[string]doc.Value{"home": doc.Int(0)},
+	}})
+	const listeners = 100
+	q := &query.Query{Collection: doc.MustCollection("/scores")}
+	acks := make(chan struct{}, listeners*(1+1))
+	for i := 0; i < listeners; i++ {
+		conn := region.NewConn("scores", priv)
+		defer conn.Close()
+		if _, err := conn.Listen(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+		<-conn.Events()
+		go func() {
+			for range conn.Events() {
+				acks <- struct{}{}
+			}
+		}()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := region.Commit(ctx, "scores", priv, []backend.WriteOp{{
+			Kind: backend.OpSet, Name: game, Fields: map[string]doc.Value{"home": doc.Int(int64(i))},
+		}}); err != nil {
+			b.Fatal(err)
+		}
+		for got := 0; got < listeners; got++ {
+			<-acks
+		}
+	}
+}
+
+// BenchmarkFig10aLargeDocCommit commits ~100KB documents (a point on
+// Figure 10a's x-axis).
+func BenchmarkFig10aLargeDocCommit(b *testing.B) {
+	region := core.NewRegion(core.Config{Seed: 1})
+	defer region.Close()
+	region.CreateDatabase("shape")
+	ctx := context.Background()
+	payload := doc.String(string(make([]byte, 100<<10)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := region.Commit(ctx, "shape", priv, []backend.WriteOp{{
+			Kind: backend.OpSet, Name: doc.MustName(fmt.Sprintf("/big/d%d", i%16)),
+			Fields: map[string]doc.Value{"field": payload},
+		}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10bManyFieldsCommit commits 100-field documents (200 index
+// entries each, a point on Figure 10b's x-axis).
+func BenchmarkFig10bManyFieldsCommit(b *testing.B) {
+	region := core.NewRegion(core.Config{Seed: 1})
+	defer region.Close()
+	region.CreateDatabase("shape")
+	ctx := context.Background()
+	fields := make(map[string]doc.Value, 100)
+	for i := 0; i < 100; i++ {
+		fields[fmt.Sprintf("f%03d", i)] = doc.Int(int64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := region.Commit(ctx, "shape", priv, []backend.WriteOp{{
+			Kind: backend.OpSet, Name: doc.MustName(fmt.Sprintf("/wide/d%d", i%16)), Fields: fields,
+		}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11FairScheduling measures a bystander read while a culprit
+// floods the shared fair scheduler, Figure 11's protected path.
+func BenchmarkFig11FairScheduling(b *testing.B) {
+	region := core.NewRegion(core.Config{
+		SchedulerWorkers: 2,
+		Seed:             1,
+		Costs: backend.Costs{
+			Read: func(db string) time.Duration {
+				if db == "culprit" {
+					return 500 * time.Microsecond
+				}
+				return 10 * time.Microsecond
+			},
+		},
+	})
+	defer region.Close()
+	region.CreateDatabase("culprit")
+	region.CreateDatabase("bystander")
+	ctx := context.Background()
+	name := doc.MustName("/d/one")
+	for _, db := range []string{"culprit", "bystander"} {
+		region.Commit(ctx, db, priv, []backend.WriteOp{{
+			Kind: backend.OpSet, Name: name, Fields: map[string]doc.Value{"v": doc.Int(1)},
+		}})
+	}
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				region.GetDocument(ctx, "culprit", priv, name, 0)
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := region.GetDocument(ctx, "bystander", priv, name, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+}
+
+// BenchmarkTab1EaseOfUse parses the restaurant example per the
+// ease-of-use table.
+func BenchmarkTab1EaseOfUse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := bench.Tab1(benchOpts)
+		if len(tab.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkAblZigzagJoin measures the paper's two-equality query via the
+// zig-zag join of automatic indexes (ablation ABL1's middle row).
+func BenchmarkAblZigzagJoin(b *testing.B) {
+	region := core.NewRegion(core.Config{Seed: 1})
+	defer region.Close()
+	region.CreateDatabase("abl")
+	ctx := context.Background()
+	for i := 0; i < 1000; i++ {
+		region.Commit(ctx, "abl", priv, []backend.WriteOp{{
+			Kind: backend.OpSet, Name: doc.MustName(fmt.Sprintf("/r/x%04d", i)),
+			Fields: map[string]doc.Value{
+				"city": doc.String([]string{"SF", "NY"}[i%2]),
+				"type": doc.String([]string{"BBQ", "Thai"}[(i/2)%2]),
+			},
+		}})
+	}
+	q := &query.Query{
+		Collection: doc.MustCollection("/r"),
+		Predicates: []query.Predicate{
+			{Path: "city", Op: query.Eq, Value: doc.String("SF")},
+			{Path: "type", Op: query.Eq, Value: doc.String("BBQ")},
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := region.RunQuery(ctx, "abl", priv, q, nil, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblMultiRegionCommit measures a multi-region write (ablation
+// ABL2's slow row) at reduced latency scale.
+func BenchmarkAblMultiRegionCommit(b *testing.B) {
+	region := core.NewRegion(core.Config{MultiRegion: true, TimeScale: 0.1, Seed: 1})
+	defer region.Close()
+	region.CreateDatabase("d")
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := region.Commit(ctx, "d", priv, []backend.WriteOp{{
+			Kind: backend.OpSet, Name: doc.MustName("/c/x"), Fields: map[string]doc.Value{"v": doc.Int(int64(i))},
+		}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,396 @@
+// Package server implements the HTTP/JSON surface of firestore-server:
+// database administration, document CRUD, queries, and server-sent-event
+// streaming of real-time snapshots. It exists so the handler is testable
+// with net/http/httptest.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"firestore/internal/backend"
+	"firestore/internal/core"
+	"firestore/internal/doc"
+	"firestore/internal/index"
+	"firestore/internal/query"
+	"firestore/internal/rules"
+)
+
+// Server is the HTTP handler.
+type Server struct {
+	region *core.Region
+	mux    *http.ServeMux
+}
+
+// New builds the handler for a region.
+func New(region *core.Region) *Server {
+	s := &Server{region: region, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/databases", s.createDatabase)
+	s.mux.HandleFunc("POST /v1/databases/{db}/rules", s.setRules)
+	s.mux.HandleFunc("POST /v1/databases/{db}/indexes", s.addIndex)
+	s.mux.HandleFunc("PUT /v1/databases/{db}/docs/{path...}", s.putDoc)
+	s.mux.HandleFunc("GET /v1/databases/{db}/docs/{path...}", s.getDoc)
+	s.mux.HandleFunc("DELETE /v1/databases/{db}/docs/{path...}", s.deleteDoc)
+	s.mux.HandleFunc("POST /v1/databases/{db}/query", s.runQuery)
+	s.mux.HandleFunc("GET /v1/databases/{db}/listen", s.listen)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// principal derives the caller identity from headers: privileged callers
+// set X-Privileged; end users carry "Bearer uid:<user>" tokens (the
+// Firebase Authentication stand-in).
+func principal(r *http.Request) backend.Principal {
+	if r.Header.Get("X-Privileged") == "true" {
+		return backend.Principal{Privileged: true}
+	}
+	auth := r.Header.Get("Authorization")
+	if uid, ok := strings.CutPrefix(auth, "Bearer uid:"); ok && uid != "" {
+		return backend.Principal{Auth: &rules.Auth{UID: uid}}
+	}
+	return backend.Principal{}
+}
+
+func httpError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, backend.ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, backend.ErrAlreadyExists):
+		code = http.StatusConflict
+	case errors.Is(err, rules.ErrDenied):
+		code = http.StatusForbidden
+	case errors.Is(err, backend.ErrConflict):
+		code = http.StatusConflict
+	}
+	var nie *query.NeedsIndexError
+	if errors.As(err, &nie) {
+		code = http.StatusFailedDependency
+	}
+	http.Error(w, err.Error(), code)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) createDatabase(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if _, err := s.region.CreateDatabase(req.ID); err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, map[string]string{"id": req.ID, "region": s.region.Config.Name})
+}
+
+func (s *Server) setRules(w http.ResponseWriter, r *http.Request) {
+	var src strings.Builder
+	if _, err := jsonSafeCopy(&src, r); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.region.SetRules(r.PathValue("db"), src.String()); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, map[string]string{"status": "deployed"})
+}
+
+func jsonSafeCopy(dst *strings.Builder, r *http.Request) (int64, error) {
+	buf := make([]byte, 4096)
+	var n int64
+	for {
+		k, err := r.Body.Read(buf)
+		dst.Write(buf[:k])
+		n += int64(k)
+		if err != nil {
+			if err.Error() == "EOF" {
+				return n, nil
+			}
+			return n, err
+		}
+		if n > 1<<20 {
+			return n, fmt.Errorf("rules source too large")
+		}
+	}
+}
+
+func (s *Server) addIndex(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Collection string `json:"collection"`
+		Fields     []struct {
+			Path string `json:"path"`
+			Desc bool   `json:"desc"`
+		} `json:"fields"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	fields := make([]index.Field, len(req.Fields))
+	for i, f := range req.Fields {
+		dir := index.Ascending
+		if f.Desc {
+			dir = index.Descending
+		}
+		fields[i] = index.Field{Path: doc.FieldPath(f.Path), Dir: dir}
+	}
+	def := index.CompositeDef(req.Collection, fields...)
+	if err := s.region.AddCompositeIndex(r.Context(), r.PathValue("db"), def); err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"id": def.ID, "status": "ready"})
+}
+
+func docName(r *http.Request) (doc.Name, error) {
+	return doc.ParseName("/" + r.PathValue("path"))
+}
+
+func (s *Server) putDoc(w http.ResponseWriter, r *http.Request) {
+	name, err := docName(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var raw map[string]any
+	if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	fields, err := fieldsFromJSON(raw)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ts, err := s.region.Commit(r.Context(), r.PathValue("db"), principal(r), []backend.WriteOp{
+		{Kind: backend.OpSet, Name: name, Fields: fields},
+	})
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"name": name.String(), "updateTime": int64(ts)})
+}
+
+func (s *Server) getDoc(w http.ResponseWriter, r *http.Request) {
+	name, err := docName(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	d, readTS, err := s.region.GetDocument(r.Context(), r.PathValue("db"), principal(r), name, 0)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"name":       d.Name.String(),
+		"fields":     fieldsToJSON(d.Fields),
+		"updateTime": int64(d.UpdateTime),
+		"createTime": int64(d.CreateTime),
+		"readTime":   int64(readTS),
+	})
+}
+
+func (s *Server) deleteDoc(w http.ResponseWriter, r *http.Request) {
+	name, err := docName(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if _, err := s.region.Commit(r.Context(), r.PathValue("db"), principal(r), []backend.WriteOp{
+		{Kind: backend.OpDelete, Name: name},
+	}); err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, map[string]string{"status": "deleted"})
+}
+
+// queryJSON is the wire form of a query.
+type queryJSON struct {
+	Collection string `json:"collection"`
+	Where      []struct {
+		Field string `json:"field"`
+		Op    string `json:"op"`
+		Value any    `json:"value"`
+	} `json:"where"`
+	OrderBy []struct {
+		Field string `json:"field"`
+		Desc  bool   `json:"desc"`
+	} `json:"orderBy"`
+	Limit  int      `json:"limit"`
+	Offset int      `json:"offset"`
+	Select []string `json:"select"`
+	// Count executes the query as a COUNT aggregation.
+	Count bool `json:"count"`
+}
+
+func (qj *queryJSON) build() (*query.Query, error) {
+	coll, err := doc.ParseCollection(qj.Collection)
+	if err != nil {
+		return nil, err
+	}
+	q := &query.Query{Collection: coll, Limit: qj.Limit, Offset: qj.Offset}
+	for _, wc := range qj.Where {
+		op, err := parseOp(wc.Op)
+		if err != nil {
+			return nil, err
+		}
+		v, err := valueFromJSON(wc.Value)
+		if err != nil {
+			return nil, err
+		}
+		q.Predicates = append(q.Predicates, query.Predicate{Path: doc.FieldPath(wc.Field), Op: op, Value: v})
+	}
+	for _, ob := range qj.OrderBy {
+		dir := index.Ascending
+		if ob.Desc {
+			dir = index.Descending
+		}
+		q.Orders = append(q.Orders, query.Order{Path: doc.FieldPath(ob.Field), Dir: dir})
+	}
+	for _, sel := range qj.Select {
+		q.Projection = append(q.Projection, doc.FieldPath(sel))
+	}
+	return q, q.Validate()
+}
+
+func parseOp(s string) (query.Operator, error) {
+	switch s {
+	case "<":
+		return query.Lt, nil
+	case "<=":
+		return query.Le, nil
+	case "==":
+		return query.Eq, nil
+	case ">":
+		return query.Gt, nil
+	case ">=":
+		return query.Ge, nil
+	case "array-contains":
+		return query.ArrayContains, nil
+	}
+	return 0, fmt.Errorf("unknown operator %q", s)
+}
+
+func (s *Server) runQuery(w http.ResponseWriter, r *http.Request) {
+	var qj queryJSON
+	if err := json.NewDecoder(r.Body).Decode(&qj); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	q, err := qj.build()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if qj.Count {
+		n, readTS, err := s.region.Backend.RunCount(r.Context(), r.PathValue("db"), principal(r), q, 0)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, map[string]any{"count": n, "readTime": int64(readTS)})
+		return
+	}
+	res, readTS, err := s.region.RunQuery(r.Context(), r.PathValue("db"), principal(r), q, nil, 0)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	docs := make([]map[string]any, len(res.Docs))
+	for i, d := range res.Docs {
+		docs[i] = map[string]any{"name": d.Name.String(), "fields": fieldsToJSON(d.Fields)}
+	}
+	writeJSON(w, map[string]any{"documents": docs, "readTime": int64(readTS)})
+}
+
+// listen streams real-time snapshots as server-sent events.
+func (s *Server) listen(w http.ResponseWriter, r *http.Request) {
+	collPath := r.URL.Query().Get("collection")
+	coll, err := doc.ParseCollection(collPath)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	q := &query.Query{Collection: coll}
+	if wq := r.URL.Query().Get("where"); wq != "" {
+		parts := strings.SplitN(wq, ",", 3)
+		if len(parts) != 3 {
+			http.Error(w, "where must be field,op,value", http.StatusBadRequest)
+			return
+		}
+		op, err := parseOp(parts[1])
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var raw any
+		if err := json.Unmarshal([]byte(parts[2]), &raw); err != nil {
+			raw = parts[2] // treat as a bare string
+		}
+		v, err := valueFromJSON(raw)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		q.Predicates = append(q.Predicates, query.Predicate{Path: doc.FieldPath(parts[0]), Op: op, Value: v})
+	}
+
+	conn := s.region.NewConn(r.PathValue("db"), principal(r))
+	defer conn.Close()
+	if _, err := conn.Listen(r.Context(), q); err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-conn.Events():
+			if !ok {
+				return
+			}
+			payload := map[string]any{
+				"ts":      int64(ev.TS),
+				"initial": ev.Initial,
+			}
+			var added, modified []map[string]any
+			for _, d := range ev.Added {
+				added = append(added, map[string]any{"name": d.Name.String(), "fields": fieldsToJSON(d.Fields)})
+			}
+			for _, d := range ev.Modified {
+				modified = append(modified, map[string]any{"name": d.Name.String(), "fields": fieldsToJSON(d.Fields)})
+			}
+			var removed []string
+			for _, n := range ev.Removed {
+				removed = append(removed, n.String())
+			}
+			payload["added"], payload["modified"], payload["removed"] = added, modified, removed
+			fmt.Fprintf(w, "data: ")
+			enc.Encode(payload)
+			fmt.Fprintf(w, "\n")
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Command fsctl is the admin CLI for a running firestore-server: create
+// databases, deploy security rules, define composite indexes, and perform
+// ad-hoc document and query operations — the moral equivalent of the
+// gcloud/console flows the paper's §V-D walks through.
+//
+// Usage:
+//
+//	fsctl [-server http://localhost:8565] [-db mydb] [-uid user] <command> [args]
+//
+// Commands:
+//
+//	create-db                          create the database
+//	set-rules <file>                   deploy rules from a file ("-" = stdin)
+//	add-index <coll> <field[:desc]>... define a composite index
+//	put <path> <json>                  set a document
+//	get <path>                         read a document
+//	delete <path>                      delete a document
+//	query <json>                       run a query (see firestore-server docs)
+//	watch <collection>                 stream real-time snapshots (SSE)
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+)
+
+func main() {
+	server := flag.String("server", "http://localhost:8565", "firestore-server base URL")
+	db := flag.String("db", "default", "database ID")
+	uid := flag.String("uid", "", "act as this end user (default: privileged)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	c := &cli{base: *server, db: *db, uid: *uid}
+	var err error
+	switch cmd := args[0]; cmd {
+	case "create-db":
+		err = c.post("/v1/databases", fmt.Sprintf(`{"id":%q}`, *db))
+	case "set-rules":
+		err = c.setRules(args[1:])
+	case "add-index":
+		err = c.addIndex(args[1:])
+	case "put":
+		err = c.put(args[1:])
+	case "get":
+		err = c.simple("GET", "/docs", args[1:])
+	case "delete":
+		err = c.simple("DELETE", "/docs", args[1:])
+	case "query":
+		err = c.query(args[1:])
+	case "watch":
+		err = c.watch(args[1:])
+	default:
+		err = fmt.Errorf("unknown command %q", cmd)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsctl:", err)
+		os.Exit(1)
+	}
+}
+
+type cli struct {
+	base string
+	db   string
+	uid  string
+}
+
+func (c *cli) request(method, path, body string) (*http.Response, error) {
+	req, err := http.NewRequest(method, c.base+path, strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if c.uid == "" {
+		req.Header.Set("X-Privileged", "true")
+	} else {
+		req.Header.Set("Authorization", "Bearer uid:"+c.uid)
+	}
+	return http.DefaultClient.Do(req)
+}
+
+func (c *cli) echo(method, path, body string) error {
+	resp, err := c.request(method, path, body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	fmt.Print(string(out))
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func (c *cli) post(path, body string) error { return c.echo("POST", path, body) }
+
+func (c *cli) dbPath(suffix string) string {
+	return "/v1/databases/" + c.db + suffix
+}
+
+func (c *cli) setRules(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("set-rules <file>")
+	}
+	var src []byte
+	var err error
+	if args[0] == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(args[0])
+	}
+	if err != nil {
+		return err
+	}
+	return c.echo("POST", c.dbPath("/rules"), string(src))
+}
+
+func (c *cli) addIndex(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("add-index <collection> <field[:desc]>...")
+	}
+	var fields []string
+	for _, f := range args[1:] {
+		name, kind, _ := strings.Cut(f, ":")
+		fields = append(fields, fmt.Sprintf(`{"path":%q,"desc":%v}`, name, kind == "desc"))
+	}
+	body := fmt.Sprintf(`{"collection":%q,"fields":[%s]}`, args[0], strings.Join(fields, ","))
+	return c.echo("POST", c.dbPath("/indexes"), body)
+}
+
+func (c *cli) put(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("put <path> <json>")
+	}
+	return c.echo("PUT", c.dbPath("/docs"+ensureSlash(args[0])), args[1])
+}
+
+func (c *cli) simple(method, prefix string, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("%s <path>", strings.ToLower(method))
+	}
+	return c.echo(method, c.dbPath(prefix+ensureSlash(args[0])), "")
+}
+
+func (c *cli) query(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("query <json>")
+	}
+	return c.echo("POST", c.dbPath("/query"), args[0])
+}
+
+func (c *cli) watch(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("watch <collection>")
+	}
+	resp, err := c.request("GET", c.dbPath("/listen?collection="+ensureSlash(args[0])), "")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, buf.String())
+	}
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if strings.HasPrefix(line, "data: ") {
+			fmt.Println(strings.TrimPrefix(line, "data: "))
+		}
+	}
+	return scanner.Err()
+}
+
+func ensureSlash(p string) string {
+	if strings.HasPrefix(p, "/") {
+		return p
+	}
+	return "/" + p
+}

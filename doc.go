@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of "Firestore: The
+// NoSQL Serverless Database for the Application Developer" (ICDE 2023).
+//
+// The public API lives in the firestore (Server SDK) and mobile
+// (Mobile/Web SDK) packages; the service itself is assembled by
+// internal/core on top of a Spanner-like storage substrate
+// (internal/spanner), the Real-time Cache (internal/rtcache), the query
+// engine (internal/query), security rules (internal/rules), and the rest
+// of the subsystems inventoried in DESIGN.md.
+//
+// bench_test.go in this directory holds one benchmark per table and
+// figure of the paper's evaluation; cmd/firestore-bench regenerates them
+// as text tables, and EXPERIMENTS.md records paper-vs-measured results.
+package repro

@@ -1,0 +1,80 @@
+// Command scoreboard demonstrates the Fig. 9 broadcast scenario: one
+// writer updates a sporting-event score document once per tick while many
+// clients hold a real-time query whose result set contains it; every
+// write fans out to every listener as an incremental snapshot.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"firestore/firestore"
+	"firestore/internal/core"
+)
+
+const (
+	listeners = 50
+	updates   = 5
+)
+
+func main() {
+	ctx := context.Background()
+	region := core.NewRegion(core.Config{Name: "scores"})
+	defer region.Close()
+	if _, err := region.CreateDatabase("sports"); err != nil {
+		log.Fatal(err)
+	}
+	client := firestore.NewClient(region, "sports")
+	game := client.Collection("scores").Doc("finals")
+	if err := game.Set(ctx, map[string]any{"home": 0, "away": 0}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Fans subscribe.
+	var delivered atomic.Int64
+	var wg sync.WaitGroup
+	stops := make([]func(), listeners)
+	for i := 0; i < listeners; i++ {
+		it, err := client.Collection("scores").Snapshots(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stops[i] = it.Stop
+		if _, err := it.Next(ctx); err != nil { // initial snapshot
+			log.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < updates; j++ {
+				if _, err := it.Next(ctx); err != nil {
+					return
+				}
+				delivered.Add(1)
+			}
+		}()
+	}
+
+	// The home team scores, repeatedly.
+	for j := 1; j <= updates; j++ {
+		start := time.Now()
+		if err := game.Update(ctx, map[string]any{"home": j * 7, "away": 0}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("score update %d committed in %v\n", j, time.Since(start).Round(time.Microsecond))
+	}
+
+	wg.Wait()
+	for _, stop := range stops {
+		stop()
+	}
+	fmt.Printf("delivered %d notifications to %d listeners for %d updates\n",
+		delivered.Load(), listeners, updates)
+	if got, want := delivered.Load(), int64(listeners*updates); got != want {
+		log.Fatalf("missing notifications: %d of %d", got, want)
+	}
+}

@@ -1,0 +1,297 @@
+package firestore
+
+import (
+	"context"
+	"fmt"
+
+	"firestore/internal/doc"
+	"firestore/internal/frontend"
+	"firestore/internal/index"
+	"firestore/internal/query"
+)
+
+// Direction orders query results.
+type Direction int
+
+// Sort directions.
+const (
+	Asc Direction = iota
+	Desc
+)
+
+// Query is an immutable query builder; each method returns a derived
+// query.
+type Query struct {
+	c     *Client
+	coll  doc.CollectionPath
+	preds []query.Predicate
+	ords  []query.Order
+	limit int
+	off   int
+	sel   []doc.FieldPath
+	err   error
+}
+
+// Where adds a predicate. Supported operators: "<", "<=", "==", ">",
+// ">=", "array-contains".
+func (q Query) Where(fieldPath, op string, value any) Query {
+	if q.err != nil {
+		return q
+	}
+	var qop query.Operator
+	switch op {
+	case "<":
+		qop = query.Lt
+	case "<=":
+		qop = query.Le
+	case "==":
+		qop = query.Eq
+	case ">":
+		qop = query.Gt
+	case ">=":
+		qop = query.Ge
+	case "array-contains":
+		qop = query.ArrayContains
+	default:
+		q.err = fmt.Errorf("firestore: unknown operator %q", op)
+		return q
+	}
+	dv, err := toValue(value)
+	if err != nil {
+		q.err = err
+		return q
+	}
+	q.preds = append(append([]query.Predicate(nil), q.preds...),
+		query.Predicate{Path: doc.FieldPath(fieldPath), Op: qop, Value: dv})
+	return q
+}
+
+// OrderBy adds a sort order.
+func (q Query) OrderBy(fieldPath string, dir Direction) Query {
+	d := index.Ascending
+	if dir == Desc {
+		d = index.Descending
+	}
+	q.ords = append(append([]query.Order(nil), q.ords...),
+		query.Order{Path: doc.FieldPath(fieldPath), Dir: d})
+	return q
+}
+
+// Limit bounds the result count.
+func (q Query) Limit(n int) Query { q.limit = n; return q }
+
+// Offset skips the first n results.
+func (q Query) Offset(n int) Query { q.off = n; return q }
+
+// Select restricts results to the given field paths (a projection).
+func (q Query) Select(fieldPaths ...string) Query {
+	sel := make([]doc.FieldPath, len(fieldPaths))
+	for i, p := range fieldPaths {
+		sel[i] = doc.FieldPath(p)
+	}
+	q.sel = sel
+	return q
+}
+
+func (q Query) build() (*query.Query, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	iq := &query.Query{
+		Collection: q.coll,
+		Predicates: q.preds,
+		Orders:     q.ords,
+		Limit:      q.limit,
+		Offset:     q.off,
+		Projection: q.sel,
+	}
+	if err := iq.Validate(); err != nil {
+		return nil, err
+	}
+	return iq, nil
+}
+
+// Documents executes the query and returns every result (following
+// partial-result resumption internally).
+func (q Query) Documents(ctx context.Context) ([]*DocumentSnapshot, error) {
+	iq, err := q.build()
+	if err != nil {
+		return nil, err
+	}
+	var out []*DocumentSnapshot
+	var resume []byte
+	remaining := iq.Limit
+	for {
+		res, readTS, err := q.c.region.RunQuery(ctx, q.c.dbID, q.c.p, iq, resume, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range res.Docs {
+			out = append(out, snapshotOf(&DocumentRef{c: q.c, name: d.Name}, d, readTS))
+		}
+		if res.Resume == nil || (iq.Limit > 0 && len(out) >= remaining) {
+			return out, nil
+		}
+		resume = res.Resume
+	}
+}
+
+// Count executes the query as a COUNT aggregation: the result comes
+// entirely from index scans with no documents fetched or returned.
+func (q Query) Count(ctx context.Context) (int64, error) {
+	iq, err := q.build()
+	if err != nil {
+		return 0, err
+	}
+	n, _, err := q.c.region.Backend.RunCount(ctx, q.c.dbID, q.c.p, iq, 0)
+	return n, err
+}
+
+// QuerySnapshot is one consistent view of a real-time query's results.
+type QuerySnapshot struct {
+	// Docs is the full result set in query order.
+	Docs []*DocumentSnapshot
+	// Changes lists the delta from the previous snapshot.
+	Changes []DocumentChange
+	// ReadTime is the snapshot's consistent timestamp.
+	ReadTime int64
+}
+
+// DocumentChangeKind classifies a delta entry.
+type DocumentChangeKind int
+
+// Delta kinds.
+const (
+	DocumentAdded DocumentChangeKind = iota
+	DocumentModified
+	DocumentRemoved
+)
+
+// DocumentChange is one result-set delta entry.
+type DocumentChange struct {
+	Kind DocumentChangeKind
+	Doc  *DocumentSnapshot // for Removed, only Ref is set
+}
+
+// QuerySnapshotIterator streams consistent snapshots of a real-time
+// query (the Web SDK's onSnapshot, §III-E).
+type QuerySnapshotIterator struct {
+	c          *Client
+	conn       *frontend.Conn
+	targetID   int64
+	q          *query.Query
+	results    map[string]*DocumentSnapshot
+	filterName string
+	closed     bool
+}
+
+// Snapshots registers the query as a real-time query and returns an
+// iterator of consistent snapshots; the first Next returns the initial
+// result set.
+func (q Query) Snapshots(ctx context.Context) (*QuerySnapshotIterator, error) {
+	iq, err := q.build()
+	if err != nil {
+		return nil, err
+	}
+	conn := q.c.region.NewConn(q.c.dbID, q.c.p)
+	targetID, err := conn.Listen(ctx, iq)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &QuerySnapshotIterator{
+		c:        q.c,
+		conn:     conn,
+		targetID: targetID,
+		q:        iq,
+		results:  map[string]*DocumentSnapshot{},
+	}, nil
+}
+
+// Next blocks for the next snapshot. It returns an error when the
+// iterator is stopped or ctx is done.
+func (it *QuerySnapshotIterator) Next(ctx context.Context) (*QuerySnapshot, error) {
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case ev, ok := <-it.conn.Events():
+			if !ok {
+				return nil, fmt.Errorf("firestore: listener stopped")
+			}
+			if ev.TargetID != it.targetID {
+				continue
+			}
+			snap := it.apply(ev)
+			if snap == nil {
+				continue // filtered out entirely (single-doc listener)
+			}
+			return snap, nil
+		}
+	}
+}
+
+func (it *QuerySnapshotIterator) apply(ev frontend.SnapshotEvent) *QuerySnapshot {
+	var changes []DocumentChange
+	include := func(name string) bool {
+		return it.filterName == "" || name == it.filterName
+	}
+	for _, d := range ev.Added {
+		if !include(d.Name.String()) {
+			continue
+		}
+		s := snapshotOf(&DocumentRef{c: it.c, name: d.Name}, d, ev.TS)
+		it.results[d.Name.String()] = s
+		changes = append(changes, DocumentChange{Kind: DocumentAdded, Doc: s})
+	}
+	for _, d := range ev.Modified {
+		if !include(d.Name.String()) {
+			continue
+		}
+		s := snapshotOf(&DocumentRef{c: it.c, name: d.Name}, d, ev.TS)
+		it.results[d.Name.String()] = s
+		changes = append(changes, DocumentChange{Kind: DocumentModified, Doc: s})
+	}
+	for _, n := range ev.Removed {
+		if !include(n.String()) {
+			continue
+		}
+		if _, ok := it.results[n.String()]; !ok {
+			continue
+		}
+		delete(it.results, n.String())
+		changes = append(changes, DocumentChange{
+			Kind: DocumentRemoved,
+			Doc:  &DocumentSnapshot{Ref: &DocumentRef{c: it.c, name: n}},
+		})
+	}
+	if len(changes) == 0 && !ev.Initial {
+		return nil
+	}
+	// Order the full set per the query.
+	docs := make([]*DocumentSnapshot, 0, len(it.results))
+	for _, s := range it.results {
+		docs = append(docs, s)
+	}
+	for i := 1; i < len(docs); i++ {
+		for j := i; j > 0 && it.less(docs[j], docs[j-1]); j-- {
+			docs[j], docs[j-1] = docs[j-1], docs[j]
+		}
+	}
+	return &QuerySnapshot{Docs: docs, Changes: changes, ReadTime: int64(ev.TS)}
+}
+
+func (it *QuerySnapshotIterator) less(a, b *DocumentSnapshot) bool {
+	da := &doc.Document{Name: a.Ref.name, Fields: a.fields}
+	db := &doc.Document{Name: b.Ref.name, Fields: b.fields}
+	return it.q.Compare(da, db) < 0
+}
+
+// Stop tears the listener down.
+func (it *QuerySnapshotIterator) Stop() {
+	if it.closed {
+		return
+	}
+	it.closed = true
+	it.conn.Close()
+}

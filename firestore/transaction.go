@@ -1,0 +1,194 @@
+package firestore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"firestore/internal/backend"
+	"firestore/internal/truetime"
+)
+
+// Transaction is an optimistic read-write transaction: reads record the
+// observed document versions; at commit every read is revalidated for
+// freshness and the buffered writes apply atomically, or the whole
+// function is retried (§III-E: "With transactions, all data read by the
+// transaction is revalidated for freshness at the time of the commit; the
+// transaction is retried if the data fails the freshness check").
+type Transaction struct {
+	c      *Client
+	ctx    context.Context
+	readTS truetime.Timestamp
+	reads  []backend.ReadValidation
+	seen   map[string]bool
+	ops    []backend.WriteOp
+	opIdx  map[string]int
+}
+
+// MaxTransactionRetries bounds the automatic retry loop.
+const MaxTransactionRetries = 8
+
+// RunTransaction runs fn, committing its buffered writes with read
+// revalidation and retrying with exponential backoff on conflicts.
+func (c *Client) RunTransaction(ctx context.Context, fn func(tx *Transaction) error) error {
+	backoff := 2 * time.Millisecond
+	var lastErr error
+	for attempt := 0; attempt < MaxTransactionRetries; attempt++ {
+		tx := &Transaction{
+			c:      c,
+			ctx:    ctx,
+			seen:   map[string]bool{},
+			opIdx:  map[string]int{},
+			readTS: 0,
+		}
+		if err := fn(tx); err != nil {
+			return err
+		}
+		_, err := c.region.CommitTransactional(ctx, c.dbID, c.p, tx.ops, tx.reads)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, backend.ErrConflict) {
+			return err
+		}
+		lastErr = err
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff + time.Duration(rand.Int63n(int64(backoff)))):
+		}
+		backoff *= 2
+	}
+	return fmt.Errorf("firestore: transaction failed after %d attempts: %w", MaxTransactionRetries, lastErr)
+}
+
+// Get reads a document inside the transaction, recording its version for
+// commit-time revalidation. All reads within one attempt observe a single
+// consistent snapshot.
+func (tx *Transaction) Get(dr *DocumentRef) (*DocumentSnapshot, error) {
+	if dr.err != nil {
+		return nil, dr.err
+	}
+	d, readTS, err := tx.c.region.GetDocument(tx.ctx, tx.c.dbID, tx.c.p, dr.name, tx.readTS)
+	notFound := errors.Is(err, backend.ErrNotFound)
+	if err != nil && !notFound {
+		return nil, err
+	}
+	if tx.readTS == 0 {
+		tx.readTS = readTS
+	}
+	key := dr.name.String()
+	if !tx.seen[key] {
+		tx.seen[key] = true
+		rv := backend.ReadValidation{Name: dr.name}
+		if d != nil {
+			rv.UpdateTime = d.UpdateTime
+		}
+		tx.reads = append(tx.reads, rv)
+	}
+	if notFound {
+		return &DocumentSnapshot{Ref: dr, ReadTime: tsTime(readTS)}, nil
+	}
+	return snapshotOf(dr, d, readTS), nil
+}
+
+// Set buffers a create-or-replace.
+func (tx *Transaction) Set(dr *DocumentRef, data map[string]any) error {
+	return tx.buffer(dr, backend.OpSet, data)
+}
+
+// Create buffers a create (fails at commit if the document exists).
+func (tx *Transaction) Create(dr *DocumentRef, data map[string]any) error {
+	return tx.buffer(dr, backend.OpCreate, data)
+}
+
+// Update buffers a replace of an existing document.
+func (tx *Transaction) Update(dr *DocumentRef, data map[string]any) error {
+	return tx.buffer(dr, backend.OpUpdate, data)
+}
+
+// Delete buffers a delete.
+func (tx *Transaction) Delete(dr *DocumentRef) error {
+	return tx.buffer(dr, backend.OpDelete, nil)
+}
+
+func (tx *Transaction) buffer(dr *DocumentRef, kind backend.OpKind, data map[string]any) error {
+	if dr.err != nil {
+		return dr.err
+	}
+	fields, err := toFields(data)
+	if err != nil {
+		return err
+	}
+	op := backend.WriteOp{Kind: kind, Name: dr.name, Fields: fields}
+	key := dr.name.String()
+	if i, ok := tx.opIdx[key]; ok {
+		tx.ops[i] = op // last write to a doc wins within the txn
+		return nil
+	}
+	tx.opIdx[key] = len(tx.ops)
+	tx.ops = append(tx.ops, op)
+	return nil
+}
+
+// WriteBatch accumulates blind writes applied atomically by Commit; no
+// reads, no revalidation ("last update wins", §III-E).
+type WriteBatch struct {
+	c   *Client
+	ops []backend.WriteOp
+	err error
+}
+
+// Batch starts a write batch.
+func (c *Client) Batch() *WriteBatch { return &WriteBatch{c: c} }
+
+// Set appends a create-or-replace.
+func (b *WriteBatch) Set(dr *DocumentRef, data map[string]any) *WriteBatch {
+	return b.add(dr, backend.OpSet, data)
+}
+
+// Create appends a create.
+func (b *WriteBatch) Create(dr *DocumentRef, data map[string]any) *WriteBatch {
+	return b.add(dr, backend.OpCreate, data)
+}
+
+// Update appends a replace of an existing document.
+func (b *WriteBatch) Update(dr *DocumentRef, data map[string]any) *WriteBatch {
+	return b.add(dr, backend.OpUpdate, data)
+}
+
+// Delete appends a delete.
+func (b *WriteBatch) Delete(dr *DocumentRef) *WriteBatch {
+	return b.add(dr, backend.OpDelete, nil)
+}
+
+func (b *WriteBatch) add(dr *DocumentRef, kind backend.OpKind, data map[string]any) *WriteBatch {
+	if b.err != nil {
+		return b
+	}
+	if dr.err != nil {
+		b.err = dr.err
+		return b
+	}
+	fields, err := toFields(data)
+	if err != nil {
+		b.err = fmtErr(dr, err)
+		return b
+	}
+	b.ops = append(b.ops, backend.WriteOp{Kind: kind, Name: dr.name, Fields: fields})
+	return b
+}
+
+// Commit applies the batch atomically.
+func (b *WriteBatch) Commit(ctx context.Context) error {
+	if b.err != nil {
+		return b.err
+	}
+	if len(b.ops) == 0 {
+		return nil
+	}
+	_, err := b.c.region.Commit(ctx, b.c.dbID, b.c.p, b.ops)
+	return err
+}

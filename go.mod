@@ -1,0 +1,3 @@
+module firestore
+
+go 1.22

@@ -1,0 +1,243 @@
+package backend
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"firestore/internal/catalog"
+	"firestore/internal/doc"
+	"firestore/internal/encoding"
+	"firestore/internal/query"
+	"firestore/internal/rules"
+	"firestore/internal/spanner"
+	"firestore/internal/truetime"
+)
+
+// GetDocument reads one document. A zero readTS means a strong read
+// (TT.now().latest); otherwise the read is served at the given snapshot
+// timestamp (§III-C: "point-in-time queries that are either
+// strongly-consistent or from a recent timestamp").
+func (b *Backend) GetDocument(ctx context.Context, dbID string, p Principal, name doc.Name, readTS truetime.Timestamp) (*doc.Document, truetime.Timestamp, error) {
+	db, err := b.cat.Get(dbID)
+	if err != nil {
+		return nil, 0, err
+	}
+	var cost time.Duration
+	if b.cfg.Costs.Read != nil {
+		cost = b.cfg.Costs.Read(dbID)
+	}
+	var d *doc.Document
+	var rerr error
+	if readTS == 0 {
+		readTS = db.Spanner.StrongReadTimestamp()
+	}
+	err = b.submit(ctx, b.schedKey(dbID, p), cost, func() {
+		d, rerr = b.getAt(ctx, db, name, readTS)
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	if rerr != nil {
+		return nil, 0, rerr
+	}
+	if !p.Privileged {
+		meta := db.Meta()
+		if meta.Rules == nil {
+			return nil, 0, fmt.Errorf("%w: no rules deployed", rules.ErrDenied)
+		}
+		req := &rules.Request{
+			Method:   rules.MethodGet,
+			Path:     name,
+			Auth:     p.Auth,
+			Resource: d,
+			Get: func(n doc.Name) (*doc.Document, error) {
+				return b.getAt(ctx, db, n, readTS)
+			},
+		}
+		if err := meta.Rules.Authorize(req); err != nil {
+			return nil, 0, err
+		}
+	}
+	if b.cfg.Billing != nil {
+		b.cfg.Billing.RecordReads(dbID, 1)
+	}
+	if d == nil {
+		return nil, readTS, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return d, readTS, nil
+}
+
+func (b *Backend) getAt(ctx context.Context, db *catalog.Database, name doc.Name, ts truetime.Timestamp) (*doc.Document, error) {
+	key := db.EntityKey(encoding.EncodeName(nil, name))
+	blob, vts, ok, err := db.Spanner.SnapshotGet(ctx, key, ts)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	return ResolveDoc(blob, vts)
+}
+
+// RunQuery plans and executes q. A zero readTS means a strong read. It
+// returns the result page and the snapshot timestamp it reflects, which
+// doubles as the max-commit-version for real-time subscriptions (§IV-D4
+// step 2).
+func (b *Backend) RunQuery(ctx context.Context, dbID string, p Principal, q *query.Query, resume []byte, readTS truetime.Timestamp) (*query.Result, truetime.Timestamp, error) {
+	db, err := b.cat.Get(dbID)
+	if err != nil {
+		return nil, 0, err
+	}
+	meta := db.Meta()
+	if !p.Privileged {
+		if meta.Rules == nil {
+			return nil, 0, fmt.Errorf("%w: no rules deployed", rules.ErrDenied)
+		}
+		// The list authorization is evaluated against the collection's
+		// document pattern; conditions inspecting document data cannot
+		// grant a whole query.
+		probe, perr := q.Collection.Doc("?")
+		if perr != nil {
+			return nil, 0, perr
+		}
+		req := &rules.Request{Method: rules.MethodList, Path: probe, Auth: p.Auth}
+		if err := meta.Rules.Authorize(req); err != nil {
+			return nil, 0, err
+		}
+	}
+	plan, err := query.BuildPlan(q, meta.ReadyComposites(), &meta.Exemptions)
+	if err != nil {
+		return nil, 0, err
+	}
+	if readTS == 0 {
+		readTS = db.Spanner.StrongReadTimestamp()
+	}
+	var cost time.Duration
+	if b.cfg.Costs.Query != nil {
+		cost = b.cfg.Costs.Query(dbID, q)
+	}
+	var res *query.Result
+	var qerr error
+	err = b.submit(ctx, b.schedKey(dbID, p), cost, func() {
+		st := &snapshotStorage{db: db, ts: readTS}
+		res, qerr = plan.Execute(ctx, st, resume)
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	if qerr != nil {
+		return nil, 0, qerr
+	}
+	if b.cfg.Billing != nil {
+		n := int64(len(res.Docs))
+		if n == 0 {
+			n = 1 // queries bill at least one read
+		}
+		b.cfg.Billing.RecordReads(dbID, n)
+	}
+	return res, readTS, nil
+}
+
+// RunCount executes q as a COUNT aggregation (§VIII): the count comes
+// entirely from index work with no document fetches, and billing charges
+// one read per 1000 index entries examined rather than per result, so
+// counting millions of documents stays pay-as-you-go.
+func (b *Backend) RunCount(ctx context.Context, dbID string, p Principal, q *query.Query, readTS truetime.Timestamp) (int64, truetime.Timestamp, error) {
+	db, err := b.cat.Get(dbID)
+	if err != nil {
+		return 0, 0, err
+	}
+	meta := db.Meta()
+	if !p.Privileged {
+		if meta.Rules == nil {
+			return 0, 0, fmt.Errorf("%w: no rules deployed", rules.ErrDenied)
+		}
+		probe, perr := q.Collection.Doc("?")
+		if perr != nil {
+			return 0, 0, perr
+		}
+		req := &rules.Request{Method: rules.MethodList, Path: probe, Auth: p.Auth}
+		if err := meta.Rules.Authorize(req); err != nil {
+			return 0, 0, err
+		}
+	}
+	plan, err := query.BuildPlan(q, meta.ReadyComposites(), &meta.Exemptions)
+	if err != nil {
+		return 0, 0, err
+	}
+	if readTS == 0 {
+		readTS = db.Spanner.StrongReadTimestamp()
+	}
+	var cost time.Duration
+	if b.cfg.Costs.Query != nil {
+		cost = b.cfg.Costs.Query(dbID, q)
+	}
+	var res *query.CountResult
+	var qerr error
+	err = b.submit(ctx, b.schedKey(dbID, p), cost, func() {
+		st := &snapshotStorage{db: db, ts: readTS}
+		res, qerr = plan.ExecuteCount(ctx, st)
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	if qerr != nil {
+		return 0, 0, qerr
+	}
+	if b.cfg.Billing != nil {
+		reads := int64(res.ScannedEntries/1000) + 1
+		b.cfg.Billing.RecordReads(dbID, reads)
+	}
+	return res.Count, readTS, nil
+}
+
+// snapshotStorage adapts a database snapshot to the query executor's
+// Storage interface: index scans over IndexEntries rows, document reads
+// over Entities rows (§IV-D3).
+type snapshotStorage struct {
+	db *catalog.Database
+	ts truetime.Timestamp
+}
+
+func (s *snapshotStorage) ScanIndex(ctx context.Context, lo, hi []byte, fn func(key, value []byte) bool) error {
+	klo, khi := s.db.IndexRange(lo, hi)
+	return s.db.Spanner.SnapshotScan(ctx, klo, khi, s.ts, false, func(r spanner.ScanRow) bool {
+		return fn(s.db.StripIndexKey(r.Key), r.Value)
+	})
+}
+
+func (s *snapshotStorage) ScanCollection(ctx context.Context, c doc.CollectionPath, startAfterID string, fn func(*doc.Document) bool) error {
+	prefix := encoding.EncodeCollection(nil, c)
+	lo := prefix
+	if startAfterID != "" {
+		withID := encoding.AppendEscaped(append([]byte(nil), prefix...), []byte(startAfterID))
+		lo = encoding.PrefixSuccessor(withID)
+	}
+	hi := encoding.PrefixSuccessor(prefix)
+	klo := s.db.EntityKey(lo)
+	khi := s.db.EntityKey(hi)
+	want := len(c.Segments()) + 1
+	return s.db.Spanner.SnapshotScan(ctx, klo, khi, s.ts, false, func(r spanner.ScanRow) bool {
+		d, err := ResolveDoc(r.Value, r.TS)
+		if err != nil {
+			return true // skip corrupt rows; validation jobs catch them
+		}
+		if len(d.Name.Segments()) != want {
+			return true // nested sub-collection document
+		}
+		return fn(d)
+	})
+}
+
+func (s *snapshotStorage) GetDocument(ctx context.Context, name doc.Name) (*doc.Document, error) {
+	key := s.db.EntityKey(encoding.EncodeName(nil, name))
+	blob, vts, ok, err := s.db.Spanner.SnapshotGet(ctx, key, s.ts)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	return ResolveDoc(blob, vts)
+}

@@ -1,0 +1,27 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFig11Directional(t *testing.T) {
+	if testing.Short() {
+		t.Skip("6s experiment")
+	}
+	tab := Fig11(Options{Scale: 0.15, Seed: 1})
+	if len(tab.Rows) < 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	fairP99, err1 := time.ParseDuration(last[2])
+	fifoP99, err2 := time.ParseDuration(last[4])
+	if err1 != nil || err2 != nil {
+		t.Fatalf("parse %v: %v %v", last, err1, err2)
+	}
+	// The paper's claim: without fairness the bystander degrades badly
+	// once capacity saturates; with fairness the impact stays small.
+	if fifoP99 < 3*fairP99 {
+		t.Fatalf("FIFO p99 (%v) not clearly worse than fair p99 (%v)", fifoP99, fairP99)
+	}
+}

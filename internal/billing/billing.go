@@ -1,0 +1,149 @@
+// Package billing implements Firestore's serverless pay-as-you-go
+// billing (§IV-B): per-database counters of billable operations (document
+// reads, writes, deletes) and stored bytes, a daily free quota, and
+// operation-rate pricing. Work served from the client SDK's local cache
+// is never billed (§IV-E) — only traffic that reaches the service calls
+// into this package.
+package billing
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// FreeQuota is the daily free tier, mirroring the production limits.
+type FreeQuota struct {
+	Reads       int64
+	Writes      int64
+	Deletes     int64
+	StoredBytes int64
+}
+
+// DefaultFreeQuota matches the documented daily free tier.
+var DefaultFreeQuota = FreeQuota{
+	Reads:       50_000,
+	Writes:      20_000,
+	Deletes:     20_000,
+	StoredBytes: 1 << 30, // 1 GiB
+}
+
+// Rates price operations beyond the free quota, in micro-dollars.
+type Rates struct {
+	ReadPer100k   int64 // µ$ per 100k reads
+	WritePer100k  int64
+	DeletePer100k int64
+	StoragePerGiB int64 // µ$ per GiB-day
+}
+
+// DefaultRates approximate the public us-central pricing.
+var DefaultRates = Rates{
+	ReadPer100k:   60_000,  // $0.06
+	WritePer100k:  180_000, // $0.18
+	DeletePer100k: 20_000,  // $0.02
+	StoragePerGiB: 180_000, // $0.18
+}
+
+// Usage is one database's counters for one day.
+type Usage struct {
+	Reads, Writes, Deletes int64
+	StoredBytes            int64
+}
+
+// Accountant tracks per-database usage by day.
+type Accountant struct {
+	quota FreeQuota
+	rates Rates
+	now   func() time.Time
+
+	mu   sync.Mutex
+	days map[string]map[string]*Usage // day -> database -> usage
+}
+
+// New creates an accountant. A nil now uses time.Now.
+func New(quota FreeQuota, rates Rates, now func() time.Time) *Accountant {
+	if now == nil {
+		now = time.Now
+	}
+	return &Accountant{quota: quota, rates: rates, now: now, days: map[string]map[string]*Usage{}}
+}
+
+func (a *Accountant) usage(db string) *Usage {
+	day := a.now().UTC().Format("2006-01-02")
+	m, ok := a.days[day]
+	if !ok {
+		m = map[string]*Usage{}
+		a.days[day] = m
+	}
+	u, ok := m[db]
+	if !ok {
+		u = &Usage{}
+		m[db] = u
+	}
+	return u
+}
+
+// RecordReads adds n billable document reads.
+func (a *Accountant) RecordReads(db string, n int64) {
+	a.mu.Lock()
+	a.usage(db).Reads += n
+	a.mu.Unlock()
+}
+
+// RecordWrites adds n billable document writes.
+func (a *Accountant) RecordWrites(db string, n int64) {
+	a.mu.Lock()
+	a.usage(db).Writes += n
+	a.mu.Unlock()
+}
+
+// RecordDeletes adds n billable document deletes.
+func (a *Accountant) RecordDeletes(db string, n int64) {
+	a.mu.Lock()
+	a.usage(db).Deletes += n
+	a.mu.Unlock()
+}
+
+// SetStoredBytes records the database's current storage footprint.
+func (a *Accountant) SetStoredBytes(db string, bytes int64) {
+	a.mu.Lock()
+	a.usage(db).StoredBytes = bytes
+	a.mu.Unlock()
+}
+
+// UsageFor returns today's usage for db.
+func (a *Accountant) UsageFor(db string) Usage {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return *a.usage(db)
+}
+
+// Bill computes today's charge for db in micro-dollars: usage beyond the
+// free quota at the configured rates. Mostly-idle databases cost nothing,
+// which is what makes the free tier practical (§IV-C).
+func (a *Accountant) Bill(db string) int64 {
+	u := a.UsageFor(db)
+	var total int64
+	total += chargePer100k(u.Reads, a.quota.Reads, a.rates.ReadPer100k)
+	total += chargePer100k(u.Writes, a.quota.Writes, a.rates.WritePer100k)
+	total += chargePer100k(u.Deletes, a.quota.Deletes, a.rates.DeletePer100k)
+	if over := u.StoredBytes - a.quota.StoredBytes; over > 0 {
+		total += over * a.rates.StoragePerGiB / (1 << 30)
+	}
+	return total
+}
+
+func chargePer100k(used, free, ratePer100k int64) int64 {
+	over := used - free
+	if over <= 0 {
+		return 0
+	}
+	return over * ratePer100k / 100_000
+}
+
+// Statement renders a human-readable bill line.
+func (a *Accountant) Statement(db string) string {
+	u := a.UsageFor(db)
+	return fmt.Sprintf("db=%s reads=%d writes=%d deletes=%d stored=%dB charge=$%.6f",
+		db, u.Reads, u.Writes, u.Deletes, u.StoredBytes, float64(a.Bill(db))/1e6)
+}

@@ -1,0 +1,95 @@
+package billing
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedNow(t time.Time) func() time.Time { return func() time.Time { return t } }
+
+func TestFreeTierCostsNothing(t *testing.T) {
+	a := New(DefaultFreeQuota, DefaultRates, nil)
+	a.RecordReads("db", 49_999)
+	a.RecordWrites("db", 19_999)
+	a.RecordDeletes("db", 19_999)
+	a.SetStoredBytes("db", 1<<29)
+	if got := a.Bill("db"); got != 0 {
+		t.Fatalf("Bill = %d, want 0 within free tier", got)
+	}
+}
+
+func TestChargesBeyondQuota(t *testing.T) {
+	a := New(DefaultFreeQuota, DefaultRates, nil)
+	a.RecordReads("db", DefaultFreeQuota.Reads+100_000) // 100k over
+	if got := a.Bill("db"); got != DefaultRates.ReadPer100k {
+		t.Fatalf("Bill = %d, want %d", got, DefaultRates.ReadPer100k)
+	}
+	a.RecordWrites("db", DefaultFreeQuota.Writes+200_000)
+	want := DefaultRates.ReadPer100k + 2*DefaultRates.WritePer100k
+	if got := a.Bill("db"); got != want {
+		t.Fatalf("Bill = %d, want %d", got, want)
+	}
+}
+
+func TestStorageCharge(t *testing.T) {
+	a := New(DefaultFreeQuota, DefaultRates, nil)
+	a.SetStoredBytes("db", DefaultFreeQuota.StoredBytes+2<<30) // 2 GiB over
+	if got := a.Bill("db"); got != 2*DefaultRates.StoragePerGiB {
+		t.Fatalf("Bill = %d, want %d", got, 2*DefaultRates.StoragePerGiB)
+	}
+}
+
+func TestPerDatabaseIsolation(t *testing.T) {
+	a := New(DefaultFreeQuota, DefaultRates, nil)
+	a.RecordReads("hot", 1_000_000)
+	if a.Bill("idle") != 0 {
+		t.Fatal("idle database billed for hot database's traffic")
+	}
+	if a.UsageFor("hot").Reads != 1_000_000 {
+		t.Fatal("usage lost")
+	}
+}
+
+func TestDailyReset(t *testing.T) {
+	day1 := time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC)
+	cur := day1
+	a := New(DefaultFreeQuota, DefaultRates, func() time.Time { return cur })
+	a.RecordReads("db", DefaultFreeQuota.Reads+100_000)
+	if a.Bill("db") == 0 {
+		t.Fatal("over-quota day not billed")
+	}
+	cur = day1.Add(24 * time.Hour)
+	if a.Bill("db") != 0 {
+		t.Fatal("quota did not reset next day")
+	}
+	if a.UsageFor("db").Reads != 0 {
+		t.Fatal("usage did not reset next day")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	a := New(DefaultFreeQuota, DefaultRates, fixedNow(time.Unix(0, 0)))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				a.RecordReads("db", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.UsageFor("db").Reads; got != 8000 {
+		t.Fatalf("Reads = %d, want 8000", got)
+	}
+}
+
+func TestStatement(t *testing.T) {
+	a := New(DefaultFreeQuota, DefaultRates, nil)
+	a.RecordReads("db", 10)
+	if s := a.Statement("db"); s == "" {
+		t.Fatal("empty statement")
+	}
+}

@@ -1,0 +1,368 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%08d", i)) }
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+	if _, ok := tr.Get([]byte("x")); ok {
+		t.Fatal("Get on empty tree returned ok")
+	}
+	if _, ok := tr.Delete([]byte("x")); ok {
+		t.Fatal("Delete on empty tree returned ok")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree returned ok")
+	}
+	if _, _, ok := tr.MaxKey(); ok {
+		t.Fatal("MaxKey on empty tree returned ok")
+	}
+	tr.Ascend(nil, nil, func([]byte, any) bool { t.Fatal("Ascend visited on empty tree"); return false })
+}
+
+func TestSetGetSequential(t *testing.T) {
+	tr := New()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if _, existed := tr.Set(key(i), i); existed {
+			t.Fatalf("Set(%d) reported existing", i)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := tr.Get(key(i))
+		if !ok || v.(int) != i {
+			t.Fatalf("Get(%d) = %v, %v", i, v, ok)
+		}
+	}
+}
+
+func TestSetReplace(t *testing.T) {
+	tr := New()
+	tr.Set([]byte("a"), 1)
+	prev, existed := tr.Set([]byte("a"), 2)
+	if !existed || prev.(int) != 1 {
+		t.Fatalf("replace = %v, %v; want 1, true", prev, existed)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after replace, want 1", tr.Len())
+	}
+	v, _ := tr.Get([]byte("a"))
+	if v.(int) != 2 {
+		t.Fatalf("Get = %v, want 2", v)
+	}
+}
+
+func TestDeleteRandomOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := New()
+	const n = 3000
+	perm := rng.Perm(n)
+	for _, i := range perm {
+		tr.Set(key(i), i)
+	}
+	perm2 := rng.Perm(n)
+	for cnt, i := range perm2 {
+		v, ok := tr.Delete(key(i))
+		if !ok || v.(int) != i {
+			t.Fatalf("Delete(%d) = %v, %v", i, v, ok)
+		}
+		if tr.Len() != n-cnt-1 {
+			t.Fatalf("Len = %d, want %d", tr.Len(), n-cnt-1)
+		}
+	}
+	if tr.root != nil {
+		t.Fatal("root not nil after deleting everything")
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Set(key(i), i)
+	}
+	if _, ok := tr.Delete([]byte("nope")); ok {
+		t.Fatal("Delete of missing key returned ok")
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len changed to %d", tr.Len())
+	}
+}
+
+func TestAscendFullOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New()
+	const n = 2000
+	for _, i := range rng.Perm(n) {
+		tr.Set(key(i), i)
+	}
+	var got [][]byte
+	tr.Ascend(nil, nil, func(k []byte, _ any) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != n {
+		t.Fatalf("visited %d keys, want %d", len(got), n)
+	}
+	for i := 1; i < len(got); i++ {
+		if bytes.Compare(got[i-1], got[i]) >= 0 {
+			t.Fatalf("out of order at %d: %q >= %q", i, got[i-1], got[i])
+		}
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Set(key(i), i)
+	}
+	var got []int
+	tr.Ascend(key(10), key(20), func(_ []byte, v any) bool {
+		got = append(got, v.(int))
+		return true
+	})
+	if len(got) != 10 {
+		t.Fatalf("range [10,20) visited %d keys: %v", len(got), got)
+	}
+	for i, v := range got {
+		if v != 10+i {
+			t.Fatalf("got[%d] = %d, want %d", i, v, 10+i)
+		}
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Set(key(i), i)
+	}
+	count := 0
+	tr.Ascend(nil, nil, func([]byte, any) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d, want 5", count)
+	}
+}
+
+func TestDescend(t *testing.T) {
+	tr := New()
+	const n = 500
+	for i := 0; i < n; i++ {
+		tr.Set(key(i), i)
+	}
+	var got []int
+	tr.Descend(key(100), key(110), func(_ []byte, v any) bool {
+		got = append(got, v.(int))
+		return true
+	})
+	want := []int{109, 108, 107, 106, 105, 104, 103, 102, 101, 100}
+	if len(got) != len(want) {
+		t.Fatalf("Descend visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Descend visited %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDescendFullOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := New()
+	const n = 1500
+	for _, i := range rng.Perm(n) {
+		tr.Set(key(i), i)
+	}
+	prev := n
+	count := 0
+	tr.Descend(nil, nil, func(_ []byte, v any) bool {
+		if v.(int) >= prev {
+			t.Fatalf("descend out of order: %d after %d", v, prev)
+		}
+		prev = v.(int)
+		count++
+		return true
+	})
+	if count != n {
+		t.Fatalf("visited %d, want %d", count, n)
+	}
+}
+
+func TestDescendEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Set(key(i), i)
+	}
+	count := 0
+	tr.Descend(nil, nil, func([]byte, any) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop visited %d, want 3", count)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New()
+	for _, i := range rand.New(rand.NewSource(3)).Perm(1000) {
+		tr.Set(key(i), i)
+	}
+	k, v, ok := tr.Min()
+	if !ok || !bytes.Equal(k, key(0)) || v.(int) != 0 {
+		t.Fatalf("Min = %q, %v", k, v)
+	}
+	k, v, ok = tr.MaxKey()
+	if !ok || !bytes.Equal(k, key(999)) || v.(int) != 999 {
+		t.Fatalf("MaxKey = %q, %v", k, v)
+	}
+}
+
+func TestKeyAt(t *testing.T) {
+	tr := New()
+	for i := 0; i < 200; i++ {
+		tr.Set(key(i), i)
+	}
+	for _, i := range []int{0, 1, 99, 100, 199} {
+		k, ok := tr.KeyAt(i)
+		if !ok || !bytes.Equal(k, key(i)) {
+			t.Fatalf("KeyAt(%d) = %q, %v", i, k, ok)
+		}
+	}
+	if _, ok := tr.KeyAt(-1); ok {
+		t.Fatal("KeyAt(-1) ok")
+	}
+	if _, ok := tr.KeyAt(200); ok {
+		t.Fatal("KeyAt(len) ok")
+	}
+}
+
+func TestClone(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Set(key(i), i)
+	}
+	c := tr.Clone()
+	// Mutate original; clone must not change.
+	for i := 0; i < 500; i++ {
+		tr.Delete(key(i))
+	}
+	tr.Set(key(2000), 2000)
+	if c.Len() != 1000 {
+		t.Fatalf("clone Len = %d, want 1000", c.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		if v, ok := c.Get(key(i)); !ok || v.(int) != i {
+			t.Fatalf("clone Get(%d) = %v, %v", i, v, ok)
+		}
+	}
+	if _, ok := c.Get(key(2000)); ok {
+		t.Fatal("clone sees key added to original")
+	}
+}
+
+// TestQuickAgainstMap drives random operations against the tree and a
+// reference map, checking full equivalence including iteration order.
+func TestQuickAgainstMap(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New()
+		ref := map[string]int{}
+		for op := 0; op < 3000; op++ {
+			k := []byte(fmt.Sprintf("%04d", rng.Intn(500)))
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := rng.Int()
+				_, existed := tr.Set(k, v)
+				if _, refExists := ref[string(k)]; existed != refExists {
+					return false
+				}
+				ref[string(k)] = v
+			case 2:
+				_, ok := tr.Delete(k)
+				_, refOK := ref[string(k)]
+				if ok != refOK {
+					return false
+				}
+				delete(ref, string(k))
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		var keys []string
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		i := 0
+		okAll := true
+		tr.Ascend(nil, nil, func(k []byte, v any) bool {
+			if i >= len(keys) || string(k) != keys[i] || v.(int) != ref[keys[i]] {
+				okAll = false
+				return false
+			}
+			i++
+			return true
+		})
+		return okAll && i == len(keys)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	tr := New()
+	keys := make([][]byte, b.N)
+	for i := range keys {
+		keys[i] = key(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Set(keys[i], i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		tr.Set(key(i), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(key(i % n))
+	}
+}
+
+func BenchmarkAscend100(b *testing.B) {
+	tr := New()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		tr.Set(key(i), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		tr.Ascend(key(i%1000*50), nil, func([]byte, any) bool {
+			count++
+			return count < 100
+		})
+	}
+}

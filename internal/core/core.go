@@ -1,0 +1,295 @@
+// Package core assembles the Firestore service (§IV, Figure 4): the
+// shared Spanner pool, the multi-tenant catalog with its metadata cache,
+// the Backend tasks behind a fair-CPU-share scheduler, the Real-time
+// Cache, the Frontend connection layer, operation-based billing, and the
+// per-database trigger services. One Region value is the paper's "four
+// rectangles" for one cloud region.
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"firestore/internal/backend"
+	"firestore/internal/billing"
+	"firestore/internal/catalog"
+	"firestore/internal/doc"
+	"firestore/internal/frontend"
+	"firestore/internal/index"
+	"firestore/internal/query"
+	"firestore/internal/rtcache"
+	"firestore/internal/rules"
+	"firestore/internal/spanner"
+	"firestore/internal/triggers"
+	"firestore/internal/truetime"
+	"firestore/internal/wfq"
+)
+
+// Config tunes a Region. The zero value gives a fast regional deployment
+// suitable for tests and examples.
+type Config struct {
+	// Name labels the region (e.g. "us-central1").
+	Name string
+	// MultiRegion raises the replication quorum latency (§IV-D2:
+	// "Spanner needs a quorum of replicas to agree before committing a
+	// write, leading to higher Firestore write latency in multi-regional
+	// deployments").
+	MultiRegion bool
+	// TimeScale scales every synthetic latency; 1.0 approximates
+	// production milliseconds, 0 disables synthetic latency entirely
+	// (fastest tests). Experiments use ~0.1.
+	TimeScale float64
+	// SpannerPoolSize is the number of pre-initialized Spanner databases
+	// shared by all Firestore databases (§IV-D1 footnote 3). Default 2.
+	SpannerPoolSize int
+	// RTRanges is the number of Real-time Cache document-name ranges.
+	// Default 8.
+	RTRanges int
+	// RTAutoSplitSubs enables Slicer-style rebalancing: a Real-time
+	// Cache range serving at least this many subscriptions is split.
+	// Zero disables it.
+	RTAutoSplitSubs int
+	// SchedulerWorkers sizes the Backend fair scheduler; zero disables
+	// the scheduler (no CPU simulation).
+	SchedulerWorkers int
+	// SchedulerMode selects Fair (default) or FIFO for the isolation
+	// ablation.
+	SchedulerMode wfq.Mode
+	// SchedulerMaxQueue enables load shedding past this queue depth.
+	SchedulerMaxQueue int
+	// Costs models per-operation CPU cost for the scheduler.
+	Costs backend.Costs
+	// Billing enables the accountant.
+	Billing bool
+	// ClockEpsilon is the TrueTime uncertainty. Default 50µs.
+	ClockEpsilon time.Duration
+	// SplitThreshold/MaxTabletRows configure Spanner load splitting.
+	SplitThreshold int64
+	MaxTabletRows  int
+	// CommitBytesPerMB adds replication delay proportional to a
+	// commit's written bytes (per MiB), scaled by TimeScale. Shipping a
+	// 1 MiB document to a quorum is not free (§V-B2 / Fig. 10a).
+	CommitBytesPerMB time.Duration
+	// CommitPerRow adds replication delay per written Spanner row,
+	// scaled by TimeScale; commits updating many index entries span more
+	// tablets (§V-B2 / Fig. 10b).
+	CommitPerRow time.Duration
+	// FailureHooks inject write-path failures (tests).
+	FailureHooks backend.FailureHooks
+	// Seed seeds latency jitter.
+	Seed int64
+}
+
+// Region is one assembled Firestore region.
+type Region struct {
+	Config    Config
+	Clock     truetime.Clock
+	Catalog   *catalog.Catalog
+	Backend   *backend.Backend
+	Frontend  *frontend.Frontend
+	Cache     *rtcache.Cache
+	Scheduler *wfq.Scheduler
+	Billing   *billing.Accountant
+	Spanners  []*spanner.DB
+
+	mu       sync.Mutex
+	triggers map[string]*triggers.Service
+	closed   bool
+}
+
+// scaled returns d scaled by the configured TimeScale.
+func (cfg Config) scaled(d time.Duration) time.Duration {
+	if cfg.TimeScale <= 0 {
+		return 0
+	}
+	return time.Duration(float64(d) * cfg.TimeScale)
+}
+
+// NewRegion builds and starts a region.
+func NewRegion(cfg Config) *Region {
+	if cfg.SpannerPoolSize <= 0 {
+		cfg.SpannerPoolSize = 2
+	}
+	if cfg.RTRanges <= 0 {
+		cfg.RTRanges = 8
+	}
+	if cfg.ClockEpsilon <= 0 {
+		cfg.ClockEpsilon = 50 * time.Microsecond
+	}
+	clock := truetime.NewSystem(cfg.ClockEpsilon)
+
+	// Regional deployments commit after a same-metro quorum (~1-2ms);
+	// multi-region ones span metros (~4-7ms). TimeScale compresses both.
+	base, jitter := 1*time.Millisecond, 1*time.Millisecond
+	if cfg.MultiRegion {
+		base, jitter = 4*time.Millisecond, 3*time.Millisecond
+	}
+	var commitLatency func() time.Duration
+	if s := cfg.scaled(base); s > 0 {
+		commitLatency = spanner.Latencies(s, cfg.scaled(jitter), cfg.Seed)
+	}
+
+	var bytesLatency func(int) time.Duration
+	if perMB := cfg.scaled(cfg.CommitBytesPerMB); perMB > 0 {
+		bytesLatency = func(n int) time.Duration {
+			return time.Duration(int64(perMB) * int64(n) / (1 << 20))
+		}
+	}
+	var rowLatency func(int) time.Duration
+	if perRow := cfg.scaled(cfg.CommitPerRow); perRow > 0 {
+		rowLatency = func(rows int) time.Duration {
+			return time.Duration(rows) * perRow
+		}
+	}
+	pool := make([]*spanner.DB, cfg.SpannerPoolSize)
+	for i := range pool {
+		pool[i] = spanner.New(spanner.Config{
+			Clock:              clock,
+			CommitLatency:      commitLatency,
+			CommitBytesLatency: bytesLatency,
+			CommitRowLatency:   rowLatency,
+			SplitThreshold:     cfg.SplitThreshold,
+			MaxTabletRows:      cfg.MaxTabletRows,
+			Seed:               cfg.Seed + int64(i),
+		})
+	}
+	cat := catalog.New(pool)
+	cache := rtcache.New(rtcache.Config{
+		Clock:          clock,
+		Ranges:         cfg.RTRanges,
+		HeartbeatEvery: 2 * time.Millisecond,
+		AutoSplitSubs:  cfg.RTAutoSplitSubs,
+	})
+	var sched *wfq.Scheduler
+	if cfg.SchedulerWorkers > 0 {
+		sched = wfq.New(wfq.Config{
+			Workers:  cfg.SchedulerWorkers,
+			Mode:     cfg.SchedulerMode,
+			MaxQueue: cfg.SchedulerMaxQueue,
+		})
+	}
+	var acct *billing.Accountant
+	if cfg.Billing {
+		acct = billing.New(billing.DefaultFreeQuota, billing.DefaultRates, nil)
+	}
+	b := backend.New(backend.Config{
+		Catalog:      cat,
+		Cache:        cache,
+		Scheduler:    sched,
+		Billing:      acct,
+		Costs:        cfg.Costs,
+		FailureHooks: cfg.FailureHooks,
+	})
+	return &Region{
+		Config:    cfg,
+		Clock:     clock,
+		Catalog:   cat,
+		Backend:   b,
+		Frontend:  frontend.New(b, cache),
+		Cache:     cache,
+		Scheduler: sched,
+		Billing:   acct,
+		Spanners:  pool,
+		triggers:  map[string]*triggers.Service{},
+	}
+}
+
+// Close stops background services.
+func (r *Region) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	svcs := make([]*triggers.Service, 0, len(r.triggers))
+	for _, s := range r.triggers {
+		svcs = append(svcs, s)
+	}
+	r.mu.Unlock()
+	for _, s := range svcs {
+		s.Close()
+	}
+	r.Cache.Close()
+	if r.Scheduler != nil {
+		r.Scheduler.Close()
+	}
+}
+
+// CreateDatabase initializes a database in this region ("a customer picks
+// the location of a database at creation time") and starts its trigger
+// service.
+func (r *Region) CreateDatabase(id string) (*catalog.Database, error) {
+	db, err := r.Catalog.Create(id)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.triggers[id] = triggers.New(db.Spanner, id)
+	r.mu.Unlock()
+	return db, nil
+}
+
+// Triggers returns the database's trigger service.
+func (r *Region) Triggers(dbID string) *triggers.Service {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.triggers[dbID]
+}
+
+// Convenience pass-throughs used by the SDKs, server, and harness.
+
+// Commit applies a blind (non-transactional) write batch.
+func (r *Region) Commit(ctx context.Context, dbID string, p backend.Principal, ops []backend.WriteOp) (truetime.Timestamp, error) {
+	return r.Backend.Commit(ctx, dbID, p, ops)
+}
+
+// CommitTransactional applies a write batch with OCC read validation.
+func (r *Region) CommitTransactional(ctx context.Context, dbID string, p backend.Principal, ops []backend.WriteOp, reads []backend.ReadValidation) (truetime.Timestamp, error) {
+	return r.Backend.CommitTransactional(ctx, dbID, p, ops, reads)
+}
+
+// GetDocument reads one document (strong read when readTS is zero).
+func (r *Region) GetDocument(ctx context.Context, dbID string, p backend.Principal, name doc.Name, readTS truetime.Timestamp) (*doc.Document, truetime.Timestamp, error) {
+	return r.Backend.GetDocument(ctx, dbID, p, name, readTS)
+}
+
+// RunQuery executes a query (strong read when readTS is zero).
+func (r *Region) RunQuery(ctx context.Context, dbID string, p backend.Principal, q *query.Query, resume []byte, readTS truetime.Timestamp) (*query.Result, truetime.Timestamp, error) {
+	return r.Backend.RunQuery(ctx, dbID, p, q, resume, readTS)
+}
+
+// NewConn opens a long-lived real-time connection.
+func (r *Region) NewConn(dbID string, p backend.Principal) *frontend.Conn {
+	return r.Frontend.NewConn(dbID, p)
+}
+
+// SetRules deploys security rules for a database.
+func (r *Region) SetRules(dbID, src string) error {
+	db, err := r.Catalog.Get(dbID)
+	if err != nil {
+		return err
+	}
+	rs, err := rules.Parse(src)
+	if err != nil {
+		return err
+	}
+	db.SetRules(rs)
+	return nil
+}
+
+// AddCompositeIndex registers and backfills a composite index.
+func (r *Region) AddCompositeIndex(ctx context.Context, dbID string, def index.Definition) error {
+	return r.Backend.AddCompositeIndex(ctx, dbID, def)
+}
+
+// AddExemption excludes a field from automatic indexing.
+func (r *Region) AddExemption(dbID, collection string, path doc.FieldPath) error {
+	db, err := r.Catalog.Get(dbID)
+	if err != nil {
+		return err
+	}
+	db.AddExemption(collection, path)
+	return nil
+}

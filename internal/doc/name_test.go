@@ -1,0 +1,146 @@
+package doc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseName(t *testing.T) {
+	n, err := ParseName("/restaurants/one/ratings/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.String() != "/restaurants/one/ratings/2" {
+		t.Errorf("String = %q", n.String())
+	}
+	if n.ID() != "2" {
+		t.Errorf("ID = %q", n.ID())
+	}
+	if n.Depth() != 2 {
+		t.Errorf("Depth = %d", n.Depth())
+	}
+	if got := n.Collection().String(); got != "/restaurants/one/ratings" {
+		t.Errorf("Collection = %q", got)
+	}
+	p, ok := n.Parent()
+	if !ok || p.String() != "/restaurants/one" {
+		t.Errorf("Parent = %q, %v", p, ok)
+	}
+	if _, ok := p.Parent(); ok {
+		t.Error("top-level document should have no parent")
+	}
+}
+
+func TestParseNameErrors(t *testing.T) {
+	bad := []string{
+		"",                                     // empty
+		"restaurants/one",                      // no leading slash
+		"/restaurants",                         // collection path, not doc
+		"/a/b/c",                               // odd segments
+		"//x",                                  // empty segment
+		"/a//b",                                // empty segment
+		"/a/.",                                 // reserved
+		"/a/..",                                // reserved
+		"/a/" + "x\x00y",                       // NUL
+		"/" + strings.Repeat("a/", MaxNameLen), // too long
+	}
+	for _, s := range bad {
+		if _, err := ParseName(s); err == nil {
+			t.Errorf("ParseName(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParseCollection(t *testing.T) {
+	c, err := ParseCollection("/restaurants/one/ratings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID() != "ratings" {
+		t.Errorf("ID = %q", c.ID())
+	}
+	if _, err := ParseCollection("/a/b"); err == nil {
+		t.Error("even-segment collection parsed")
+	}
+	d, err := c.Doc("7")
+	if err != nil || d.String() != "/restaurants/one/ratings/7" {
+		t.Errorf("Doc = %q, %v", d, err)
+	}
+	if _, err := c.Doc(""); err == nil {
+		t.Error("empty doc ID accepted")
+	}
+	if _, err := c.Doc("a/b"); err == nil {
+		t.Error("doc ID with slash accepted")
+	}
+}
+
+func TestCollectionContains(t *testing.T) {
+	c := MustCollection("/restaurants")
+	if !c.Contains(MustName("/restaurants/one")) {
+		t.Error("direct member not contained")
+	}
+	if c.Contains(MustName("/restaurants/one/ratings/2")) {
+		t.Error("nested doc should not be contained")
+	}
+	if c.Contains(MustName("/reviews/one")) {
+		t.Error("other collection contained")
+	}
+	sub := MustCollection("/restaurants/one/ratings")
+	if !sub.Contains(MustName("/restaurants/one/ratings/2")) {
+		t.Error("sub-collection member not contained")
+	}
+	if sub.Contains(MustName("/restaurants/two/ratings/2")) {
+		t.Error("wrong parent contained")
+	}
+}
+
+func TestNameCompare(t *testing.T) {
+	names := []string{
+		"/a/a",
+		"/a/a/b/a",
+		"/a/b",
+		"/b/a",
+	}
+	for i := range names {
+		for j := range names {
+			got := MustName(names[i]).Compare(MustName(names[j]))
+			if want := cmpInt(i, j); got != want {
+				t.Errorf("Compare(%s, %s) = %d, want %d", names[i], names[j], got, want)
+			}
+		}
+	}
+}
+
+func TestNameChild(t *testing.T) {
+	n := MustName("/restaurants/one")
+	c, err := n.Child("ratings", "5")
+	if err != nil || c.String() != "/restaurants/one/ratings/5" {
+		t.Fatalf("Child = %q, %v", c, err)
+	}
+	if _, err := n.Child("", "x"); err == nil {
+		t.Error("empty collection accepted")
+	}
+}
+
+func TestZeroName(t *testing.T) {
+	var n Name
+	if !n.IsZero() || n.String() != "" || n.ID() != "" {
+		t.Error("zero Name misbehaves")
+	}
+	var c CollectionPath
+	if !c.IsZero() || c.String() != "" {
+		t.Error("zero CollectionPath misbehaves")
+	}
+	if !n.Collection().IsZero() {
+		t.Error("zero name collection should be zero")
+	}
+}
+
+func TestMustNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustName should panic on bad input")
+		}
+	}()
+	MustName("bad")
+}

@@ -1,0 +1,376 @@
+// Package encoding implements order-preserving byte-string encoding of
+// Firestore values, value tuples, and document names. The paper stores
+// each index entry as a Spanner row whose key is an (index-id, values,
+// name) tuple where "the encoding of the n-tuple of values ... preserves
+// the index's desired sort order" (§IV-D1), so that an in-order scan of
+// IndexEntries rows IS an in-order scan of the logical Firestore index.
+//
+// The invariants, verified by property tests:
+//
+//	bytes.Compare(EncodeValue(a), EncodeValue(b)) == doc.Compare(a, b)
+//	bytes.Compare(Invert(EncodeValue(a)), Invert(EncodeValue(b))) == -doc.Compare(a, b)
+//
+// Encodings are prefix-free and self-delimiting, so tuple encodings
+// concatenate component encodings directly and ascending/descending
+// components mix freely within one key.
+package encoding
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+
+	"firestore/internal/doc"
+)
+
+// Type tag bytes. The terminator must sort below every tag so that a
+// shorter composite (array/map/name prefix) sorts first.
+const (
+	terminator   = 0x00
+	tagNull      = 0x01
+	tagBool      = 0x02
+	tagNumber    = 0x03
+	tagTimestamp = 0x04
+	tagString    = 0x05
+	tagBytes     = 0x06
+	tagReference = 0x07
+	tagGeoPoint  = 0x08
+	tagArray     = 0x09
+	tagMap       = 0x0a
+)
+
+// Escape bytes inside string/bytes payloads: 0x00 is escaped as
+// {0x00,0xff} and the payload is terminated by {0x00,0x01}, so a proper
+// prefix (terminator) sorts before a longer string (escape).
+const (
+	escape     = 0x00
+	escapedFF  = 0xff
+	escapedEnd = 0x01
+)
+
+// EncodeValue appends the ascending order-preserving encoding of v to dst
+// and returns the extended slice.
+func EncodeValue(dst []byte, v doc.Value) []byte {
+	switch v.Kind() {
+	case doc.KindNull:
+		return append(dst, tagNull)
+	case doc.KindBool:
+		if v.BoolVal() {
+			return append(dst, tagBool, 1)
+		}
+		return append(dst, tagBool, 0)
+	case doc.KindNumber:
+		return encodeNumber(dst, v)
+	case doc.KindTimestamp:
+		dst = append(dst, tagTimestamp)
+		return appendSortableInt64(dst, v.TimeVal().UnixMicro())
+	case doc.KindString:
+		dst = append(dst, tagString)
+		return appendEscaped(dst, []byte(v.StringVal()))
+	case doc.KindBytes:
+		dst = append(dst, tagBytes)
+		return appendEscaped(dst, v.BytesVal())
+	case doc.KindReference:
+		dst = append(dst, tagReference)
+		return appendEscaped(dst, []byte(v.RefVal()))
+	case doc.KindGeoPoint:
+		dst = append(dst, tagGeoPoint)
+		dst = appendSortableFloat(dst, v.GeoVal().Lat)
+		return appendSortableFloat(dst, v.GeoVal().Lng)
+	case doc.KindArray:
+		dst = append(dst, tagArray)
+		for _, e := range v.ArrayVal() {
+			dst = EncodeValue(dst, e)
+		}
+		return append(dst, terminator)
+	case doc.KindMap:
+		// Each entry is introduced by a 0x01 marker: map keys may begin
+		// with 0x00, which would otherwise make a shorter map's
+		// terminator a proper prefix of a longer map's first entry and
+		// break prefix-freedom (and hence descending order).
+		dst = append(dst, tagMap)
+		m := v.MapVal()
+		for _, k := range sortedKeys(m) {
+			dst = append(dst, 0x01)
+			dst = appendEscaped(dst, []byte(k))
+			dst = EncodeValue(dst, m[k])
+		}
+		return append(dst, terminator)
+	}
+	panic(fmt.Sprintf("encoding: unknown kind %v", v.Kind()))
+}
+
+// EncodeValueDesc appends the descending encoding: byte-wise inverted
+// ascending encoding, so bytes.Compare order is exactly reversed.
+func EncodeValueDesc(dst []byte, v doc.Value) []byte {
+	start := len(dst)
+	dst = EncodeValue(dst, v)
+	invert(dst[start:])
+	return dst
+}
+
+// Invert returns a copy of b with every byte complemented.
+func Invert(b []byte) []byte {
+	out := make([]byte, len(b))
+	for i, c := range b {
+		out[i] = ^c
+	}
+	return out
+}
+
+func invert(b []byte) {
+	for i := range b {
+		b[i] = ^b[i]
+	}
+}
+
+func sortedKeys(m map[string]doc.Value) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	// Insertion sort: maps in index entries are small.
+	for i := 1; i < len(ks); i++ {
+		for j := i; j > 0 && ks[j] < ks[j-1]; j-- {
+			ks[j], ks[j-1] = ks[j-1], ks[j]
+		}
+	}
+	return ks
+}
+
+// encodeNumber encodes int64/double values so that byte order equals
+// numeric order, with NaN first, and numerically equal values (e.g. 3 and
+// 3.0) encoding identically. Layout: tag, class byte (0 = NaN, 1 =
+// number), sortable float64 of the rounded value, then a sortable residual
+// (exact integer minus rounded float) that distinguishes int64 values not
+// exactly representable in float64.
+func encodeNumber(dst []byte, v doc.Value) []byte {
+	dst = append(dst, tagNumber)
+	if !v.IsInt() && math.IsNaN(v.DoubleVal()) {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	if v.IsInt() {
+		i := v.IntVal()
+		f := float64(i)
+		dst = appendSortableFloat(dst, f)
+		return appendSortableInt64(dst, intResidual(i, f))
+	}
+	f := v.DoubleVal()
+	if f == 0 {
+		f = 0 // normalize -0.0 to +0.0
+	}
+	dst = appendSortableFloat(dst, f)
+	return appendSortableInt64(dst, 0)
+}
+
+// intResidual returns i minus the exact value of f (where f = float64(i),
+// so the residual is a small integer), computed without overflow even when
+// f rounds to 2^63.
+func intResidual(i int64, f float64) int64 {
+	const two63 = 9223372036854775808.0 // 2^63
+	if f >= two63 {
+		// f is exactly 2^63 (i <= MaxInt64 rounds no higher).
+		return int64(uint64(i) - (uint64(1) << 63))
+	}
+	// f is integral and in int64 range here: |i| >= 2^53 implies f
+	// integral; |i| < 2^53 implies f == i exactly.
+	return i - int64(f)
+}
+
+// appendSortableFloat appends 8 bytes whose unsigned byte order equals the
+// numeric order of f (callers exclude NaN).
+func appendSortableFloat(dst []byte, f float64) []byte {
+	bits := math.Float64bits(f)
+	if bits&(1<<63) != 0 {
+		bits = ^bits // negative: flip everything
+	} else {
+		bits |= 1 << 63 // positive: set sign bit
+	}
+	return appendUint64(dst, bits)
+}
+
+// appendSortableInt64 appends 8 bytes whose unsigned byte order equals the
+// signed order of i.
+func appendSortableInt64(dst []byte, i int64) []byte {
+	return appendUint64(dst, uint64(i)^(1<<63))
+}
+
+func appendUint64(dst []byte, u uint64) []byte {
+	return append(dst,
+		byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
+		byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+}
+
+// appendEscaped appends payload with 0x00 bytes escaped and a terminator,
+// preserving order and prefix-freedom.
+func appendEscaped(dst, payload []byte) []byte {
+	for _, c := range payload {
+		if c == escape {
+			dst = append(dst, escape, escapedFF)
+		} else {
+			dst = append(dst, c)
+		}
+	}
+	return append(dst, escape, escapedEnd)
+}
+
+// KindTag returns the type-tag byte that begins the ascending encoding of
+// every value of kind k. Query planning uses it to build per-type range
+// bounds (inequality predicates only match values of the same type).
+func KindTag(k doc.Kind) byte {
+	switch k {
+	case doc.KindNull:
+		return tagNull
+	case doc.KindBool:
+		return tagBool
+	case doc.KindNumber:
+		return tagNumber
+	case doc.KindTimestamp:
+		return tagTimestamp
+	case doc.KindString:
+		return tagString
+	case doc.KindBytes:
+		return tagBytes
+	case doc.KindReference:
+		return tagReference
+	case doc.KindGeoPoint:
+		return tagGeoPoint
+	case doc.KindArray:
+		return tagArray
+	default:
+		return tagMap
+	}
+}
+
+// AppendEscaped appends payload with 0x00 bytes escaped and an
+// order-preserving terminator, the primitive underlying string, name, and
+// segment encodings. The result is prefix-free against other
+// AppendEscaped outputs.
+func AppendEscaped(dst, payload []byte) []byte {
+	return appendEscaped(dst, payload)
+}
+
+// ReadEscaped decodes an AppendEscaped payload from the front of b,
+// returning the payload and the number of bytes consumed.
+func ReadEscaped(b []byte) ([]byte, int, error) {
+	return readEscaped(b)
+}
+
+// ErrCorrupt reports an undecodable encoding.
+var ErrCorrupt = errors.New("encoding: corrupt")
+
+// readEscaped decodes an escaped payload from b, returning the payload and
+// the number of input bytes consumed.
+func readEscaped(b []byte) ([]byte, int, error) {
+	var out []byte
+	i := 0
+	for i < len(b) {
+		c := b[i]
+		if c != escape {
+			out = append(out, c)
+			i++
+			continue
+		}
+		if i+1 >= len(b) {
+			return nil, 0, fmt.Errorf("%w: dangling escape", ErrCorrupt)
+		}
+		switch b[i+1] {
+		case escapedFF:
+			out = append(out, 0x00)
+			i += 2
+		case escapedEnd:
+			return out, i + 2, nil
+		default:
+			return nil, 0, fmt.Errorf("%w: bad escape 0x%02x", ErrCorrupt, b[i+1])
+		}
+	}
+	return nil, 0, fmt.Errorf("%w: unterminated payload", ErrCorrupt)
+}
+
+// EncodeName appends the order-preserving encoding of a document name:
+// each segment escaped-and-terminated, so byte order equals segment-wise
+// name order and no encoded name is a prefix of another.
+func EncodeName(dst []byte, n doc.Name) []byte {
+	for _, seg := range n.Segments() {
+		dst = appendEscaped(dst, []byte(seg))
+	}
+	return append(dst, terminator)
+}
+
+// DecodeName decodes a name encoded by EncodeName, returning the name and
+// the number of bytes consumed.
+func DecodeName(b []byte) (doc.Name, int, error) {
+	var segs []string
+	i := 0
+	for {
+		if i >= len(b) {
+			return doc.Name{}, 0, fmt.Errorf("%w: unterminated name", ErrCorrupt)
+		}
+		if b[i] == terminator {
+			i++
+			break
+		}
+		seg, n, err := readEscaped(b[i:])
+		if err != nil {
+			return doc.Name{}, 0, err
+		}
+		segs = append(segs, string(seg))
+		i += n
+	}
+	if len(segs) == 0 || len(segs)%2 != 0 {
+		return doc.Name{}, 0, fmt.Errorf("%w: %d name segments", ErrCorrupt, len(segs))
+	}
+	name, err := doc.ParseName("/" + joinSegs(segs))
+	if err != nil {
+		return doc.Name{}, 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return name, i, nil
+}
+
+func joinSegs(segs []string) string {
+	var b bytes.Buffer
+	for i, s := range segs {
+		if i > 0 {
+			b.WriteByte('/')
+		}
+		b.WriteString(s)
+	}
+	return b.String()
+}
+
+// EncodeCollection appends the encoding of a collection path WITHOUT the
+// final terminator, yielding the common prefix of every document name
+// directly inside that collection... plus names in nested sub-collections,
+// which callers exclude via segment count or by the extra terminator
+// structure. Used to compute collection scan ranges.
+func EncodeCollection(dst []byte, c doc.CollectionPath) []byte {
+	for _, seg := range c.Segments() {
+		dst = appendEscaped(dst, []byte(seg))
+	}
+	return dst
+}
+
+// PrefixSuccessor returns the smallest byte string greater than every
+// string having prefix p, or nil if p is all 0xff (no upper bound).
+// The result shares no memory with p.
+func PrefixSuccessor(p []byte) []byte {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] != 0xff {
+			out := make([]byte, i+1)
+			copy(out, p[:i+1])
+			out[i]++
+			return out
+		}
+	}
+	return nil
+}
+
+// Successor returns the smallest byte string greater than b itself (b with
+// a 0x00 appended). Used for exclusive lower bounds.
+func Successor(b []byte) []byte {
+	out := make([]byte, len(b)+1)
+	copy(out, b)
+	return out
+}

@@ -1,0 +1,500 @@
+// Package frontend implements Firestore's Frontend tasks (§IV-D4): they
+// hold the long-lived client connections over which real-time queries are
+// registered, obtain each query's initial snapshot from a Backend,
+// subscribe to the Query Matcher tasks covering the query's result set,
+// and assemble the per-range update streams and watermarks into
+// consistent, timestamped incremental snapshots. Queries multiplexed on
+// one connection advance to a timestamp t only once every query on the
+// connection can reach t, so an end-user never sees mutually inconsistent
+// result sets.
+package frontend
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"firestore/internal/backend"
+	"firestore/internal/doc"
+	"firestore/internal/query"
+	"firestore/internal/rtcache"
+	"firestore/internal/truetime"
+)
+
+// ErrConnClosed reports use of a closed connection.
+var ErrConnClosed = errors.New("frontend: connection closed")
+
+// Frontend is a pool of frontend tasks (modeled as one object; the task
+// count only matters for the autoscaling experiments, which model it in
+// the harness).
+type Frontend struct {
+	backend *backend.Backend
+	cache   *rtcache.Cache
+	targets atomic.Int64
+}
+
+// New creates a Frontend over a Backend and the Real-time Cache.
+func New(b *backend.Backend, cache *rtcache.Cache) *Frontend {
+	return &Frontend{backend: b, cache: cache}
+}
+
+// SnapshotEvent is one incremental snapshot delivered to the client: the
+// delta from the previous snapshot of the target query, at a consistent
+// timestamp (§III-C).
+type SnapshotEvent struct {
+	TargetID int64
+	TS       truetime.Timestamp
+	// Initial marks the first snapshot of a (re-)registered query; its
+	// Added holds the full result set.
+	Initial  bool
+	Added    []*doc.Document
+	Modified []*doc.Document
+	Removed  []doc.Name
+}
+
+// Conn is one client's long-lived connection. It implements
+// rtcache.Subscriber; events are delivered on Events in registration
+// order per query.
+type Conn struct {
+	f    *Frontend
+	dbID string
+	p    backend.Principal
+
+	events chan SnapshotEvent
+
+	mu      sync.Mutex
+	queries map[int64]*rtQuery // by subscription ID
+	targets map[int64]*rtQuery // by target ID
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// eventBuffer bounds in-flight snapshots per connection.
+const eventBuffer = 1024
+
+// NewConn opens a connection for one client to one database.
+func (f *Frontend) NewConn(dbID string, p backend.Principal) *Conn {
+	return &Conn{
+		f:       f,
+		dbID:    dbID,
+		p:       p,
+		events:  make(chan SnapshotEvent, eventBuffer),
+		queries: map[int64]*rtQuery{},
+		targets: map[int64]*rtQuery{},
+	}
+}
+
+// Events is the stream of incremental snapshots for all queries on the
+// connection.
+func (c *Conn) Events() <-chan SnapshotEvent { return c.events }
+
+// rtQuery is the Frontend-side state of one registered real-time query.
+type rtQuery struct {
+	targetID int64
+	q        *query.Query
+	subID    int64
+	rangeIDs []int
+
+	// results is the last emitted result set, keyed by document name.
+	results map[string]*doc.Document
+	// maxCommitVersion: snapshots emitted so far reflect everything up
+	// to this timestamp.
+	maxCommitVersion truetime.Timestamp
+	// pending buffers matched updates until the watermark passes them.
+	pending []rtcache.Update
+	// watermarks per subscribed range.
+	watermarks map[int]truetime.Timestamp
+	// limited remembers whether the initial result filled the limit, in
+	// which case evictions require a requery (the matcher cannot know
+	// the replacement document).
+	limited bool
+	// resetting suppresses updates while a requery is in flight.
+	resetting bool
+}
+
+// resolved returns the timestamp up to which this query has certainly
+// seen every update.
+func (rq *rtQuery) resolved() truetime.Timestamp {
+	min := truetime.Max
+	for _, rid := range rq.rangeIDs {
+		w := rq.watermarks[rid]
+		if w < min {
+			min = w
+		}
+	}
+	if min == truetime.Max {
+		return rq.maxCommitVersion
+	}
+	if min < rq.maxCommitVersion {
+		return rq.maxCommitVersion
+	}
+	return min
+}
+
+// Listen registers a real-time query (§IV-D4 steps 1-4): runs the initial
+// query on a Backend, emits the initial snapshot, and subscribes to the
+// Query Matcher ranges with the snapshot's max-commit-version. It returns
+// the target ID identifying the query's events.
+func (c *Conn) Listen(ctx context.Context, q *query.Query) (int64, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, ErrConnClosed
+	}
+	c.mu.Unlock()
+
+	res, readTS, err := c.f.backend.RunQuery(ctx, c.dbID, c.p, q, nil, 0)
+	if err != nil {
+		return 0, err
+	}
+	targetID := c.f.targets.Add(1)
+	rq := &rtQuery{
+		targetID:         targetID,
+		q:                q,
+		results:          map[string]*doc.Document{},
+		maxCommitVersion: readTS,
+		watermarks:       map[int]truetime.Timestamp{},
+		limited:          q.Limit > 0 && len(res.Docs) == q.Limit,
+	}
+	for _, d := range res.Docs {
+		rq.results[d.Name.String()] = d
+	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, ErrConnClosed
+	}
+	c.targets[targetID] = rq
+	c.mu.Unlock()
+
+	// Initial snapshot (step 3).
+	c.emit(SnapshotEvent{
+		TargetID: targetID,
+		TS:       readTS,
+		Initial:  true,
+		Added:    sortedDocs(q, rq.results),
+	})
+
+	// Subscribe (step 4). The subscription ID is reserved and the query
+	// state registered under it BEFORE the Query Matcher sees it, so a
+	// concurrent write matched immediately after registration cannot be
+	// delivered to an unknown subscription and dropped.
+	subID := c.f.cache.ReserveSub()
+	c.mu.Lock()
+	rq.subID = subID
+	c.queries[subID] = rq
+	c.mu.Unlock()
+	_, rangeIDs := c.f.cache.Subscribe(c, c.dbID, q, readTS, subID)
+	c.mu.Lock()
+	rq.rangeIDs = rangeIDs
+	c.mu.Unlock()
+	return targetID, nil
+}
+
+// StopListening unregisters a query.
+func (c *Conn) StopListening(targetID int64) {
+	c.mu.Lock()
+	rq, ok := c.targets[targetID]
+	if ok {
+		delete(c.targets, targetID)
+		delete(c.queries, rq.subID)
+	}
+	c.mu.Unlock()
+	if ok {
+		c.f.cache.Unsubscribe(c, rq.subID)
+	}
+}
+
+// Close shuts the connection and its subscriptions down.
+func (c *Conn) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	subs := make([]int64, 0, len(c.queries))
+	for id := range c.queries {
+		subs = append(subs, id)
+	}
+	c.queries = map[int64]*rtQuery{}
+	c.targets = map[int64]*rtQuery{}
+	c.mu.Unlock()
+	for _, id := range subs {
+		c.f.cache.Unsubscribe(c, id)
+	}
+	c.wg.Wait()
+	close(c.events)
+}
+
+func (c *Conn) emit(ev SnapshotEvent) {
+	select {
+	case c.events <- ev:
+	default:
+		// Slow consumer: drop the oldest to keep making progress. The
+		// client SDK reconciles via the next snapshot's full state; in
+		// production, flow control applies backpressure instead.
+		select {
+		case <-c.events:
+		default:
+		}
+		select {
+		case c.events <- ev:
+		default:
+		}
+	}
+}
+
+// OnUpdate implements rtcache.Subscriber.
+func (c *Conn) OnUpdate(rangeID int, subID int64, u rtcache.Update) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rq, ok := c.queries[subID]
+	if !ok || rq.resetting {
+		return
+	}
+	rq.pending = append(rq.pending, u)
+}
+
+// OnWatermark implements rtcache.Subscriber: watermark advances drive
+// snapshot emission.
+func (c *Conn) OnWatermark(rangeID int, subID int64, ts truetime.Timestamp) {
+	c.mu.Lock()
+	rq, ok := c.queries[subID]
+	if !ok || rq.resetting {
+		c.mu.Unlock()
+		return
+	}
+	if ts > rq.watermarks[rangeID] {
+		rq.watermarks[rangeID] = ts
+	}
+	events := c.flushLocked()
+	c.mu.Unlock()
+	for _, ev := range events {
+		c.emit(ev)
+	}
+}
+
+// flushLocked emits snapshots for every query that can advance to the
+// connection-consistent timestamp: min over all queries' resolved
+// timestamps ("queries on the same connection are only updated to a
+// timestamp t once all queries' max-commit-version has reached at least
+// t").
+func (c *Conn) flushLocked() []SnapshotEvent {
+	connTS := truetime.Max
+	for _, rq := range c.queries {
+		if r := rq.resolved(); r < connTS {
+			connTS = r
+		}
+	}
+	if connTS == truetime.Max {
+		return nil
+	}
+	var events []SnapshotEvent
+	for _, rq := range c.queries {
+		if rq.resetting || connTS <= rq.maxCommitVersion {
+			continue
+		}
+		ev, needsReset := c.applyLocked(rq, connTS)
+		if needsReset {
+			c.scheduleRequery(rq)
+			continue
+		}
+		if ev != nil {
+			events = append(events, *ev)
+		}
+	}
+	return events
+}
+
+// applyLocked applies rq's pending updates with TS <= connTS and builds
+// the delta snapshot. It reports whether a limited query lost a member
+// and therefore needs a requery.
+func (c *Conn) applyLocked(rq *rtQuery, connTS truetime.Timestamp) (*SnapshotEvent, bool) {
+	var rest []rtcache.Update
+	var added, modified []*doc.Document
+	var removed []doc.Name
+	changed := false
+	for _, u := range rq.pending {
+		if u.TS > connTS {
+			rest = append(rest, u)
+			continue
+		}
+		if u.TS <= rq.maxCommitVersion {
+			continue // already reflected in the initial snapshot
+		}
+		key := u.Name.String()
+		_, have := rq.results[key]
+		switch {
+		case u.Matches && have:
+			rq.results[key] = u.New
+			modified = append(modified, u.New)
+			changed = true
+		case u.Matches && !have:
+			rq.results[key] = u.New
+			added = append(added, u.New)
+			changed = true
+		case !u.Matches && have:
+			if rq.limited {
+				// A member left a limit query: the replacement is
+				// unknown here; redo the initial query (fast reset).
+				return nil, true
+			}
+			delete(rq.results, key)
+			removed = append(removed, u.Name)
+			changed = true
+		}
+	}
+	rq.pending = rest
+	rq.maxCommitVersion = connTS
+	if !changed {
+		return nil, false
+	}
+	// Limit overflow: adding beyond the limit evicts the worst-ranked
+	// members.
+	if rq.q.Limit > 0 && len(rq.results) > rq.q.Limit {
+		ordered := sortedDocs(rq.q, rq.results)
+		for _, d := range ordered[rq.q.Limit:] {
+			key := d.Name.String()
+			delete(rq.results, key)
+			removed = append(removed, d.Name)
+			// If it was just added in this snapshot, cancel that out.
+			added = dropDoc(added, key)
+			modified = dropDoc(modified, key)
+		}
+	}
+	return &SnapshotEvent{
+		TargetID: rq.targetID,
+		TS:       connTS,
+		Added:    added,
+		Modified: modified,
+		Removed:  removed,
+	}, false
+}
+
+func dropDoc(ds []*doc.Document, key string) []*doc.Document {
+	out := ds[:0]
+	for _, d := range ds {
+		if d.Name.String() != key {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// OnReset implements rtcache.Subscriber: the range went out-of-sync; drop
+// accumulated state and redo the initial query ("this reset is fast, and
+// is mostly transparent to the end-user").
+func (c *Conn) OnReset(rangeID int, subID int64) {
+	c.mu.Lock()
+	rq, ok := c.queries[subID]
+	if ok && !rq.resetting {
+		c.scheduleRequery(rq)
+	}
+	c.mu.Unlock()
+}
+
+// scheduleRequery re-runs rq's initial query asynchronously (the cache
+// forbids synchronous re-entry from callbacks). Caller holds c.mu.
+func (c *Conn) scheduleRequery(rq *rtQuery) {
+	rq.resetting = true
+	rq.pending = nil
+	delete(c.queries, rq.subID)
+	oldSub := rq.subID
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.f.cache.Unsubscribe(c, oldSub)
+		c.requery(rq)
+	}()
+}
+
+func (c *Conn) requery(rq *rtQuery) {
+	res, readTS, err := c.f.backend.RunQuery(context.Background(), c.dbID, c.p, rq.q, nil, 0)
+	if err != nil {
+		// Backend unavailable: retry is the client SDK's job; surface a
+		// terminal removal of the target.
+		c.mu.Lock()
+		delete(c.targets, rq.targetID)
+		c.mu.Unlock()
+		return
+	}
+	fresh := map[string]*doc.Document{}
+	for _, d := range res.Docs {
+		fresh[d.Name.String()] = d
+	}
+	// Delta between the last emitted state and the fresh result.
+	var added, modified []*doc.Document
+	var removed []doc.Name
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	for key, d := range fresh {
+		old, ok := rq.results[key]
+		switch {
+		case !ok:
+			added = append(added, d)
+		case !old.Equal(d) || old.UpdateTime != d.UpdateTime:
+			modified = append(modified, d)
+		}
+	}
+	for key, d := range rq.results {
+		if _, ok := fresh[key]; !ok {
+			removed = append(removed, d.Name)
+		}
+	}
+	rq.results = fresh
+	rq.maxCommitVersion = readTS
+	rq.watermarks = map[int]truetime.Timestamp{}
+	rq.limited = rq.q.Limit > 0 && len(res.Docs) == rq.q.Limit
+	rq.resetting = false
+	c.mu.Unlock()
+
+	subID := c.f.cache.ReserveSub()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	rq.subID = subID
+	rq.rangeIDs = nil
+	c.queries[subID] = rq
+	c.mu.Unlock()
+	_, rangeIDs := c.f.cache.Subscribe(c, c.dbID, rq.q, readTS, subID)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.f.cache.Unsubscribe(c, subID)
+		return
+	}
+	rq.rangeIDs = rangeIDs
+	c.mu.Unlock()
+
+	if len(added)+len(modified)+len(removed) > 0 {
+		c.emit(SnapshotEvent{
+			TargetID: rq.targetID,
+			TS:       readTS,
+			Added:    added,
+			Modified: modified,
+			Removed:  removed,
+		})
+	}
+}
+
+// sortedDocs returns the result set in query order.
+func sortedDocs(q *query.Query, m map[string]*doc.Document) []*doc.Document {
+	out := make([]*doc.Document, 0, len(m))
+	for _, d := range m {
+		out = append(out, d)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && q.Compare(out[j], out[j-1]) < 0; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,326 @@
+// Package index implements Firestore's secondary indexing (§III-B,
+// §IV-D1): automatic ascending and descending single-field indexes on
+// every field (with per-field exemptions), array-contains entries,
+// user-defined composite indexes, and the computation of index-entry
+// diffs for writes. Index entries are byte-string keys laid out exactly
+// as the paper describes — an (index-id, values, name) tuple whose
+// encoding preserves the index's sort order — destined for the
+// IndexEntries table rows in Spanner.
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"firestore/internal/doc"
+	"firestore/internal/encoding"
+)
+
+// Direction orders an index field.
+type Direction int
+
+const (
+	Ascending Direction = iota
+	Descending
+)
+
+func (d Direction) String() string {
+	if d == Descending {
+		return "desc"
+	}
+	return "asc"
+}
+
+// Field is one component of a composite index.
+type Field struct {
+	Path doc.FieldPath
+	Dir  Direction
+}
+
+func (f Field) String() string { return string(f.Path) + " " + f.Dir.String() }
+
+// Kind distinguishes index families.
+type Kind int
+
+const (
+	// KindAuto is an automatic single-field index (one per field path
+	// and direction, §III-B).
+	KindAuto Kind = iota
+	// KindContains is the automatic array-membership index.
+	KindContains
+	// KindComposite is a user-defined multi-field index.
+	KindComposite
+)
+
+// Definition describes one index. Indexes apply to every collection with
+// a matching collection ID anywhere in the hierarchy, like the production
+// service.
+type Definition struct {
+	ID         uint64
+	Kind       Kind
+	Collection string // collection ID, e.g. "ratings"
+	Fields     []Field
+}
+
+func (d Definition) String() string {
+	parts := make([]string, len(d.Fields))
+	for i, f := range d.Fields {
+		parts[i] = f.String()
+	}
+	return fmt.Sprintf("index(%s: %s)", d.Collection, strings.Join(parts, ", "))
+}
+
+// AutoDef returns the automatic single-field index definition for a
+// collection ID, field path, and direction. Its ID is deterministic, so
+// autos need no registry: writers and the query planner derive the same
+// definition independently.
+func AutoDef(collection string, path doc.FieldPath, dir Direction) Definition {
+	return Definition{
+		ID:         stableID("auto", collection, string(path), dir.String()),
+		Kind:       KindAuto,
+		Collection: collection,
+		Fields:     []Field{{Path: path, Dir: dir}},
+	}
+}
+
+// ContainsDef returns the automatic array-contains index definition.
+func ContainsDef(collection string, path doc.FieldPath) Definition {
+	return Definition{
+		ID:         stableID("contains", collection, string(path), ""),
+		Kind:       KindContains,
+		Collection: collection,
+		Fields:     []Field{{Path: path, Dir: Ascending}},
+	}
+}
+
+// CompositeDef returns a user-defined composite index definition with a
+// deterministic ID derived from its shape.
+func CompositeDef(collection string, fields ...Field) Definition {
+	parts := make([]string, 0, 2*len(fields))
+	for _, f := range fields {
+		parts = append(parts, string(f.Path), f.Dir.String())
+	}
+	return Definition{
+		ID:         stableID("composite", collection, strings.Join(parts, "|"), ""),
+		Kind:       KindComposite,
+		Collection: collection,
+		Fields:     fields,
+	}
+}
+
+func stableID(kind, collection, spec, dir string) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s", kind, collection, spec, dir)
+	return h.Sum64()
+}
+
+// Exemptions records (collection, field path) pairs excluded from
+// automatic indexing (§III-B: to avoid index cost or sequential-value
+// hotspots). The zero value exempts nothing.
+type Exemptions struct {
+	set map[string]bool
+}
+
+// Exempt marks path in collection as not automatically indexed.
+func (e *Exemptions) Exempt(collection string, path doc.FieldPath) {
+	if e.set == nil {
+		e.set = map[string]bool{}
+	}
+	e.set[collection+"\x00"+string(path)] = true
+}
+
+// IsExempt reports whether the pair is exempted.
+func (e *Exemptions) IsExempt(collection string, path doc.FieldPath) bool {
+	if e == nil || e.set == nil {
+		return false
+	}
+	return e.set[collection+"\x00"+string(path)]
+}
+
+// Clone returns an independent copy of the exemption set.
+func (e *Exemptions) Clone() Exemptions {
+	var out Exemptions
+	if e == nil || len(e.set) == 0 {
+		return out
+	}
+	out.set = make(map[string]bool, len(e.set))
+	for k := range e.set {
+		out.set[k] = true
+	}
+	return out
+}
+
+// List returns the exempted pairs as "collection:path" strings, sorted.
+func (e *Exemptions) List() []string {
+	if e == nil {
+		return nil
+	}
+	out := make([]string, 0, len(e.set))
+	for k := range e.set {
+		out = append(out, strings.Replace(k, "\x00", ":", 1))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EntryKey builds the IndexEntries row key for an index entry of the
+// named document: 8-byte big-endian index ID, the encoded parent
+// collection path (so one collection's entries are a contiguous range —
+// index definitions apply to every collection sharing an ID), the
+// order-preserving encoding of the value tuple honoring each field's
+// direction, and finally the escaped document ID as tie-breaker. This is
+// the paper's (index-id, values, name) tuple with the name split around
+// the values for range-scan locality.
+func EntryKey(def Definition, values []doc.Value, name doc.Name) []byte {
+	key := CollectionPrefix(def.ID, name.Collection())
+	for i, v := range values {
+		if def.Fields[i].Dir == Descending {
+			key = encoding.EncodeValueDesc(key, v)
+		} else {
+			key = encoding.EncodeValue(key, v)
+		}
+	}
+	return encoding.AppendEscaped(key, []byte(name.ID()))
+}
+
+// CollectionPrefix returns the key prefix shared by every entry of index
+// id for documents directly inside collection c.
+func CollectionPrefix(id uint64, c doc.CollectionPath) []byte {
+	key := make([]byte, 0, 64)
+	key = binary.BigEndian.AppendUint64(key, id)
+	key = encoding.EncodeCollection(key, c)
+	return append(key, 0x00)
+}
+
+// IDPrefix returns the 8-byte key prefix of an index's entries.
+func IDPrefix(id uint64) []byte {
+	return binary.BigEndian.AppendUint64(make([]byte, 0, 8), id)
+}
+
+// FlattenFields returns the document's indexable (path, value) pairs:
+// map fields are flattened to their leaves (dot-joined paths), other
+// values are taken whole. Paths are returned sorted for determinism.
+func FlattenFields(d *doc.Document) []FieldValue {
+	var out []FieldValue
+	var walk func(prefix string, v doc.Value)
+	walk = func(prefix string, v doc.Value) {
+		if v.Kind() == doc.KindMap && len(v.MapVal()) > 0 {
+			for k, sub := range v.MapVal() {
+				walk(prefix+"."+k, sub)
+			}
+			return
+		}
+		out = append(out, FieldValue{Path: doc.FieldPath(prefix), Value: v})
+	}
+	for k, v := range d.Fields {
+		walk(k, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// FieldValue is one flattened (path, value) pair.
+type FieldValue struct {
+	Path  doc.FieldPath
+	Value doc.Value
+}
+
+// Entries computes the full set of IndexEntries keys for a document:
+// ascending and descending automatic entries per flattened field (minus
+// exemptions), array-contains entries per distinct array element, and one
+// entry per matching composite index. The per-write cost is linear in the
+// number of fields, which is exactly the Fig. 10b relationship.
+func Entries(d *doc.Document, composites []Definition, ex *Exemptions) [][]byte {
+	coll := d.Name.Collection().ID()
+	flat := FlattenFields(d)
+	var keys [][]byte
+	for _, fv := range flat {
+		if ex.IsExempt(coll, fv.Path) {
+			continue
+		}
+		asc := AutoDef(coll, fv.Path, Ascending)
+		desc := AutoDef(coll, fv.Path, Descending)
+		keys = append(keys,
+			EntryKey(asc, []doc.Value{fv.Value}, d.Name),
+			EntryKey(desc, []doc.Value{fv.Value}, d.Name),
+		)
+		if fv.Value.Kind() == doc.KindArray {
+			cdef := ContainsDef(coll, fv.Path)
+			seen := map[string]bool{}
+			for _, el := range fv.Value.ArrayVal() {
+				ek := EntryKey(cdef, []doc.Value{el}, d.Name)
+				if !seen[string(ek)] {
+					seen[string(ek)] = true
+					keys = append(keys, ek)
+				}
+			}
+		}
+	}
+	byPath := make(map[doc.FieldPath]doc.Value, len(flat))
+	for _, fv := range flat {
+		byPath[fv.Path] = fv.Value
+	}
+	for _, def := range composites {
+		if def.Collection != coll {
+			continue
+		}
+		values := make([]doc.Value, 0, len(def.Fields))
+		ok := true
+		for _, f := range def.Fields {
+			v, has := lookup(d, byPath, f.Path)
+			if !has {
+				ok = false
+				break
+			}
+			values = append(values, v)
+		}
+		if ok {
+			keys = append(keys, EntryKey(def, values, d.Name))
+		}
+	}
+	return keys
+}
+
+// lookup finds a field by path in the flattened map, falling back to the
+// document for non-leaf map values referenced by composites.
+func lookup(d *doc.Document, flat map[doc.FieldPath]doc.Value, p doc.FieldPath) (doc.Value, bool) {
+	if v, ok := flat[p]; ok {
+		return v, true
+	}
+	return d.Get(p)
+}
+
+// Diff computes the IndexEntries mutations for a write: keys to remove
+// (present for old but not new) and keys to add (present for new but not
+// old). Either document may be nil (insert / delete).
+func Diff(old, new *doc.Document, composites []Definition, ex *Exemptions) (removed, added [][]byte) {
+	var oldKeys, newKeys [][]byte
+	if old != nil {
+		oldKeys = Entries(old, composites, ex)
+	}
+	if new != nil {
+		newKeys = Entries(new, composites, ex)
+	}
+	oldSet := make(map[string]bool, len(oldKeys))
+	for _, k := range oldKeys {
+		oldSet[string(k)] = true
+	}
+	newSet := make(map[string]bool, len(newKeys))
+	for _, k := range newKeys {
+		newSet[string(k)] = true
+	}
+	for _, k := range oldKeys {
+		if !newSet[string(k)] {
+			removed = append(removed, k)
+		}
+	}
+	for _, k := range newKeys {
+		if !oldSet[string(k)] {
+			added = append(added, k)
+		}
+	}
+	return removed, added
+}

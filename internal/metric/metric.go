@@ -1,0 +1,232 @@
+// Package metric provides the latency histograms and time-series
+// recorders used by the evaluation harness (§V): log-bucketed latency
+// histograms with percentile extraction, and windowed time series for
+// latency-over-time plots such as the isolation experiment (Fig. 11).
+package metric
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// numBuckets covers 1µs..~100s with ~4% resolution.
+const (
+	numBuckets   = 512
+	bucketGrowth = 1.04
+	minLatency   = time.Microsecond
+)
+
+// Histogram is a concurrency-safe log-bucketed latency histogram.
+// The zero value is ready to use.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [numBuckets]uint64
+	count   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+func bucketFor(d time.Duration) int {
+	if d <= minLatency {
+		return 0
+	}
+	i := int(math.Log(float64(d)/float64(minLatency)) / math.Log(bucketGrowth))
+	if i >= numBuckets {
+		return numBuckets - 1
+	}
+	return i
+}
+
+// bucketUpper returns the upper latency bound of bucket i.
+func bucketUpper(i int) time.Duration {
+	return time.Duration(float64(minLatency) * math.Pow(bucketGrowth, float64(i+1)))
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buckets[bucketFor(d)]++
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the mean latency, or 0 with no observations.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Percentile returns the latency at quantile q in [0, 1] (e.g. 0.5, 0.99)
+// using the bucket upper bound, or 0 with no observations.
+func (h *Histogram) Percentile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(h.count))
+	if target >= h.count {
+		return h.max
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum > target {
+			if i == numBuckets-1 {
+				return h.max // top bucket is open-ended
+			}
+			u := bucketUpper(i)
+			if u > h.max {
+				return h.max
+			}
+			if u < h.min {
+				return h.min
+			}
+			return u
+		}
+	}
+	return h.max
+}
+
+// Reset clears all observations.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buckets = [numBuckets]uint64{}
+	h.count, h.sum, h.min, h.max = 0, 0, 0, 0
+}
+
+// Snapshot returns count, mean, p50, p95, p99 in one consistent view.
+func (h *Histogram) Snapshot() Summary {
+	return Summary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Percentile(0.50),
+		P95:   h.Percentile(0.95),
+		P99:   h.Percentile(0.99),
+	}
+}
+
+// Summary is a point-in-time percentile summary.
+type Summary struct {
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v", s.Count, s.Mean, s.P50, s.P95, s.P99)
+}
+
+// TimeSeries buckets latency observations by elapsed wall-time window,
+// producing per-window percentile summaries for latency-over-time plots.
+type TimeSeries struct {
+	mu     sync.Mutex
+	start  time.Time
+	window time.Duration
+	slots  []*Histogram
+}
+
+// NewTimeSeries starts a series with the given window size.
+func NewTimeSeries(window time.Duration) *TimeSeries {
+	return &TimeSeries{start: time.Now(), window: window}
+}
+
+// Record adds an observation at the current time.
+func (ts *TimeSeries) Record(d time.Duration) {
+	ts.mu.Lock()
+	i := int(time.Since(ts.start) / ts.window)
+	for len(ts.slots) <= i {
+		ts.slots = append(ts.slots, &Histogram{})
+	}
+	h := ts.slots[i]
+	ts.mu.Unlock()
+	h.Record(d)
+}
+
+// Summaries returns one Summary per elapsed window.
+func (ts *TimeSeries) Summaries() []Summary {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]Summary, len(ts.slots))
+	for i, h := range ts.slots {
+		out[i] = h.Snapshot()
+	}
+	return out
+}
+
+// BoxPlot summarizes a sample as the five-number summary the paper's
+// Fig. 6 plots, with values normalized to the median.
+type BoxPlot struct {
+	Min, P25, Median, P75, Max float64
+}
+
+// NewBoxPlot computes the five-number summary of xs. It returns the zero
+// BoxPlot for an empty sample.
+func NewBoxPlot(xs []float64) BoxPlot {
+	if len(xs) == 0 {
+		return BoxPlot{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	q := func(p float64) float64 {
+		i := p * float64(len(s)-1)
+		lo := int(i)
+		if lo >= len(s)-1 {
+			return s[len(s)-1]
+		}
+		frac := i - float64(lo)
+		return s[lo]*(1-frac) + s[lo+1]*frac
+	}
+	return BoxPlot{Min: s[0], P25: q(0.25), Median: q(0.5), P75: q(0.75), Max: s[len(s)-1]}
+}
+
+// NormalizeToMedian returns the boxplot with every statistic divided by
+// the median (the paper reports "values normalized to their respective
+// median"). A zero median returns the input unchanged.
+func (b BoxPlot) NormalizeToMedian() BoxPlot {
+	if b.Median == 0 {
+		return b
+	}
+	m := b.Median
+	return BoxPlot{Min: b.Min / m, P25: b.P25 / m, Median: 1, P75: b.P75 / m, Max: b.Max / m}
+}
+
+// OrdersOfMagnitude returns log10(Max/Min) — the spread statistic quoted
+// in §V-A ("more than nine orders of magnitude").
+func (b BoxPlot) OrdersOfMagnitude() float64 {
+	if b.Min <= 0 || b.Max <= 0 {
+		return math.Inf(1)
+	}
+	return math.Log10(b.Max / b.Min)
+}

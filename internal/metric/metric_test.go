@@ -1,0 +1,189 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(0.5) != 0 {
+		t.Fatal("zero histogram not empty")
+	}
+	h.Record(10 * time.Millisecond)
+	h.Record(20 * time.Millisecond)
+	h.Record(30 * time.Millisecond)
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if got := h.Mean(); got != 20*time.Millisecond {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(1))
+	var samples []time.Duration
+	for i := 0; i < 10000; i++ {
+		d := time.Duration(rng.Intn(100000)) * time.Microsecond
+		samples = append(samples, d)
+		h.Record(d)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := samples[int(q*float64(len(samples)))]
+		got := h.Percentile(q)
+		// Buckets grow 4% per step; allow 10% relative error.
+		if math.Abs(float64(got-exact)) > 0.10*float64(exact)+float64(10*time.Microsecond) {
+			t.Errorf("P%v = %v, exact %v", q*100, got, exact)
+		}
+	}
+}
+
+func TestHistogramPercentileBounds(t *testing.T) {
+	var h Histogram
+	h.Record(time.Millisecond)
+	if got := h.Percentile(0); got != time.Millisecond {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := h.Percentile(1); got != time.Millisecond {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := h.Percentile(-5); got != time.Millisecond {
+		t.Errorf("clamped low = %v", got)
+	}
+	if got := h.Percentile(7); got != time.Millisecond {
+		t.Errorf("clamped high = %v", got)
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	var h Histogram
+	h.Record(0)                // below min bucket
+	h.Record(10 * time.Minute) // beyond max bucket
+	if h.Count() != 2 {
+		t.Fatal("extremes not recorded")
+	}
+	if h.Percentile(0.99) != 10*time.Minute {
+		t.Fatalf("max clamp = %v", h.Percentile(0.99))
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Record(time.Second)
+	h.Reset()
+	if h.Count() != 0 || h.Percentile(0.5) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Record(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var h Histogram
+	h.Record(time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 || s.String() == "" {
+		t.Fatal("snapshot malformed")
+	}
+}
+
+func TestPercentileMonotonic(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var h Histogram
+		for i := 0; i < 100; i++ {
+			h.Record(time.Duration(rng.Intn(1e9)))
+		}
+		prev := time.Duration(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			p := h.Percentile(q)
+			if p < prev {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries(20 * time.Millisecond)
+	ts.Record(time.Millisecond)
+	time.Sleep(25 * time.Millisecond)
+	ts.Record(2 * time.Millisecond)
+	sums := ts.Summaries()
+	if len(sums) < 2 {
+		t.Fatalf("windows = %d, want >= 2", len(sums))
+	}
+	if sums[0].Count != 1 {
+		t.Fatalf("first window count = %d", sums[0].Count)
+	}
+}
+
+func TestBoxPlot(t *testing.T) {
+	b := NewBoxPlot([]float64{1, 2, 3, 4, 5})
+	if b.Min != 1 || b.Max != 5 || b.Median != 3 {
+		t.Fatalf("BoxPlot = %+v", b)
+	}
+	if b.P25 != 2 || b.P75 != 4 {
+		t.Fatalf("quartiles = %+v", b)
+	}
+	if got := NewBoxPlot(nil); got != (BoxPlot{}) {
+		t.Fatal("empty sample should produce zero BoxPlot")
+	}
+}
+
+func TestBoxPlotNormalize(t *testing.T) {
+	b := NewBoxPlot([]float64{10, 20, 30, 40, 50}).NormalizeToMedian()
+	if b.Median != 1 || b.Min != 10.0/30 || b.Max != 50.0/30 {
+		t.Fatalf("normalized = %+v", b)
+	}
+	z := BoxPlot{}.NormalizeToMedian()
+	if z != (BoxPlot{}) {
+		t.Fatal("zero-median normalize should be identity")
+	}
+}
+
+func TestOrdersOfMagnitude(t *testing.T) {
+	b := BoxPlot{Min: 1e-3, Max: 1e6}
+	if got := b.OrdersOfMagnitude(); math.Abs(got-9) > 1e-9 {
+		t.Fatalf("OrdersOfMagnitude = %v, want 9", got)
+	}
+	if !math.IsInf(BoxPlot{Min: 0, Max: 1}.OrdersOfMagnitude(), 1) {
+		t.Fatal("zero min should be +Inf")
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	for i := 0; i < b.N; i++ {
+		h.Record(time.Duration(i))
+	}
+}

@@ -1,0 +1,107 @@
+package query
+
+import (
+	"context"
+
+	"firestore/internal/doc"
+	"firestore/internal/encoding"
+)
+
+// This file implements COUNT aggregation, the extension §VIII sketches:
+// "a COUNT query returns a single value but may count millions of
+// documents", so it executes entirely on the index (no document fetches)
+// and the caller bills by the index work performed rather than the single
+// result.
+
+// CountResult is a COUNT execution's output.
+type CountResult struct {
+	Count int64
+	// ScannedEntries is the index work performed, the billing unit for
+	// aggregations (§VIII: "such extensions cannot break the
+	// pay-as-you-go billing").
+	ScannedEntries int
+}
+
+// ExecuteCount counts the plan's result set without fetching any
+// documents: single scans count index entries in range; zig-zag joins
+// count join hits; bare collection plans count Entities rows.
+func (p *Plan) ExecuteCount(ctx context.Context, st Storage) (*CountResult, error) {
+	res := &CountResult{}
+	if p.Scans[0].Def.ID == 0 {
+		err := st.ScanCollection(ctx, p.Query.Collection, "", func(*doc.Document) bool {
+			res.Count++
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.ScannedEntries = int(res.Count)
+		applyOffsetLimit(res, p.Query)
+		return res, nil
+	}
+	if len(p.Scans) == 1 {
+		sc := p.Scans[0]
+		err := st.ScanIndex(ctx, sc.Lo, sc.Hi, func([]byte, []byte) bool {
+			res.Count++
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.ScannedEntries = int(res.Count)
+		applyOffsetLimit(res, p.Query)
+		return res, nil
+	}
+	// Zig-zag join: same loop as Execute, skipping document fetches.
+	iters := make([]*scanIter, len(p.Scans))
+	for i := range p.Scans {
+		iters[i] = &scanIter{st: st, scan: &p.Scans[i]}
+	}
+	var candidate []byte
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		allEqual := true
+		var maxSuffix []byte
+		for _, it := range iters {
+			suffix, _, ok, err := it.seek(ctx, candidate)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				for _, it := range iters {
+					res.ScannedEntries += it.scanned
+				}
+				applyOffsetLimit(res, p.Query)
+				return res, nil
+			}
+			switch {
+			case maxSuffix == nil:
+				maxSuffix = suffix
+			case compare(suffix, maxSuffix) > 0:
+				allEqual = false
+				maxSuffix = suffix
+			case compare(suffix, maxSuffix) < 0:
+				allEqual = false
+			}
+		}
+		candidate = maxSuffix
+		if allEqual {
+			res.Count++
+			candidate = encoding.Successor(maxSuffix)
+		}
+	}
+}
+
+// applyOffsetLimit adjusts a raw count for the query's offset and limit
+// (COUNT respects them, like the production aggregation API).
+func applyOffsetLimit(res *CountResult, q *Query) {
+	res.Count -= int64(q.Offset)
+	if res.Count < 0 {
+		res.Count = 0
+	}
+	if q.Limit > 0 && res.Count > int64(q.Limit) {
+		res.Count = int64(q.Limit)
+	}
+}

@@ -1,0 +1,243 @@
+package query
+
+import (
+	"context"
+	"fmt"
+
+	"firestore/internal/doc"
+	"firestore/internal/encoding"
+)
+
+// Storage is what the executor needs from the storage layer. The backend
+// implements it over the Spanner IndexEntries and Entities tables; the
+// mobile SDK implements it over the client's local cache.
+type Storage interface {
+	// ScanIndex iterates IndexEntries rows with lo <= key < hi in key
+	// order. The row value is the named document's full textual name.
+	// fn returning false stops the scan.
+	ScanIndex(ctx context.Context, lo, hi []byte, fn func(key, value []byte) bool) error
+	// ScanCollection iterates the documents directly inside c in name
+	// order, starting after startAfterID when non-empty.
+	ScanCollection(ctx context.Context, c doc.CollectionPath, startAfterID string, fn func(*doc.Document) bool) error
+	// GetDocument returns the document, or (nil, nil) when absent.
+	GetDocument(ctx context.Context, name doc.Name) (*doc.Document, error)
+}
+
+// Result is an executed query's output: ordered documents plus a resume
+// token for fetching the next page (§IV-C: "Firestore APIs support
+// returning partial results for a query as well as resuming a
+// partially-executed query").
+type Result struct {
+	Docs []*doc.Document
+	// Resume restarts the query after the last returned document; nil
+	// when the result set was exhausted.
+	Resume []byte
+	// ScannedEntries counts index entries visited (plan cost metric).
+	ScannedEntries int
+}
+
+// MaxResultSize bounds the documents one execution returns ("we limit the
+// result-set size and the amount of work done for a single RPC", §IV-C).
+const MaxResultSize = 1000
+
+// Execute runs the plan against storage. resume, when non-nil, continues
+// a previous partial execution. The offset applies only to the first
+// page.
+func (p *Plan) Execute(ctx context.Context, st Storage, resume []byte) (*Result, error) {
+	limit := p.Query.Limit
+	if limit <= 0 || limit > MaxResultSize {
+		limit = MaxResultSize
+	}
+	offset := p.Query.Offset
+	if resume != nil {
+		offset = 0
+	}
+	if p.Scans[0].Def.ID == 0 {
+		return p.executeEntitiesScan(ctx, st, resume, offset, limit)
+	}
+	return p.executeIndexScans(ctx, st, resume, offset, limit)
+}
+
+// executeEntitiesScan serves a bare collection query straight from the
+// Entities table, which is already in name order.
+func (p *Plan) executeEntitiesScan(ctx context.Context, st Storage, resume []byte, offset, limit int) (*Result, error) {
+	res := &Result{}
+	startAfter := string(resume)
+	truncated := false
+	err := st.ScanCollection(ctx, p.Query.Collection, startAfter, func(d *doc.Document) bool {
+		if offset > 0 {
+			offset--
+			return true
+		}
+		if len(res.Docs) == limit {
+			truncated = true
+			return false
+		}
+		res.Docs = append(res.Docs, p.Query.Project(d))
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if truncated && len(res.Docs) > 0 {
+		res.Resume = []byte(res.Docs[len(res.Docs)-1].Name.ID())
+	}
+	return res, nil
+}
+
+// executeIndexScans runs the single-index or zig-zag join path: advance
+// iterators over each scan's range, emit documents whose join suffix
+// (sort values + document ID) appears in every range.
+func (p *Plan) executeIndexScans(ctx context.Context, st Storage, resume []byte, offset, limit int) (*Result, error) {
+	iters := make([]*scanIter, len(p.Scans))
+	for i := range p.Scans {
+		iters[i] = &scanIter{st: st, scan: &p.Scans[i]}
+	}
+	var candidate []byte
+	if resume != nil {
+		candidate = encoding.Successor(resume)
+	}
+	res := &Result{}
+	finalize := func() *Result {
+		for _, it := range iters {
+			res.ScannedEntries += it.scanned
+		}
+		return res
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Peek every iterator at >= candidate. All-equal heads are a
+		// join hit; otherwise the max head becomes the next candidate
+		// (the "zig") and laggards re-seek to it (the "zag").
+		allEqual := true
+		var maxSuffix []byte
+		var name string
+		for _, it := range iters {
+			suffix, docName, ok, err := it.seek(ctx, candidate)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return finalize(), nil // some range exhausted: done
+			}
+			switch {
+			case maxSuffix == nil:
+				maxSuffix, name = suffix, docName
+			case compare(suffix, maxSuffix) > 0:
+				allEqual = false
+				maxSuffix, name = suffix, docName
+			case compare(suffix, maxSuffix) < 0:
+				allEqual = false
+			}
+		}
+		candidate = maxSuffix
+		if !allEqual {
+			continue
+		}
+		// Join hit: emit.
+		if offset > 0 {
+			offset--
+		} else {
+			d, err := p.fetch(ctx, st, name)
+			if err != nil {
+				return nil, err
+			}
+			if d != nil {
+				res.Docs = append(res.Docs, p.Query.Project(d))
+				if len(res.Docs) == limit {
+					res.Resume = append([]byte(nil), maxSuffix...)
+					return finalize(), nil
+				}
+			}
+		}
+		candidate = encoding.Successor(maxSuffix)
+	}
+}
+
+func (p *Plan) fetch(ctx context.Context, st Storage, name string) (*doc.Document, error) {
+	n, err := doc.ParseName(name)
+	if err != nil {
+		return nil, fmt.Errorf("query: corrupt index entry value %q: %w", name, err)
+	}
+	return st.GetDocument(ctx, n)
+}
+
+// scanIter is a pull iterator over one index scan range, refilling in
+// batches.
+type scanIter struct {
+	st      st
+	scan    *Scan
+	buf     []entry
+	next    []byte // resume key for refill
+	eof     bool
+	scanned int
+}
+
+// st aliases Storage for brevity inside the iterator.
+type st = Storage
+
+type entry struct {
+	suffix []byte
+	name   string
+}
+
+const iterBatch = 64
+
+// seek peeks at the first entry with suffix >= target (nil = first). The
+// entry is not consumed: a subsequent seek with the same target returns
+// it again, and a larger target drops it.
+func (it *scanIter) seek(ctx context.Context, target []byte) (suffix []byte, name string, ok bool, err error) {
+	for {
+		// Drop buffered entries below the target.
+		for len(it.buf) > 0 && target != nil && compare(it.buf[0].suffix, target) < 0 {
+			it.buf = it.buf[1:]
+		}
+		if len(it.buf) > 0 {
+			e := it.buf[0]
+			return e.suffix, e.name, true, nil
+		}
+		if it.eof {
+			return nil, "", false, nil
+		}
+		if err := it.refill(ctx, target); err != nil {
+			return nil, "", false, err
+		}
+		if len(it.buf) == 0 && it.eof {
+			return nil, "", false, nil
+		}
+	}
+}
+
+func (it *scanIter) refill(ctx context.Context, target []byte) error {
+	lo := it.scan.Lo
+	if it.next != nil {
+		lo = it.next
+	}
+	if target != nil {
+		withTarget := append(append([]byte(nil), it.scan.Prefix...), target...)
+		if compare(withTarget, lo) > 0 {
+			lo = withTarget
+		}
+	}
+	count := 0
+	var lastKey []byte
+	err := it.st.ScanIndex(ctx, lo, it.scan.Hi, func(key, value []byte) bool {
+		it.scanned++
+		suffix := append([]byte(nil), key[len(it.scan.Prefix):]...)
+		it.buf = append(it.buf, entry{suffix: suffix, name: string(value)})
+		lastKey = key
+		count++
+		return count < iterBatch
+	})
+	if err != nil {
+		return err
+	}
+	if count < iterBatch {
+		it.eof = true
+	} else {
+		it.next = encoding.Successor(lastKey)
+	}
+	return nil
+}

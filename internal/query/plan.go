@@ -1,0 +1,360 @@
+package query
+
+import (
+	"fmt"
+
+	"firestore/internal/doc"
+	"firestore/internal/encoding"
+	"firestore/internal/index"
+)
+
+// Scan is one index range in a plan: scan keys in [Lo, Hi) and join on
+// the byte suffix after Prefix (the shared sort-values + document ID).
+type Scan struct {
+	Def    index.Definition
+	Prefix []byte
+	Lo, Hi []byte
+}
+
+// Plan is an executable query plan: a single scan, or several zig-zag
+// joined scans, followed by Entities lookups.
+type Plan struct {
+	Query *Query
+	Scans []Scan
+}
+
+// ZigZag reports whether the plan joins multiple indexes.
+func (p *Plan) ZigZag() bool { return len(p.Scans) > 1 }
+
+func (p *Plan) String() string {
+	if len(p.Scans) == 1 {
+		return fmt.Sprintf("scan %s", p.Scans[0].Def)
+	}
+	s := "zigzag("
+	for i, sc := range p.Scans {
+		if i > 0 {
+			s += " ⋈ "
+		}
+		s += sc.Def.String()
+	}
+	return s + ")"
+}
+
+// BuildPlan runs the greedy index-set selection (§IV-D3) for q against
+// the database's composite indexes and exemptions. It returns a
+// *NeedsIndexError when no usable index set exists, which in production
+// surfaces to the developer with a creation link.
+func BuildPlan(q *Query, composites []index.Definition, ex *index.Exemptions) (*Plan, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	coll := q.Collection.ID()
+	sortFields := sortFieldsOf(q)
+
+	// Partition predicates.
+	var eqs []Predicate
+	var contains []Predicate
+	ineqs := map[Operator]doc.Value{}
+	for _, p := range q.Predicates {
+		switch {
+		case p.Op == Eq:
+			eqs = append(eqs, p)
+		case p.Op == ArrayContains:
+			contains = append(contains, p)
+		default:
+			ineqs[p.Op] = p.Value
+		}
+	}
+
+	// Exempted fields cannot serve any predicate or order (§III-B:
+	// "queries that would need the excluded index then fail").
+	for _, p := range q.Predicates {
+		if ex.IsExempt(coll, p.Path) {
+			return nil, fmt.Errorf("query: field %q is exempted from indexing: %w",
+				p.Path, &NeedsIndexError{Collection: coll, Fields: requiredFields(q)})
+		}
+	}
+	for _, o := range sortFields {
+		if ex.IsExempt(coll, o.Path) {
+			return nil, fmt.Errorf("query: order field %q is exempted from indexing: %w",
+				o.Path, &NeedsIndexError{Collection: coll, Fields: requiredFields(q)})
+		}
+	}
+
+	// Candidate indexes: registered composites plus the automatic
+	// definitions the paper gives every field.
+	var candidates []index.Definition
+	for _, d := range composites {
+		if d.Collection == coll {
+			candidates = append(candidates, d)
+		}
+	}
+	for _, p := range eqs {
+		candidates = append(candidates, index.AutoDef(coll, p.Path, index.Ascending))
+	}
+	if len(sortFields) == 1 {
+		candidates = append(candidates, index.AutoDef(coll, sortFields[0].Path, sortFields[0].Dir))
+	}
+
+	// Greedy cover: repeatedly select the usable candidate covering the
+	// most uncovered equality predicates ("optimizes for the number of
+	// selected indexes").
+	uncovered := map[doc.FieldPath]doc.Value{}
+	for _, p := range eqs {
+		uncovered[p.Path] = p.Value
+	}
+	var scans []Scan
+	for len(uncovered) > 0 {
+		best, bestCovers := index.Definition{}, []doc.FieldPath(nil)
+		for _, c := range candidates {
+			covers, ok := usable(c, uncovered, sortFields)
+			if ok && len(covers) > len(bestCovers) {
+				best, bestCovers = c, covers
+			}
+		}
+		if len(bestCovers) == 0 {
+			return nil, &NeedsIndexError{Collection: coll, Fields: requiredFields(q)}
+		}
+		values := make([]doc.Value, len(bestCovers))
+		for i, p := range bestCovers {
+			values[i] = uncovered[p]
+			delete(uncovered, p)
+		}
+		scans = append(scans, buildScan(q, best, values))
+	}
+
+	// Array-contains predicates each get their own contains index scan.
+	// They join only on the document ID, so they are incompatible with a
+	// non-empty sort suffix (a composite would be required).
+	for _, p := range contains {
+		if len(sortFields) > 0 {
+			return nil, &NeedsIndexError{Collection: coll, Fields: requiredFields(q)}
+		}
+		scans = append(scans, buildScan(q, index.ContainsDef(coll, p.Path), []doc.Value{p.Value}))
+	}
+
+	// With no equality scans, the sort (or bare collection) needs one
+	// covering index.
+	if len(scans) == 0 {
+		var def index.Definition
+		switch {
+		case len(sortFields) == 0:
+			// Bare collection scan: use the automatic ascending index on
+			// the document's implicit "__name__"... the engine instead
+			// scans the Entities table directly; represent it as a
+			// nameless scan resolved by the executor.
+			def = index.Definition{} // zero ID = Entities scan
+		case len(sortFields) == 1:
+			def = index.AutoDef(coll, sortFields[0].Path, sortFields[0].Dir)
+		default:
+			def = index.CompositeDef(coll, sortFields...)
+			if !hasComposite(composites, def.ID) {
+				return nil, &NeedsIndexError{Collection: coll, Fields: requiredFields(q)}
+			}
+		}
+		scans = append(scans, buildScan(q, def, nil))
+	}
+
+	// Inequality bounds restrict the shared suffix's first component on
+	// every scan.
+	if len(ineqs) > 0 {
+		lo, hi := suffixBounds(ineqs, sortFields[0].Dir)
+		for i := range scans {
+			scans[i].Lo = append(append([]byte(nil), scans[i].Prefix...), lo...)
+			if hi != nil {
+				scans[i].Hi = append(append([]byte(nil), scans[i].Prefix...), hi...)
+			}
+		}
+	}
+	return &Plan{Query: q, Scans: scans}, nil
+}
+
+func sortFieldsOf(q *Query) []index.Field {
+	orders := q.EffectiveOrders()
+	out := make([]index.Field, len(orders))
+	for i, o := range orders {
+		out[i] = index.Field{Path: o.Path, Dir: o.Dir}
+	}
+	return out
+}
+
+// requiredFields suggests the composite index that would serve q alone.
+func requiredFields(q *Query) []index.Field {
+	var fields []index.Field
+	seen := map[doc.FieldPath]bool{}
+	for _, p := range q.Predicates {
+		if p.Op == Eq || p.Op == ArrayContains {
+			if !seen[p.Path] {
+				seen[p.Path] = true
+				fields = append(fields, index.Field{Path: p.Path, Dir: index.Ascending})
+			}
+		}
+	}
+	for _, f := range sortFieldsOf(q) {
+		if !seen[f.Path] {
+			seen[f.Path] = true
+			fields = append(fields, f)
+		}
+	}
+	return fields
+}
+
+// usable reports whether candidate c's fields decompose as P ++ S with S
+// equal to the required sort suffix and every field of P an uncovered
+// equality path; it returns P.
+func usable(c index.Definition, uncovered map[doc.FieldPath]doc.Value, sortFields []index.Field) ([]doc.FieldPath, bool) {
+	if c.Kind == index.KindContains {
+		return nil, false
+	}
+	if len(c.Fields) < len(sortFields) {
+		return nil, false
+	}
+	split := len(c.Fields) - len(sortFields)
+	for i, f := range c.Fields[split:] {
+		if f.Path != sortFields[i].Path || f.Dir != sortFields[i].Dir {
+			return nil, false
+		}
+	}
+	var covers []doc.FieldPath
+	for _, f := range c.Fields[:split] {
+		if _, ok := uncovered[f.Path]; !ok || f.Dir != index.Ascending {
+			return nil, false
+		}
+		covers = append(covers, f.Path)
+	}
+	if split == 0 && len(sortFields) == 0 {
+		return nil, false // degenerate: no prefix, no sort
+	}
+	return covers, true
+}
+
+func hasComposite(defs []index.Definition, id uint64) bool {
+	for _, d := range defs {
+		if d.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// buildScan constructs the scan for def with the given equality-prefix
+// values; bounds default to the whole prefix range.
+func buildScan(q *Query, def index.Definition, eqValues []doc.Value) Scan {
+	var prefix []byte
+	if def.ID == 0 {
+		// Entities scan sentinel; the executor substitutes the
+		// collection's Entities range.
+		return Scan{Def: def}
+	}
+	prefix = index.CollectionPrefix(def.ID, q.Collection)
+	for i, v := range eqValues {
+		if def.Fields[i].Dir == index.Descending {
+			prefix = encoding.EncodeValueDesc(prefix, v)
+		} else {
+			prefix = encoding.EncodeValue(prefix, v)
+		}
+	}
+	return Scan{
+		Def:    def,
+		Prefix: prefix,
+		Lo:     prefix,
+		Hi:     encoding.PrefixSuccessor(prefix),
+	}
+}
+
+// suffixBounds converts the inequality conjuncts on the first sort
+// component into byte bounds on the suffix, restricted to the operand's
+// type (inequalities match same-type values only).
+func suffixBounds(ineqs map[Operator]doc.Value, dir index.Direction) (lo, hi []byte) {
+	// Type bounds from any operand (validation ensures one path; mixed
+	// operand types across ops yield an empty range naturally).
+	var kind doc.Kind
+	for _, v := range ineqs {
+		kind = v.Kind()
+		break
+	}
+	tag := encoding.KindTag(kind)
+	if dir == index.Ascending {
+		lo, hi = []byte{tag}, []byte{tag + 1}
+	} else {
+		inv := ^tag
+		lo, hi = []byte{inv}, []byte{inv + 1}
+	}
+	for op, v := range ineqs {
+		// Index keys continue with the document ID after the component,
+		// so "past every entry with this exact value" is the PREFIX
+		// successor of the value encoding, while the value encoding
+		// itself is the inclusive start of those entries.
+		if dir == index.Ascending {
+			enc := encoding.EncodeValue(nil, v)
+			switch op {
+			case Gt:
+				lo = maxBytes(lo, prefixSucc(enc, hi))
+			case Ge:
+				lo = maxBytes(lo, enc)
+			case Lt:
+				hi = minBytes(hi, enc)
+			case Le:
+				hi = minBytes(hi, prefixSucc(enc, hi))
+			}
+		} else {
+			enc := encoding.EncodeValueDesc(nil, v)
+			switch op {
+			case Gt:
+				hi = minBytes(hi, enc)
+			case Ge:
+				hi = minBytes(hi, prefixSucc(enc, hi))
+			case Lt:
+				lo = maxBytes(lo, prefixSucc(enc, hi))
+			case Le:
+				lo = maxBytes(lo, enc)
+			}
+		}
+	}
+	return lo, hi
+}
+
+// prefixSucc returns the smallest byte string past every string prefixed
+// by p, falling back to fallback when p is all 0xff.
+func prefixSucc(p, fallback []byte) []byte {
+	if s := encoding.PrefixSuccessor(p); s != nil {
+		return s
+	}
+	return fallback
+}
+
+func maxBytes(a, b []byte) []byte {
+	if compare(a, b) >= 0 {
+		return a
+	}
+	return b
+}
+
+func minBytes(a, b []byte) []byte {
+	if compare(a, b) <= 0 {
+		return a
+	}
+	return b
+}
+
+func compare(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}

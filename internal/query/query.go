@@ -1,0 +1,293 @@
+// Package query implements Firestore's query model and engine (§III-C,
+// §IV-D3): projections, predicate comparisons with a constant,
+// conjunctions, orders, limits and offsets, restricted so that every
+// query is satisfied by a linear scan over one secondary index range or a
+// zig-zag join of several, followed by document lookups — with no
+// in-memory sorting or filtering. The planner performs the paper's greedy
+// index-set selection and returns a "needs index" error (mirroring the
+// console link) when no index set can serve a query.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"firestore/internal/doc"
+	"firestore/internal/index"
+)
+
+// Operator is a predicate comparison operator.
+type Operator int
+
+const (
+	Eq Operator = iota
+	Lt
+	Le
+	Gt
+	Ge
+	ArrayContains
+)
+
+var opNames = [...]string{"==", "<", "<=", ">", ">=", "array-contains"}
+
+func (o Operator) String() string {
+	if o < 0 || int(o) >= len(opNames) {
+		return "?"
+	}
+	return opNames[o]
+}
+
+// IsInequality reports whether o is a range operator.
+func (o Operator) IsInequality() bool { return o == Lt || o == Le || o == Gt || o == Ge }
+
+// Predicate is one conjunct: field <op> constant.
+type Predicate struct {
+	Path  doc.FieldPath
+	Op    Operator
+	Value doc.Value
+}
+
+func (p Predicate) String() string {
+	return fmt.Sprintf("%s %s %s", p.Path, p.Op, p.Value)
+}
+
+// Order is one sort component.
+type Order struct {
+	Path doc.FieldPath
+	Dir  index.Direction
+}
+
+func (o Order) String() string { return string(o.Path) + " " + o.Dir.String() }
+
+// Query is a Firestore query over a single collection.
+type Query struct {
+	Collection doc.CollectionPath
+	Predicates []Predicate
+	Orders     []Order
+	Limit      int // 0 = unlimited
+	Offset     int
+	Projection []doc.FieldPath // empty = whole documents
+}
+
+// Validation errors.
+var (
+	ErrMultipleInequalities = errors.New("query: at most one field may have inequality predicates")
+	ErrInequalityOrder      = errors.New("query: the inequality field must match the first sort order")
+	ErrNoCollection         = errors.New("query: collection is required")
+)
+
+// NeedsIndexError reports that no index set can serve the query; the
+// production service returns this as an error message with a console link
+// for creating the suggested composite index (§IV-D3).
+type NeedsIndexError struct {
+	Collection string
+	Fields     []index.Field
+}
+
+func (e *NeedsIndexError) Error() string {
+	parts := make([]string, len(e.Fields))
+	for i, f := range e.Fields {
+		parts[i] = f.String()
+	}
+	return fmt.Sprintf(
+		"query requires an index: create a composite index on collection %q with fields (%s) at https://console.cloud.google.com/firestore/indexes",
+		e.Collection, strings.Join(parts, ", "))
+}
+
+// Validate checks the query's structural restrictions.
+func (q *Query) Validate() error {
+	if q.Collection.IsZero() {
+		return ErrNoCollection
+	}
+	var ineqPath doc.FieldPath
+	for _, p := range q.Predicates {
+		if !p.Op.IsInequality() {
+			continue
+		}
+		if ineqPath == "" {
+			ineqPath = p.Path
+		} else if ineqPath != p.Path {
+			return fmt.Errorf("%w: %q and %q", ErrMultipleInequalities, ineqPath, p.Path)
+		}
+	}
+	if ineqPath != "" && len(q.Orders) > 0 && q.Orders[0].Path != ineqPath {
+		return fmt.Errorf("%w: inequality on %q, first order on %q", ErrInequalityOrder, ineqPath, q.Orders[0].Path)
+	}
+	return nil
+}
+
+// InequalityPath returns the single inequality field path, or "".
+func (q *Query) InequalityPath() doc.FieldPath {
+	for _, p := range q.Predicates {
+		if p.Op.IsInequality() {
+			return p.Path
+		}
+	}
+	return ""
+}
+
+// EffectiveOrders returns the sort the query's results follow: the
+// explicit orders, or the inequality field ascending when no order is
+// given. Results are additionally tie-broken by document ID.
+func (q *Query) EffectiveOrders() []Order {
+	if len(q.Orders) > 0 {
+		return q.Orders
+	}
+	if p := q.InequalityPath(); p != "" {
+		return []Order{{Path: p, Dir: index.Ascending}}
+	}
+	return nil
+}
+
+// Matches reports whether d is in the query's result set (ignoring
+// limit/offset): it must live directly in the collection, satisfy every
+// predicate, and have every sort field present (order-by implies
+// existence, as in the production service). Matches is the predicate the
+// Query Matcher tasks evaluate against the write log (§IV-D4).
+func (q *Query) Matches(d *doc.Document) bool {
+	if d == nil || !q.Collection.Contains(d.Name) {
+		return false
+	}
+	for _, p := range q.Predicates {
+		if !matchPredicate(d, p) {
+			return false
+		}
+	}
+	for _, o := range q.EffectiveOrders() {
+		if _, ok := d.Get(o.Path); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func matchPredicate(d *doc.Document, p Predicate) bool {
+	v, ok := d.Get(p.Path)
+	if !ok {
+		return false
+	}
+	switch p.Op {
+	case Eq:
+		return doc.Equal(v, p.Value)
+	case ArrayContains:
+		if v.Kind() != doc.KindArray {
+			return false
+		}
+		for _, el := range v.ArrayVal() {
+			if doc.Equal(el, p.Value) {
+				return true
+			}
+		}
+		return false
+	default:
+		// Inequalities compare only within the same type (numbers form
+		// one family).
+		if v.Kind() != p.Value.Kind() {
+			return false
+		}
+		c := doc.Compare(v, p.Value)
+		switch p.Op {
+		case Lt:
+			return c < 0
+		case Le:
+			return c <= 0
+		case Gt:
+			return c > 0
+		case Ge:
+			return c >= 0
+		}
+		return false
+	}
+}
+
+// Compare orders two matching documents per the query's effective sort,
+// tie-broken by document name. It defines the order in which snapshots
+// list results.
+func (q *Query) Compare(a, b *doc.Document) int {
+	for _, o := range q.EffectiveOrders() {
+		av, _ := a.Get(o.Path)
+		bv, _ := b.Get(o.Path)
+		c := doc.Compare(av, bv)
+		if o.Dir == index.Descending {
+			c = -c
+		}
+		if c != 0 {
+			return c
+		}
+	}
+	return a.Name.Compare(b.Name)
+}
+
+// Project returns d restricted to the projection (or d itself when the
+// projection is empty).
+func (q *Query) Project(d *doc.Document) *doc.Document {
+	if len(q.Projection) == 0 {
+		return d
+	}
+	out := doc.New(d.Name, nil)
+	out.CreateTime, out.UpdateTime = d.CreateTime, d.UpdateTime
+	for _, p := range q.Projection {
+		if v, ok := d.Get(p); ok {
+			parts := p.Split()
+			cur := out
+			_ = cur
+			// Rebuild nested structure for dotted paths.
+			setProjected(out.Fields, parts, v)
+		}
+	}
+	return out
+}
+
+func setProjected(m map[string]doc.Value, parts []string, v doc.Value) {
+	if len(parts) == 1 {
+		m[parts[0]] = v.Clone()
+		return
+	}
+	child, ok := m[parts[0]]
+	if !ok || child.Kind() != doc.KindMap {
+		child = doc.Map(map[string]doc.Value{})
+	}
+	setProjected(child.MapVal(), parts[1:], v)
+	m[parts[0]] = child
+}
+
+// String renders the query roughly as SQL, as the paper's examples do.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("select ")
+	if len(q.Projection) == 0 {
+		b.WriteString("*")
+	} else {
+		parts := make([]string, len(q.Projection))
+		for i, p := range q.Projection {
+			parts[i] = string(p)
+		}
+		b.WriteString(strings.Join(parts, ", "))
+	}
+	b.WriteString(" from ")
+	b.WriteString(q.Collection.String())
+	if len(q.Predicates) > 0 {
+		b.WriteString(" where ")
+		parts := make([]string, len(q.Predicates))
+		for i, p := range q.Predicates {
+			parts[i] = p.String()
+		}
+		b.WriteString(strings.Join(parts, " and "))
+	}
+	if len(q.Orders) > 0 {
+		b.WriteString(" order by ")
+		parts := make([]string, len(q.Orders))
+		for i, o := range q.Orders {
+			parts[i] = o.String()
+		}
+		b.WriteString(strings.Join(parts, ", "))
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&b, " limit %d", q.Limit)
+	}
+	if q.Offset > 0 {
+		fmt.Fprintf(&b, " offset %d", q.Offset)
+	}
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package ramp
+
+import (
+	"testing"
+	"time"
+)
+
+// clock is a controllable time source.
+type clock struct{ t time.Time }
+
+func (c *clock) now() time.Time          { return c.t }
+func (c *clock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func testRule() Rule {
+	return Rule{BaseQPS: 500, GrowthFactor: 1.5, Period: time.Second}
+}
+
+func TestBaseTrafficConforms(t *testing.T) {
+	c := &clock{t: time.Unix(0, 0)}
+	m := NewMonitor(testRule(), c.now)
+	// 400 QPS for 3 periods: within the 500 base.
+	w := testRule().windowLen()
+	for i := 0; i < 30; i++ {
+		m.Observe("db", int(400*w.Seconds()))
+		c.advance(w)
+	}
+	r := m.Report("db")
+	if !r.Conforming() {
+		t.Fatalf("base traffic non-conforming: %s", r)
+	}
+	if r.PeakQPS < 300 || r.PeakQPS > 500 {
+		t.Fatalf("peak = %v", r.PeakQPS)
+	}
+}
+
+func TestGradualRampConforms(t *testing.T) {
+	c := &clock{t: time.Unix(0, 0)}
+	rule := testRule()
+	m := NewMonitor(rule, c.now)
+	w := rule.windowLen()
+	// Grow 40% per period, under the 50% allowance, starting at 450.
+	qps := 450.0
+	for period := 0; period < 5; period++ {
+		for i := 0; i < 10; i++ {
+			m.Observe("db", int(qps*w.Seconds()))
+			c.advance(w)
+		}
+		qps *= 1.4
+	}
+	if r := m.Report("db"); !r.Conforming() {
+		t.Fatalf("40%%/period ramp flagged: %s", r)
+	}
+}
+
+func TestSpikeFlagged(t *testing.T) {
+	c := &clock{t: time.Unix(0, 0)}
+	m := NewMonitor(testRule(), c.now)
+	w := testRule().windowLen()
+	// Instant jump to 5000 QPS: an order above the 500 base.
+	for i := 0; i < 10; i++ {
+		m.Observe("db", int(5000*w.Seconds()))
+		c.advance(w)
+	}
+	r := m.Report("db")
+	if r.Conforming() {
+		t.Fatalf("spike not flagged: %s", r)
+	}
+	if r.String() == "" {
+		t.Fatal("empty report")
+	}
+}
+
+func TestCeilingGrowsOverTime(t *testing.T) {
+	c := &clock{t: time.Unix(0, 0)}
+	m := NewMonitor(testRule(), c.now)
+	m.Observe("db", 1)
+	c.advance(4 * time.Second) // 4 periods
+	r := m.Report("db")
+	// 500 * 1.5^4 ≈ 2531.
+	if r.AllowedQPS < 2500 || r.AllowedQPS > 2600 {
+		t.Fatalf("allowed = %v, want ~2531", r.AllowedQPS)
+	}
+}
+
+func TestPerDatabaseIndependence(t *testing.T) {
+	c := &clock{t: time.Unix(0, 0)}
+	m := NewMonitor(testRule(), c.now)
+	w := testRule().windowLen()
+	for i := 0; i < 10; i++ {
+		m.Observe("spiky", int(9000*w.Seconds()))
+		m.Observe("calm", int(100*w.Seconds()))
+		c.advance(w)
+	}
+	if m.Report("calm").Violations != 0 {
+		t.Fatal("calm db flagged")
+	}
+	if m.Report("spiky").Violations == 0 {
+		t.Fatal("spiky db not flagged")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	m := NewMonitor(Rule{}, nil)
+	r := m.Report("db")
+	if r.AllowedQPS != 500 {
+		t.Fatalf("default base = %v", r.AllowedQPS)
+	}
+}

@@ -1,0 +1,95 @@
+// Package routing implements Firestore's global routing layer (§IV-A):
+// a database lives in the region chosen at creation time, and RPCs from
+// anywhere are routed to that region's Frontend pool, paying a synthetic
+// wide-area latency when the client's region differs from the database's.
+package routing
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrNoRegion reports an RPC for a database with no registered region.
+var ErrNoRegion = errors.New("routing: database has no home region")
+
+// Router maps databases to home regions and resolves RPC targets. T is
+// the per-region service handle (the core.Region in this repository).
+type Router[T any] struct {
+	// CrossRegionRTT is the extra round-trip paid when the caller is in
+	// a different region from the database.
+	CrossRegionRTT time.Duration
+
+	mu      sync.RWMutex
+	regions map[string]T
+	homes   map[string]string // database ID -> region name
+}
+
+// NewRouter creates a Router.
+func NewRouter[T any](crossRegionRTT time.Duration) *Router[T] {
+	return &Router[T]{
+		CrossRegionRTT: crossRegionRTT,
+		regions:        map[string]T{},
+		homes:          map[string]string{},
+	}
+}
+
+// AddRegion registers a region's service handle.
+func (r *Router[T]) AddRegion(name string, svc T) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.regions[name] = svc
+}
+
+// Place assigns a database to its home region (done at database creation,
+// immutable thereafter).
+func (r *Router[T]) Place(dbID, region string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.regions[region]; !ok {
+		return fmt.Errorf("%w: unknown region %q", ErrNoRegion, region)
+	}
+	r.homes[dbID] = region
+	return nil
+}
+
+// Route resolves the service for dbID, simulating cross-region latency
+// when callerRegion differs from the database's home region.
+func (r *Router[T]) Route(callerRegion, dbID string) (T, error) {
+	r.mu.RLock()
+	home, ok := r.homes[dbID]
+	var zero T
+	if !ok {
+		r.mu.RUnlock()
+		return zero, fmt.Errorf("%w: %q", ErrNoRegion, dbID)
+	}
+	svc := r.regions[home]
+	r.mu.RUnlock()
+	if callerRegion != home && r.CrossRegionRTT > 0 {
+		time.Sleep(r.CrossRegionRTT)
+	}
+	return svc, nil
+}
+
+// Home returns the database's home region.
+func (r *Router[T]) Home(dbID string) (string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	home, ok := r.homes[dbID]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrNoRegion, dbID)
+	}
+	return home, nil
+}
+
+// Regions lists registered region names.
+func (r *Router[T]) Regions() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.regions))
+	for name := range r.regions {
+		out = append(out, name)
+	}
+	return out
+}

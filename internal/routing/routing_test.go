@@ -1,0 +1,65 @@
+package routing
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRouteToHomeRegion(t *testing.T) {
+	r := NewRouter[string](0)
+	r.AddRegion("us-central1", "svcA")
+	r.AddRegion("europe-west1", "svcB")
+	if err := r.Place("db1", "europe-west1"); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := r.Route("us-central1", "db1")
+	if err != nil || svc != "svcB" {
+		t.Fatalf("Route = %q, %v", svc, err)
+	}
+	home, err := r.Home("db1")
+	if err != nil || home != "europe-west1" {
+		t.Fatalf("Home = %q, %v", home, err)
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	r := NewRouter[string](0)
+	r.AddRegion("us", "svc")
+	if err := r.Place("db", "mars"); !errors.Is(err, ErrNoRegion) {
+		t.Fatalf("Place unknown region = %v", err)
+	}
+	if _, err := r.Route("us", "ghost"); !errors.Is(err, ErrNoRegion) {
+		t.Fatalf("Route unplaced db = %v", err)
+	}
+	if _, err := r.Home("ghost"); !errors.Is(err, ErrNoRegion) {
+		t.Fatalf("Home unplaced db = %v", err)
+	}
+}
+
+func TestCrossRegionLatency(t *testing.T) {
+	r := NewRouter[string](20 * time.Millisecond)
+	r.AddRegion("us", "svc")
+	r.Place("db", "us")
+	start := time.Now()
+	r.Route("us", "db")
+	local := time.Since(start)
+	start = time.Now()
+	r.Route("asia", "db")
+	remote := time.Since(start)
+	if remote < 20*time.Millisecond {
+		t.Fatalf("cross-region call took %v, want >= 20ms", remote)
+	}
+	if local > 10*time.Millisecond {
+		t.Fatalf("local call took %v, want fast", local)
+	}
+}
+
+func TestRegionsList(t *testing.T) {
+	r := NewRouter[int](0)
+	r.AddRegion("a", 1)
+	r.AddRegion("b", 2)
+	if got := r.Regions(); len(got) != 2 {
+		t.Fatalf("Regions = %v", got)
+	}
+}

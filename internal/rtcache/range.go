@@ -1,0 +1,372 @@
+package rtcache
+
+import (
+	"sync"
+	"time"
+
+	"firestore/internal/doc"
+	"firestore/internal/query"
+	"firestore/internal/truetime"
+)
+
+// subscription is one registered real-time query on one range.
+type subscription struct {
+	subID int64
+	sub   Subscriber
+	db    string
+	// afterTS: only updates with a later commit timestamp are forwarded
+	// (the query's max-commit-version at Subscribe time, §IV-D4 step 4).
+	afterTS truetime.Timestamp
+	q       *query.Query
+}
+
+// subscriberQueries groups one Subscriber's subscriptions on a range.
+type subscriberQueries struct {
+	queries map[int64]*subscription
+}
+
+// nameRange is one document-name range: its Changelog state (pending
+// prepares, watermark) fused with its Query Matcher state (registered
+// queries). The paper separates these into two task types; semantically
+// the pair share a range, so they are colocated here.
+type nameRange struct {
+	id int
+
+	mu sync.Mutex
+	// pending maps writeID -> prepare record.
+	pending map[string]*prepareRecord
+	// watermark: all updates <= watermark have been forwarded.
+	watermark truetime.Timestamp
+	// lastTS is the largest commit timestamp resolved here.
+	lastTS truetime.Timestamp
+	// subs maps a Subscriber identity to its registered queries.
+	subs map[Subscriber]*subscriberQueries
+
+	// log retains recently forwarded mutations (the "In-memory
+	// Changelog"), replayed to new subscriptions whose max-commit-version
+	// predates updates already forwarded. trimmedBefore is the timestamp
+	// at or below which entries may have been discarded; a subscription
+	// with afterTS below it cannot be served completely and must reset.
+	log           []loggedMutation
+	trimmedBefore truetime.Timestamp
+
+	outOfSyncs int64
+	forwarded  int64
+}
+
+// loggedMutation is one retained changelog entry.
+type loggedMutation struct {
+	ts  truetime.Timestamp
+	db  string
+	mut Mutation
+}
+
+// logCap bounds the in-memory changelog per range.
+const logCap = 4096
+
+type prepareRecord struct {
+	minTS    truetime.Timestamp
+	deadline time.Time
+	expire   bool // set when the deadline passed and the range reset
+}
+
+func newNameRange(id int) *nameRange {
+	return &nameRange{
+		id:      id,
+		pending: map[string]*prepareRecord{},
+		subs:    map[Subscriber]*subscriberQueries{},
+	}
+}
+
+// prepare registers a pending write and returns the minimum allowed
+// commit timestamp: one past everything this range has already resolved
+// or advanced its watermark to, so the complete-sequence invariant holds.
+func (r *nameRange) prepare(writeID string, deadline time.Time) truetime.Timestamp {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	min := r.watermark + 1
+	if r.lastTS+1 > min {
+		min = r.lastTS + 1
+	}
+	r.pending[writeID] = &prepareRecord{minTS: min, deadline: deadline}
+	return min
+}
+
+// resolve completes a pending write: forwards its mutations (success) and
+// advances the watermark as far as the remaining prepares allow.
+func (r *nameRange) resolve(writeID, db string, muts []Mutation, ts truetime.Timestamp) {
+	r.mu.Lock()
+	rec, ok := r.pending[writeID]
+	delete(r.pending, writeID)
+	if !ok || rec.expire {
+		// The range already gave up on this write and reset; the
+		// mutations (if any) will be re-observed via requery.
+		r.mu.Unlock()
+		return
+	}
+	var deliveries []delivery
+	if muts != nil {
+		if ts > r.lastTS {
+			r.lastTS = ts
+		}
+		deliveries = r.matchLocked(db, muts, ts)
+		r.forwarded += int64(len(muts))
+		for _, m := range muts {
+			r.log = append(r.log, loggedMutation{ts: ts, db: db, mut: m})
+		}
+		if len(r.log) > logCap {
+			over := len(r.log) - logCap
+			r.trimmedBefore = r.log[over-1].ts
+			r.log = append(r.log[:0:0], r.log[over:]...)
+		}
+	}
+	wmDeliveries := r.advanceWatermarkLocked()
+	r.mu.Unlock()
+	// Deliver outside the lock (subscribers must not re-enter, but they
+	// may take their own locks).
+	for _, d := range deliveries {
+		d.sub.OnUpdate(r.id, d.subID, d.update)
+	}
+	for _, d := range wmDeliveries {
+		d.sub.OnWatermark(r.id, d.subID, d.ts)
+	}
+}
+
+type delivery struct {
+	sub    Subscriber
+	subID  int64
+	update Update
+	ts     truetime.Timestamp
+}
+
+// matchLocked evaluates mutations against every registered query
+// ("matches it with all the queries registered for that key range").
+func (r *nameRange) matchLocked(db string, muts []Mutation, ts truetime.Timestamp) []delivery {
+	var out []delivery
+	for _, sq := range r.subs {
+		for _, s := range sq.queries {
+			if s.db != db {
+				continue // multi-tenant range: other databases' queries
+			}
+			for _, m := range muts {
+				if ts <= s.afterTS {
+					continue
+				}
+				newMatches := m.New != nil && s.q.Matches(m.New)
+				oldMatches := m.Old != nil && s.q.Matches(m.Old)
+				if !newMatches && !oldMatches {
+					continue
+				}
+				u := Update{TS: ts, Name: m.Name, Matches: newMatches}
+				if newMatches {
+					u.New = m.New
+				}
+				out = append(out, delivery{sub: s.sub, subID: s.subID, update: u})
+			}
+		}
+	}
+	return out
+}
+
+// advanceWatermarkLocked moves the watermark to just below the smallest
+// outstanding prepare ("complete sequence of updates until time t once it
+// has received Accept responses for all Prepare RPCs with a minimum
+// timestamp less than t").
+func (r *nameRange) advanceWatermarkLocked() []delivery {
+	target := truetime.Timestamp(0)
+	if len(r.pending) == 0 {
+		target = r.lastTS
+	} else {
+		min := truetime.Max
+		for _, rec := range r.pending {
+			if rec.minTS < min {
+				min = rec.minTS
+			}
+		}
+		target = min - 1
+	}
+	if target <= r.watermark {
+		return nil
+	}
+	r.watermark = target
+	return r.watermarkDeliveriesLocked()
+}
+
+func (r *nameRange) watermarkDeliveriesLocked() []delivery {
+	var out []delivery
+	for _, sq := range r.subs {
+		for _, s := range sq.queries {
+			out = append(out, delivery{sub: s.sub, subID: s.subID, ts: r.watermark})
+		}
+	}
+	return out
+}
+
+// heartbeat advances the watermark on idle ranges and expires prepares
+// whose Accept never arrived (→ out-of-sync).
+func (r *nameRange) heartbeat(now truetime.Timestamp, wall time.Time) {
+	r.mu.Lock()
+	// Expire overdue prepares.
+	expired := false
+	for _, rec := range r.pending {
+		if !rec.expire && wall.After(rec.deadline) {
+			rec.expire = true
+			expired = true
+		}
+	}
+	if expired {
+		r.mu.Unlock()
+		r.markOutOfSync()
+		return
+	}
+	var deliveries []delivery
+	if len(r.pending) == 0 && now > r.watermark {
+		r.watermark = now
+		if now > r.lastTS {
+			r.lastTS = now
+		}
+		deliveries = r.watermarkDeliveriesLocked()
+	}
+	r.mu.Unlock()
+	for _, d := range deliveries {
+		d.sub.OnWatermark(r.id, d.subID, d.ts)
+	}
+}
+
+// expired reports whether writeID's prepare here is no longer pending
+// normally (timed out or already swept by a reset).
+func (r *nameRange) expired(writeID string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec, ok := r.pending[writeID]
+	return !ok || rec.expire
+}
+
+// markOutOfSync abandons ordering guarantees for the range: pending state
+// is dropped, subscriptions are cancelled, and every subscriber is told
+// to reset ("the Frontend task then aborts all accumulated state for that
+// query and redoes the steps starting with the initial query request").
+func (r *nameRange) markOutOfSync() {
+	r.mu.Lock()
+	r.outOfSyncs++
+	r.pending = map[string]*prepareRecord{}
+	r.log = nil
+	if r.lastTS > r.trimmedBefore {
+		r.trimmedBefore = r.lastTS
+	}
+	if r.watermark > r.trimmedBefore {
+		r.trimmedBefore = r.watermark
+	}
+	var resets []delivery
+	for _, sq := range r.subs {
+		for _, s := range sq.queries {
+			resets = append(resets, delivery{sub: s.sub, subID: s.subID})
+		}
+	}
+	// Subscriptions are dropped; the frontend resubscribes after its
+	// requery.
+	r.subs = map[Subscriber]*subscriberQueries{}
+	r.mu.Unlock()
+	for _, d := range resets {
+		d.sub.OnReset(r.id, d.subID)
+	}
+}
+
+// ReserveSub allocates a subscription ID before Subscribe, letting the
+// subscriber register its own state under the ID first so no delivery
+// can race ahead of it.
+func (c *Cache) ReserveSub() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextSub++
+	return c.nextSub
+}
+
+// Subscribe registers q for matching on the ranges covering database db's
+// query collection, delivering only updates after afterTS (§IV-D4 step
+// 4). reserved, when non-zero, is an ID from ReserveSub; zero allocates
+// one. It returns the subscription ID and the covered range IDs.
+func (c *Cache) Subscribe(sub Subscriber, db string, q *query.Query, afterTS truetime.Timestamp, reserved int64) (int64, []int) {
+	subID := reserved
+	if subID == 0 {
+		subID = c.ReserveSub()
+	}
+	rangeIDs := c.RangesForCollection(db, q.Collection)
+	for _, rid := range rangeIDs {
+		c.mu.Lock()
+		r := c.ranges[rid]
+		c.mu.Unlock()
+		r.mu.Lock()
+		// Updates after afterTS may already have been forwarded before
+		// this registration; replay them from the in-memory changelog.
+		// If the log no longer reaches back to afterTS, the subscription
+		// cannot be served completely: reset it immediately (the
+		// frontend requeries at a fresher timestamp).
+		if afterTS < r.trimmedBefore {
+			r.mu.Unlock()
+			go sub.OnReset(rid, subID)
+			continue
+		}
+		var replay []delivery
+		for _, le := range r.log {
+			if le.ts <= afterTS || le.db != db {
+				continue
+			}
+			newMatches := le.mut.New != nil && q.Matches(le.mut.New)
+			oldMatches := le.mut.Old != nil && q.Matches(le.mut.Old)
+			if !newMatches && !oldMatches {
+				continue
+			}
+			u := Update{TS: le.ts, Name: le.mut.Name, Matches: newMatches}
+			if newMatches {
+				u.New = le.mut.New
+			}
+			replay = append(replay, delivery{sub: sub, subID: subID, update: u})
+		}
+		sq, ok := r.subs[sub]
+		if !ok {
+			sq = &subscriberQueries{queries: map[int64]*subscription{}}
+			r.subs[sub] = sq
+		}
+		sq.queries[subID] = &subscription{subID: subID, sub: sub, db: db, afterTS: afterTS, q: q}
+		wm := r.watermark
+		r.mu.Unlock()
+		for _, d := range replay {
+			d.sub.OnUpdate(rid, d.subID, d.update)
+		}
+		if wm > 0 {
+			sub.OnWatermark(rid, subID, wm)
+		}
+	}
+	return subID, rangeIDs
+}
+
+// Unsubscribe removes a subscription from every range.
+func (c *Cache) Unsubscribe(sub Subscriber, subID int64) {
+	c.mu.Lock()
+	ranges := append([]*nameRange(nil), c.ranges...)
+	c.mu.Unlock()
+	for _, r := range ranges {
+		r.mu.Lock()
+		if sq, ok := r.subs[sub]; ok {
+			delete(sq.queries, subID)
+			if len(sq.queries) == 0 {
+				delete(r.subs, sub)
+			}
+		}
+		r.mu.Unlock()
+	}
+}
+
+// Watermark returns a range's current watermark (for tests).
+func (c *Cache) Watermark(rangeID int) truetime.Timestamp {
+	c.mu.Lock()
+	r := c.ranges[rangeID]
+	c.mu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.watermark
+}
+
+// RangeForName exposes range routing (for tests and the frontend).
+func (c *Cache) RangeForName(db string, n doc.Name) int { return c.rangeFor(db, n).id }

@@ -1,0 +1,406 @@
+// Package rtcache implements the Real-time Cache (§IV-D4): the In-memory
+// Changelog and the Query Matcher. The Backend runs a two-phase commit
+// with the Changelog around every Spanner commit (Prepare carrying a
+// maximum commit timestamp, Accept carrying the outcome and the document
+// mutations), so the cache sees a complete, gap-free sequence of updates
+// per document-name range. Watermarks — advanced by Accepts and by
+// heartbeats on idle ranges — tell the Frontends when they have received
+// every update up to a timestamp; ranges that cannot guarantee a complete
+// sequence (unknown outcomes, timeouts) are marked out-of-sync, forcing
+// subscribed queries to reset. Each range retains a bounded in-memory
+// changelog of forwarded mutations and replays it to subscriptions whose
+// max-commit-version predates updates already forwarded — closing the
+// window between a query's initial snapshot and its registration.
+//
+// Ownership of document-name ranges is a slotted partition of the
+// name space that can be rebalanced at runtime: a hot range's slots are
+// split onto a freshly created range, and its subscribers recover through
+// the same reset-and-requery path used for out-of-sync ranges — the
+// in-process equivalent of the paper's Slicer-based load balancing of
+// range ownership across Changelog and Query Matcher tasks.
+package rtcache
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"firestore/internal/doc"
+	"firestore/internal/truetime"
+)
+
+// Outcome is the result of a prepared write, delivered by Accept.
+type Outcome int
+
+const (
+	// OutcomeSuccess: the Spanner commit succeeded at the given
+	// timestamp; mutations are forwarded to matching queries.
+	OutcomeSuccess Outcome = iota
+	// OutcomeFailure: the commit definitively failed; the write is
+	// dropped.
+	OutcomeFailure
+	// OutcomeUnknown: the commit outcome is unknown (e.g. timeout); the
+	// affected ranges can no longer guarantee ordering and go
+	// out-of-sync.
+	OutcomeUnknown
+)
+
+// Mutation is one document change within a write.
+type Mutation struct {
+	Name doc.Name
+	Old  *doc.Document // nil for inserts
+	New  *doc.Document // nil for deletes
+}
+
+// Update is a matched document change delivered to a subscriber.
+type Update struct {
+	TS   truetime.Timestamp
+	Name doc.Name
+	// New is the document's new version, nil if it was deleted or no
+	// longer matches the query.
+	New *doc.Document
+	// Matches reports whether the new version matches the subscribed
+	// query (false = remove from result set).
+	Matches bool
+}
+
+// Subscriber receives per-range events. Callbacks may be invoked
+// concurrently for different ranges and MUST NOT call back into the
+// Cache synchronously.
+type Subscriber interface {
+	// OnUpdate delivers one matched change on a range.
+	OnUpdate(rangeID int, subID int64, u Update)
+	// OnWatermark reports that every update on the range with timestamp
+	// <= ts has been delivered.
+	OnWatermark(rangeID int, subID int64, ts truetime.Timestamp)
+	// OnReset reports the range went out-of-sync; the subscriber must
+	// drop accumulated state and re-run its initial query.
+	OnReset(rangeID int, subID int64)
+}
+
+// Config tunes the cache.
+type Config struct {
+	Clock truetime.Clock
+	// Ranges is the number of document-name ranges (Changelog/Matcher
+	// task pairs). Default 8.
+	Ranges int
+	// HeartbeatEvery advances idle ranges' watermarks at this cadence
+	// ("Changelog tasks generate a heartbeat every few milliseconds").
+	// Default 2ms.
+	HeartbeatEvery time.Duration
+	// AcceptMargin is how long past a Prepare's max timestamp the
+	// Changelog waits for the Accept before declaring the range
+	// out-of-sync. Default 50ms.
+	AcceptMargin time.Duration
+	// AutoSplitSubs, when positive, rebalances on the heartbeat loop:
+	// a range serving at least this many subscriptions is split and its
+	// slots spread over a new range (the Slicer behavior, §IV-D4).
+	// Zero disables automatic rebalancing.
+	AutoSplitSubs int
+}
+
+// Cache is the assembled Real-time Cache.
+type Cache struct {
+	clock         truetime.Clock
+	acceptMargin  time.Duration
+	autoSplitSubs int
+	stop          chan struct{}
+	stopOnce      sync.Once
+	wg            sync.WaitGroup
+
+	mu      sync.Mutex
+	ranges  []*nameRange
+	assign  []int32                 // slot -> range ID
+	writes  map[string]*writeRecord // writeID -> write state
+	nextSub int64
+}
+
+// New starts a cache.
+func New(cfg Config) *Cache {
+	if cfg.Clock == nil {
+		cfg.Clock = truetime.NewSystem(100 * time.Microsecond)
+	}
+	if cfg.Ranges <= 0 {
+		cfg.Ranges = 8
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = 2 * time.Millisecond
+	}
+	if cfg.AcceptMargin <= 0 {
+		cfg.AcceptMargin = 50 * time.Millisecond
+	}
+	c := &Cache{
+		clock:         cfg.Clock,
+		acceptMargin:  cfg.AcceptMargin,
+		autoSplitSubs: cfg.AutoSplitSubs,
+		stop:          make(chan struct{}),
+		writes:        map[string]*writeRecord{},
+		assign:        make([]int32, slots),
+	}
+	for i := 0; i < cfg.Ranges; i++ {
+		c.ranges = append(c.ranges, newNameRange(i))
+	}
+	for slot := range c.assign {
+		c.assign[slot] = int32(slot * cfg.Ranges / slots)
+	}
+	c.wg.Add(1)
+	go c.heartbeatLoop(cfg.HeartbeatEvery)
+	return c
+}
+
+// Close stops background work.
+func (c *Cache) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+// RangeCount returns the number of name ranges.
+func (c *Cache) RangeCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.ranges)
+}
+
+// slots is the granularity of range ownership: the document-name space
+// hashes onto this many slots, each assigned to one range. The Slicer
+// framework in the paper load-balances by "dynamically changing the
+// document-name range ownership across Changelog and Query Matcher
+// tasks"; here rebalancing reassigns slots to a freshly created range
+// (see splitHotRange).
+const slots = 256
+
+// rangeFor returns the range owning a database's document: a uniform
+// partition by a hash of (db, first name segment), so one database's
+// collections spread across ranges while a collection's documents stay
+// together.
+func (c *Cache) rangeFor(db string, name doc.Name) *nameRange {
+	return c.rangeAt(slotOf(db, name.Segments()[0]))
+}
+
+func (c *Cache) rangeAt(slot int) *nameRange {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ranges[c.assign[slot]]
+}
+
+func slotOf(db, topCollection string) int {
+	h := uint32(2166136261)
+	for _, b := range []byte(db) {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	h = (h ^ 0xff) * 16777619
+	for _, b := range []byte(topCollection) {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	return int(h % slots)
+}
+
+// RangesForCollection returns the IDs of ranges that may own documents of
+// a database's collection. Documents directly inside one collection share
+// their top-level segment, so this is a single range.
+func (c *Cache) RangesForCollection(db string, coll doc.CollectionPath) []int {
+	return []int{c.rangeAt(slotOf(db, coll.Segments()[0])).id}
+}
+
+// splitHotRange rebalances load once: the range with the most
+// subscriptions (above threshold) that owns at least two slots hands half
+// of its slots to a newly created range. Affected subscribers are reset —
+// the same fail-safe path used for out-of-sync ranges — and land on the
+// new assignment when they resubscribe, exactly how ownership changes
+// surface in the paper's design. It reports whether a split happened.
+func (c *Cache) splitHotRange(threshold int) bool {
+	c.mu.Lock()
+	// Pick the hottest eligible range.
+	var hot *nameRange
+	hotSubs := threshold - 1
+	slotsOf := map[int][]int{}
+	for slot, rid := range c.assign {
+		slotsOf[int(rid)] = append(slotsOf[int(rid)], slot)
+	}
+	for _, r := range c.ranges {
+		if len(slotsOf[r.id]) < 2 {
+			continue
+		}
+		r.mu.Lock()
+		subs := 0
+		for _, sq := range r.subs {
+			subs += len(sq.queries)
+		}
+		r.mu.Unlock()
+		if subs > hotSubs {
+			hot, hotSubs = r, subs
+		}
+	}
+	if hot == nil {
+		c.mu.Unlock()
+		return false
+	}
+	fresh := newNameRange(len(c.ranges))
+	c.ranges = append(c.ranges, fresh)
+	owned := slotsOf[hot.id]
+	for _, slot := range owned[:len(owned)/2] {
+		c.assign[slot] = int32(fresh.id)
+	}
+	c.mu.Unlock()
+	// The old range's subscriptions may now span reassigned slots; reset
+	// them all (fast requery) so they re-subscribe under the new
+	// ownership.
+	hot.markOutOfSync()
+	return true
+}
+
+// Rebalance runs one load-balancing pass, splitting the hottest range if
+// it serves at least threshold subscriptions. Exposed for operators and
+// tests; with Config.AutoSplitSubs it also runs on the heartbeat loop.
+func (c *Cache) Rebalance(threshold int) bool { return c.splitHotRange(threshold) }
+
+// pendingWrite is one outstanding Prepare on one range.
+type pendingWrite struct {
+	r        *nameRange
+	writeID  string
+	minTS    truetime.Timestamp
+	deadline time.Time
+}
+
+// writeRecord tracks one write's prepares across ranges.
+type writeRecord struct {
+	db      string
+	pending []*pendingWrite
+}
+
+// Prepare begins the two-phase commit for writeID in database db touching
+// names, with maximum commit timestamp maxTS. It returns the minimum
+// allowed commit timestamp (the max of the per-range minimums, §IV-D2
+// step 5).
+func (c *Cache) Prepare(writeID, db string, names []doc.Name, maxTS truetime.Timestamp) (truetime.Timestamp, error) {
+	byRange := map[*nameRange]bool{}
+	for _, n := range names {
+		byRange[c.rangeFor(db, n)] = true
+	}
+	deadline := time.Now().Add(c.acceptMargin)
+	var min truetime.Timestamp
+	var pending []*pendingWrite
+	for r := range byRange {
+		m := r.prepare(writeID, deadline)
+		if m > min {
+			min = m
+		}
+		pending = append(pending, &pendingWrite{r: r, writeID: writeID, minTS: m, deadline: deadline})
+	}
+	c.mu.Lock()
+	if _, dup := c.writes[writeID]; dup {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("rtcache: duplicate write ID %q", writeID)
+	}
+	c.writes[writeID] = &writeRecord{db: db, pending: pending}
+	c.mu.Unlock()
+	return min, nil
+}
+
+// Accept finishes the two-phase commit for writeID (§IV-D2 step 7). On
+// success the mutations are matched and forwarded; on unknown outcome the
+// affected ranges are marked out-of-sync.
+func (c *Cache) Accept(writeID string, outcome Outcome, ts truetime.Timestamp, muts []Mutation) {
+	c.mu.Lock()
+	rec := c.writes[writeID]
+	delete(c.writes, writeID)
+	c.mu.Unlock()
+	if rec == nil {
+		return // already timed out; ranges were reset
+	}
+	// Group mutations by range (under the CURRENT assignment).
+	byRange := map[*nameRange][]Mutation{}
+	for _, m := range muts {
+		r := c.rangeFor(rec.db, m.Name)
+		byRange[r] = append(byRange[r], m)
+	}
+	prepared := map[*nameRange]bool{}
+	for _, p := range rec.pending {
+		prepared[p.r] = true
+		switch outcome {
+		case OutcomeSuccess:
+			p.r.resolve(writeID, rec.db, byRange[p.r], ts)
+		case OutcomeFailure:
+			p.r.resolve(writeID, rec.db, nil, 0)
+		case OutcomeUnknown:
+			p.r.markOutOfSync()
+		}
+	}
+	// Ownership may have been rebalanced between Prepare and Accept: a
+	// mutation now routing to a range that never saw the Prepare cannot
+	// be ordered there, so that range resets (its subscribers requery and
+	// observe the write through their fresh initial snapshots).
+	if outcome == OutcomeSuccess {
+		for r := range byRange {
+			if !prepared[r] {
+				r.markOutOfSync()
+			}
+		}
+	}
+}
+
+// heartbeatLoop advances idle ranges' watermarks and times out prepares
+// whose Accept never arrived.
+func (c *Cache) heartbeatLoop(every time.Duration) {
+	defer c.wg.Done()
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+		}
+		now := c.clock.Now().Earliest
+		wall := time.Now()
+		c.mu.Lock()
+		ranges := append([]*nameRange(nil), c.ranges...)
+		c.mu.Unlock()
+		for _, r := range ranges {
+			r.heartbeat(now, wall)
+		}
+		if c.autoSplitSubs > 0 {
+			c.splitHotRange(c.autoSplitSubs)
+		}
+		// Drop write records whose every range already timed out.
+		c.mu.Lock()
+		for id, rec := range c.writes {
+			alive := false
+			for _, p := range rec.pending {
+				if !p.r.expired(id) {
+					alive = true
+					break
+				}
+			}
+			if !alive {
+				delete(c.writes, id)
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+// Stats reports cache counters for tests and monitoring.
+type Stats struct {
+	Subscriptions int
+	OutOfSyncs    int64
+	Forwarded     int64
+}
+
+// Stats aggregates across ranges.
+func (c *Cache) Stats() Stats {
+	var s Stats
+	c.mu.Lock()
+	ranges := append([]*nameRange(nil), c.ranges...)
+	c.mu.Unlock()
+	for _, r := range ranges {
+		r.mu.Lock()
+		for _, subs := range r.subs {
+			s.Subscriptions += len(subs.queries)
+		}
+		s.OutOfSyncs += r.outOfSyncs
+		s.Forwarded += r.forwarded
+		r.mu.Unlock()
+	}
+	return s
+}

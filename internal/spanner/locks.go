@@ -1,0 +1,110 @@
+package spanner
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// lockMode is a row lock mode.
+type lockMode int
+
+const (
+	lockShared lockMode = iota
+	lockExclusive
+)
+
+// lockEntry tracks the holders of one row lock and the channels of
+// waiting transactions (closed on any release so waiters re-check).
+type lockEntry struct {
+	holders map[*Txn]lockMode
+	waiters []chan struct{}
+}
+
+// lockTable is the database-wide row lock manager. Deadlocks are resolved
+// by timeout-and-abort, matching the paper's description of query/write
+// contention behavior (§IV-D3).
+type lockTable struct {
+	mu    sync.Mutex
+	locks map[string]*lockEntry
+}
+
+func newLockTable() *lockTable {
+	return &lockTable{locks: map[string]*lockEntry{}}
+}
+
+// canGrant reports whether txn may take key in mode given current
+// holders. Lock upgrades (shared->exclusive) succeed when txn is the sole
+// holder.
+func (e *lockEntry) canGrant(txn *Txn, mode lockMode) bool {
+	for holder, hmode := range e.holders {
+		if holder == txn {
+			continue
+		}
+		if mode == lockExclusive || hmode == lockExclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// acquire takes the lock on key for txn, blocking up to timeout. A nil
+// return means the lock is held (recorded in txn.held).
+func (lt *lockTable) acquire(ctx context.Context, txn *Txn, key string, mode lockMode, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	lt.mu.Lock()
+	for {
+		e, ok := lt.locks[key]
+		if !ok {
+			e = &lockEntry{holders: map[*Txn]lockMode{}}
+			lt.locks[key] = e
+		}
+		if e.canGrant(txn, mode) {
+			if cur, held := e.holders[txn]; !held || mode == lockExclusive && cur == lockShared {
+				e.holders[txn] = mode
+			}
+			lt.mu.Unlock()
+			return nil
+		}
+		ch := make(chan struct{})
+		e.waiters = append(e.waiters, ch)
+		lt.mu.Unlock()
+
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return ErrAborted
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+			return ErrAborted
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		}
+		lt.mu.Lock()
+	}
+}
+
+// release drops all locks held by txn on the given keys and wakes
+// waiters.
+func (lt *lockTable) release(txn *Txn, keys []string) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	for _, key := range keys {
+		e, ok := lt.locks[key]
+		if !ok {
+			continue
+		}
+		delete(e.holders, txn)
+		for _, ch := range e.waiters {
+			close(ch)
+		}
+		e.waiters = nil
+		if len(e.holders) == 0 {
+			delete(lt.locks, key)
+		}
+	}
+}

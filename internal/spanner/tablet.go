@@ -1,0 +1,316 @@
+package spanner
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"firestore/internal/btree"
+	"firestore/internal/truetime"
+)
+
+// version is one MVCC version of a row.
+type version struct {
+	ts      truetime.Timestamp
+	value   []byte
+	deleted bool
+}
+
+// rowVersions is a row's version chain, newest last.
+type rowVersions struct {
+	versions []version
+}
+
+// at returns the row value visible at ts and its version timestamp.
+func (r *rowVersions) at(ts truetime.Timestamp) ([]byte, truetime.Timestamp, bool) {
+	for i := len(r.versions) - 1; i >= 0; i-- {
+		v := r.versions[i]
+		if v.ts <= ts {
+			if v.deleted {
+				return nil, 0, false
+			}
+			return v.value, v.ts, true
+		}
+	}
+	return nil, 0, false
+}
+
+// gcHorizon is how many versions a chain keeps before trimming old ones.
+const gcHorizon = 8
+
+func (r *rowVersions) add(v version) {
+	r.versions = append(r.versions, v)
+	if len(r.versions) > gcHorizon {
+		// Keep the newest gcHorizon versions. Snapshot reads older than
+		// the trimmed horizon are out of scope (Spanner similarly bounds
+		// version GC to about an hour).
+		copy(r.versions, r.versions[len(r.versions)-gcHorizon:])
+		r.versions = r.versions[:gcHorizon]
+	}
+}
+
+// tablet owns the key range [start, end) (nil start/end = unbounded) and
+// stores its rows' version chains in a B-tree.
+type tablet struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	start []byte
+	end   []byte
+	rows  *btree.Tree
+
+	// prepared holds the lower bound of the commit timestamp of each
+	// transaction currently two-phase committing on this tablet. Snapshot
+	// reads at ts wait while any bound <= ts (safe-time).
+	prepared map[*Txn]truetime.Timestamp
+
+	// lastCommit is the largest commit timestamp applied here.
+	lastCommit truetime.Timestamp
+
+	// load is an operation counter used for load-based splitting; it
+	// decays via windowStart.
+	load        int64
+	windowStart time.Time
+}
+
+func newTablet(start, end []byte) *tablet {
+	t := &tablet{
+		start:       start,
+		end:         end,
+		rows:        btree.New(),
+		prepared:    map[*Txn]truetime.Timestamp{},
+		windowStart: time.Now(),
+	}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+// loadWindow is the decay window for tablet load accounting.
+const loadWindow = time.Second
+
+func (t *tablet) recordOp(n int64) {
+	t.mu.Lock()
+	if time.Since(t.windowStart) > loadWindow {
+		t.load = 0
+		t.windowStart = time.Now()
+	}
+	t.load += n
+	t.mu.Unlock()
+}
+
+func (t *tablet) currentLoad() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if time.Since(t.windowStart) > loadWindow {
+		return 0
+	}
+	return t.load
+}
+
+// prepare registers txn's commit-timestamp lower bound for safe-time
+// tracking.
+func (t *tablet) prepare(txn *Txn, bound truetime.Timestamp) {
+	t.mu.Lock()
+	t.prepared[txn] = bound
+	t.mu.Unlock()
+}
+
+// finish removes txn's prepare record (after apply or abort) and wakes
+// snapshot readers.
+func (t *tablet) finish(txn *Txn) {
+	t.mu.Lock()
+	delete(t.prepared, txn)
+	t.mu.Unlock()
+	t.cond.Broadcast()
+}
+
+// waitSafe blocks until no in-flight commit could receive a timestamp
+// <= ts, making a snapshot read at ts stable.
+func (t *tablet) waitSafe(ctx context.Context, ts truetime.Timestamp) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		blocked := false
+		for _, bound := range t.prepared {
+			if bound <= ts {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// Commits are short; poll via cond with a watchdog wake so a
+		// cancelled context is noticed.
+		waitCond(t.cond, 5*time.Millisecond)
+	}
+}
+
+// waitCond waits on c with an upper bound, so loops can re-check ctx.
+// Caller holds c.L.
+func waitCond(c *sync.Cond, d time.Duration) {
+	done := make(chan struct{})
+	timer := time.AfterFunc(d, func() { c.Broadcast() })
+	go func() {
+		<-done
+		timer.Stop()
+	}()
+	c.Wait()
+	close(done)
+}
+
+// readAt returns the value of key visible at ts and its version
+// timestamp. Caller need not hold locks; the tablet locks internally.
+func (t *tablet) readAt(key []byte, ts truetime.Timestamp) ([]byte, truetime.Timestamp, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rv, ok := t.rows.Get(key)
+	if !ok {
+		return nil, 0, false
+	}
+	return rv.(*rowVersions).at(ts)
+}
+
+// scanAt iterates rows of [begin, end) ∩ [t.start, t.end) visible at ts.
+// Returns false if fn stopped the scan.
+func (t *tablet) scanAt(begin, end []byte, ts truetime.Timestamp, reverse bool, fn func(ScanRow) bool) bool {
+	lo, hi := clampRange(begin, end, t.start, t.end)
+	// Collect matching rows under the tablet lock, then call fn outside
+	// it so callbacks may issue further reads.
+	t.mu.Lock()
+	var rows []ScanRow
+	visit := func(k []byte, v any) bool {
+		if val, vts, ok := v.(*rowVersions).at(ts); ok {
+			rows = append(rows, ScanRow{Key: k, Value: val, TS: vts})
+		}
+		return true
+	}
+	if reverse {
+		t.rows.Descend(lo, hi, visit)
+	} else {
+		t.rows.Ascend(lo, hi, visit)
+	}
+	t.mu.Unlock()
+	for _, r := range rows {
+		if !fn(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// apply installs a set of writes at commit timestamp ts.
+func (t *tablet) apply(writes []bufferedWrite, ts truetime.Timestamp) {
+	t.mu.Lock()
+	for _, w := range writes {
+		rv, ok := t.rows.Get(w.key)
+		if !ok {
+			nrv := &rowVersions{}
+			nrv.add(version{ts: ts, value: w.value, deleted: w.delete})
+			t.rows.Set(w.key, nrv)
+			continue
+		}
+		rv.(*rowVersions).add(version{ts: ts, value: w.value, deleted: w.delete})
+	}
+	if ts > t.lastCommit {
+		t.lastCommit = ts
+	}
+	t.mu.Unlock()
+}
+
+// clampRange intersects [begin,end) with [start,end2), where nil means
+// unbounded.
+func clampRange(begin, end, start, end2 []byte) (lo, hi []byte) {
+	lo = begin
+	if start != nil && (lo == nil || compareBytes(start, lo) > 0) {
+		lo = start
+	}
+	hi = end
+	if end2 != nil && (hi == nil || compareBytes(end2, hi) < 0) {
+		hi = end2
+	}
+	return lo, hi
+}
+
+// maybeSplit splits hot or oversized tablets and merges cold neighbors.
+// Called opportunistically after commits.
+func (db *DB) maybeSplit() {
+	if db.splitThreshold == 0 && db.maxTabletRows == 0 {
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for i := 0; i < len(db.tablets); i++ {
+		t := db.tablets[i]
+		t.mu.Lock()
+		n := t.rows.Len()
+		hot := db.splitThreshold > 0 && t.load > db.splitThreshold && n >= 2
+		big := db.maxTabletRows > 0 && n > db.maxTabletRows
+		if len(t.prepared) > 0 || !hot && !big {
+			t.mu.Unlock()
+			continue
+		}
+		midKey, ok := t.rows.KeyAt(n / 2)
+		if !ok || (t.start != nil && compareBytes(midKey, t.start) <= 0) {
+			t.mu.Unlock()
+			continue
+		}
+		right := newTablet(append([]byte(nil), midKey...), t.end)
+		// Move rows >= midKey into the new tablet.
+		var moved [][2]any
+		t.rows.Ascend(midKey, nil, func(k []byte, v any) bool {
+			moved = append(moved, [2]any{k, v})
+			return true
+		})
+		for _, kv := range moved {
+			t.rows.Delete(kv[0].([]byte))
+			right.rows.Set(kv[0].([]byte), kv[1])
+		}
+		right.lastCommit = t.lastCommit
+		t.end = right.start
+		t.load /= 2
+		right.load = t.load
+		t.mu.Unlock()
+		// Insert right after t.
+		db.tablets = append(db.tablets, nil)
+		copy(db.tablets[i+2:], db.tablets[i+1:])
+		db.tablets[i+1] = right
+		db.stats.Splits++
+	}
+	db.mergeColdLocked()
+}
+
+// mergeThresholdRows is the combined row bound under which two cold
+// adjacent tablets merge.
+const mergeThresholdRows = 64
+
+func (db *DB) mergeColdLocked() {
+	for i := 0; i+1 < len(db.tablets); i++ {
+		a, b := db.tablets[i], db.tablets[i+1]
+		a.mu.Lock()
+		b.mu.Lock()
+		cold := a.load == 0 && b.load == 0 &&
+			a.rows.Len()+b.rows.Len() <= mergeThresholdRows &&
+			len(a.prepared) == 0 && len(b.prepared) == 0
+		if !cold {
+			b.mu.Unlock()
+			a.mu.Unlock()
+			continue
+		}
+		b.rows.Ascend(nil, nil, func(k []byte, v any) bool {
+			a.rows.Set(k, v)
+			return true
+		})
+		a.end = b.end
+		if b.lastCommit > a.lastCommit {
+			a.lastCommit = b.lastCommit
+		}
+		b.mu.Unlock()
+		a.mu.Unlock()
+		db.tablets = append(db.tablets[:i+1], db.tablets[i+2:]...)
+		db.stats.Merges++
+		i--
+	}
+}

@@ -1,0 +1,337 @@
+package spanner
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"firestore/internal/truetime"
+)
+
+// bufferedWrite is a pending row mutation in a transaction.
+type bufferedWrite struct {
+	key    []byte
+	value  []byte
+	delete bool
+}
+
+// Txn is a lock-based read-write transaction. Reads take row locks;
+// writes are buffered and applied atomically at a TrueTime commit
+// timestamp via two-phase commit across the tablets involved. Txn is not
+// safe for concurrent use by multiple goroutines (like sql.Tx).
+type Txn struct {
+	db   *DB
+	done bool
+
+	// writes keyed by string(key); ordered on commit for determinism.
+	writes map[string]bufferedWrite
+	// held are the lock-table keys this transaction holds.
+	held map[string]lockMode
+	// msgs are transactional messages delivered only on commit.
+	msgs []Message
+}
+
+// Begin starts a read-write transaction.
+func (db *DB) Begin() *Txn {
+	return &Txn{
+		db:     db,
+		writes: map[string]bufferedWrite{},
+		held:   map[string]lockMode{},
+	}
+}
+
+// lock acquires key in mode for the transaction.
+func (t *Txn) lock(ctx context.Context, key []byte, mode lockMode) error {
+	k := string(key)
+	if cur, ok := t.held[k]; ok && (cur == lockExclusive || cur == mode) {
+		return nil
+	}
+	if err := t.db.locks.acquire(ctx, t, k, mode, t.db.lockTimeout); err != nil {
+		t.db.mu.Lock()
+		t.db.stats.LockTimeout++
+		t.db.mu.Unlock()
+		return err
+	}
+	t.held[k] = mode
+	return nil
+}
+
+// Get reads key with a shared lock (or exclusive if forUpdate), seeing
+// the transaction's own buffered writes.
+func (t *Txn) Get(ctx context.Context, key []byte, forUpdate bool) ([]byte, bool, error) {
+	v, _, ok, err := t.GetVersioned(ctx, key, forUpdate)
+	return v, ok, err
+}
+
+// GetVersioned is Get returning also the row's version (commit)
+// timestamp; the transaction's own buffered writes read back with a zero
+// timestamp (they have no commit timestamp yet).
+func (t *Txn) GetVersioned(ctx context.Context, key []byte, forUpdate bool) ([]byte, truetime.Timestamp, bool, error) {
+	if t.done {
+		return nil, 0, false, ErrTxnDone
+	}
+	if w, ok := t.writes[string(key)]; ok {
+		if w.delete {
+			return nil, 0, false, nil
+		}
+		return w.value, 0, true, nil
+	}
+	mode := lockShared
+	if forUpdate {
+		mode = lockExclusive
+	}
+	if err := t.lock(ctx, key, mode); err != nil {
+		return nil, 0, false, err
+	}
+	tab := t.db.tabletFor(key)
+	tab.recordOp(1)
+	t.db.bumpReads(1)
+	v, vts, ok := tab.readAt(key, truetime.Max)
+	return v, vts, ok, nil
+}
+
+// Scan reads [begin, end) in order with shared locks on each returned
+// row, merging in the transaction's buffered writes. fn returning false
+// stops the scan.
+func (t *Txn) Scan(ctx context.Context, begin, end []byte, fn func(ScanRow) bool) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	// Collect committed rows, then overlay buffered writes.
+	var rows []ScanRow
+	for _, tab := range t.db.tabletsInRange(begin, end) {
+		tab.recordOp(1)
+		tab.scanAt(begin, end, truetime.Max, false, func(r ScanRow) bool {
+			rows = append(rows, r)
+			return true
+		})
+	}
+	t.db.bumpScans(1)
+	rows = t.overlay(rows, begin, end)
+	for _, r := range rows {
+		if err := t.lock(ctx, r.Key, lockShared); err != nil {
+			return err
+		}
+		// Re-read under the lock: the row may have changed between the
+		// unlocked scan and lock acquisition.
+		if w, ok := t.writes[string(r.Key)]; ok {
+			if w.delete {
+				continue
+			}
+			r.Value = w.value
+		} else if v, _, ok := t.db.tabletFor(r.Key).readAt(r.Key, truetime.Max); ok {
+			r.Value = v
+		} else {
+			continue // deleted concurrently before we locked it
+		}
+		if !fn(r) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// overlay merges buffered writes within [begin, end) into rows, keeping
+// ascending key order.
+func (t *Txn) overlay(rows []ScanRow, begin, end []byte) []ScanRow {
+	if len(t.writes) == 0 {
+		return rows
+	}
+	byKey := make(map[string]int, len(rows))
+	for i, r := range rows {
+		byKey[string(r.Key)] = i
+	}
+	var added []ScanRow
+	removed := map[int]bool{}
+	for k, w := range t.writes {
+		kb := []byte(k)
+		if begin != nil && compareBytes(kb, begin) < 0 {
+			continue
+		}
+		if end != nil && compareBytes(kb, end) >= 0 {
+			continue
+		}
+		if i, ok := byKey[k]; ok {
+			if w.delete {
+				removed[i] = true
+			} else {
+				rows[i].Value = w.value
+			}
+			continue
+		}
+		if !w.delete {
+			added = append(added, ScanRow{Key: kb, Value: w.value})
+		}
+	}
+	out := rows[:0]
+	for i, r := range rows {
+		if !removed[i] {
+			out = append(out, r)
+		}
+	}
+	out = append(out, added...)
+	sort.Slice(out, func(i, j int) bool { return compareBytes(out[i].Key, out[j].Key) < 0 })
+	return out
+}
+
+// Put buffers an insert-or-update of key.
+func (t *Txn) Put(key, value []byte) {
+	k := append([]byte(nil), key...)
+	v := append([]byte(nil), value...)
+	t.writes[string(k)] = bufferedWrite{key: k, value: v}
+}
+
+// Delete buffers a deletion of key.
+func (t *Txn) Delete(key []byte) {
+	k := append([]byte(nil), key...)
+	t.writes[string(k)] = bufferedWrite{key: k, delete: true}
+}
+
+// Message buffers a transactional message, delivered to topic subscribers
+// only if the transaction commits.
+func (t *Txn) Message(topic string, payload []byte) {
+	t.msgs = append(t.msgs, Message{Topic: topic, Payload: append([]byte(nil), payload...)})
+}
+
+// WriteCount returns the number of buffered mutations.
+func (t *Txn) WriteCount() int { return len(t.writes) }
+
+// Abort releases the transaction's locks without applying writes.
+func (t *Txn) Abort() {
+	if t.done {
+		return
+	}
+	t.finish()
+	t.db.mu.Lock()
+	t.db.stats.Aborts++
+	t.db.mu.Unlock()
+}
+
+func (t *Txn) finish() {
+	t.done = true
+	keys := make([]string, 0, len(t.held))
+	for k := range t.held {
+		keys = append(keys, k)
+	}
+	t.db.locks.release(t, keys)
+}
+
+// Commit atomically applies the buffered writes at a TrueTime timestamp
+// within [minTS, maxTS] (Zero/Max mean unconstrained). It acquires
+// exclusive locks on every written row, runs two-phase commit across the
+// participant tablets, pays the replication quorum latency, performs
+// commit wait, and returns the commit timestamp.
+func (t *Txn) Commit(ctx context.Context, minTS, maxTS truetime.Timestamp) (truetime.Timestamp, error) {
+	if t.done {
+		return 0, ErrTxnDone
+	}
+	if maxTS == 0 {
+		maxTS = truetime.Max
+	}
+	// Read-only transactions release locks and are done; Spanner assigns
+	// them no commit timestamp.
+	if len(t.writes) == 0 {
+		t.finish()
+		t.db.mu.Lock()
+		t.db.stats.Commits++
+		t.db.mu.Unlock()
+		return t.db.clock.Now().Latest, nil
+	}
+
+	// Deterministic lock order avoids self-inflicted deadlocks between
+	// writers of the same key sets.
+	ordered := make([]bufferedWrite, 0, len(t.writes))
+	for _, w := range t.writes {
+		ordered = append(ordered, w)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return compareBytes(ordered[i].key, ordered[j].key) < 0 })
+	for _, w := range ordered {
+		if err := t.lock(ctx, w.key, lockExclusive); err != nil {
+			t.Abort()
+			return 0, fmt.Errorf("acquiring commit locks: %w", err)
+		}
+	}
+
+	// Group writes by participant tablet and register prepare bounds
+	// under db.mu so no split can migrate rows between grouping and
+	// apply (maybeSplit holds db.mu exclusively and skips prepared
+	// tablets).
+	bound := t.db.clock.Now().Earliest
+	groups := map[*tablet][]bufferedWrite{}
+	t.db.mu.RLock()
+	for _, w := range ordered {
+		tab := t.db.tablets[t.db.tabletIndexLocked(w.key)]
+		groups[tab] = append(groups[tab], w)
+	}
+	participants := make([]*tablet, 0, len(groups))
+	for tab := range groups {
+		tab.prepare(t, bound)
+		participants = append(participants, tab)
+	}
+	t.db.mu.RUnlock()
+
+	// Choose the commit timestamp: after every clock reading so far and
+	// after each participant's last applied commit.
+	ts := t.db.clock.Now().Latest
+	if minTS > ts {
+		ts = minTS
+	}
+	for _, tab := range participants {
+		tab.mu.Lock()
+		if tab.lastCommit >= ts {
+			ts = tab.lastCommit + 1
+		}
+		tab.mu.Unlock()
+	}
+	if ts > maxTS {
+		for _, tab := range participants {
+			tab.finish(t)
+		}
+		t.Abort()
+		return 0, fmt.Errorf("%w: need %d > max %d", ErrCommitWindow, ts, maxTS)
+	}
+
+	// Replication: pay the quorum latency (doubled for multi-tablet
+	// two-phase commits, which require an extra round), plus optional
+	// size- and row-count-dependent components.
+	var delay time.Duration
+	if t.db.commitDelay != nil {
+		delay = t.db.commitDelay()
+		if len(participants) > 1 {
+			delay += t.db.commitDelay()
+		}
+	}
+	if t.db.commitBytesDelay != nil {
+		total := 0
+		for _, w := range ordered {
+			total += len(w.key) + len(w.value)
+		}
+		delay += t.db.commitBytesDelay(total)
+	}
+	if t.db.commitRowDelay != nil {
+		delay += t.db.commitRowDelay(len(ordered))
+	}
+	if delay > 0 {
+		t.db.clock.Sleep(delay)
+	}
+
+	// Phase 2: apply to every participant, then commit wait so the
+	// timestamp is guaranteed past before anyone learns of it.
+	for _, tab := range participants {
+		tab.apply(groups[tab], ts)
+		tab.recordOp(int64(len(groups[tab])))
+	}
+	t.db.clock.CommitWait(ts)
+	for _, tab := range participants {
+		tab.finish(t)
+	}
+	t.finish()
+
+	t.db.mu.Lock()
+	t.db.stats.Commits++
+	t.db.mu.Unlock()
+	t.db.deliver(t.msgs, ts)
+	t.db.maybeSplit()
+	return ts, nil
+}

@@ -1,0 +1,256 @@
+package wfq
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSubmitRuns(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	var ran atomic.Bool
+	if err := s.Submit(context.Background(), "db1", 0, func() { ran.Store(true) }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran.Load() {
+		t.Fatal("task did not run")
+	}
+}
+
+func TestCostHoldsWorker(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	start := time.Now()
+	if err := s.Submit(context.Background(), "db", 20*time.Millisecond, nil); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("returned after %v, want >= 20ms", elapsed)
+	}
+}
+
+func TestFairnessIsolatesBystander(t *testing.T) {
+	// One worker; a culprit floods long tasks, a bystander submits short
+	// ones. Under Fair the bystander's share is ~half the capacity, so
+	// its queueing delay stays bounded; under FIFO it waits behind the
+	// whole culprit backlog.
+	run := func(mode Mode) time.Duration {
+		s := New(Config{Workers: 1, Mode: mode})
+		defer s.Close()
+		const culpritTasks = 30
+		var wg sync.WaitGroup
+		for i := 0; i < culpritTasks; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s.Submit(context.Background(), "culprit", 5*time.Millisecond, nil)
+			}()
+		}
+		time.Sleep(10 * time.Millisecond) // let the backlog form
+		start := time.Now()
+		if err := s.Submit(context.Background(), "bystander", time.Millisecond, nil); err != nil {
+			t.Fatal(err)
+		}
+		d := time.Since(start)
+		wg.Wait()
+		return d
+	}
+	fair := run(Fair)
+	fifo := run(FIFO)
+	if fair >= fifo {
+		t.Fatalf("fair latency %v not better than fifo %v", fair, fifo)
+	}
+	if fifo < 50*time.Millisecond {
+		t.Fatalf("fifo latency %v suspiciously low; backlog did not form", fifo)
+	}
+}
+
+func TestFairShareProportionalToWeight(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	s.SetWeight("heavy", 4)
+	// Enqueue alternating tasks; heavier key should finish more tasks
+	// early. We check ordering via completion log.
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	submit := func(key string, n int) {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s.Submit(context.Background(), key, 2*time.Millisecond, func() {
+					mu.Lock()
+					order = append(order, key)
+					mu.Unlock()
+				})
+			}()
+		}
+	}
+	// Block the worker briefly so all tasks queue first.
+	release := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Submit(context.Background(), "block", 0, func() { <-release })
+	}()
+	time.Sleep(5 * time.Millisecond)
+	submit("heavy", 8)
+	submit("light", 8)
+	time.Sleep(20 * time.Millisecond) // let them all enqueue
+	close(release)
+	wg.Wait()
+	// Among the first 8 completions, heavy (weight 4) should hold a
+	// clear majority.
+	heavy := 0
+	for _, k := range order[:8] {
+		if k == "heavy" {
+			heavy++
+		}
+	}
+	if heavy < 5 {
+		t.Fatalf("heavy completed %d of first 8, want >= 5 (order %v)", heavy, order)
+	}
+}
+
+func TestLoadShedding(t *testing.T) {
+	s := New(Config{Workers: 1, MaxQueue: 2})
+	defer s.Close()
+	block := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Submit(context.Background(), "a", 0, func() { <-block })
+	}()
+	time.Sleep(10 * time.Millisecond)
+	// Fill the queue.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Submit(context.Background(), "a", 0, nil)
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	err := s.Submit(context.Background(), "a", 0, nil)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("Submit over MaxQueue = %v, want ErrOverloaded", err)
+	}
+	close(block)
+	wg.Wait()
+}
+
+func TestInFlightLimit(t *testing.T) {
+	s := New(Config{Workers: 4})
+	defer s.Close()
+	s.SetInFlightLimit("noisy", 1)
+	block := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Submit(context.Background(), "noisy", 0, func() { <-block })
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := s.Submit(context.Background(), "noisy", 0, nil); !errors.Is(err, ErrInFlightLimit) {
+		t.Fatalf("Submit over in-flight limit = %v", err)
+	}
+	// Other databases are unaffected.
+	if err := s.Submit(context.Background(), "other", 0, nil); err != nil {
+		t.Fatalf("other db blocked: %v", err)
+	}
+	close(block)
+	wg.Wait()
+	// Limit removal restores service.
+	s.SetInFlightLimit("noisy", 0)
+	if err := s.Submit(context.Background(), "noisy", 0, nil); err != nil {
+		t.Fatalf("after limit removal: %v", err)
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	s := New(Config{Workers: 1})
+	s.Close()
+	if err := s.Submit(context.Background(), "a", 0, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after close = %v", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	block := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Submit(context.Background(), "a", 0, func() { <-block })
+	}()
+	time.Sleep(10 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err := s.Submit(ctx, "a", 0, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Submit with cancelled ctx = %v", err)
+	}
+	close(block)
+	wg.Wait()
+}
+
+func TestQueueDepth(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	block := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Submit(context.Background(), "a", 0, func() { <-block })
+	}()
+	time.Sleep(10 * time.Millisecond)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Submit(context.Background(), "a", 0, nil)
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	if d := s.QueueDepth(); d != 3 {
+		t.Fatalf("QueueDepth = %d, want 3", d)
+	}
+	close(block)
+	wg.Wait()
+	if d := s.QueueDepth(); d != 0 {
+		t.Fatalf("QueueDepth after drain = %d", d)
+	}
+}
+
+func TestManyConcurrentSubmitters(t *testing.T) {
+	s := New(Config{Workers: 8})
+	defer s.Close()
+	var count atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := string(rune('a' + w%4))
+			for i := 0; i < 50; i++ {
+				if err := s.Submit(context.Background(), key, 0, func() { count.Add(1) }); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if count.Load() != 16*50 {
+		t.Fatalf("ran %d tasks, want %d", count.Load(), 16*50)
+	}
+}

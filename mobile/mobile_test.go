@@ -1,0 +1,347 @@
+package mobile
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"firestore/internal/backend"
+	"firestore/internal/core"
+	"firestore/internal/doc"
+	"firestore/internal/query"
+	"firestore/internal/rules"
+)
+
+const openRules = `match /{rest=**} { allow read, write; }`
+
+type env struct {
+	region *core.Region
+	client *Client
+}
+
+func newEnv(t *testing.T, rulesSrc string) *env {
+	t.Helper()
+	region := core.NewRegion(core.Config{})
+	t.Cleanup(region.Close)
+	if _, err := region.CreateDatabase("app"); err != nil {
+		t.Fatal(err)
+	}
+	if err := region.SetRules("app", rulesSrc); err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(&RegionRemote{Region: region, DB: "app", Auth: &rules.Auth{UID: "alice"}})
+	t.Cleanup(client.Close)
+	return &env{region: region, client: client}
+}
+
+var priv = backend.Principal{Privileged: true}
+
+func fields(kv ...any) map[string]doc.Value {
+	out := map[string]doc.Value{}
+	for i := 0; i < len(kv); i += 2 {
+		switch v := kv[i+1].(type) {
+		case int:
+			out[kv[i].(string)] = doc.Int(int64(v))
+		case string:
+			out[kv[i].(string)] = doc.String(v)
+		}
+	}
+	return out
+}
+
+func waitPending(t *testing.T, c *Client) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if err := c.WaitForPendingWrites(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyCompensation(t *testing.T) {
+	e := newEnv(t, openRules)
+	// The local read reflects the write immediately, before any flush.
+	if err := e.client.Set("/notes/1", fields("text", "hello")); err != nil {
+		t.Fatal(err)
+	}
+	d, err := e.client.Get(context.Background(), "/notes/1")
+	if err != nil || d == nil || d.Fields["text"].StringVal() != "hello" {
+		t.Fatalf("local get = %v, %v", d, err)
+	}
+	// Eventually the service has it too.
+	waitPending(t, e.client)
+	got, _, err := e.region.GetDocument(context.Background(), "app", priv, doc.MustName("/notes/1"), 0)
+	if err != nil || got.Fields["text"].StringVal() != "hello" {
+		t.Fatalf("server get = %v, %v", got, err)
+	}
+}
+
+func TestOfflineWritesReconcile(t *testing.T) {
+	e := newEnv(t, openRules)
+	e.client.GoOffline()
+	e.client.Set("/notes/a", fields("n", 1))
+	e.client.Set("/notes/b", fields("n", 2))
+	e.client.Delete("/notes/a")
+	if e.client.PendingWrites() != 3 {
+		t.Fatalf("pending = %d", e.client.PendingWrites())
+	}
+	// Local view honors the whole queue.
+	if d, _ := e.client.Get(context.Background(), "/notes/a"); d != nil {
+		t.Fatal("deleted doc visible locally")
+	}
+	if d, _ := e.client.Get(context.Background(), "/notes/b"); d == nil {
+		t.Fatal("offline write invisible locally")
+	}
+	// Nothing reached the server.
+	if _, _, err := e.region.GetDocument(context.Background(), "app", priv, doc.MustName("/notes/b"), 0); !errors.Is(err, backend.ErrNotFound) {
+		t.Fatalf("server saw offline write: %v", err)
+	}
+	// Reconnect: the queue drains in order.
+	e.client.GoOnline()
+	waitPending(t, e.client)
+	if _, _, err := e.region.GetDocument(context.Background(), "app", priv, doc.MustName("/notes/a"), 0); !errors.Is(err, backend.ErrNotFound) {
+		t.Fatal("delete not reconciled")
+	}
+	got, _, err := e.region.GetDocument(context.Background(), "app", priv, doc.MustName("/notes/b"), 0)
+	if err != nil || got.Fields["n"].IntVal() != 2 {
+		t.Fatalf("server b = %v, %v", got, err)
+	}
+}
+
+func TestLastWriteWinsAcrossClients(t *testing.T) {
+	e := newEnv(t, openRules)
+	other := NewClient(&RegionRemote{Region: e.region, DB: "app", Auth: &rules.Auth{UID: "bob"}})
+	defer other.Close()
+
+	e.client.GoOffline()
+	e.client.Set("/notes/1", fields("by", "alice"))
+	other.Set("/notes/1", fields("by", "bob"))
+	waitPending(t, other)
+	// Alice reconnects later: her blind write lands last and wins.
+	e.client.GoOnline()
+	waitPending(t, e.client)
+	got, _, err := e.region.GetDocument(context.Background(), "app", priv, doc.MustName("/notes/1"), 0)
+	if err != nil || got.Fields["by"].StringVal() != "alice" {
+		t.Fatalf("final = %v, %v", got, err)
+	}
+}
+
+func TestOnSnapshotLocalThenServer(t *testing.T) {
+	e := newEnv(t, openRules)
+	var mu sync.Mutex
+	var snaps []Snapshot
+	q := &query.Query{Collection: doc.MustCollection("/notes")}
+	stop, err := e.client.OnSnapshot(q, func(s Snapshot) {
+		mu.Lock()
+		snaps = append(snaps, s)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	// First callback: empty, from cache.
+	mu.Lock()
+	if len(snaps) == 0 || !snaps[0].FromCache {
+		t.Fatalf("first snapshot = %+v", snaps)
+	}
+	mu.Unlock()
+
+	// A local write surfaces immediately with pending-writes metadata.
+	e.client.Set("/notes/1", fields("n", 1))
+	found := false
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && !found {
+		mu.Lock()
+		for _, s := range snaps {
+			if len(s.Docs) == 1 && s.HasPendingWrites {
+				found = true
+			}
+		}
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+	}
+	if !found {
+		t.Fatal("no latency-compensated snapshot")
+	}
+
+	// A write from ANOTHER user arrives via the server stream.
+	e.region.Commit(context.Background(), "app", priv, []backend.WriteOp{{
+		Kind: backend.OpSet, Name: doc.MustName("/notes/2"), Fields: fields("n", 2),
+	}})
+	found = false
+	deadline = time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) && !found {
+		mu.Lock()
+		for _, s := range snaps {
+			if len(s.Docs) == 2 {
+				found = true
+			}
+		}
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+	}
+	if !found {
+		t.Fatal("server update never delivered")
+	}
+}
+
+func TestOnSnapshotOfflineServesCache(t *testing.T) {
+	e := newEnv(t, openRules)
+	e.client.Set("/notes/1", fields("n", 1))
+	waitPending(t, e.client)
+	e.client.GoOffline()
+
+	var mu sync.Mutex
+	var last Snapshot
+	q := &query.Query{Collection: doc.MustCollection("/notes")}
+	stop, err := e.client.OnSnapshot(q, func(s Snapshot) {
+		mu.Lock()
+		last = s
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	mu.Lock()
+	if len(last.Docs) != 1 || !last.FromCache {
+		t.Fatalf("offline snapshot = %+v", last)
+	}
+	mu.Unlock()
+	// Offline mutation still updates the listener.
+	e.client.Set("/notes/2", fields("n", 2))
+	mu.Lock()
+	if len(last.Docs) != 2 || !last.HasPendingWrites {
+		t.Fatalf("offline mutation snapshot = %+v", last)
+	}
+	mu.Unlock()
+}
+
+func TestQueryLocalSemantics(t *testing.T) {
+	e := newEnv(t, openRules)
+	for i := 0; i < 5; i++ {
+		e.client.Set("/notes/"+string(rune('a'+i)), fields("n", i))
+	}
+	q := &query.Query{
+		Collection: doc.MustCollection("/notes"),
+		Predicates: []query.Predicate{{Path: "n", Op: query.Ge, Value: doc.Int(2)}},
+		Limit:      2,
+	}
+	snap := e.client.Query(q)
+	if len(snap.Docs) != 2 {
+		t.Fatalf("local query = %d docs", len(snap.Docs))
+	}
+	if snap.Docs[0].Fields["n"].IntVal() != 2 {
+		t.Fatalf("local order wrong: %v", snap.Docs[0])
+	}
+}
+
+func TestTransactionsRequireConnectivity(t *testing.T) {
+	e := newEnv(t, openRules)
+	e.client.Set("/counters/c", fields("n", 0))
+	waitPending(t, e.client)
+	ctx := context.Background()
+	err := e.client.RunTransaction(ctx, func(tx *Txn) error {
+		d, err := tx.Get("/counters/c")
+		if err != nil {
+			return err
+		}
+		return tx.Set("/counters/c", map[string]doc.Value{"n": doc.Int(d.Fields["n"].IntVal() + 1)})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := e.client.Get(ctx, "/counters/c")
+	if got.Fields["n"].IntVal() != 1 {
+		t.Fatalf("counter = %v", got)
+	}
+	e.client.GoOffline()
+	if err := e.client.RunTransaction(ctx, func(*Txn) error { return nil }); !errors.Is(err, ErrOffline) {
+		t.Fatalf("offline txn = %v", err)
+	}
+}
+
+func TestRulesApplyToMobileTraffic(t *testing.T) {
+	e := newEnv(t, `match /mine/{id} { allow read, write: if request.auth.uid == "alice"; }`)
+	// Alice's client can write /mine; the flush succeeds.
+	e.client.Set("/mine/1", fields("v", 1))
+	waitPending(t, e.client)
+	if _, _, err := e.region.GetDocument(context.Background(), "app", priv, doc.MustName("/mine/1"), 0); err != nil {
+		t.Fatalf("allowed write lost: %v", err)
+	}
+	// A write to a forbidden path is rejected server-side and dropped
+	// from the queue (local view saw it transiently).
+	e.client.Set("/other/1", fields("v", 1))
+	waitPending(t, e.client)
+	if _, _, err := e.region.GetDocument(context.Background(), "app", priv, doc.MustName("/other/1"), 0); !errors.Is(err, backend.ErrNotFound) {
+		t.Fatalf("denied write landed: %v", err)
+	}
+}
+
+func TestPersistenceWarmCache(t *testing.T) {
+	e := newEnv(t, openRules)
+	e.client.Set("/notes/1", fields("n", 1))
+	waitPending(t, e.client)
+	e.client.GoOffline()
+	e.client.Set("/notes/2", fields("n", 2)) // stays queued
+	state := e.client.Export()
+
+	// "Device restart": a fresh offline client imports the state.
+	restarted := NewClient(&RegionRemote{Region: e.region, DB: "app", Auth: &rules.Auth{UID: "alice"}})
+	defer restarted.Close()
+	restarted.GoOffline()
+	if err := restarted.Import(state); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := restarted.Get(context.Background(), "/notes/1")
+	if d == nil || d.Fields["n"].IntVal() != 1 {
+		t.Fatalf("warm cache miss: %v", d)
+	}
+	if restarted.PendingWrites() != 1 {
+		t.Fatalf("pending after import = %d", restarted.PendingWrites())
+	}
+	// Going online flushes the imported queue.
+	restarted.GoOnline()
+	waitPending(t, restarted)
+	if _, _, err := e.region.GetDocument(context.Background(), "app", priv, doc.MustName("/notes/2"), 0); err != nil {
+		t.Fatalf("imported mutation not flushed: %v", err)
+	}
+}
+
+func TestImportCorrupt(t *testing.T) {
+	e := newEnv(t, openRules)
+	if err := e.client.Import([]byte{0xff, 0xff, 0xff}); err == nil {
+		t.Fatal("corrupt state accepted")
+	}
+	good := e.client.Export()
+	if err := e.client.Import(append(good, 0x01)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestGetUncachedOffline(t *testing.T) {
+	e := newEnv(t, openRules)
+	// Doc exists on the server but was never cached.
+	e.region.Commit(context.Background(), "app", priv, []backend.WriteOp{{
+		Kind: backend.OpSet, Name: doc.MustName("/notes/server"), Fields: fields("n", 1),
+	}})
+	e.client.GoOffline()
+	d, err := e.client.Get(context.Background(), "/notes/server")
+	if err != nil || d != nil {
+		t.Fatalf("offline uncached get = %v, %v", d, err)
+	}
+	// Online: fetched and cached.
+	e.client.GoOnline()
+	d, err = e.client.Get(context.Background(), "/notes/server")
+	if err != nil || d == nil {
+		t.Fatalf("online get = %v, %v", d, err)
+	}
+	e.client.GoOffline()
+	d, err = e.client.Get(context.Background(), "/notes/server")
+	if err != nil || d == nil {
+		t.Fatal("cache not warmed by online get")
+	}
+}

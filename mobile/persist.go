@@ -1,0 +1,110 @@
+package mobile
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"firestore/internal/backend"
+	"firestore/internal/doc"
+)
+
+// This file implements optional local-cache persistence (§IV-E: "an end
+// user can choose to persist their local cache. ... persistence provides
+// a warm cache as a starting point" after a device restart).
+
+// Export serializes the client's cached documents and pending mutation
+// queue.
+func (c *Client) Export() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []byte
+	out = binary.AppendUvarint(out, uint64(len(c.serverDocs)))
+	for _, d := range c.serverDocs {
+		out = appendBlob(out, doc.Marshal(d))
+	}
+	out = binary.AppendUvarint(out, uint64(len(c.mutations)))
+	for _, m := range c.mutations {
+		out = append(out, byte(m.Kind))
+		d := doc.New(m.Name, m.Fields)
+		out = appendBlob(out, doc.Marshal(d))
+	}
+	return out
+}
+
+// Import restores state captured by Export into a fresh client, warming
+// its cache and re-queuing unflushed mutations. It then kicks a flush if
+// online.
+func (c *Client) Import(state []byte) error {
+	docsN, state, err := readUvarint(state)
+	if err != nil {
+		return err
+	}
+	serverDocs := map[string]*doc.Document{}
+	for i := uint64(0); i < docsN; i++ {
+		var blob []byte
+		blob, state, err = readBlob(state)
+		if err != nil {
+			return err
+		}
+		d, err := doc.Unmarshal(blob)
+		if err != nil {
+			return err
+		}
+		serverDocs[d.Name.String()] = d
+	}
+	mutsN, state, err := readUvarint(state)
+	if err != nil {
+		return err
+	}
+	var muts []mutation
+	for i := uint64(0); i < mutsN; i++ {
+		if len(state) == 0 {
+			return fmt.Errorf("mobile: truncated mutation state")
+		}
+		kind := backend.OpKind(state[0])
+		state = state[1:]
+		var blob []byte
+		blob, state, err = readBlob(state)
+		if err != nil {
+			return err
+		}
+		d, err := doc.Unmarshal(blob)
+		if err != nil {
+			return err
+		}
+		muts = append(muts, mutation{Kind: kind, Name: d.Name, Fields: d.Fields})
+	}
+	if len(state) != 0 {
+		return fmt.Errorf("mobile: %d trailing state bytes", len(state))
+	}
+	c.mu.Lock()
+	c.serverDocs = serverDocs
+	c.mutations = muts
+	c.mu.Unlock()
+	c.flushAsync()
+	return nil
+}
+
+func appendBlob(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func readBlob(b []byte) (blob, rest []byte, err error) {
+	n, rest, err := readUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(rest)) {
+		return nil, nil, fmt.Errorf("mobile: blob length %d overflows state", n)
+	}
+	return rest[:n], rest[n:], nil
+}
+
+func readUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("mobile: bad varint in state")
+	}
+	return v, b[n:], nil
+}
