@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: verify vet build test test-race fuzz bench
+
+verify: vet build test-race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the trigger-payload decoder.
+fuzz:
+	$(GO) test -run=FuzzUnmarshalChange -fuzz=FuzzUnmarshalChange -fuzztime=30s ./internal/backend/
+
+bench:
+	$(GO) run ./cmd/firestore-bench -spans

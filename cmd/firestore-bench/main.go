@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"firestore/internal/bench"
+	"firestore/internal/reqctx"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "experiment size/duration multiplier")
 	seed := flag.Int64("seed", 1, "random seed")
 	quiet := flag.Bool("q", false, "suppress progress logging")
+	spans := flag.Bool("spans", false, "print per-layer span latency histograms after the run")
 	flag.Parse()
 
 	var logw io.Writer = os.Stderr
@@ -50,6 +52,9 @@ func main() {
 		bench.AblZigzag(opts).Fprint(out)
 		bench.AblMultiRegion(opts).Fprint(out)
 		bench.AblShedding(opts).Fprint(out)
+		if *spans {
+			printSpans(out)
+		}
 		return
 	}
 
@@ -107,5 +112,27 @@ func main() {
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *spans {
+		printSpans(out)
+	}
+}
+
+// printSpans dumps the per-layer, per-status-code latency histograms the
+// span recorder accumulated during the run (backend.commit,
+// spanner.txn.commit, ...), answering "where did the time go, and with
+// what outcome" after any experiment.
+func printSpans(out io.Writer) {
+	rec := reqctx.Default
+	names := rec.Spans()
+	if len(names) == 0 {
+		return
+	}
+	fmt.Fprintf(out, "\n# span latencies (per layer, per status code)\n")
+	for _, span := range names {
+		fmt.Fprintf(out, "%-24s %s\n", span, rec.Summary(span))
+		for _, code := range rec.Codes(span) {
+			fmt.Fprintf(out, "%-24s   [%s] %s\n", "", code, rec.CodeSummary(span, code))
+		}
 	}
 }

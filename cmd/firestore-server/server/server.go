@@ -5,18 +5,21 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"strings"
+	"time"
 
 	"firestore/internal/backend"
 	"firestore/internal/core"
 	"firestore/internal/doc"
 	"firestore/internal/index"
 	"firestore/internal/query"
+	"firestore/internal/reqctx"
 	"firestore/internal/rules"
+	"firestore/internal/status"
 )
 
 // Server is the HTTP handler.
@@ -39,40 +42,80 @@ func New(region *core.Region) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// DefaultTimeout bounds request handling when the client sets no
+// explicit X-Request-Timeout; the streaming listen endpoint is exempt
+// (it is a long-lived connection by design).
+const DefaultTimeout = 30 * time.Second
+
+// ServeHTTP implements http.Handler. It is the ingress: every request
+// gets a request ID (minted unless the client sent X-Request-Id, echoed
+// back in the response), a QoS class (X-QoS: batch tags throughput
+// traffic), and a deadline, all carried in the context so every layer
+// below can classify, trace, and shed work against them.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rid := r.Header.Get("X-Request-Id")
+	if rid == "" {
+		rid = reqctx.NewRequestID()
+	}
+	w.Header().Set("X-Request-Id", rid)
+	m := reqctx.Meta{RequestID: rid, DB: dbFromPath(r.URL.Path)}
+	if r.Header.Get("X-QoS") == "batch" {
+		m.QoS = reqctx.Batch
+	}
+	ctx := reqctx.With(r.Context(), m)
+	if !strings.HasSuffix(r.URL.Path, "/listen") {
+		timeout := DefaultTimeout
+		if h := r.Header.Get("X-Request-Timeout"); h != "" {
+			if d, err := time.ParseDuration(h); err == nil && d > 0 {
+				timeout = d
+			}
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	s.mux.ServeHTTP(w, r.WithContext(ctx))
+}
+
+// dbFromPath extracts the database ID from /v1/databases/{db}/... paths
+// before mux routing has populated path values.
+func dbFromPath(p string) string {
+	rest, ok := strings.CutPrefix(p, "/v1/databases/")
+	if !ok {
+		return ""
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		return rest[:i]
+	}
+	return rest
+}
 
 // principal derives the caller identity from headers: privileged callers
 // set X-Privileged; end users carry "Bearer uid:<user>" tokens (the
 // Firebase Authentication stand-in).
 func principal(r *http.Request) backend.Principal {
+	batch := r.Header.Get("X-QoS") == "batch"
 	if r.Header.Get("X-Privileged") == "true" {
-		return backend.Principal{Privileged: true}
+		return backend.Principal{Privileged: true, Batch: batch}
 	}
 	auth := r.Header.Get("Authorization")
 	if uid, ok := strings.CutPrefix(auth, "Bearer uid:"); ok && uid != "" {
-		return backend.Principal{Auth: &rules.Auth{UID: uid}}
+		return backend.Principal{Auth: &rules.Auth{UID: uid}, Batch: batch}
 	}
-	return backend.Principal{}
+	return backend.Principal{Batch: batch}
 }
 
+// httpError maps any error to its HTTP response purely mechanically:
+// the canonical code recovered from the error chain drives the single
+// code→HTTP table in internal/status. No sentinel is special-cased here.
 func httpError(w http.ResponseWriter, err error) {
-	code := http.StatusInternalServerError
-	switch {
-	case errors.Is(err, backend.ErrNotFound):
-		code = http.StatusNotFound
-	case errors.Is(err, backend.ErrAlreadyExists):
-		code = http.StatusConflict
-	case errors.Is(err, rules.ErrDenied):
-		code = http.StatusForbidden
-	case errors.Is(err, backend.ErrConflict):
-		code = http.StatusConflict
-	}
-	var nie *query.NeedsIndexError
-	if errors.As(err, &nie) {
-		code = http.StatusFailedDependency
-	}
-	http.Error(w, err.Error(), code)
+	http.Error(w, err.Error(), status.HTTPStatus(status.CodeOf(err)))
+}
+
+// badRequest reports a handler-local decoding/validation failure,
+// classified InvalidArgument like every other malformed input.
+func badRequest(w http.ResponseWriter, err error) {
+	httpError(w, status.WithCode(status.InvalidArgument, err))
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -85,7 +128,7 @@ func (s *Server) createDatabase(w http.ResponseWriter, r *http.Request) {
 		ID string `json:"id"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		badRequest(w, err)
 		return
 	}
 	if _, err := s.region.CreateDatabase(req.ID); err != nil {
@@ -98,11 +141,11 @@ func (s *Server) createDatabase(w http.ResponseWriter, r *http.Request) {
 func (s *Server) setRules(w http.ResponseWriter, r *http.Request) {
 	var src strings.Builder
 	if _, err := jsonSafeCopy(&src, r); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		badRequest(w, err)
 		return
 	}
 	if err := s.region.SetRules(r.PathValue("db"), src.String()); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		httpError(w, err)
 		return
 	}
 	writeJSON(w, map[string]string{"status": "deployed"})
@@ -136,7 +179,7 @@ func (s *Server) addIndex(w http.ResponseWriter, r *http.Request) {
 		} `json:"fields"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		badRequest(w, err)
 		return
 	}
 	fields := make([]index.Field, len(req.Fields))
@@ -162,17 +205,17 @@ func docName(r *http.Request) (doc.Name, error) {
 func (s *Server) putDoc(w http.ResponseWriter, r *http.Request) {
 	name, err := docName(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		badRequest(w, err)
 		return
 	}
 	var raw map[string]any
 	if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		badRequest(w, err)
 		return
 	}
 	fields, err := fieldsFromJSON(raw)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		badRequest(w, err)
 		return
 	}
 	ts, err := s.region.Commit(r.Context(), r.PathValue("db"), principal(r), []backend.WriteOp{
@@ -188,7 +231,7 @@ func (s *Server) putDoc(w http.ResponseWriter, r *http.Request) {
 func (s *Server) getDoc(w http.ResponseWriter, r *http.Request) {
 	name, err := docName(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		badRequest(w, err)
 		return
 	}
 	d, readTS, err := s.region.GetDocument(r.Context(), r.PathValue("db"), principal(r), name, 0)
@@ -208,7 +251,7 @@ func (s *Server) getDoc(w http.ResponseWriter, r *http.Request) {
 func (s *Server) deleteDoc(w http.ResponseWriter, r *http.Request) {
 	name, err := docName(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		badRequest(w, err)
 		return
 	}
 	if _, err := s.region.Commit(r.Context(), r.PathValue("db"), principal(r), []backend.WriteOp{
@@ -290,12 +333,12 @@ func parseOp(s string) (query.Operator, error) {
 func (s *Server) runQuery(w http.ResponseWriter, r *http.Request) {
 	var qj queryJSON
 	if err := json.NewDecoder(r.Body).Decode(&qj); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		badRequest(w, err)
 		return
 	}
 	q, err := qj.build()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		badRequest(w, err)
 		return
 	}
 	if qj.Count {
@@ -324,19 +367,19 @@ func (s *Server) listen(w http.ResponseWriter, r *http.Request) {
 	collPath := r.URL.Query().Get("collection")
 	coll, err := doc.ParseCollection(collPath)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		badRequest(w, err)
 		return
 	}
 	q := &query.Query{Collection: coll}
 	if wq := r.URL.Query().Get("where"); wq != "" {
 		parts := strings.SplitN(wq, ",", 3)
 		if len(parts) != 3 {
-			http.Error(w, "where must be field,op,value", http.StatusBadRequest)
+			httpError(w, status.New(status.InvalidArgument, "server", "where must be field,op,value"))
 			return
 		}
 		op, err := parseOp(parts[1])
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			badRequest(w, err)
 			return
 		}
 		var raw any
@@ -345,7 +388,7 @@ func (s *Server) listen(w http.ResponseWriter, r *http.Request) {
 		}
 		v, err := valueFromJSON(raw)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			badRequest(w, err)
 			return
 		}
 		q.Predicates = append(q.Predicates, query.Predicate{Path: doc.FieldPath(parts[0]), Op: op, Value: v})

@@ -186,12 +186,19 @@ func (s *DocumentSnapshot) DataAt(fieldPath string) (any, bool) {
 	return fromValue(v), true
 }
 
-// Get reads the document with strong consistency.
+// Get reads the document with strong consistency, retrying transient
+// failures per the interceptor policy in retry.go.
 func (dr *DocumentRef) Get(ctx context.Context) (*DocumentSnapshot, error) {
 	if dr.err != nil {
 		return nil, dr.err
 	}
-	d, readTS, err := dr.c.region.GetDocument(ctx, dr.c.dbID, dr.c.p, dr.name, 0)
+	var d *doc.Document
+	var readTS truetime.Timestamp
+	err := withRetry(ctx, func() error {
+		var err error
+		d, readTS, err = dr.c.region.GetDocument(ctx, dr.c.dbID, dr.c.p, dr.name, 0)
+		return err
+	})
 	if errors.Is(err, backend.ErrNotFound) {
 		return &DocumentSnapshot{Ref: dr, ReadTime: tsTime(readTS)}, nil
 	}
@@ -247,10 +254,12 @@ func (dr *DocumentRef) write(ctx context.Context, kind backend.OpKind, data map[
 	if err != nil {
 		return err
 	}
-	_, err = dr.c.region.Commit(ctx, dr.c.dbID, dr.c.p, []backend.WriteOp{
-		{Kind: kind, Name: dr.name, Fields: fields},
+	return withRetry(ctx, func() error {
+		_, err := dr.c.region.Commit(ctx, dr.c.dbID, dr.c.p, []backend.WriteOp{
+			{Kind: kind, Name: dr.name, Fields: fields},
+		})
+		return err
 	})
-	return err
 }
 
 // Snapshots opens a real-time listener on this single document,

@@ -8,6 +8,7 @@ import (
 	"firestore/internal/frontend"
 	"firestore/internal/index"
 	"firestore/internal/query"
+	"firestore/internal/truetime"
 )
 
 // Direction orders query results.
@@ -122,7 +123,13 @@ func (q Query) Documents(ctx context.Context) ([]*DocumentSnapshot, error) {
 	var resume []byte
 	remaining := iq.Limit
 	for {
-		res, readTS, err := q.c.region.RunQuery(ctx, q.c.dbID, q.c.p, iq, resume, 0)
+		var res *query.Result
+		var readTS truetime.Timestamp
+		err := withRetry(ctx, func() error {
+			var err error
+			res, readTS, err = q.c.region.RunQuery(ctx, q.c.dbID, q.c.p, iq, resume, 0)
+			return err
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -143,7 +150,12 @@ func (q Query) Count(ctx context.Context) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	n, _, err := q.c.region.Backend.RunCount(ctx, q.c.dbID, q.c.p, iq, 0)
+	var n int64
+	err = withRetry(ctx, func() error {
+		var err error
+		n, _, err = q.c.region.Backend.RunCount(ctx, q.c.dbID, q.c.p, iq, 0)
+		return err
+	})
 	return n, err
 }
 
@@ -236,6 +248,35 @@ func (it *QuerySnapshotIterator) apply(ev frontend.SnapshotEvent) *QuerySnapshot
 	include := func(name string) bool {
 		return it.filterName == "" || name == it.filterName
 	}
+	if ev.Initial {
+		// Full-state snapshot: the first event of a listener, or a
+		// recovery emitted after the server dropped a delta (the query
+		// went out-of-sync). Replace local state wholesale, reporting
+		// the difference from what this iterator had.
+		fresh := map[string]*DocumentSnapshot{}
+		for _, d := range ev.Added {
+			if !include(d.Name.String()) {
+				continue
+			}
+			fresh[d.Name.String()] = snapshotOf(&DocumentRef{c: it.c, name: d.Name}, d, ev.TS)
+		}
+		for name, s := range fresh {
+			old, ok := it.results[name]
+			switch {
+			case !ok:
+				changes = append(changes, DocumentChange{Kind: DocumentAdded, Doc: s})
+			case old.updateTS != s.updateTS:
+				changes = append(changes, DocumentChange{Kind: DocumentModified, Doc: s})
+			}
+		}
+		for name, old := range it.results {
+			if _, ok := fresh[name]; !ok {
+				changes = append(changes, DocumentChange{Kind: DocumentRemoved, Doc: &DocumentSnapshot{Ref: old.Ref}})
+			}
+		}
+		it.results = fresh
+		return it.snapshot(changes, ev.TS)
+	}
 	for _, d := range ev.Added {
 		if !include(d.Name.String()) {
 			continue
@@ -265,10 +306,15 @@ func (it *QuerySnapshotIterator) apply(ev frontend.SnapshotEvent) *QuerySnapshot
 			Doc:  &DocumentSnapshot{Ref: &DocumentRef{c: it.c, name: n}},
 		})
 	}
-	if len(changes) == 0 && !ev.Initial {
+	if len(changes) == 0 {
 		return nil
 	}
-	// Order the full set per the query.
+	return it.snapshot(changes, ev.TS)
+}
+
+// snapshot orders the full result set per the query and packages it with
+// the delta.
+func (it *QuerySnapshotIterator) snapshot(changes []DocumentChange, ts truetime.Timestamp) *QuerySnapshot {
 	docs := make([]*DocumentSnapshot, 0, len(it.results))
 	for _, s := range it.results {
 		docs = append(docs, s)
@@ -278,7 +324,7 @@ func (it *QuerySnapshotIterator) apply(ev frontend.SnapshotEvent) *QuerySnapshot
 			docs[j], docs[j-1] = docs[j-1], docs[j]
 		}
 	}
-	return &QuerySnapshot{Docs: docs, Changes: changes, ReadTime: int64(ev.TS)}
+	return &QuerySnapshot{Docs: docs, Changes: changes, ReadTime: int64(ts)}
 }
 
 func (it *QuerySnapshotIterator) less(a, b *DocumentSnapshot) bool {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"firestore/internal/backend"
+	"firestore/internal/status"
 	"firestore/internal/truetime"
 )
 
@@ -50,7 +51,11 @@ func (c *Client) RunTransaction(ctx context.Context, fn func(tx *Transaction) er
 		if err == nil {
 			return nil
 		}
-		if !errors.Is(err, backend.ErrConflict) {
+		// Retryability is decided by the canonical status code, not by
+		// matching individual sentinels: conflicts (Aborted), shed load
+		// (ResourceExhausted), and transient unavailability all re-run
+		// the whole function against a fresh snapshot.
+		if !status.Retryable(status.CodeOf(err)) {
 			return err
 		}
 		lastErr = err
@@ -181,7 +186,9 @@ func (b *WriteBatch) add(dr *DocumentRef, kind backend.OpKind, data map[string]a
 	return b
 }
 
-// Commit applies the batch atomically.
+// Commit applies the batch atomically, retrying transient failures per
+// the interceptor policy in retry.go (blind writes are last-update-wins,
+// so re-applying a batch is safe).
 func (b *WriteBatch) Commit(ctx context.Context) error {
 	if b.err != nil {
 		return b.err
@@ -189,6 +196,8 @@ func (b *WriteBatch) Commit(ctx context.Context) error {
 	if len(b.ops) == 0 {
 		return nil
 	}
-	_, err := b.c.region.Commit(ctx, b.c.dbID, b.c.p, b.ops)
-	return err
+	return withRetry(ctx, func() error {
+		_, err := b.c.region.Commit(ctx, b.c.dbID, b.c.p, b.ops)
+		return err
+	})
 }

@@ -10,8 +10,8 @@ package backend
 
 import (
 	"context"
-	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -21,24 +21,27 @@ import (
 	"firestore/internal/encoding"
 	"firestore/internal/index"
 	"firestore/internal/query"
+	"firestore/internal/reqctx"
 	"firestore/internal/rtcache"
 	"firestore/internal/rules"
 	"firestore/internal/spanner"
+	"firestore/internal/status"
 	"firestore/internal/truetime"
 	"firestore/internal/wfq"
 )
 
-// Errors.
+// Errors, classified with canonical status codes so the edge maps them
+// to responses and the SDK knows what to retry (§IV-D2 failure modes).
 var (
 	// ErrNotFound reports a missing document where one was required.
-	ErrNotFound = errors.New("backend: document not found")
+	ErrNotFound = status.New(status.NotFound, "backend", "document not found")
 	// ErrAlreadyExists reports a Create of an existing document.
-	ErrAlreadyExists = errors.New("backend: document already exists")
+	ErrAlreadyExists = status.New(status.AlreadyExists, "backend", "document already exists")
 	// ErrConflict reports an optimistic transaction whose read set went
 	// stale; callers retry with backoff.
-	ErrConflict = errors.New("backend: transaction conflict, retry")
+	ErrConflict = status.New(status.Aborted, "backend", "transaction conflict, retry")
 	// ErrUnavailable reports a Real-time Cache prepare failure.
-	ErrUnavailable = errors.New("backend: real-time cache unavailable")
+	ErrUnavailable = status.New(status.Unavailable, "backend", "real-time cache unavailable")
 )
 
 // Principal identifies the caller. Server SDKs run privileged and bypass
@@ -61,14 +64,19 @@ type Principal struct {
 // relative to its latency-sensitive traffic.
 const batchWeight = 0.2
 
-// schedKey returns the fair-scheduler key for a request.
+// schedKey returns the fair-scheduler key for a request. The batch
+// weight is installed once per key, not on every RPC — SetWeight takes
+// the scheduler lock, and re-setting an unchanged weight on each batch
+// request serialized every batch submission through it.
 func (b *Backend) schedKey(dbID string, p Principal) string {
 	if !p.Batch {
 		return dbID
 	}
 	key := dbID + "\x00batch"
 	if b.cfg.Scheduler != nil {
-		b.cfg.Scheduler.SetWeight(key, batchWeight)
+		if _, seen := b.batchKeys.LoadOrStore(key, struct{}{}); !seen {
+			b.cfg.Scheduler.SetWeight(key, batchWeight)
+		}
 	}
 	return key
 }
@@ -143,6 +151,9 @@ type Backend struct {
 	cat      *catalog.Catalog
 	cache    *rtcache.Cache
 	writeSeq atomic.Int64
+	// batchKeys remembers scheduler keys whose batch weight is already
+	// installed, so schedKey sets it once per key rather than per RPC.
+	batchKeys sync.Map
 }
 
 // New creates a Backend.
@@ -157,9 +168,13 @@ func New(cfg Config) *Backend {
 }
 
 // submit runs fn through the fair scheduler (if configured) under the
-// given scheduling key (database ID, possibly QoS-tagged).
+// given scheduling key (database ID, possibly QoS-tagged). Work whose
+// deadline already expired is rejected before any Spanner access.
 func (b *Backend) submit(ctx context.Context, key string, cost time.Duration, fn func()) error {
 	if b.cfg.Scheduler == nil {
+		if err := ctx.Err(); err != nil {
+			return status.FromContext("backend", err)
+		}
 		if cost > 0 {
 			time.Sleep(cost)
 		}
@@ -185,7 +200,9 @@ func (b *Backend) Commit(ctx context.Context, dbID string, p Principal, ops []Wr
 // observed update time, else ErrConflict ("all data read by the
 // transaction is revalidated for freshness at the time of the commit",
 // §III-E).
-func (b *Backend) CommitTransactional(ctx context.Context, dbID string, p Principal, ops []WriteOp, reads []ReadValidation) (truetime.Timestamp, error) {
+func (b *Backend) CommitTransactional(ctx context.Context, dbID string, p Principal, ops []WriteOp, reads []ReadValidation) (_ truetime.Timestamp, retErr error) {
+	ctx, end := reqctx.StartSpan(ctx, "backend.commit")
+	defer func() { end(retErr) }()
 	db, err := b.cat.Get(dbID)
 	if err != nil {
 		return 0, err
@@ -315,10 +332,13 @@ func (b *Backend) commitLocked(ctx context.Context, db *catalog.Database, p Prin
 	maxTS := clock.Now().Latest.Add(b.cfg.MaxCommitWindow)
 	var minTS truetime.Timestamp
 	if b.cache != nil {
+		_, endPrepare := reqctx.StartSpan(ctx, "rtcache.prepare")
 		if b.cfg.FailureHooks.FailPrepare != nil && b.cfg.FailureHooks.FailPrepare() {
+			endPrepare(ErrUnavailable)
 			return abort(fmt.Errorf("%w: prepare failed", ErrUnavailable))
 		}
 		m, err := b.cache.Prepare(writeID, db.ID, names, maxTS)
+		endPrepare(status.Wrap(status.Unavailable, "rtcache", err))
 		if err != nil {
 			return abort(fmt.Errorf("%w: %v", ErrUnavailable, err))
 		}

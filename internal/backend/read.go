@@ -9,6 +9,7 @@ import (
 	"firestore/internal/doc"
 	"firestore/internal/encoding"
 	"firestore/internal/query"
+	"firestore/internal/reqctx"
 	"firestore/internal/rules"
 	"firestore/internal/spanner"
 	"firestore/internal/truetime"
@@ -18,7 +19,9 @@ import (
 // (TT.now().latest); otherwise the read is served at the given snapshot
 // timestamp (§III-C: "point-in-time queries that are either
 // strongly-consistent or from a recent timestamp").
-func (b *Backend) GetDocument(ctx context.Context, dbID string, p Principal, name doc.Name, readTS truetime.Timestamp) (*doc.Document, truetime.Timestamp, error) {
+func (b *Backend) GetDocument(ctx context.Context, dbID string, p Principal, name doc.Name, readTS truetime.Timestamp) (_ *doc.Document, _ truetime.Timestamp, retErr error) {
+	ctx, end := reqctx.StartSpan(ctx, "backend.get")
+	defer func() { end(retErr) }()
 	db, err := b.cat.Get(dbID)
 	if err != nil {
 		return nil, 0, err
@@ -84,7 +87,9 @@ func (b *Backend) getAt(ctx context.Context, db *catalog.Database, name doc.Name
 // returns the result page and the snapshot timestamp it reflects, which
 // doubles as the max-commit-version for real-time subscriptions (§IV-D4
 // step 2).
-func (b *Backend) RunQuery(ctx context.Context, dbID string, p Principal, q *query.Query, resume []byte, readTS truetime.Timestamp) (*query.Result, truetime.Timestamp, error) {
+func (b *Backend) RunQuery(ctx context.Context, dbID string, p Principal, q *query.Query, resume []byte, readTS truetime.Timestamp) (_ *query.Result, _ truetime.Timestamp, retErr error) {
+	ctx, end := reqctx.StartSpan(ctx, "backend.query")
+	defer func() { end(retErr) }()
 	db, err := b.cat.Get(dbID)
 	if err != nil {
 		return nil, 0, err
@@ -143,7 +148,9 @@ func (b *Backend) RunQuery(ctx context.Context, dbID string, p Principal, q *que
 // entirely from index work with no document fetches, and billing charges
 // one read per 1000 index entries examined rather than per result, so
 // counting millions of documents stays pay-as-you-go.
-func (b *Backend) RunCount(ctx context.Context, dbID string, p Principal, q *query.Query, readTS truetime.Timestamp) (int64, truetime.Timestamp, error) {
+func (b *Backend) RunCount(ctx context.Context, dbID string, p Principal, q *query.Query, readTS truetime.Timestamp) (_ int64, _ truetime.Timestamp, retErr error) {
+	ctx, end := reqctx.StartSpan(ctx, "backend.count")
+	defer func() { end(retErr) }()
 	db, err := b.cat.Get(dbID)
 	if err != nil {
 		return 0, 0, err

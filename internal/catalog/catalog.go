@@ -9,7 +9,6 @@
 package catalog
 
 import (
-	"errors"
 	"fmt"
 	"hash/fnv"
 	"sync"
@@ -20,6 +19,7 @@ import (
 	"firestore/internal/index"
 	"firestore/internal/rules"
 	"firestore/internal/spanner"
+	"firestore/internal/status"
 )
 
 // Table prefixes within a database's directory.
@@ -28,10 +28,10 @@ const (
 	TableIndexEntries byte = 'I'
 )
 
-// Errors.
+// Errors, classified with canonical status codes.
 var (
-	ErrExists   = errors.New("catalog: database already exists")
-	ErrNotFound = errors.New("catalog: database not found")
+	ErrExists   = status.New(status.AlreadyExists, "catalog", "database already exists")
+	ErrNotFound = status.New(status.NotFound, "catalog", "database not found")
 )
 
 // Catalog places databases across a pool of Spanner databases.

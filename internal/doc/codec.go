@@ -2,12 +2,12 @@ package doc
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"hash/crc32"
 	"math"
 	"time"
 
+	"firestore/internal/status"
 	"firestore/internal/truetime"
 )
 
@@ -19,14 +19,14 @@ import (
 // order-preserving encoding for index keys lives in internal/encoding.
 
 // ErrCorrupt reports an undecodable document blob.
-var ErrCorrupt = errors.New("doc: corrupt encoding")
+var ErrCorrupt = status.New(status.Internal, "doc", "corrupt encoding")
 
 // ErrChecksum reports a blob whose end-to-end checksum does not match
 // its contents — in-memory or in-flight corruption (§VI: "mass-produced
 // machines themselves are unreliable and may corrupt in-memory data. We
 // are actively addressing these issues through the addition of
 // end-to-end checksums").
-var ErrChecksum = errors.New("doc: checksum mismatch")
+var ErrChecksum = status.New(status.Internal, "doc", "checksum mismatch")
 
 // Marshal encodes the document (name, timestamps, fields) to bytes,
 // ending with an IEEE CRC-32 of everything before it. The checksum

@@ -1,11 +1,11 @@
 package doc
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
+	"firestore/internal/status"
 	"firestore/internal/truetime"
 )
 
@@ -13,7 +13,7 @@ import (
 const MaxDocSize = 1 << 20
 
 // ErrTooLarge reports a document exceeding MaxDocSize.
-var ErrTooLarge = errors.New("doc: document exceeds 1MiB")
+var ErrTooLarge = status.New(status.InvalidArgument, "doc", "document exceeds 1MiB")
 
 // A Document is a named set of fields with an update timestamp. Documents
 // are immutable once constructed; updates build new Documents.

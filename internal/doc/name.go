@@ -1,9 +1,10 @@
 package doc
 
 import (
-	"errors"
 	"fmt"
 	"strings"
+
+	"firestore/internal/status"
 )
 
 // A Name identifies a document: an alternating sequence of collection IDs
@@ -18,7 +19,7 @@ const MaxNameLen = 1500
 
 var (
 	// ErrInvalidName reports a malformed document or collection name.
-	ErrInvalidName = errors.New("doc: invalid name")
+	ErrInvalidName = status.New(status.InvalidArgument, "doc", "invalid name")
 )
 
 // ParseName parses a textual document name like /restaurants/one.

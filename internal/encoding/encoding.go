@@ -17,11 +17,11 @@ package encoding
 
 import (
 	"bytes"
-	"errors"
 	"fmt"
 	"math"
 
 	"firestore/internal/doc"
+	"firestore/internal/status"
 )
 
 // Type tag bytes. The terminator must sort below every tag so that a
@@ -259,7 +259,7 @@ func ReadEscaped(b []byte) ([]byte, int, error) {
 }
 
 // ErrCorrupt reports an undecodable encoding.
-var ErrCorrupt = errors.New("encoding: corrupt")
+var ErrCorrupt = status.New(status.Internal, "encoding", "corrupt")
 
 // readEscaped decodes an escaped payload from b, returning the payload and
 // the number of input bytes consumed.

@@ -11,19 +11,21 @@ package frontend
 
 import (
 	"context"
-	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"firestore/internal/backend"
 	"firestore/internal/doc"
 	"firestore/internal/query"
+	"firestore/internal/reqctx"
 	"firestore/internal/rtcache"
+	"firestore/internal/status"
 	"firestore/internal/truetime"
 )
 
 // ErrConnClosed reports use of a closed connection.
-var ErrConnClosed = errors.New("frontend: connection closed")
+var ErrConnClosed = status.New(status.Unavailable, "frontend", "connection closed")
 
 // Frontend is a pool of frontend tasks (modeled as one object; the task
 // count only matters for the autoscaling experiments, which model it in
@@ -136,7 +138,9 @@ func (rq *rtQuery) resolved() truetime.Timestamp {
 // query on a Backend, emits the initial snapshot, and subscribes to the
 // Query Matcher ranges with the snapshot's max-commit-version. It returns
 // the target ID identifying the query's events.
-func (c *Conn) Listen(ctx context.Context, q *query.Query) (int64, error) {
+func (c *Conn) Listen(ctx context.Context, q *query.Query) (_ int64, retErr error) {
+	ctx, end := reqctx.StartSpan(ctx, "frontend.listen")
+	defer func() { end(retErr) }()
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -170,7 +174,7 @@ func (c *Conn) Listen(ctx context.Context, q *query.Query) (int64, error) {
 	c.mu.Unlock()
 
 	// Initial snapshot (step 3).
-	c.emit(SnapshotEvent{
+	delivered := c.deliver(SnapshotEvent{
 		TargetID: targetID,
 		TS:       readTS,
 		Initial:  true,
@@ -189,6 +193,11 @@ func (c *Conn) Listen(ctx context.Context, q *query.Query) (int64, error) {
 	_, rangeIDs := c.f.cache.Subscribe(c, c.dbID, q, readTS, subID)
 	c.mu.Lock()
 	rq.rangeIDs = rangeIDs
+	if !delivered && !rq.resetting {
+		// The initial snapshot never reached the client: the query is
+		// out-of-sync from birth; reset and requery with a full snapshot.
+		c.scheduleRequery(rq, true)
+	}
 	c.mu.Unlock()
 	return targetID, nil
 }
@@ -229,21 +238,42 @@ func (c *Conn) Close() {
 	close(c.events)
 }
 
-func (c *Conn) emit(ev SnapshotEvent) {
+// deliver attempts non-blocking delivery of ev. A false return means the
+// per-connection buffer is full; the caller must treat the query as
+// out-of-sync (the client has NOT seen ev) and recover via a full
+// reset-and-requery — a delta stream with a hole in it is worse than a
+// reset ("this reset is fast, and is mostly transparent to the end-user").
+func (c *Conn) deliver(ev SnapshotEvent) bool {
 	select {
 	case c.events <- ev:
+		return true
 	default:
-		// Slow consumer: drop the oldest to keep making progress. The
-		// client SDK reconciles via the next snapshot's full state; in
-		// production, flow control applies backpressure instead.
-		select {
-		case <-c.events:
-		default:
+		return false
+	}
+}
+
+// emitInitial delivers a full Initial snapshot of rq's current result
+// set, retrying until buffer space frees up or the connection closes.
+// Used to recover a query whose delta stream lost an event: the client's
+// state is unknown, so only a full snapshot can resynchronize it.
+func (c *Conn) emitInitial(rq *rtQuery, ts truetime.Timestamp) {
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
 		}
-		select {
-		case c.events <- ev:
-		default:
+		ev := SnapshotEvent{
+			TargetID: rq.targetID,
+			TS:       ts,
+			Initial:  true,
+			Added:    sortedDocs(rq.q, rq.results),
 		}
+		c.mu.Unlock()
+		if c.deliver(ev) {
+			return
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 
@@ -272,9 +302,25 @@ func (c *Conn) OnWatermark(rangeID int, subID int64, ts truetime.Timestamp) {
 	}
 	events := c.flushLocked()
 	c.mu.Unlock()
+	var lost []int64
 	for _, ev := range events {
-		c.emit(ev)
+		if !c.deliver(ev) {
+			lost = append(lost, ev.TargetID)
+		}
 	}
+	if len(lost) == 0 {
+		return
+	}
+	// A delta was dropped: the client's view of those targets is now
+	// behind rq.results with no way to catch up incrementally. Mark them
+	// out-of-sync and recover with a full reset-and-requery.
+	c.mu.Lock()
+	for _, tid := range lost {
+		if rq, ok := c.targets[tid]; ok && !rq.resetting {
+			c.scheduleRequery(rq, true)
+		}
+	}
+	c.mu.Unlock()
 }
 
 // flushLocked emits snapshots for every query that can advance to the
@@ -299,7 +345,7 @@ func (c *Conn) flushLocked() []SnapshotEvent {
 		}
 		ev, needsReset := c.applyLocked(rq, connTS)
 		if needsReset {
-			c.scheduleRequery(rq)
+			c.scheduleRequery(rq, false)
 			continue
 		}
 		if ev != nil {
@@ -391,14 +437,16 @@ func (c *Conn) OnReset(rangeID int, subID int64) {
 	c.mu.Lock()
 	rq, ok := c.queries[subID]
 	if ok && !rq.resetting {
-		c.scheduleRequery(rq)
+		c.scheduleRequery(rq, false)
 	}
 	c.mu.Unlock()
 }
 
 // scheduleRequery re-runs rq's initial query asynchronously (the cache
-// forbids synchronous re-entry from callbacks). Caller holds c.mu.
-func (c *Conn) scheduleRequery(rq *rtQuery) {
+// forbids synchronous re-entry from callbacks). Caller holds c.mu. When
+// full is true the client's state is unknown (a snapshot was dropped) and
+// the requery re-emits a full Initial snapshot instead of a delta.
+func (c *Conn) scheduleRequery(rq *rtQuery, full bool) {
 	rq.resetting = true
 	rq.pending = nil
 	delete(c.queries, rq.subID)
@@ -407,11 +455,11 @@ func (c *Conn) scheduleRequery(rq *rtQuery) {
 	go func() {
 		defer c.wg.Done()
 		c.f.cache.Unsubscribe(c, oldSub)
-		c.requery(rq)
+		c.requery(rq, full)
 	}()
 }
 
-func (c *Conn) requery(rq *rtQuery) {
+func (c *Conn) requery(rq *rtQuery, full bool) {
 	res, readTS, err := c.f.backend.RunQuery(context.Background(), c.dbID, c.p, rq.q, nil, 0)
 	if err != nil {
 		// Backend unavailable: retry is the client SDK's job; surface a
@@ -425,7 +473,8 @@ func (c *Conn) requery(rq *rtQuery) {
 	for _, d := range res.Docs {
 		fresh[d.Name.String()] = d
 	}
-	// Delta between the last emitted state and the fresh result.
+	// Delta between the last emitted state and the fresh result (unused
+	// when the client's state is unknown and a full snapshot goes out).
 	var added, modified []*doc.Document
 	var removed []doc.Name
 	c.mu.Lock()
@@ -433,26 +482,46 @@ func (c *Conn) requery(rq *rtQuery) {
 		c.mu.Unlock()
 		return
 	}
-	for key, d := range fresh {
-		old, ok := rq.results[key]
-		switch {
-		case !ok:
-			added = append(added, d)
-		case !old.Equal(d) || old.UpdateTime != d.UpdateTime:
-			modified = append(modified, d)
+	if !full {
+		for key, d := range fresh {
+			old, ok := rq.results[key]
+			switch {
+			case !ok:
+				added = append(added, d)
+			case !old.Equal(d) || old.UpdateTime != d.UpdateTime:
+				modified = append(modified, d)
+			}
 		}
-	}
-	for key, d := range rq.results {
-		if _, ok := fresh[key]; !ok {
-			removed = append(removed, d.Name)
+		for key, d := range rq.results {
+			if _, ok := fresh[key]; !ok {
+				removed = append(removed, d.Name)
+			}
 		}
 	}
 	rq.results = fresh
 	rq.maxCommitVersion = readTS
 	rq.watermarks = map[int]truetime.Timestamp{}
 	rq.limited = rq.q.Limit > 0 && len(res.Docs) == rq.q.Limit
-	rq.resetting = false
 	c.mu.Unlock()
+
+	// Emit before resubscribing, while rq.resetting still suppresses
+	// updates: no delta from the new subscription can overtake this
+	// snapshot in the event stream.
+	if full {
+		c.emitInitial(rq, readTS)
+	} else if len(added)+len(modified)+len(removed) > 0 {
+		if !c.deliver(SnapshotEvent{
+			TargetID: rq.targetID,
+			TS:       readTS,
+			Added:    added,
+			Modified: modified,
+			Removed:  removed,
+		}) {
+			// The catch-up delta itself was dropped; only a full snapshot
+			// can resynchronize the client now.
+			c.emitInitial(rq, readTS)
+		}
+	}
 
 	subID := c.f.cache.ReserveSub()
 	c.mu.Lock()
@@ -462,6 +531,7 @@ func (c *Conn) requery(rq *rtQuery) {
 	}
 	rq.subID = subID
 	rq.rangeIDs = nil
+	rq.resetting = false
 	c.queries[subID] = rq
 	c.mu.Unlock()
 	_, rangeIDs := c.f.cache.Subscribe(c, c.dbID, rq.q, readTS, subID)
@@ -473,16 +543,6 @@ func (c *Conn) requery(rq *rtQuery) {
 	}
 	rq.rangeIDs = rangeIDs
 	c.mu.Unlock()
-
-	if len(added)+len(modified)+len(removed) > 0 {
-		c.emit(SnapshotEvent{
-			TargetID: rq.targetID,
-			TS:       readTS,
-			Added:    added,
-			Modified: modified,
-			Removed:  removed,
-		})
-	}
 }
 
 // sortedDocs returns the result set in query order.

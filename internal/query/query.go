@@ -9,12 +9,12 @@
 package query
 
 import (
-	"errors"
 	"fmt"
 	"strings"
 
 	"firestore/internal/doc"
 	"firestore/internal/index"
+	"firestore/internal/status"
 )
 
 // Operator is a predicate comparison operator.
@@ -70,11 +70,11 @@ type Query struct {
 	Projection []doc.FieldPath // empty = whole documents
 }
 
-// Validation errors.
+// Validation errors: a structurally invalid query is the caller's fault.
 var (
-	ErrMultipleInequalities = errors.New("query: at most one field may have inequality predicates")
-	ErrInequalityOrder      = errors.New("query: the inequality field must match the first sort order")
-	ErrNoCollection         = errors.New("query: collection is required")
+	ErrMultipleInequalities = status.New(status.InvalidArgument, "query", "at most one field may have inequality predicates")
+	ErrInequalityOrder      = status.New(status.InvalidArgument, "query", "the inequality field must match the first sort order")
+	ErrNoCollection         = status.New(status.InvalidArgument, "query", "collection is required")
 )
 
 // NeedsIndexError reports that no index set can serve the query; the
@@ -94,6 +94,11 @@ func (e *NeedsIndexError) Error() string {
 		"query requires an index: create a composite index on collection %q with fields (%s) at https://console.cloud.google.com/firestore/indexes",
 		e.Collection, strings.Join(parts, ", "))
 }
+
+// StatusCode classifies the missing index as FailedPrecondition: the
+// query is well-formed but the system lacks the index it needs, and
+// retrying will not help until the developer creates it.
+func (e *NeedsIndexError) StatusCode() status.Code { return status.FailedPrecondition }
 
 // Validate checks the query's structural restrictions.
 func (q *Query) Validate() error {

@@ -1,0 +1,133 @@
+package reqctx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"firestore/internal/status"
+)
+
+func TestMetaRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if got := From(ctx); got != (Meta{}) {
+		t.Fatalf("From(empty) = %+v, want zero", got)
+	}
+	m := Meta{RequestID: "abc123", DB: "app", QoS: Batch}
+	ctx = With(ctx, m)
+	if got := From(ctx); got != m {
+		t.Fatalf("From = %+v, want %+v", got, m)
+	}
+	if got := RequestID(ctx); got != "abc123" {
+		t.Fatalf("RequestID = %q", got)
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if len(id) != 16 {
+			t.Fatalf("request ID %q has length %d, want 16", id, len(id))
+		}
+		if seen[id] {
+			t.Fatalf("duplicate request ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestQoSString(t *testing.T) {
+	if Latency.String() != "latency" || Batch.String() != "batch" {
+		t.Fatalf("QoS strings = %q, %q", Latency, Batch)
+	}
+}
+
+func TestStartSpanRecords(t *testing.T) {
+	rec := NewRecorder()
+	ctx := WithRecorder(context.Background(), rec)
+
+	_, end := StartSpan(ctx, "backend.commit")
+	end(nil)
+	_, end = StartSpan(ctx, "backend.commit")
+	end(fmt.Errorf("conflict: %w", status.New(status.Aborted, "backend", "transaction conflict")))
+
+	if got := rec.Spans(); len(got) != 1 || got[0] != "backend.commit" {
+		t.Fatalf("Spans = %v", got)
+	}
+	if s := rec.Summary("backend.commit"); s.Count != 2 {
+		t.Fatalf("Summary.Count = %d, want 2", s.Count)
+	}
+	if s := rec.CodeSummary("backend.commit", status.OK); s.Count != 1 {
+		t.Fatalf("OK count = %d, want 1", s.Count)
+	}
+	if s := rec.CodeSummary("backend.commit", status.Aborted); s.Count != 1 {
+		t.Fatalf("Aborted count = %d, want 1", s.Count)
+	}
+	codes := rec.Codes("backend.commit")
+	if len(codes) != 2 || codes[0] != status.OK || codes[1] != status.Aborted {
+		t.Fatalf("Codes = %v", codes)
+	}
+}
+
+func TestStartSpanUsesDefaultRecorder(t *testing.T) {
+	Default.Reset()
+	defer Default.Reset()
+	_, end := StartSpan(context.Background(), "spanner.txn.commit")
+	end(nil)
+	if s := Default.Summary("spanner.txn.commit"); s.Count != 1 {
+		t.Fatalf("Default recorder count = %d, want 1", s.Count)
+	}
+}
+
+func TestTraceEvents(t *testing.T) {
+	rec := NewRecorder()
+	var events []TraceEvent
+	rec.SetTrace(func(ev TraceEvent) { events = append(events, ev) })
+
+	ctx := WithRecorder(context.Background(), rec)
+	ctx = With(ctx, Meta{RequestID: "rid-1", DB: "app", QoS: Batch})
+	_, end := StartSpan(ctx, "backend.query")
+	time.Sleep(time.Millisecond)
+	end(status.New(status.NotFound, "backend", "document not found"))
+
+	if len(events) != 1 {
+		t.Fatalf("trace events = %d, want 1", len(events))
+	}
+	ev := events[0]
+	if ev.RequestID != "rid-1" || ev.DB != "app" || ev.QoS != Batch {
+		t.Fatalf("trace meta = %+v", ev)
+	}
+	if ev.Span != "backend.query" || ev.Code != status.NotFound {
+		t.Fatalf("trace span/code = %q/%v", ev.Span, ev.Code)
+	}
+	if ev.Duration <= 0 {
+		t.Fatalf("trace duration = %v", ev.Duration)
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	rec := NewRecorder()
+	ctx := WithRecorder(context.Background(), rec)
+	_, end := StartSpan(ctx, "x")
+	end(nil)
+	rec.Reset()
+	if got := rec.Spans(); len(got) != 0 {
+		t.Fatalf("Spans after Reset = %v", got)
+	}
+}
+
+func TestStartSpanClassifiesContextErrors(t *testing.T) {
+	rec := NewRecorder()
+	ctx := WithRecorder(context.Background(), rec)
+	_, end := StartSpan(ctx, "wfq.submit")
+	end(fmt.Errorf("queued: %w", context.Canceled))
+	if s := rec.CodeSummary("wfq.submit", status.DeadlineExceeded); s.Count != 1 {
+		t.Fatalf("DeadlineExceeded count = %d, want 1", s.Count)
+	}
+	if !errors.Is(fmt.Errorf("queued: %w", context.Canceled), context.Canceled) {
+		t.Fatal("sanity: wrap lost identity")
+	}
+}

@@ -1,0 +1,179 @@
+package reqctx
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"firestore/internal/metric"
+	"firestore/internal/status"
+)
+
+// Recorder aggregates span latencies into per-span, per-status-code
+// histograms (internal/metric) and optionally forwards every finished
+// span to a structured trace sink. The zero value is not usable; call
+// NewRecorder.
+type Recorder struct {
+	mu    sync.Mutex
+	spans map[string]*spanStats
+	trace func(TraceEvent)
+}
+
+type spanStats struct {
+	all    metric.Histogram
+	byCode map[status.Code]*metric.Histogram
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{spans: map[string]*spanStats{}}
+}
+
+// Default is the process-wide recorder used when a context carries no
+// explicit one; benchmarks and tests query it after a run.
+var Default = NewRecorder()
+
+type recorderKey struct{}
+
+// WithRecorder returns a context routing spans to r.
+func WithRecorder(ctx context.Context, r *Recorder) context.Context {
+	return context.WithValue(ctx, recorderKey{}, r)
+}
+
+// RecorderFrom returns the context's recorder, falling back to Default.
+func RecorderFrom(ctx context.Context) *Recorder {
+	if r, ok := ctx.Value(recorderKey{}).(*Recorder); ok && r != nil {
+		return r
+	}
+	return Default
+}
+
+// TraceEvent is one finished span, emitted to the trace sink.
+type TraceEvent struct {
+	RequestID string
+	DB        string
+	QoS       QoS
+	Span      string
+	Code      status.Code
+	Start     time.Time
+	Duration  time.Duration
+}
+
+// SetTrace installs fn as the structured trace sink (nil disables).
+// fn is called synchronously at span end and must be cheap.
+func (r *Recorder) SetTrace(fn func(TraceEvent)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.trace = fn
+}
+
+func (r *Recorder) record(span string, code status.Code, d time.Duration) {
+	r.mu.Lock()
+	st, ok := r.spans[span]
+	if !ok {
+		st = &spanStats{byCode: map[status.Code]*metric.Histogram{}}
+		r.spans[span] = st
+	}
+	h, ok := st.byCode[code]
+	if !ok {
+		h = &metric.Histogram{}
+		st.byCode[code] = h
+	}
+	r.mu.Unlock()
+	st.all.Record(d)
+	h.Record(d)
+}
+
+func (r *Recorder) traceFn() func(TraceEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.trace
+}
+
+// Spans returns the recorded span names, sorted.
+func (r *Recorder) Spans() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.spans))
+	for name := range r.spans {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Summary returns the latency summary of a span across all codes.
+func (r *Recorder) Summary(span string) metric.Summary {
+	r.mu.Lock()
+	st, ok := r.spans[span]
+	r.mu.Unlock()
+	if !ok {
+		return metric.Summary{}
+	}
+	return st.all.Snapshot()
+}
+
+// CodeSummary returns the latency summary of a span for one code.
+func (r *Recorder) CodeSummary(span string, code status.Code) metric.Summary {
+	r.mu.Lock()
+	var h *metric.Histogram
+	if st, ok := r.spans[span]; ok {
+		h = st.byCode[code]
+	}
+	r.mu.Unlock()
+	if h == nil {
+		return metric.Summary{}
+	}
+	return h.Snapshot()
+}
+
+// Codes returns the status codes observed for a span, sorted.
+func (r *Recorder) Codes(span string) []status.Code {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.spans[span]
+	if !ok {
+		return nil
+	}
+	out := make([]status.Code, 0, len(st.byCode))
+	for c := range st.byCode {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Reset drops all recorded spans (between benchmark phases).
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spans = map[string]*spanStats{}
+}
+
+// StartSpan begins a span named like "backend.commit" and returns the
+// context plus an end function. Call end with the operation's error
+// (nil on success); the elapsed time lands in the recorder's histogram
+// for (span, status.CodeOf(err)) and, when a trace sink is installed,
+// one TraceEvent is emitted with the request metadata.
+func StartSpan(ctx context.Context, span string) (context.Context, func(error)) {
+	rec := RecorderFrom(ctx)
+	meta := From(ctx)
+	start := time.Now()
+	return ctx, func(err error) {
+		d := time.Since(start)
+		code := status.CodeOf(err)
+		rec.record(span, code, d)
+		if tr := rec.traceFn(); tr != nil {
+			tr(TraceEvent{
+				RequestID: meta.RequestID,
+				DB:        meta.DB,
+				QoS:       meta.QoS,
+				Span:      span,
+				Code:      code,
+				Start:     start,
+				Duration:  d,
+			})
+		}
+	}
+}

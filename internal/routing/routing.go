@@ -5,14 +5,15 @@
 package routing
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 	"time"
+
+	"firestore/internal/status"
 )
 
 // ErrNoRegion reports an RPC for a database with no registered region.
-var ErrNoRegion = errors.New("routing: database has no home region")
+var ErrNoRegion = status.New(status.NotFound, "routing", "database has no home region")
 
 // Router maps databases to home regions and resolves RPC targets. T is
 // the per-region service handle (the core.Region in this repository).

@@ -1,11 +1,11 @@
 package rules
 
 import (
-	"errors"
 	"fmt"
 	"strings"
 
 	"firestore/internal/doc"
+	"firestore/internal/status"
 )
 
 // Auth is the authenticated end-user identity a request carries (from
@@ -33,7 +33,7 @@ type Request struct {
 }
 
 // ErrDenied reports a request denied by the ruleset.
-var ErrDenied = errors.New("rules: permission denied")
+var ErrDenied = status.New(status.PermissionDenied, "rules", "permission denied")
 
 // evalBudget bounds expression evaluation work (get() calls) per request.
 const evalBudget = 10
@@ -152,7 +152,7 @@ type env struct {
 	budget   *int
 }
 
-var errEval = errors.New("rules: evaluation error")
+var errEval = status.New(status.PermissionDenied, "rules", "evaluation error")
 
 func (e *env) errf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", errEval, fmt.Sprintf(format, args...))

@@ -3,6 +3,8 @@ package rules
 import (
 	"fmt"
 	"strings"
+
+	"firestore/internal/status"
 )
 
 // AST types.
@@ -112,7 +114,14 @@ func (*PathExpr) exprNode()   {}
 //
 // wrapper as well as bare match blocks, in both cases evaluating patterns
 // against document paths.
-func Parse(src string) (*Ruleset, error) {
+func Parse(src string) (_ *Ruleset, retErr error) {
+	// Malformed rules source is a caller problem: classify every parse
+	// failure InvalidArgument without touching its message.
+	defer func() {
+		if retErr != nil {
+			retErr = status.WithCode(status.InvalidArgument, retErr)
+		}
+	}()
 	tokens, err := lex(src)
 	if err != nil {
 		return nil, err

@@ -21,25 +21,28 @@ package spanner
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
 	"time"
 
+	"firestore/internal/status"
 	"firestore/internal/truetime"
 )
 
-// Errors returned by the engine.
+// Errors returned by the engine, classified with canonical status codes.
 var (
 	// ErrAborted reports a transaction aborted due to lock contention or
-	// deadlock-resolution timeout; the caller should retry.
-	ErrAborted = errors.New("spanner: transaction aborted")
+	// deadlock-resolution timeout; the caller should retry (Aborted is a
+	// retryable code).
+	ErrAborted = status.New(status.Aborted, "spanner", "transaction aborted")
 	// ErrCommitWindow reports that no commit timestamp within the
-	// caller's [min, max] window could be chosen.
-	ErrCommitWindow = errors.New("spanner: commit timestamp window unsatisfiable")
-	// ErrTxnDone reports use of a committed or aborted transaction.
-	ErrTxnDone = errors.New("spanner: transaction already finished")
+	// caller's [min, max] window could be chosen; retried like any other
+	// commit-time abort.
+	ErrCommitWindow = status.New(status.Aborted, "spanner", "commit timestamp window unsatisfiable")
+	// ErrTxnDone reports use of a committed or aborted transaction — a
+	// caller bug, not a retryable condition.
+	ErrTxnDone = status.New(status.Internal, "spanner", "transaction already finished")
 )
 
 // Config tunes a DB instance.

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"firestore/internal/reqctx"
 	"firestore/internal/truetime"
 )
 
@@ -222,7 +223,9 @@ func (t *Txn) finish() {
 // exclusive locks on every written row, runs two-phase commit across the
 // participant tablets, pays the replication quorum latency, performs
 // commit wait, and returns the commit timestamp.
-func (t *Txn) Commit(ctx context.Context, minTS, maxTS truetime.Timestamp) (truetime.Timestamp, error) {
+func (t *Txn) Commit(ctx context.Context, minTS, maxTS truetime.Timestamp) (_ truetime.Timestamp, retErr error) {
+	ctx, end := reqctx.StartSpan(ctx, "spanner.txn.commit")
+	defer func() { end(retErr) }()
 	if t.done {
 		return 0, ErrTxnDone
 	}

@@ -1,0 +1,85 @@
+package status_test
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+
+	"firestore/internal/backend"
+	"firestore/internal/catalog"
+	"firestore/internal/doc"
+	"firestore/internal/encoding"
+	"firestore/internal/frontend"
+	"firestore/internal/query"
+	"firestore/internal/routing"
+	"firestore/internal/rules"
+	"firestore/internal/spanner"
+	"firestore/internal/status"
+	"firestore/internal/wfq"
+	"firestore/mobile"
+)
+
+// TestSentinelTaxonomy pins the canonical classification of every
+// exported sentinel across the stack: its status code, and therefore the
+// HTTP status the server edge derives mechanically. A sentinel changing
+// class (e.g. a NotFound becoming an Internal) is an API break for every
+// retry loop and edge mapping — this table is the contract.
+func TestSentinelTaxonomy(t *testing.T) {
+	cases := []struct {
+		err      error
+		code     status.Code
+		httpCode int
+	}{
+		// backend
+		{backend.ErrNotFound, status.NotFound, http.StatusNotFound},
+		{backend.ErrAlreadyExists, status.AlreadyExists, http.StatusConflict},
+		{backend.ErrConflict, status.Aborted, http.StatusConflict},
+		{backend.ErrUnavailable, status.Unavailable, http.StatusServiceUnavailable},
+		// spanner
+		{spanner.ErrAborted, status.Aborted, http.StatusConflict},
+		{spanner.ErrCommitWindow, status.Aborted, http.StatusConflict},
+		{spanner.ErrTxnDone, status.Internal, http.StatusInternalServerError},
+		// rules
+		{rules.ErrDenied, status.PermissionDenied, http.StatusForbidden},
+		// frontend
+		{frontend.ErrConnClosed, status.Unavailable, http.StatusServiceUnavailable},
+		// catalog
+		{catalog.ErrExists, status.AlreadyExists, http.StatusConflict},
+		{catalog.ErrNotFound, status.NotFound, http.StatusNotFound},
+		// wfq
+		{wfq.ErrOverloaded, status.ResourceExhausted, http.StatusTooManyRequests},
+		{wfq.ErrInFlightLimit, status.ResourceExhausted, http.StatusTooManyRequests},
+		{wfq.ErrClosed, status.Unavailable, http.StatusServiceUnavailable},
+		// routing
+		{routing.ErrNoRegion, status.NotFound, http.StatusNotFound},
+		// query
+		{query.ErrMultipleInequalities, status.InvalidArgument, http.StatusBadRequest},
+		{query.ErrInequalityOrder, status.InvalidArgument, http.StatusBadRequest},
+		{query.ErrNoCollection, status.InvalidArgument, http.StatusBadRequest},
+		{&query.NeedsIndexError{Collection: "c"}, status.FailedPrecondition, http.StatusFailedDependency},
+		// doc / encoding
+		{doc.ErrInvalidName, status.InvalidArgument, http.StatusBadRequest},
+		{doc.ErrTooLarge, status.InvalidArgument, http.StatusBadRequest},
+		{doc.ErrCorrupt, status.Internal, http.StatusInternalServerError},
+		{doc.ErrChecksum, status.Internal, http.StatusInternalServerError},
+		{encoding.ErrCorrupt, status.Internal, http.StatusInternalServerError},
+		// mobile
+		{mobile.ErrOffline, status.Unavailable, http.StatusServiceUnavailable},
+	}
+	for _, tc := range cases {
+		t.Run(tc.err.Error(), func(t *testing.T) {
+			if got := status.CodeOf(tc.err); got != tc.code {
+				t.Errorf("CodeOf = %v, want %v", got, tc.code)
+			}
+			// Classification must survive wrapping, the normal shape the
+			// edge sees errors in.
+			wrapped := fmt.Errorf("while serving request: %w", tc.err)
+			if got := status.CodeOf(wrapped); got != tc.code {
+				t.Errorf("CodeOf(wrapped) = %v, want %v", got, tc.code)
+			}
+			if got := status.HTTPStatus(status.CodeOf(tc.err)); got != tc.httpCode {
+				t.Errorf("HTTPStatus = %d, want %d", got, tc.httpCode)
+			}
+		})
+	}
+}

@@ -1,0 +1,109 @@
+package wfq
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"firestore/internal/status"
+)
+
+// An already-expired context is rejected DeadlineExceeded at Submit,
+// before the task consumes a queue slot or any simulated CPU.
+func TestSubmitExpiredContextRejectedUpfront(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Bool
+	err := s.Submit(ctx, "db", 10*time.Millisecond, func() { ran.Store(true) })
+	if status.CodeOf(err) != status.DeadlineExceeded {
+		t.Fatalf("Submit(expired ctx) code = %v (%v), want DeadlineExceeded", status.CodeOf(err), err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Submit(expired ctx) = %v, want chain to context.Canceled", err)
+	}
+	if ran.Load() {
+		t.Fatal("task body ran despite expired context")
+	}
+	if got := s.QueueDepth(); got != 0 {
+		t.Fatalf("queue depth = %d, want 0 (expired work must not occupy a slot)", got)
+	}
+}
+
+// Work whose deadline expires while queued behind load is skipped at
+// dispatch: the caller gets DeadlineExceeded and the worker never burns
+// the task's cost or runs its body.
+func TestQueuedWorkExpiresWithoutBurningCPU(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	// Occupy the only worker so subsequent submissions queue.
+	blockerDone := make(chan error, 1)
+	running := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		blockerDone <- s.Submit(context.Background(), "hog", 0, func() {
+			close(running)
+			<-release
+		})
+	}()
+	<-running
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	var ran atomic.Bool
+	start := time.Now()
+	err := s.Submit(ctx, "victim", 500*time.Millisecond, func() { ran.Store(true) })
+	if status.CodeOf(err) != status.DeadlineExceeded {
+		t.Fatalf("Submit code = %v (%v), want DeadlineExceeded", status.CodeOf(err), err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Submit = %v, want chain to context.DeadlineExceeded", err)
+	}
+	// The caller must be released by its deadline, not by the 500ms the
+	// task would have cost.
+	if elapsed := time.Since(start); elapsed > 250*time.Millisecond {
+		t.Fatalf("Submit blocked %v, want release at the ~5ms deadline", elapsed)
+	}
+
+	close(release)
+	if err := <-blockerDone; err != nil {
+		t.Fatalf("blocker = %v", err)
+	}
+	// Drain: give the worker a chance to pop the expired task; it must
+	// skip the body without sleeping its 500ms cost.
+	drained := make(chan struct{})
+	go func() {
+		s.Submit(context.Background(), "drain", 0, func() {})
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-time.After(400 * time.Millisecond):
+		t.Fatal("worker burned the expired task's cost instead of skipping it")
+	}
+	if ran.Load() {
+		t.Fatal("expired task body ran")
+	}
+}
+
+// Shed load and the in-flight cap classify ResourceExhausted — the
+// signal SDK retry interceptors back off on.
+func TestShedLoadClassification(t *testing.T) {
+	if status.CodeOf(ErrOverloaded) != status.ResourceExhausted {
+		t.Fatalf("ErrOverloaded code = %v", status.CodeOf(ErrOverloaded))
+	}
+	if !status.Retryable(status.CodeOf(ErrOverloaded)) {
+		t.Fatal("shed load must be retryable")
+	}
+	if status.CodeOf(ErrInFlightLimit) != status.ResourceExhausted {
+		t.Fatalf("ErrInFlightLimit code = %v", status.CodeOf(ErrInFlightLimit))
+	}
+	if status.CodeOf(ErrClosed) != status.Unavailable {
+		t.Fatalf("ErrClosed code = %v", status.CodeOf(ErrClosed))
+	}
+}

@@ -16,19 +16,23 @@ package wfq
 import (
 	"container/heap"
 	"context"
-	"errors"
 	"sync"
 	"time"
+
+	"firestore/internal/status"
 )
 
-// Errors returned by Submit.
+// Errors returned by Submit, classified with canonical status codes:
+// shed load and in-flight caps are ResourceExhausted (retry with
+// backoff), a closed scheduler is Unavailable, and work whose context
+// is already done is rejected DeadlineExceeded before burning CPU.
 var (
 	// ErrOverloaded reports queue-depth load shedding.
-	ErrOverloaded = errors.New("wfq: overloaded, request shed")
+	ErrOverloaded = status.New(status.ResourceExhausted, "wfq", "overloaded, request shed")
 	// ErrInFlightLimit reports the per-database in-flight cap.
-	ErrInFlightLimit = errors.New("wfq: per-database in-flight limit reached")
+	ErrInFlightLimit = status.New(status.ResourceExhausted, "wfq", "per-database in-flight limit reached")
 	// ErrClosed reports submission to a stopped scheduler.
-	ErrClosed = errors.New("wfq: scheduler closed")
+	ErrClosed = status.New(status.Unavailable, "wfq", "scheduler closed")
 )
 
 // Mode selects the scheduling discipline.
@@ -58,6 +62,7 @@ type Config struct {
 
 // task is one queued work item.
 type task struct {
+	ctx      context.Context
 	key      string
 	cost     time.Duration
 	fn       func()
@@ -153,8 +158,13 @@ func (s *Scheduler) Close() {
 
 // Submit enqueues fn with the given simulated CPU cost under key and
 // blocks until it has run, it is shed, or ctx is done. The returned error
-// is nil if fn ran.
+// is nil if fn ran. Work whose context is already cancelled or past its
+// deadline is rejected DeadlineExceeded without consuming a queue slot,
+// and re-checked at dispatch so expired work never burns a worker.
 func (s *Scheduler) Submit(ctx context.Context, key string, cost time.Duration, fn func()) error {
+	if err := ctx.Err(); err != nil {
+		return status.FromContext("wfq", err)
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -169,7 +179,7 @@ func (s *Scheduler) Submit(ctx context.Context, key string, cost time.Duration, 
 		return ErrInFlightLimit
 	}
 	s.seq++
-	t := &task{key: key, cost: cost, fn: fn, seq: s.seq, done: make(chan struct{})}
+	t := &task{ctx: ctx, key: key, cost: cost, fn: fn, seq: s.seq, done: make(chan struct{})}
 	if s.cfg.Mode == Fair {
 		w := s.cfg.DefaultWeight
 		if ww, ok := s.weights[key]; ok {
@@ -192,8 +202,9 @@ func (s *Scheduler) Submit(ctx context.Context, key string, cost time.Duration, 
 	case <-t.done:
 		return t.rejected
 	case <-ctx.Done():
-		// The task may still run; the worker decrements in-flight.
-		return ctx.Err()
+		// The task will not run: the worker sees the done context when
+		// it pops the task and skips it without burning its cost.
+		return status.FromContext("wfq", ctx.Err())
 	}
 }
 
@@ -215,11 +226,18 @@ func (s *Scheduler) worker() {
 		}
 		s.mu.Unlock()
 
-		if t.cost > 0 {
-			time.Sleep(t.cost) // hold the worker slot: simulated CPU burn
-		}
-		if t.fn != nil {
-			t.fn()
+		// Deadline enforcement at dispatch: work that expired while
+		// queued is dropped without burning CPU (the caller already got
+		// DeadlineExceeded, or gets it via rejected below).
+		if err := t.ctx.Err(); err != nil {
+			t.rejected = status.FromContext("wfq", err)
+		} else {
+			if t.cost > 0 {
+				time.Sleep(t.cost) // hold the worker slot: simulated CPU burn
+			}
+			if t.fn != nil {
+				t.fn()
+			}
 		}
 
 		s.mu.Lock()

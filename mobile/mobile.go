@@ -26,12 +26,13 @@ import (
 	"firestore/internal/frontend"
 	"firestore/internal/query"
 	"firestore/internal/rules"
+	"firestore/internal/status"
 	"firestore/internal/truetime"
 )
 
 // ErrOffline reports an operation that requires connectivity (e.g. a
 // transaction) attempted while disconnected.
-var ErrOffline = errors.New("mobile: client is offline")
+var ErrOffline = status.New(status.Unavailable, "mobile", "client is offline")
 
 // Remote is the SDK's view of the Firestore service.
 type Remote interface {
@@ -580,7 +581,7 @@ func (c *Client) RunTransaction(ctx context.Context, fn func(tx *Txn) error) err
 			deliver(snaps)
 			return nil
 		}
-		if !errors.Is(err, backend.ErrConflict) {
+		if !status.Retryable(status.CodeOf(err)) {
 			return err
 		}
 		lastErr = err
