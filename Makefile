@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify vet build test test-race fuzz bench
+.PHONY: verify vet build test test-race race-pipeline fuzz bench
 
 verify: vet build test-race
 
@@ -15,6 +15,11 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# Focused, repeated race pass over the concurrent write pipeline
+# (SDK BulkWriter/iterators, backend group commit, fair scheduler, ramp).
+race-pipeline:
+	$(GO) test -race -count=2 ./firestore/ ./internal/backend/ ./internal/wfq/ ./internal/ramp/
 
 # Short fuzz pass over the trigger-payload decoder.
 fuzz:

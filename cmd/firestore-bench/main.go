@@ -7,6 +7,7 @@
 //	firestore-bench -fig 6            # one figure: 6, 7, 8, 9, 10a, 10b, 11
 //	firestore-bench -tab 1            # the ease-of-use table
 //	firestore-bench -abl zigzag       # ablations: zigzag, multiregion, shedding
+//	firestore-bench -bulk             # YCSB bulk load: sequential Set vs BulkWriter
 //	firestore-bench -all              # everything
 //	firestore-bench -all -scale 0.2   # faster, smaller runs
 package main
@@ -25,6 +26,7 @@ func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 6, 7, 8, 7+8, 9, 10a, 10b, 11")
 	tab := flag.String("tab", "", "table to regenerate: 1")
 	abl := flag.String("abl", "", "ablation to run: zigzag, multiregion, shedding")
+	bulk := flag.Bool("bulk", false, "run the YCSB bulk-load comparison (sequential Set vs BulkWriter)")
 	all := flag.Bool("all", false, "run every experiment")
 	scale := flag.Float64("scale", 1.0, "experiment size/duration multiplier")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -52,6 +54,7 @@ func main() {
 		bench.AblZigzag(opts).Fprint(out)
 		bench.AblMultiRegion(opts).Fprint(out)
 		bench.AblShedding(opts).Fprint(out)
+		bench.BulkLoad(opts).Fprint(out)
 		if *spans {
 			printSpans(out)
 		}
@@ -108,6 +111,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown ablation %q\n", *abl)
 			os.Exit(2)
 		}
+	}
+	if *bulk {
+		ran = true
+		bench.BulkLoad(opts).Fprint(out)
 	}
 	if !ran {
 		flag.Usage()

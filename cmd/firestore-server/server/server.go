@@ -278,8 +278,40 @@ type queryJSON struct {
 	Limit  int      `json:"limit"`
 	Offset int      `json:"offset"`
 	Select []string `json:"select"`
+	// Cursors bound the result range at the sort-order positions the
+	// values name (prefix semantics, with an optional trailing document
+	// name for an exact restart point). At most one of each pair may be
+	// set per query.
+	StartAt    []any `json:"startAt"`
+	StartAfter []any `json:"startAfter"`
+	EndAt      []any `json:"endAt"`
+	EndBefore  []any `json:"endBefore"`
 	// Count executes the query as a COUNT aggregation.
 	Count bool `json:"count"`
+}
+
+// cursorFromJSON converts one of a pair of wire cursor variants (the
+// inclusive At form or its exclusive sibling) into an engine cursor.
+func cursorFromJSON(at, excl []any, atName, exclName string) (*query.Cursor, error) {
+	if at != nil && excl != nil {
+		return nil, fmt.Errorf("at most one of %s and %s may be set", atName, exclName)
+	}
+	vals, inclusive := at, true
+	if excl != nil {
+		vals, inclusive = excl, false
+	}
+	if vals == nil {
+		return nil, nil
+	}
+	c := &query.Cursor{Inclusive: inclusive}
+	for _, raw := range vals {
+		v, err := valueFromJSON(raw)
+		if err != nil {
+			return nil, err
+		}
+		c.Values = append(c.Values, v)
+	}
+	return c, nil
 }
 
 func (qj *queryJSON) build() (*query.Query, error) {
@@ -308,6 +340,12 @@ func (qj *queryJSON) build() (*query.Query, error) {
 	}
 	for _, sel := range qj.Select {
 		q.Projection = append(q.Projection, doc.FieldPath(sel))
+	}
+	if q.Start, err = cursorFromJSON(qj.StartAt, qj.StartAfter, "startAt", "startAfter"); err != nil {
+		return nil, err
+	}
+	if q.End, err = cursorFromJSON(qj.EndAt, qj.EndBefore, "endAt", "endBefore"); err != nil {
+		return nil, err
 	}
 	return q, q.Validate()
 }

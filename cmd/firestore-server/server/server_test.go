@@ -154,6 +154,88 @@ func TestQueryOverHTTP(t *testing.T) {
 	}
 }
 
+func TestQueryCursorsOverHTTP(t *testing.T) {
+	ts := newServer(t)
+	do(t, ts, "POST", "/v1/databases", map[string]string{"id": "app"}, nil)
+	for i := 0; i < 10; i++ {
+		do(t, ts, "PUT", fmt.Sprintf("/v1/databases/app/docs/restaurants/r%d", i), map[string]any{
+			"rating": i,
+		}, nil)
+	}
+	names := func(body []byte) []string {
+		t.Helper()
+		var out struct {
+			Documents []struct {
+				Name string `json:"name"`
+			} `json:"documents"`
+		}
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		var ns []string
+		for _, d := range out.Documents {
+			ns = append(ns, d.Name)
+		}
+		return ns
+	}
+
+	// Page through the bare collection by document-name cursor, the wire
+	// form fsctl's scan command drives.
+	var got []string
+	after := []any(nil)
+	for page := 0; page < 4; page++ {
+		req := map[string]any{"collection": "/restaurants", "limit": 4}
+		if after != nil {
+			req["startAfter"] = after
+		}
+		resp, body := do(t, ts, "POST", "/v1/databases/app/query", req, nil)
+		if resp.StatusCode != 200 {
+			t.Fatalf("page %d: %d %s", page, resp.StatusCode, body)
+		}
+		ns := names(body)
+		if len(ns) == 0 {
+			break
+		}
+		got = append(got, ns...)
+		after = []any{ns[len(ns)-1]}
+	}
+	if len(got) != 10 || got[0] != "/restaurants/r0" || got[9] != "/restaurants/r9" {
+		t.Fatalf("paged scan = %v", got)
+	}
+
+	// Value cursors at sort-order positions, both ends.
+	resp, body := do(t, ts, "POST", "/v1/databases/app/query", map[string]any{
+		"collection": "/restaurants",
+		"orderBy":    []map[string]any{{"field": "rating"}},
+		"startAt":    []any{5},
+		"endBefore":  []any{8},
+	}, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("cursor range: %d %s", resp.StatusCode, body)
+	}
+	if ns := names(body); len(ns) != 3 || ns[0] != "/restaurants/r5" || ns[2] != "/restaurants/r7" {
+		t.Fatalf("cursor range result = %v", ns)
+	}
+
+	// Conflicting and malformed cursors are the caller's fault.
+	resp, _ = do(t, ts, "POST", "/v1/databases/app/query", map[string]any{
+		"collection": "/restaurants",
+		"startAt":    []any{1},
+		"startAfter": []any{2},
+	}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("conflicting cursors = %d", resp.StatusCode)
+	}
+	resp, _ = do(t, ts, "POST", "/v1/databases/app/query", map[string]any{
+		"collection": "/restaurants",
+		"orderBy":    []map[string]any{{"field": "rating"}},
+		"startAt":    []any{1, "/restaurants/r1", "extra"},
+	}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized cursor = %d", resp.StatusCode)
+	}
+}
+
 func TestRulesOverHTTP(t *testing.T) {
 	ts := newServer(t)
 	do(t, ts, "POST", "/v1/databases", map[string]string{"id": "app"}, nil)

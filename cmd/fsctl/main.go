@@ -16,17 +16,20 @@
 //	get <path>                         read a document
 //	delete <path>                      delete a document
 //	query <json>                       run a query (see firestore-server docs)
+//	scan <collection> [pageSize]       page through a whole collection by cursor
 //	watch <collection>                 stream real-time snapshots (SSE)
 package main
 
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 )
 
@@ -57,6 +60,8 @@ func main() {
 		err = c.simple("DELETE", "/docs", args[1:])
 	case "query":
 		err = c.query(args[1:])
+	case "scan":
+		err = c.scan(args[1:])
 	case "watch":
 		err = c.watch(args[1:])
 	default:
@@ -156,6 +161,64 @@ func (c *cli) query(args []string) error {
 		return fmt.Errorf("query <json>")
 	}
 	return c.echo("POST", c.dbPath("/query"), args[0])
+}
+
+// scan pages through an entire collection in name order, one JSON
+// document per line: each page is a limited query whose startAfter
+// cursor is the previous page's last document name, so arbitrarily
+// large collections stream in bounded requests.
+func (c *cli) scan(args []string) error {
+	if len(args) < 1 || len(args) > 2 {
+		return fmt.Errorf("scan <collection> [pageSize]")
+	}
+	pageSize := 100
+	if len(args) == 2 {
+		n, err := strconv.Atoi(args[1])
+		if err != nil || n <= 0 {
+			return fmt.Errorf("scan: page size must be a positive integer, got %q", args[1])
+		}
+		pageSize = n
+	}
+	coll := ensureSlash(args[0])
+	var after string
+	for {
+		body := fmt.Sprintf(`{"collection":%q,"limit":%d}`, coll, pageSize)
+		if after != "" {
+			body = fmt.Sprintf(`{"collection":%q,"limit":%d,"startAfter":[%q]}`, coll, pageSize, after)
+		}
+		resp, err := c.request("POST", c.dbPath("/query"), body)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode >= 400 {
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			resp.Body.Close()
+			return fmt.Errorf("HTTP %d: %s", resp.StatusCode, buf.String())
+		}
+		var page struct {
+			Documents []struct {
+				Name   string         `json:"name"`
+				Fields map[string]any `json:"fields"`
+			} `json:"documents"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&page)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		for _, d := range page.Documents {
+			line, err := json.Marshal(d)
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(line))
+		}
+		if len(page.Documents) < pageSize {
+			return nil
+		}
+		after = page.Documents[len(page.Documents)-1].Name
+	}
 }
 
 func (c *cli) watch(args []string) error {

@@ -38,8 +38,9 @@ func main() {
 	}
 	fmt.Printf("read %s: %v\n", ref.Path(), snap.Data())
 
-	// Query: everything is indexed automatically.
-	docs, err := client.Collection("greetings").Where("lang", "==", "en").Documents(ctx)
+	// Query: everything is indexed automatically. Documents returns an
+	// iterator; GetAll drains it into a slice.
+	docs, err := client.Collection("greetings").Where("lang", "==", "en").GetAll(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"math/rand"
@@ -169,19 +170,24 @@ func addReview(ctx context.Context, client *firestore.Client, restaurantID strin
 func filterRestaurants(ctx context.Context, client *firestore.Client) {
 	byCategory, err := client.Collection("restaurants").
 		Where("category", "==", "BBQ").
-		Documents(ctx)
+		GetAll(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("BBQ restaurants: %d\n", len(byCategory))
-	popular, err := client.Collection("restaurants").
+	it := client.Collection("restaurants").
 		Where("numRatings", ">", 0).
 		OrderBy("numRatings", firestore.Desc).
 		Documents(ctx)
-	if err != nil {
-		log.Fatal(err)
-	}
-	for _, d := range popular {
+	defer it.Stop()
+	for {
+		d, err := it.Next()
+		if errors.Is(err, firestore.ErrIteratorDone) {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
 		name, _ := d.DataAt("name")
 		n, _ := d.DataAt("numRatings")
 		fmt.Printf("reviewed: %v (%d ratings)\n", name, n)

@@ -117,9 +117,14 @@ func (cr *CollectionRef) OrderBy(fieldPath string, dir Direction) Query {
 	return cr.Query().OrderBy(fieldPath, dir)
 }
 
-// Documents runs the unfiltered collection query.
-func (cr *CollectionRef) Documents(ctx context.Context) ([]*DocumentSnapshot, error) {
+// Documents returns an iterator over every document in the collection.
+func (cr *CollectionRef) Documents(ctx context.Context) *DocumentIterator {
 	return cr.Query().Documents(ctx)
+}
+
+// GetAll returns every document in the collection as one slice.
+func (cr *CollectionRef) GetAll(ctx context.Context) ([]*DocumentSnapshot, error) {
+	return cr.Query().GetAll(ctx)
 }
 
 // Snapshots opens a real-time listener on the whole collection.

@@ -146,7 +146,7 @@ func TestQueryBuilder(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	docs, err := c.Collection("restaurants").Where("city", "==", "SF").Documents(ctx)
+	docs, err := c.Collection("restaurants").Where("city", "==", "SF").GetAll(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +157,7 @@ func TestQueryBuilder(t *testing.T) {
 		Where("rating", ">=", 3).
 		OrderBy("rating", Desc).
 		Limit(5).
-		Documents(ctx)
+		GetAll(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestQueryBuilder(t *testing.T) {
 		prev = v.(int64)
 	}
 	// Projection.
-	docs, err = c.Collection("restaurants").Where("city", "==", "NY").Select("name").Documents(ctx)
+	docs, err = c.Collection("restaurants").Where("city", "==", "NY").Select("name").GetAll(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,11 +183,11 @@ func TestQueryBuilder(t *testing.T) {
 		}
 	}
 	// Unknown operator.
-	if _, err := c.Collection("restaurants").Where("city", "~", 1).Documents(ctx); err == nil {
+	if _, err := c.Collection("restaurants").Where("city", "~", 1).GetAll(ctx); err == nil {
 		t.Fatal("bad operator accepted")
 	}
 	// Invalid query shape.
-	_, err = c.Collection("restaurants").Where("a", ">", 1).Where("b", "<", 2).Documents(ctx)
+	_, err = c.Collection("restaurants").Where("a", ">", 1).Where("b", "<", 2).GetAll(ctx)
 	if err == nil {
 		t.Fatal("two-field inequality accepted")
 	}
@@ -283,7 +283,7 @@ func TestWriteBatch(t *testing.T) {
 	if err := b.Commit(ctx); err != nil {
 		t.Fatal(err)
 	}
-	docs, err := c.Collection("c").Documents(ctx)
+	docs, err := c.Collection("c").GetAll(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -30,6 +30,8 @@ type Query struct {
 	limit int
 	off   int
 	sel   []doc.FieldPath
+	start *query.Cursor
+	end   *query.Cursor
 	err   error
 }
 
@@ -84,6 +86,58 @@ func (q Query) Limit(n int) Query { q.limit = n; return q }
 // Offset skips the first n results.
 func (q Query) Offset(n int) Query { q.off = n; return q }
 
+// StartAt starts results at the given sort position, inclusive. Values
+// align positionally with the OrderBy fields; one extra value — a
+// document path string, Ref, or *DocumentSnapshot — may follow as the
+// document-name tie-break, which makes the cursor pin down exactly one
+// position (the usual shape for resuming after a previous page's last
+// document). Alignment is validated when the query runs.
+func (q Query) StartAt(values ...any) Query {
+	q.start, q.err = q.cursorOf(values, true)
+	return q
+}
+
+// StartAfter starts results after the given sort position (exclusive).
+func (q Query) StartAfter(values ...any) Query {
+	q.start, q.err = q.cursorOf(values, false)
+	return q
+}
+
+// EndAt ends results at the given sort position, inclusive.
+func (q Query) EndAt(values ...any) Query {
+	q.end, q.err = q.cursorOf(values, true)
+	return q
+}
+
+// EndBefore ends results before the given sort position (exclusive).
+func (q Query) EndBefore(values ...any) Query {
+	q.end, q.err = q.cursorOf(values, false)
+	return q
+}
+
+func (q Query) cursorOf(values []any, inclusive bool) (*query.Cursor, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	vals := make([]doc.Value, len(values))
+	for i, v := range values {
+		// A snapshot or ref stands for its document name (the tie-break
+		// component).
+		switch x := v.(type) {
+		case *DocumentSnapshot:
+			v = Ref(x.Ref.name.String())
+		case *DocumentRef:
+			v = Ref(x.name.String())
+		}
+		dv, err := toValue(v)
+		if err != nil {
+			return nil, fmt.Errorf("firestore: cursor value %d: %w", i, err)
+		}
+		vals[i] = dv
+	}
+	return &query.Cursor{Values: vals, Inclusive: inclusive}, nil
+}
+
 // Select restricts results to the given field paths (a projection).
 func (q Query) Select(fieldPaths ...string) Query {
 	sel := make([]doc.FieldPath, len(fieldPaths))
@@ -105,6 +159,8 @@ func (q Query) build() (*query.Query, error) {
 		Limit:      q.limit,
 		Offset:     q.off,
 		Projection: q.sel,
+		Start:      q.start,
+		End:        q.end,
 	}
 	if err := iq.Validate(); err != nil {
 		return nil, err
@@ -112,35 +168,18 @@ func (q Query) build() (*query.Query, error) {
 	return iq, nil
 }
 
-// Documents executes the query and returns every result (following
-// partial-result resumption internally).
-func (q Query) Documents(ctx context.Context) ([]*DocumentSnapshot, error) {
-	iq, err := q.build()
-	if err != nil {
-		return nil, err
-	}
-	var out []*DocumentSnapshot
-	var resume []byte
-	remaining := iq.Limit
-	for {
-		var res *query.Result
-		var readTS truetime.Timestamp
-		err := withRetry(ctx, func() error {
-			var err error
-			res, readTS, err = q.c.region.RunQuery(ctx, q.c.dbID, q.c.p, iq, resume, 0)
-			return err
-		})
-		if err != nil {
-			return nil, err
-		}
-		for _, d := range res.Docs {
-			out = append(out, snapshotOf(&DocumentRef{c: q.c, name: d.Name}, d, readTS))
-		}
-		if res.Resume == nil || (iq.Limit > 0 && len(out) >= remaining) {
-			return out, nil
-		}
-		resume = res.Resume
-	}
+// Documents executes the query and returns an iterator over its results.
+// Build and validation errors surface on the first Next call.
+func (q Query) Documents(ctx context.Context) *DocumentIterator {
+	it := &DocumentIterator{c: q.c, ctx: ctx}
+	it.iq, it.err = q.build()
+	return it
+}
+
+// GetAll executes the query and returns every result as one slice: the
+// behavior Documents had before it returned an iterator.
+func (q Query) GetAll(ctx context.Context) ([]*DocumentSnapshot, error) {
+	return q.Documents(ctx).GetAll()
 }
 
 // Count executes the query as a COUNT aggregation: the result comes

@@ -138,12 +138,18 @@ func (tx *Transaction) buffer(dr *DocumentRef, kind backend.OpKind, data map[str
 	return nil
 }
 
+// ErrBatchCommitted reports reuse of a WriteBatch after Commit.
+var ErrBatchCommitted = status.New(status.FailedPrecondition, "firestore", "WriteBatch has already been committed")
+
 // WriteBatch accumulates blind writes applied atomically by Commit; no
-// reads, no revalidation ("last update wins", §III-E).
+// reads, no revalidation ("last update wins", §III-E). A batch is
+// single-use: adding ops or committing again after a Commit attempt
+// fails with ErrBatchCommitted rather than silently re-sending.
 type WriteBatch struct {
-	c   *Client
-	ops []backend.WriteOp
-	err error
+	c         *Client
+	ops       []backend.WriteOp
+	committed bool
+	err       error
 }
 
 // Batch starts a write batch.
@@ -173,6 +179,10 @@ func (b *WriteBatch) add(dr *DocumentRef, kind backend.OpKind, data map[string]a
 	if b.err != nil {
 		return b
 	}
+	if b.committed {
+		b.err = ErrBatchCommitted
+		return b
+	}
 	if dr.err != nil {
 		b.err = dr.err
 		return b
@@ -193,6 +203,10 @@ func (b *WriteBatch) Commit(ctx context.Context) error {
 	if b.err != nil {
 		return b.err
 	}
+	if b.committed {
+		return ErrBatchCommitted
+	}
+	b.committed = true
 	if len(b.ops) == 0 {
 		return nil
 	}

@@ -143,6 +143,10 @@ type FailureHooks struct {
 	UnknownOutcome func() bool
 	// DropAccept skips sending the Accept entirely.
 	DropAccept func() bool
+	// BulkGroupErr, when non-nil, is consulted before each bulk
+	// tablet-group commit; a non-nil return fails that whole group with
+	// it (for exercising the BulkWriter's per-op retry).
+	BulkGroupErr func() error
 }
 
 // Backend is a multi-tenant Backend task pool.
@@ -223,6 +227,17 @@ func (b *Backend) CommitTransactional(ctx context.Context, dbID string, p Princi
 }
 
 func (b *Backend) commitLocked(ctx context.Context, db *catalog.Database, p Principal, ops []WriteOp, reads []ReadValidation) (truetime.Timestamp, error) {
+	return b.commitOps(ctx, db, p, ops, reads, nil)
+}
+
+// commitOps runs the seven-step write protocol. opErrs, when non-nil
+// (the bulk path, len(opErrs) == len(ops)), switches per-op failures —
+// precondition violations, size limits, rules denials — from aborting
+// the whole transaction to being recorded at the op's index and skipped,
+// since bulk ops are independent writes that merely share a transaction
+// for throughput. Transient failures (cache prepare, the commit itself)
+// still fail every op together.
+func (b *Backend) commitOps(ctx context.Context, db *catalog.Database, p Principal, ops []WriteOp, reads []ReadValidation, opErrs []error) (truetime.Timestamp, error) {
 	meta := db.Meta()
 	clock := db.Spanner.Clock()
 
@@ -262,19 +277,35 @@ func (b *Backend) commitLocked(ctx context.Context, db *catalog.Database, p Prin
 	changes := make([]change, 0, len(ops))
 	names := make([]doc.Name, 0, len(ops))
 	muts := make([]rtcache.Mutation, 0, len(ops))
-	for _, op := range ops {
+	for i, op := range ops {
+		// failOp routes an op-level failure: recorded and skipped in
+		// per-op mode, transaction-fatal otherwise.
+		failOp := func(err error) (bool, truetime.Timestamp, error) {
+			if opErrs != nil {
+				opErrs[i] = err
+				return true, 0, nil
+			}
+			ts, aerr := abort(err)
+			return false, ts, aerr
+		}
 		old, err := b.readInTxn(ctx, db, txn, op.Name, true)
 		if err != nil {
-			return abort(err)
+			return abort(err) // storage-level: fatal in both modes
 		}
 		switch op.Kind {
 		case OpCreate:
 			if old != nil {
-				return abort(fmt.Errorf("%w: %s", ErrAlreadyExists, op.Name))
+				if skip, ts, err := failOp(fmt.Errorf("%w: %s", ErrAlreadyExists, op.Name)); !skip {
+					return ts, err
+				}
+				continue
 			}
 		case OpUpdate:
 			if old == nil {
-				return abort(fmt.Errorf("%w: %s", ErrNotFound, op.Name))
+				if skip, ts, err := failOp(fmt.Errorf("%w: %s", ErrNotFound, op.Name)); !skip {
+					return ts, err
+				}
+				continue
 			}
 		}
 		ch := change{op: op, old: old}
@@ -284,7 +315,10 @@ func (b *Backend) commitLocked(ctx context.Context, db *catalog.Database, p Prin
 				ch.new.CreateTime = old.CreateTime
 			}
 			if err := ch.new.CheckSize(); err != nil {
-				return abort(err)
+				if skip, ts, aerr := failOp(err); !skip {
+					return ts, aerr
+				}
+				continue
 			}
 		}
 		if !p.Privileged {
@@ -299,7 +333,10 @@ func (b *Backend) commitLocked(ctx context.Context, db *catalog.Database, p Prin
 				},
 			}
 			if err := meta.Rules.Authorize(req); err != nil {
-				return abort(err)
+				if skip, ts, aerr := failOp(err); !skip {
+					return ts, aerr
+				}
+				continue
 			}
 		}
 		nameEnc := encoding.EncodeName(nil, ch.op.Name)
@@ -319,6 +356,13 @@ func (b *Backend) commitLocked(ctx context.Context, db *catalog.Database, p Prin
 		changes = append(changes, ch)
 		names = append(names, ch.op.Name)
 		muts = append(muts, rtcache.Mutation{Name: ch.op.Name, Old: ch.old, New: ch.new})
+	}
+
+	// Bulk mode with every op skipped: nothing to commit, and each op
+	// already carries its own error.
+	if opErrs != nil && len(changes) == 0 {
+		txn.Abort()
+		return 0, nil
 	}
 
 	// Write triggers ride Spanner's transactional messaging (§IV-D2).

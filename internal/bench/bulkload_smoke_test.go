@@ -1,0 +1,26 @@
+package bench
+
+import "testing"
+
+// TestBulkLoad asserts the PR's acceptance criterion: at equal op count
+// the BulkWriter sustains at least 3x the docs/s of a sequential
+// DocumentRef.Set loop, with every per-record result clean.
+func TestBulkLoad(t *testing.T) {
+	seq, bulk, _ := runBulkLoad(fast)
+	if seq.Errors != 0 {
+		t.Fatalf("sequential load errors = %d", seq.Errors)
+	}
+	if bulk.Errors != 0 {
+		t.Fatalf("bulk load errors = %d", bulk.Errors)
+	}
+	if seq.DocsPerSec() <= 0 {
+		t.Fatalf("sequential docs/s = %v", seq.DocsPerSec())
+	}
+	speedup := bulk.DocsPerSec() / seq.DocsPerSec()
+	if speedup < 3 {
+		t.Fatalf("BulkWriter speedup = %.2fx (seq %.0f docs/s, bulk %.0f docs/s), want >= 3x",
+			speedup, seq.DocsPerSec(), bulk.DocsPerSec())
+	}
+	t.Logf("BulkWriter speedup: %.1fx (seq %.0f docs/s, bulk %.0f docs/s)",
+		speedup, seq.DocsPerSec(), bulk.DocsPerSec())
+}

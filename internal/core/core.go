@@ -245,6 +245,12 @@ func (r *Region) Commit(ctx context.Context, dbID string, p backend.Principal, o
 	return r.Backend.Commit(ctx, dbID, p, ops)
 }
 
+// CommitBulk applies independent single-doc writes grouped by tablet,
+// each group in its own parallel transaction, reporting per-op outcomes.
+func (r *Region) CommitBulk(ctx context.Context, dbID string, p backend.Principal, ops []backend.WriteOp) ([]backend.BulkResult, error) {
+	return r.Backend.CommitBulk(ctx, dbID, p, ops)
+}
+
 // CommitTransactional applies a write batch with OCC read validation.
 func (r *Region) CommitTransactional(ctx context.Context, dbID string, p backend.Principal, ops []backend.WriteOp, reads []backend.ReadValidation) (truetime.Timestamp, error) {
 	return r.Backend.CommitTransactional(ctx, dbID, p, ops, reads)

@@ -65,6 +65,15 @@ func (p *Plan) executeEntitiesScan(ctx context.Context, st Storage, resume []byt
 	startAfter := string(resume)
 	truncated := false
 	err := st.ScanCollection(ctx, p.Query.Collection, startAfter, func(d *doc.Document) bool {
+		// Cursor bounds apply before offset/limit accounting: the scan is
+		// in name order, which is the bare collection query's effective
+		// order, so the first past-end document ends the scan.
+		if p.Query.BeforeStart(d) {
+			return true
+		}
+		if p.Query.PastEnd(d) {
+			return false
+		}
 		if offset > 0 {
 			offset--
 			return true
@@ -136,15 +145,26 @@ func (p *Plan) executeIndexScans(ctx context.Context, st Storage, resume []byte,
 		if !allEqual {
 			continue
 		}
-		// Join hit: emit.
-		if offset > 0 {
+		// Join hit: emit. Cursor bounds apply before offset/limit
+		// accounting and need the document fetched; without cursors,
+		// offset skipping stays fetch-free. Index scans emit in
+		// effective-sort order, so the first past-end document ends the
+		// query.
+		hasCursor := p.Query.Start != nil || p.Query.End != nil
+		if offset > 0 && !hasCursor {
 			offset--
 		} else {
 			d, err := p.fetch(ctx, st, name)
 			if err != nil {
 				return nil, err
 			}
-			if d != nil {
+			switch {
+			case d == nil || p.Query.BeforeStart(d):
+			case p.Query.PastEnd(d):
+				return finalize(), nil
+			case offset > 0:
+				offset--
+			default:
 				res.Docs = append(res.Docs, p.Query.Project(d))
 				if len(res.Docs) == limit {
 					res.Resume = append([]byte(nil), maxSuffix...)

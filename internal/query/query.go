@@ -60,6 +60,18 @@ type Order struct {
 
 func (o Order) String() string { return string(o.Path) + " " + o.Dir.String() }
 
+// Cursor is a query boundary for pagination (§III-C): Values align
+// positionally with the query's effective sort orders, optionally
+// followed by one extra string/reference component that compares against
+// the document name (the tie-break every result order ends with, so a
+// page can resume exactly after its last document).
+type Cursor struct {
+	Values []doc.Value
+	// Inclusive includes documents whose sort position equals the cursor
+	// (StartAt/EndAt); exclusive cursors (StartAfter/EndBefore) skip them.
+	Inclusive bool
+}
+
 // Query is a Firestore query over a single collection.
 type Query struct {
 	Collection doc.CollectionPath
@@ -68,6 +80,9 @@ type Query struct {
 	Limit      int // 0 = unlimited
 	Offset     int
 	Projection []doc.FieldPath // empty = whole documents
+	// Start and End bound the result set at sort positions; see Cursor.
+	Start *Cursor
+	End   *Cursor
 }
 
 // Validation errors: a structurally invalid query is the caller's fault.
@@ -75,6 +90,9 @@ var (
 	ErrMultipleInequalities = status.New(status.InvalidArgument, "query", "at most one field may have inequality predicates")
 	ErrInequalityOrder      = status.New(status.InvalidArgument, "query", "the inequality field must match the first sort order")
 	ErrNoCollection         = status.New(status.InvalidArgument, "query", "collection is required")
+	ErrCursorArity          = status.New(status.InvalidArgument, "query", "cursor has more values than sort orders (plus the document-name tie-break)")
+	ErrCursorName           = status.New(status.InvalidArgument, "query", "cursor document-name component must be a string or reference")
+	ErrCursorEmpty          = status.New(status.InvalidArgument, "query", "cursor requires at least one value")
 )
 
 // NeedsIndexError reports that no index set can serve the query; the
@@ -118,6 +136,34 @@ func (q *Query) Validate() error {
 	}
 	if ineqPath != "" && len(q.Orders) > 0 && q.Orders[0].Path != ineqPath {
 		return fmt.Errorf("%w: inequality on %q, first order on %q", ErrInequalityOrder, ineqPath, q.Orders[0].Path)
+	}
+	for _, c := range []*Cursor{q.Start, q.End} {
+		if err := q.validateCursor(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateCursor checks a cursor's shape against the effective orders: at
+// most one value per order plus an optional trailing document-name
+// component, which must be a string or reference.
+func (q *Query) validateCursor(c *Cursor) error {
+	if c == nil {
+		return nil
+	}
+	if len(c.Values) == 0 {
+		return ErrCursorEmpty
+	}
+	orders := q.EffectiveOrders()
+	if len(c.Values) > len(orders)+1 {
+		return fmt.Errorf("%w: %d values, %d orders", ErrCursorArity, len(c.Values), len(orders))
+	}
+	if len(c.Values) == len(orders)+1 {
+		k := c.Values[len(orders)].Kind()
+		if k != doc.KindString && k != doc.KindReference {
+			return fmt.Errorf("%w: got %v", ErrCursorName, k)
+		}
 	}
 	return nil
 }
@@ -164,7 +210,62 @@ func (q *Query) Matches(d *doc.Document) bool {
 			return false
 		}
 	}
-	return true
+	return q.InCursorRange(d)
+}
+
+// cursorCompare orders d against the cursor position: negative when d
+// sorts before it, zero at it, positive after it. Only the cursor's
+// provided components participate, so a prefix cursor matches every
+// document sharing that prefix (position zero).
+func (q *Query) cursorCompare(d *doc.Document, c *Cursor) int {
+	orders := q.EffectiveOrders()
+	for i, v := range c.Values {
+		var cmp int
+		if i < len(orders) {
+			dv, _ := d.Get(orders[i].Path)
+			cmp = doc.Compare(dv, v)
+			if orders[i].Dir == index.Descending {
+				cmp = -cmp
+			}
+		} else {
+			// Trailing component: the document-name tie-break.
+			ref := v.StringVal()
+			if v.Kind() == doc.KindReference {
+				ref = v.RefVal()
+			}
+			cmp = strings.Compare(d.Name.String(), ref)
+		}
+		if cmp != 0 {
+			return cmp
+		}
+	}
+	return 0
+}
+
+// BeforeStart reports whether d sorts before the query's start cursor
+// (and so must be skipped).
+func (q *Query) BeforeStart(d *doc.Document) bool {
+	if q.Start == nil {
+		return false
+	}
+	cmp := q.cursorCompare(d, q.Start)
+	return cmp < 0 || (cmp == 0 && !q.Start.Inclusive)
+}
+
+// PastEnd reports whether d sorts after the query's end cursor. Because
+// execution emits documents in effective-sort order, the first PastEnd
+// document ends the scan.
+func (q *Query) PastEnd(d *doc.Document) bool {
+	if q.End == nil {
+		return false
+	}
+	cmp := q.cursorCompare(d, q.End)
+	return cmp > 0 || (cmp == 0 && !q.End.Inclusive)
+}
+
+// InCursorRange reports whether d lies within the query's cursor bounds.
+func (q *Query) InCursorRange(d *doc.Document) bool {
+	return !q.BeforeStart(d) && !q.PastEnd(d)
 }
 
 func matchPredicate(d *doc.Document, p Predicate) bool {
@@ -288,6 +389,12 @@ func (q *Query) String() string {
 		}
 		b.WriteString(strings.Join(parts, ", "))
 	}
+	if q.Start != nil {
+		fmt.Fprintf(&b, " start %s %s", cursorWord(q.Start, "at", "after"), cursorVals(q.Start))
+	}
+	if q.End != nil {
+		fmt.Fprintf(&b, " end %s %s", cursorWord(q.End, "at", "before"), cursorVals(q.End))
+	}
 	if q.Limit > 0 {
 		fmt.Fprintf(&b, " limit %d", q.Limit)
 	}
@@ -295,4 +402,19 @@ func (q *Query) String() string {
 		fmt.Fprintf(&b, " offset %d", q.Offset)
 	}
 	return b.String()
+}
+
+func cursorWord(c *Cursor, inclusive, exclusive string) string {
+	if c.Inclusive {
+		return inclusive
+	}
+	return exclusive
+}
+
+func cursorVals(c *Cursor) string {
+	parts := make([]string, len(c.Values))
+	for i, v := range c.Values {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
 }

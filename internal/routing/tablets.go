@@ -1,0 +1,40 @@
+package routing
+
+// TabletResolver maps a storage key to the tablet currently serving it.
+// spanner.DB implements it; tests use fixed-width fakes.
+type TabletResolver interface {
+	TabletIndex(key []byte) int
+}
+
+// TabletGroup is the subset of a batch bound for one tablet.
+type TabletGroup[E any] struct {
+	// Tablet is the resolver's index for every item in the group.
+	Tablet int
+	// Items holds the group's elements in their original relative order.
+	Items []E
+	// Indexes maps each element back to its position in the input batch,
+	// so per-item results can be scattered to the right slots.
+	Indexes []int
+}
+
+// GroupByTablet partitions items by the tablet serving keyOf(item):
+// the tablet-locality grouping the bulk-write path uses so each group
+// can commit in its own single-participant transaction instead of one
+// batch-wide 2PC. Groups appear in first-seen order and items keep their
+// relative order within a group.
+func GroupByTablet[E any](r TabletResolver, items []E, keyOf func(E) []byte) []TabletGroup[E] {
+	var groups []TabletGroup[E]
+	at := map[int]int{} // tablet index -> position in groups
+	for i, it := range items {
+		t := r.TabletIndex(keyOf(it))
+		gi, ok := at[t]
+		if !ok {
+			gi = len(groups)
+			at[t] = gi
+			groups = append(groups, TabletGroup[E]{Tablet: t})
+		}
+		groups[gi].Items = append(groups[gi].Items, it)
+		groups[gi].Indexes = append(groups[gi].Indexes, i)
+	}
+	return groups
+}

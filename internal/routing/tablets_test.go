@@ -1,0 +1,41 @@
+package routing
+
+import (
+	"reflect"
+	"testing"
+)
+
+// byteResolver maps a key to a tablet by its first byte: one "tablet"
+// per leading letter.
+type byteResolver struct{}
+
+func (byteResolver) TabletIndex(key []byte) int {
+	if len(key) == 0 {
+		return 0
+	}
+	return int(key[0])
+}
+
+func TestGroupByTablet(t *testing.T) {
+	items := []string{"a1", "b1", "a2", "z1", "b2", "a3"}
+	groups := GroupByTablet(byteResolver{}, items, func(s string) []byte { return []byte(s) })
+
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups, want 3", len(groups))
+	}
+	// First-seen order, original relative order within each group.
+	wantItems := [][]string{{"a1", "a2", "a3"}, {"b1", "b2"}, {"z1"}}
+	wantIdx := [][]int{{0, 2, 5}, {1, 4}, {3}}
+	for i, g := range groups {
+		if !reflect.DeepEqual(g.Items, wantItems[i]) {
+			t.Errorf("group %d items = %v, want %v", i, g.Items, wantItems[i])
+		}
+		if !reflect.DeepEqual(g.Indexes, wantIdx[i]) {
+			t.Errorf("group %d indexes = %v, want %v", i, g.Indexes, wantIdx[i])
+		}
+	}
+
+	if g := GroupByTablet(byteResolver{}, nil, func(s string) []byte { return nil }); g != nil {
+		t.Errorf("empty input: got %v, want nil", g)
+	}
+}

@@ -184,6 +184,16 @@ func (db *DB) tabletFor(key []byte) *tablet {
 	return db.tablets[db.tabletIndexLocked(key)]
 }
 
+// TabletIndex returns the index (in start-key order) of the tablet
+// owning key, letting callers group keys by the tablet that serves them.
+// The index is only stable until the next split, which is fine for its
+// use — transient grouping of a batch about to commit.
+func (db *DB) TabletIndex(key []byte) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tabletIndexLocked(key)
+}
+
 // tabletIndexLocked returns the index of the tablet owning key. Caller
 // holds db.mu.
 func (db *DB) tabletIndexLocked(key []byte) int {

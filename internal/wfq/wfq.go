@@ -87,7 +87,11 @@ type Scheduler struct {
 	weights  map[string]float64
 	inflight map[string]int
 	limits   map[string]int
-	queued   int
+	// accounted accumulates the simulated CPU cost actually dispatched
+	// per key (shed or expired work is not charged), so operators can see
+	// how much capacity e.g. a database's batch traffic consumed.
+	accounted map[string]time.Duration
+	queued    int
 
 	wg sync.WaitGroup
 }
@@ -101,11 +105,12 @@ func New(cfg Config) *Scheduler {
 		cfg.DefaultWeight = 1
 	}
 	s := &Scheduler{
-		cfg:      cfg,
-		lastVFT:  map[string]float64{},
-		weights:  map[string]float64{},
-		inflight: map[string]int{},
-		limits:   map[string]int{},
+		cfg:       cfg,
+		lastVFT:   map[string]float64{},
+		weights:   map[string]float64{},
+		inflight:  map[string]int{},
+		limits:    map[string]int{},
+		accounted: map[string]time.Duration{},
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < cfg.Workers; i++ {
@@ -137,6 +142,14 @@ func (s *Scheduler) SetInFlightLimit(key string, n int) {
 		return
 	}
 	s.limits[key] = n
+}
+
+// AccountedCost returns the total simulated CPU cost dispatched for key
+// since the scheduler started. Shed or expired tasks are not charged.
+func (s *Scheduler) AccountedCost(key string) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.accounted[key]
 }
 
 // QueueDepth returns the number of tasks waiting for a worker.
@@ -229,6 +242,7 @@ func (s *Scheduler) worker() {
 		// Deadline enforcement at dispatch: work that expired while
 		// queued is dropped without burning CPU (the caller already got
 		// DeadlineExceeded, or gets it via rejected below).
+		ran := false
 		if err := t.ctx.Err(); err != nil {
 			t.rejected = status.FromContext("wfq", err)
 		} else {
@@ -238,9 +252,13 @@ func (s *Scheduler) worker() {
 			if t.fn != nil {
 				t.fn()
 			}
+			ran = true
 		}
 
 		s.mu.Lock()
+		if ran {
+			s.accounted[t.key] += t.cost
+		}
 		s.inflight[t.key]--
 		if s.inflight[t.key] <= 0 {
 			delete(s.inflight, t.key)

@@ -254,3 +254,34 @@ func TestManyConcurrentSubmitters(t *testing.T) {
 		t.Fatalf("ran %d tasks, want %d", count.Load(), 16*50)
 	}
 }
+
+func TestAccountedCost(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := s.Submit(ctx, "db1", 2*time.Millisecond, func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Submit(ctx, "db2", 5*time.Millisecond, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.AccountedCost("db1"); got != 6*time.Millisecond {
+		t.Errorf("AccountedCost(db1) = %v, want 6ms", got)
+	}
+	if got := s.AccountedCost("db2"); got != 5*time.Millisecond {
+		t.Errorf("AccountedCost(db2) = %v, want 5ms", got)
+	}
+	if got := s.AccountedCost("other"); got != 0 {
+		t.Errorf("AccountedCost(other) = %v, want 0", got)
+	}
+
+	// Expired work is not charged.
+	done, cancel := context.WithCancel(ctx)
+	cancel()
+	s.Submit(done, "db3", time.Millisecond, func() {})
+	if got := s.AccountedCost("db3"); got != 0 {
+		t.Errorf("AccountedCost(db3) after cancelled submit = %v, want 0", got)
+	}
+}

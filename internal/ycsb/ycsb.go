@@ -128,6 +128,85 @@ func Load(ctx context.Context, cl Client, w Workload, n, parallelism int) error 
 	return <-errs
 }
 
+// LoadResult summarizes a load phase: how many records landed, how many
+// failed, and the wall-clock ingest rate.
+type LoadResult struct {
+	Docs    int
+	Errors  int
+	Elapsed time.Duration
+}
+
+// DocsPerSec is the achieved ingest throughput.
+func (r LoadResult) DocsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Docs-r.Errors) / r.Elapsed.Seconds()
+}
+
+// LoadTimed is Load with timing and per-record error accounting, the
+// sequential baseline for the bulk-load comparison. parallelism <= 1
+// inserts records strictly one at a time.
+func LoadTimed(ctx context.Context, cl Client, w Workload, n, parallelism int) LoadResult {
+	if parallelism <= 0 {
+		parallelism = 1
+	}
+	value := make([]byte, w.RecordSize)
+	start := time.Now()
+	var errCount int64
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for p := 0; p < parallelism; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := p; i < n; i += parallelism {
+				if err := cl.Insert(ctx, Key(i), value); err != nil {
+					mu.Lock()
+					errCount++
+					mu.Unlock()
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	return LoadResult{Docs: n, Errors: int(errCount), Elapsed: time.Since(start)}
+}
+
+// BulkLoader is an asynchronous ingest pipeline (firestore.BulkWriter
+// behind an adapter): Insert enqueues a record without blocking on the
+// network and returns a wait function resolving that record's own
+// outcome; Flush drains everything enqueued so far.
+type BulkLoader interface {
+	Insert(ctx context.Context, key string, value []byte) (wait func() error, err error)
+	Flush()
+}
+
+// LoadBulk streams n records of w through bl and waits for every
+// per-record outcome, so errors are attributed individually rather than
+// aborting the load.
+func LoadBulk(ctx context.Context, bl BulkLoader, w Workload, n int) LoadResult {
+	value := make([]byte, w.RecordSize)
+	start := time.Now()
+	waits := make([]func() error, 0, n)
+	errCount := 0
+	for i := 0; i < n; i++ {
+		wait, err := bl.Insert(ctx, Key(i), value)
+		if err != nil {
+			errCount++
+			continue
+		}
+		waits = append(waits, wait)
+	}
+	bl.Flush()
+	for _, wait := range waits {
+		if err := wait(); err != nil {
+			errCount++
+		}
+	}
+	return LoadResult{Docs: n, Errors: errCount, Elapsed: time.Since(start)}
+}
+
 // Result carries one run's latency distributions.
 type Result struct {
 	Workload  Workload
