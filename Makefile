@@ -1,8 +1,12 @@
 GO ?= go
 
-.PHONY: verify vet build test test-race race-pipeline fuzz bench
+.PHONY: verify fmt-check vet build test test-race race-pipeline race-obs debug-smoke fuzz bench
 
-verify: vet build test-race
+verify: fmt-check vet build test-race
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -20,6 +24,16 @@ test-race:
 # (SDK BulkWriter/iterators, backend group commit, fair scheduler, ramp).
 race-pipeline:
 	$(GO) test -race -count=2 ./firestore/ ./internal/backend/ ./internal/wfq/ ./internal/ramp/
+
+# Focused race pass over the observability layer: span recorder, tracer,
+# metrics registry, and the /debug suite under concurrent scrapes.
+race-obs:
+	$(GO) test -race -count=2 ./internal/reqctx/ ./internal/obs/ ./cmd/firestore-server/server/
+
+# End-to-end /debug smoke: boots a region, runs a workload, asserts
+# metricz shows per-layer histograms and tracez nests the layers.
+debug-smoke:
+	$(GO) test -run 'TestDebug' -v ./cmd/firestore-server/server/
 
 # Short fuzz pass over the trigger-payload decoder.
 fuzz:

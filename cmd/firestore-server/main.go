@@ -19,8 +19,10 @@ package main
 
 import (
 	"flag"
+	"io"
 	"log"
 	"net/http"
+	"os"
 	"time"
 
 	"firestore/cmd/firestore-server/server"
@@ -31,19 +33,45 @@ func main() {
 	addr := flag.String("addr", ":8565", "listen address")
 	multiRegion := flag.Bool("multi-region", false, "simulate a multi-region deployment")
 	timeScale := flag.Float64("time-scale", 0.0, "synthetic latency scale (0 = none)")
+	debug := flag.Bool("debug", true, "serve /debug/ status pages (metricz, tracez, ...)")
+	pprofFlag := flag.Bool("pprof", false, "additionally serve /debug/pprof/ and /debug/vars")
+	traceSample := flag.Float64("trace-sample", 0.05, "head-sampling probability for traces (0 = slow/error only, <0 = off)")
+	slowThreshold := flag.Duration("slow-threshold", 100*time.Millisecond, "traces slower than this are always kept and slow-logged")
+	slowLogPath := flag.String("slow-log", "", "append slow-query log lines to this file (\"-\" = stderr)")
 	flag.Parse()
 
+	var slowLog io.Writer
+	switch *slowLogPath {
+	case "":
+	case "-":
+		slowLog = os.Stderr
+	default:
+		f, err := os.OpenFile(*slowLogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("firestore-server: open slow log: %v", err)
+		}
+		defer f.Close()
+		slowLog = f
+	}
+
 	region := core.NewRegion(core.Config{
-		Name:        "http",
-		MultiRegion: *multiRegion,
-		TimeScale:   *timeScale,
-		Billing:     true,
+		Name:               "http",
+		MultiRegion:        *multiRegion,
+		TimeScale:          *timeScale,
+		Billing:            true,
+		TraceSampleProb:    *traceSample,
+		SlowTraceThreshold: *slowThreshold,
+		SlowLog:            slowLog,
 	})
 	defer region.Close()
 
+	handler := server.New(region)
+	if *debug {
+		handler.EnableDebug(server.DebugOptions{Pprof: *pprofFlag})
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(region),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	log.Printf("firestore-server listening on %s", *addr)

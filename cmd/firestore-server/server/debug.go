@@ -1,0 +1,127 @@
+package server
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"firestore/internal/reqctx"
+)
+
+// DebugOptions gates the /debug/ status suite.
+type DebugOptions struct {
+	// Pprof additionally mounts net/http/pprof profiles and expvar under
+	// /debug/pprof/ and /debug/vars. Off by default: profiles expose
+	// process internals and profiling CPU costs money on a serving task.
+	Pprof bool
+}
+
+// EnableDebug mounts the operator status pages:
+//
+//	/debug/metricz   metrics registry (Prometheus text; ?format=json)
+//	/debug/tracez    recent sampled/slow/error traces (?kind=, ?n=)
+//	/debug/requestz  in-flight requests, oldest first
+//	/debug/schedz    fair-scheduler per-database state
+//	/debug/tabletz   Spanner tablet boundaries, load, and safe-time state
+//	/debug/listenz   real-time connections and cache ranges
+//
+// Debug requests bypass the ingress span so scrapes do not pollute the
+// RPC metrics they report.
+func (s *Server) EnableDebug(opts DebugOptions) {
+	s.mux.HandleFunc("/debug/metricz", s.metricz)
+	s.mux.HandleFunc("/debug/tracez", s.tracez)
+	s.mux.HandleFunc("/debug/requestz", s.requestz)
+	s.mux.HandleFunc("/debug/schedz", s.schedz)
+	s.mux.HandleFunc("/debug/tabletz", s.tabletz)
+	s.mux.HandleFunc("/debug/listenz", s.listenz)
+	if opts.Pprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		s.mux.Handle("/debug/vars", expvar.Handler())
+	}
+}
+
+func (s *Server) metricz(w http.ResponseWriter, r *http.Request) {
+	reg := s.region.Obs
+	if reg == nil {
+		http.Error(w, "metrics registry not configured", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, reg.Snapshot())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	reg.WritePrometheus(w)
+}
+
+// debugN parses the ?n= result bound (default 16).
+func debugN(r *http.Request) int {
+	if v, err := strconv.Atoi(r.URL.Query().Get("n")); err == nil && v > 0 {
+		return v
+	}
+	return 16
+}
+
+func (s *Server) tracez(w http.ResponseWriter, r *http.Request) {
+	t := s.region.Tracer
+	if t == nil {
+		http.Error(w, "tracer not configured", http.StatusNotFound)
+		return
+	}
+	n := debugN(r)
+	kind := r.URL.Query().Get("kind")
+	out := map[string]any{"stats": t.Stats()}
+	for name, k := range map[string]reqctx.Keep{
+		"sampled": reqctx.KeepSampled,
+		"slow":    reqctx.KeepSlow,
+		"error":   reqctx.KeepError,
+	} {
+		if kind == "" || kind == name {
+			out[name] = t.Recent(k, n)
+		}
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) requestz(w http.ResponseWriter, r *http.Request) {
+	t := s.region.Tracer
+	if t == nil {
+		http.Error(w, "tracer not configured", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, map[string]any{"active": t.Active()})
+}
+
+func (s *Server) schedz(w http.ResponseWriter, r *http.Request) {
+	if s.region.Scheduler == nil {
+		writeJSON(w, map[string]any{"enabled": false})
+		return
+	}
+	writeJSON(w, s.region.Scheduler.Snapshot())
+}
+
+func (s *Server) tabletz(w http.ResponseWriter, r *http.Request) {
+	type dbView struct {
+		Index   int `json:"index"`
+		Stats   any `json:"stats"`
+		Tablets any `json:"tablets"`
+	}
+	out := make([]dbView, 0, len(s.region.Spanners))
+	for i, db := range s.region.Spanners {
+		out = append(out, dbView{Index: i, Stats: db.Stats(), Tablets: db.TabletStats()})
+	}
+	writeJSON(w, map[string]any{"spanners": out})
+}
+
+func (s *Server) listenz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"connections": s.region.Frontend.ConnStats(),
+		"cache":       s.region.Cache.Stats(),
+		"ranges":      s.region.Cache.RangeStats(),
+	})
+}

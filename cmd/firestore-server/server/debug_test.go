@@ -1,0 +1,297 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"firestore/internal/core"
+)
+
+// newDebugServer builds a region with the fair scheduler enabled and
+// every trace kept (SampleProb 1), with the /debug suite mounted.
+func newDebugServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	region := core.NewRegion(core.Config{
+		Name:             "debug",
+		SchedulerWorkers: 2,
+		TraceSampleProb:  1,
+	})
+	t.Cleanup(region.Close)
+	srv := New(region)
+	srv.EnableDebug(DebugOptions{Pprof: true})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// runTraffic issues a small write/read/query workload against db "app".
+func runTraffic(t *testing.T, ts *httptest.Server) {
+	t.Helper()
+	if resp, body := do(t, ts, "POST", "/v1/databases", map[string]string{"id": "app"}, nil); resp.StatusCode != 200 {
+		t.Fatalf("create db: %d %s", resp.StatusCode, body)
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		if resp, body := do(t, ts, "PUT", "/v1/databases/app/docs/users/"+id,
+			map[string]any{"name": id}, nil); resp.StatusCode != 200 {
+			t.Fatalf("put %s: %d %s", id, resp.StatusCode, body)
+		}
+	}
+	if resp, body := do(t, ts, "GET", "/v1/databases/app/docs/users/a", nil, nil); resp.StatusCode != 200 {
+		t.Fatalf("get: %d %s", resp.StatusCode, body)
+	}
+	if resp, body := do(t, ts, "POST", "/v1/databases/app/query",
+		map[string]any{"collection": "/users"}, nil); resp.StatusCode != 200 {
+		t.Fatalf("query: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestDebugMetricz is the metrics half of the PR's acceptance criterion:
+// after a workload, one scrape of /debug/metricz shows per-database
+// latency histograms for the frontend, wfq, backend, and spanner layers.
+func TestDebugMetricz(t *testing.T) {
+	ts := newDebugServer(t)
+	runTraffic(t, ts)
+
+	resp, body := do(t, ts, "GET", "/debug/metricz", nil, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("metricz: %d %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metricz content type = %q, want text/plain", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`firestore_frontend_put_latency_seconds{db="app",quantile="0.5"}`,
+		`firestore_wfq_submit_latency_seconds{db="app",quantile="0.5"}`,
+		`firestore_backend_commit_latency_seconds{db="app",quantile="0.5"}`,
+		`firestore_spanner_txn_commit_latency_seconds{db="app",quantile="0.5"}`,
+		`firestore_backend_get_latency_seconds{db="app"`,
+		`firestore_backend_query_latency_seconds{db="app"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metricz missing %q", want)
+		}
+	}
+
+	// The JSON rendering carries the same families plus scheduler and
+	// spanner operational metrics.
+	resp, body = do(t, ts, "GET", "/debug/metricz?format=json", nil, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("metricz json: %d %s", resp.StatusCode, body)
+	}
+	var snap struct {
+		Counters []struct {
+			Name string `json:"name"`
+		} `json:"counters"`
+		Histograms []struct {
+			Name   string            `json:"name"`
+			Labels map[string]string `json:"labels"`
+			Count  uint64            `json:"count"`
+			P50    int64             `json:"p50_ns"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("metricz json decode: %v\n%s", err, body)
+	}
+	found := map[string]bool{}
+	for _, h := range snap.Histograms {
+		if h.Labels["db"] == "app" && h.Count > 0 && h.P50 > 0 {
+			found[h.Name] = true
+		}
+	}
+	for _, want := range []string{"frontend.put", "wfq.submit", "backend.commit", "spanner.txn.commit"} {
+		if !found[want] {
+			t.Errorf("metricz json: no populated db=app histogram for %q (have %v)", want, found)
+		}
+	}
+}
+
+// TestDebugTracez is the tracing half of the acceptance criterion: a
+// sampled trace exists whose span tree nests frontend -> wfq -> backend
+// -> spanner, and at every level the children's durations sum to no more
+// than their parent's.
+func TestDebugTracez(t *testing.T) {
+	ts := newDebugServer(t)
+	runTraffic(t, ts)
+
+	resp, body := do(t, ts, "GET", "/debug/tracez?kind=sampled&n=64", nil, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("tracez: %d %s", resp.StatusCode, body)
+	}
+	type span struct {
+		ID       uint64 `json:"id"`
+		ParentID uint64 `json:"parent_id"`
+		Name     string `json:"name"`
+		Code     string `json:"code"`
+		Duration int64  `json:"duration_ns"`
+	}
+	var page struct {
+		Stats struct {
+			Started int64 `json:"started"`
+			Kept    int64 `json:"kept"`
+		} `json:"stats"`
+		Sampled []struct {
+			ID       string `json:"id"`
+			DB       string `json:"db"`
+			Duration int64  `json:"duration_ns"`
+			Spans    []span `json:"spans"`
+		} `json:"sampled"`
+	}
+	if err := json.Unmarshal(body, &page); err != nil {
+		t.Fatalf("tracez decode: %v\n%s", err, body)
+	}
+	if page.Stats.Started == 0 || page.Stats.Kept == 0 {
+		t.Fatalf("tracez stats empty: %+v", page.Stats)
+	}
+
+	// Find a put trace exhibiting the full four-layer nesting.
+	var nested bool
+	for _, tr := range page.Sampled {
+		spans := map[uint64]span{}
+		children := map[uint64][]span{}
+		var root span
+		for _, s := range tr.Spans {
+			spans[s.ID] = s
+			children[s.ParentID] = append(children[s.ParentID], s)
+			if s.ParentID == 0 {
+				root = s
+			}
+		}
+		if root.Name != "frontend.put" {
+			continue
+		}
+		// Walk the chain frontend.put -> wfq.submit -> backend.commit ->
+		// spanner.txn.commit by parent links.
+		chainOK := false
+		for _, s := range tr.Spans {
+			if s.Name != "spanner.txn.commit" {
+				continue
+			}
+			names := []string{}
+			for cur := s; ; cur = spans[cur.ParentID] {
+				names = append(names, cur.Name)
+				if cur.ParentID == 0 {
+					break
+				}
+			}
+			// names is leaf->root.
+			if len(names) >= 4 &&
+				names[len(names)-1] == "frontend.put" &&
+				contains(names, "wfq.submit") &&
+				contains(names, "backend.commit") {
+				chainOK = true
+			}
+		}
+		if !chainOK {
+			continue
+		}
+		// Child durations must not exceed the parent at any node.
+		ok := true
+		for pid, kids := range children {
+			if pid == 0 {
+				continue
+			}
+			var sum time.Duration
+			for _, k := range kids {
+				sum += time.Duration(k.Duration)
+			}
+			if p := time.Duration(spans[pid].Duration); sum > p {
+				t.Errorf("trace %s: children of %s sum %v > parent %v", tr.ID, spans[pid].Name, sum, p)
+				ok = false
+			}
+		}
+		if ok {
+			nested = true
+			break
+		}
+	}
+	if !nested {
+		t.Fatalf("no sampled trace nests frontend.put -> wfq.submit -> backend.commit -> spanner.txn.commit (got %d sampled traces)", len(page.Sampled))
+	}
+}
+
+func contains(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDebugStatusPages smoke-tests the remaining status endpoints and
+// checks that debug scrapes do not pollute the RPC metrics.
+func TestDebugStatusPages(t *testing.T) {
+	ts := newDebugServer(t)
+	runTraffic(t, ts)
+
+	for _, path := range []string{
+		"/debug/requestz",
+		"/debug/schedz",
+		"/debug/tabletz",
+		"/debug/listenz",
+		"/debug/vars",
+	} {
+		resp, body := do(t, ts, "GET", path, nil, nil)
+		if resp.StatusCode != 200 {
+			t.Errorf("%s: %d %s", path, resp.StatusCode, body)
+			continue
+		}
+		var v any
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Errorf("%s: not JSON: %v", path, err)
+		}
+	}
+
+	resp, body := do(t, ts, "GET", "/debug/schedz", nil, nil)
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "app") {
+		t.Errorf("schedz should report per-database state for app: %d %s", resp.StatusCode, body)
+	}
+
+	// Scraping /debug must not add frontend.admin (or any) RPC samples:
+	// debug paths bypass the ingress span.
+	count := func() int64 {
+		_, b := do(t, ts, "GET", "/debug/metricz?format=json", nil, nil)
+		var snap struct {
+			Histograms []struct {
+				Name  string `json:"name"`
+				Count int64  `json:"count"`
+			} `json:"histograms"`
+		}
+		if err := json.Unmarshal(b, &snap); err != nil {
+			t.Fatalf("metricz decode: %v", err)
+		}
+		var total int64
+		for _, h := range snap.Histograms {
+			if strings.HasPrefix(h.Name, "frontend.") {
+				total += h.Count
+			}
+		}
+		return total
+	}
+	before := count()
+	for i := 0; i < 3; i++ {
+		do(t, ts, "GET", "/debug/tracez", nil, nil)
+		do(t, ts, "GET", "/debug/requestz", nil, nil)
+	}
+	if after := count(); after != before {
+		t.Errorf("debug scrapes changed frontend span counts: before=%d after=%d", before, after)
+	}
+}
+
+// TestDebugDisabled verifies the suite is opt-in: a plain server 404s
+// every /debug path.
+func TestDebugDisabled(t *testing.T) {
+	ts := newServer(t)
+	resp, _ := do(t, ts, "GET", "/debug/metricz", nil, nil)
+	if resp.StatusCode != 404 {
+		t.Errorf("metricz without EnableDebug: got %d, want 404", resp.StatusCode)
+	}
+	resp, _ = do(t, ts, "GET", "/debug/pprof/", nil, nil)
+	if resp.StatusCode != 404 {
+		t.Errorf("pprof without EnableDebug: got %d, want 404", resp.StatusCode)
+	}
+}

@@ -50,9 +50,15 @@ const DefaultTimeout = 30 * time.Second
 // ServeHTTP implements http.Handler. It is the ingress: every request
 // gets a request ID (minted unless the client sent X-Request-Id, echoed
 // back in the response), a QoS class (X-QoS: batch tags throughput
-// traffic), and a deadline, all carried in the context so every layer
-// below can classify, trace, and shed work against them.
+// traffic), a deadline, and the region's span recorder, all carried in
+// the context so every layer below can classify, trace, and shed work
+// against them. Non-streaming /v1/ requests run under a root
+// "frontend.<op>" span, making the ingress the root of every trace.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.URL.Path, "/debug/") {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
 	rid := r.Header.Get("X-Request-Id")
 	if rid == "" {
 		rid = reqctx.NewRequestID()
@@ -63,7 +69,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		m.QoS = reqctx.Batch
 	}
 	ctx := reqctx.With(r.Context(), m)
-	if !strings.HasSuffix(r.URL.Path, "/listen") {
+	if s.region.Recorder != nil {
+		ctx = reqctx.WithRecorder(ctx, s.region.Recorder)
+	}
+	streaming := strings.HasSuffix(r.URL.Path, "/listen")
+	if !streaming {
 		timeout := DefaultTimeout
 		if h := r.Header.Get("X-Request-Timeout"); h != "" {
 			if d, err := time.ParseDuration(h); err == nil && d > 0 {
@@ -73,8 +83,53 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
+		// Root span: the trace lives exactly as long as the request. The
+		// streaming listen endpoint is exempt — its trace is rooted by the
+		// frontend layer's registration span, not the connection lifetime.
+		var end func(error)
+		ctx, end = reqctx.StartSpan(ctx, opName(r))
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			var err error
+			if c := status.CodeFromHTTP(sw.code); c != status.OK {
+				err = status.New(c, "server", http.StatusText(sw.code))
+			}
+			end(err)
+		}()
+		w = sw
 	}
 	s.mux.ServeHTTP(w, r.WithContext(ctx))
+}
+
+// opName names the ingress root span by operation class.
+func opName(r *http.Request) string {
+	switch {
+	case strings.Contains(r.URL.Path, "/docs/"):
+		switch r.Method {
+		case http.MethodPut:
+			return "frontend.put"
+		case http.MethodDelete:
+			return "frontend.delete"
+		default:
+			return "frontend.get"
+		}
+	case strings.HasSuffix(r.URL.Path, "/query"):
+		return "frontend.query"
+	default:
+		return "frontend.admin"
+	}
+}
+
+// statusWriter captures the response status so the ingress span can
+// classify the outcome it otherwise only sees as a status line.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
 }
 
 // dbFromPath extracts the database ID from /v1/databases/{db}/... paths

@@ -18,6 +18,8 @@
 //	query <json>                       run a query (see firestore-server docs)
 //	scan <collection> [pageSize]       page through a whole collection by cursor
 //	watch <collection>                 stream real-time snapshots (SSE)
+//	stats [metric-substring]           scrape /debug/metricz and pretty-print
+//	traces [sampled|slow|error] [n]    dump recent traces from /debug/tracez
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -64,6 +67,10 @@ func main() {
 		err = c.scan(args[1:])
 	case "watch":
 		err = c.watch(args[1:])
+	case "stats":
+		err = c.stats(args[1:])
+	case "traces":
+		err = c.traces(args[1:])
 	default:
 		err = fmt.Errorf("unknown command %q", cmd)
 	}
@@ -244,6 +251,175 @@ func (c *cli) watch(args []string) error {
 		}
 	}
 	return scanner.Err()
+}
+
+// getJSON fetches a server-level (non-database) endpoint and decodes it.
+func (c *cli) getJSON(path string, out any) error {
+	resp, err := c.request("GET", path, "")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(buf.String()))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// stats scrapes /debug/metricz?format=json and renders it as aligned
+// "name{labels} value" lines; an optional argument filters by substring
+// match against the rendered name+labels.
+func (c *cli) stats(args []string) error {
+	if len(args) > 1 {
+		return fmt.Errorf("stats [metric-substring]")
+	}
+	filter := ""
+	if len(args) == 1 {
+		filter = args[0]
+	}
+	var snap struct {
+		Counters []struct {
+			Name   string            `json:"name"`
+			Labels map[string]string `json:"labels"`
+			Value  int64             `json:"value"`
+		} `json:"counters"`
+		Gauges []struct {
+			Name   string            `json:"name"`
+			Labels map[string]string `json:"labels"`
+			Value  float64           `json:"value"`
+		} `json:"gauges"`
+		Histograms []struct {
+			Name   string            `json:"name"`
+			Labels map[string]string `json:"labels"`
+			Count  uint64            `json:"count"`
+			Mean   int64             `json:"mean_ns"`
+			P50    int64             `json:"p50_ns"`
+			P95    int64             `json:"p95_ns"`
+			P99    int64             `json:"p99_ns"`
+		} `json:"histograms"`
+	}
+	if err := c.getJSON("/debug/metricz?format=json", &snap); err != nil {
+		return err
+	}
+	emit := func(key, value string) {
+		if filter == "" || strings.Contains(key, filter) {
+			fmt.Printf("%-56s %s\n", key, value)
+		}
+	}
+	for _, m := range snap.Counters {
+		emit(m.Name+labelSuffix(m.Labels), strconv.FormatInt(m.Value, 10))
+	}
+	for _, m := range snap.Gauges {
+		emit(m.Name+labelSuffix(m.Labels), strconv.FormatFloat(m.Value, 'g', -1, 64))
+	}
+	for _, m := range snap.Histograms {
+		emit(m.Name+labelSuffix(m.Labels), fmt.Sprintf(
+			"count=%d p50=%s p95=%s p99=%s mean=%s",
+			m.Count, ms(m.P50), ms(m.P95), ms(m.P99), ms(m.Mean)))
+	}
+	return nil
+}
+
+// traces dumps recent kept traces from /debug/tracez as indented span
+// trees: one header line per trace, one line per span nested by depth.
+func (c *cli) traces(args []string) error {
+	if len(args) > 2 {
+		return fmt.Errorf("traces [sampled|slow|error] [n]")
+	}
+	kind := "sampled"
+	if len(args) >= 1 {
+		switch args[0] {
+		case "sampled", "slow", "error":
+			kind = args[0]
+		default:
+			return fmt.Errorf("traces: kind must be sampled, slow, or error, got %q", args[0])
+		}
+	}
+	n := 8
+	if len(args) == 2 {
+		v, err := strconv.Atoi(args[1])
+		if err != nil || v <= 0 {
+			return fmt.Errorf("traces: n must be a positive integer, got %q", args[1])
+		}
+		n = v
+	}
+	type span struct {
+		ID       uint64 `json:"id"`
+		ParentID uint64 `json:"parent_id"`
+		Name     string `json:"name"`
+		Code     string `json:"code"`
+		StartOff int64  `json:"start_offset_ns"`
+		Duration int64  `json:"duration_ns"`
+		Attrs    []struct {
+			Key   string `json:"key"`
+			Value string `json:"value"`
+		} `json:"attrs"`
+	}
+	type trace struct {
+		ID       string `json:"id"`
+		DB       string `json:"db"`
+		QoS      string `json:"qos"`
+		Duration int64  `json:"duration_ns"`
+		Spans    []span `json:"spans"`
+	}
+	var page map[string]json.RawMessage
+	if err := c.getJSON("/debug/tracez?kind="+kind+"&n="+strconv.Itoa(n), &page); err != nil {
+		return err
+	}
+	var traces []trace
+	if raw, ok := page[kind]; ok {
+		if err := json.Unmarshal(raw, &traces); err != nil {
+			return err
+		}
+	}
+	if len(traces) == 0 {
+		fmt.Printf("no %s traces kept yet\n", kind)
+		return nil
+	}
+	for _, t := range traces {
+		fmt.Printf("trace %s db=%s qos=%s total=%s\n", t.ID, t.DB, t.QoS, ms(t.Duration))
+		children := map[uint64][]span{}
+		for _, s := range t.Spans {
+			children[s.ParentID] = append(children[s.ParentID], s)
+		}
+		var walk func(parent uint64, depth int)
+		walk = func(parent uint64, depth int) {
+			for _, s := range children[parent] {
+				line := fmt.Sprintf("%s%s %s %s", strings.Repeat("  ", depth+1), s.Name, ms(s.Duration), s.Code)
+				for _, a := range s.Attrs {
+					line += " " + a.Key + "=" + a.Value
+				}
+				fmt.Println(line)
+				walk(s.ID, depth+1)
+			}
+		}
+		walk(0, 0)
+	}
+	return nil
+}
+
+// labelSuffix renders a label map as {k=v,...} with sorted keys.
+func labelSuffix(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + labels[k]
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// ms renders nanoseconds as fractional milliseconds.
+func ms(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e6, 'f', 3, 64) + "ms"
 }
 
 func ensureSlash(p string) string {

@@ -15,6 +15,8 @@ import (
 	"math"
 	"sync"
 	"time"
+
+	"firestore/internal/obs"
 )
 
 // Config tunes a Pool.
@@ -36,6 +38,11 @@ type Config struct {
 	// MaxStepFactor bounds a single resize to this multiple of the
 	// current size (gradual scale-up). Default 2.0.
 	MaxStepFactor float64
+	// Name labels this pool's metrics (e.g. "frontend", "backend").
+	Name string
+	// Obs, when set, receives pool-size and utilization gauges plus
+	// resize-event counters, labeled {pool=Name}.
+	Obs *obs.Registry
 }
 
 // Pool is an auto-scaled task pool. Load is reported via Observe; the
@@ -77,7 +84,25 @@ func New(cfg Config) *Pool {
 		cfg.MaxStepFactor = 2.0
 	}
 	now := time.Now()
-	return &Pool{cfg: cfg, tasks: cfg.MinTasks, lastResize: now, lastUpdate: now}
+	p := &Pool{cfg: cfg, tasks: cfg.MinTasks, lastResize: now, lastUpdate: now}
+	if cfg.Obs != nil {
+		l := p.labels()
+		cfg.Obs.GaugeFunc("autoscale.tasks", l, func() float64 {
+			return float64(p.Tasks())
+		})
+		cfg.Obs.GaugeFunc("autoscale.utilization", l, func() float64 {
+			return p.Utilization()
+		})
+	}
+	return p
+}
+
+// labels returns the pool's metric labels ({pool=Name}, or none).
+func (p *Pool) labels() obs.Labels {
+	if p.cfg.Name == "" {
+		return nil
+	}
+	return obs.Labels{"pool": p.cfg.Name}
 }
 
 // rateHalfLife is the decay half-life of the load estimate.
@@ -152,6 +177,19 @@ func (p *Pool) maybeResizeLocked(now time.Time) {
 		if next < p.cfg.MinTasks {
 			next = p.cfg.MinTasks
 		}
+	}
+	if p.cfg.Obs != nil {
+		dirLabel := "up"
+		if dir < 0 {
+			dirLabel = "down"
+		}
+		l := obs.Labels{"dir": dirLabel}
+		if p.cfg.Name != "" {
+			l["pool"] = p.cfg.Name
+		}
+		// Each resize happened only after the reaction delay elapsed, so
+		// this counter also counts reaction-delay expiry events.
+		p.cfg.Obs.Counter("autoscale.resizes", l).Inc()
 	}
 	p.tasks = next
 	p.lastResize = now

@@ -174,18 +174,45 @@ func New(cfg Config) *Backend {
 // submit runs fn through the fair scheduler (if configured) under the
 // given scheduling key (database ID, possibly QoS-tagged). Work whose
 // deadline already expired is rejected before any Spanner access.
-func (b *Backend) submit(ctx context.Context, key string, cost time.Duration, fn func()) error {
+//
+// The queue wait is bracketed in a "wfq.submit" span and fn itself in an
+// op span (the per-layer name, e.g. "backend.commit"), so traces nest
+// scheduling above execution: frontend → wfq → backend → spanner. Work
+// the scheduler refuses — expired deadline, shed load, in-flight cap —
+// still lands one op-span sample carrying the rejection code, keeping
+// per-op histograms complete. The returned error is the scheduler
+// rejection or fn's own error.
+func (b *Backend) submit(ctx context.Context, op, key string, cost time.Duration, fn func(context.Context) error) error {
+	sctx, endSubmit := reqctx.StartSpan(ctx, "wfq.submit")
+	run := func() error {
+		octx, endOp := reqctx.StartSpan(sctx, op)
+		err := fn(octx)
+		endOp(err)
+		return err
+	}
+	reject := func(err error) error {
+		_, endOp := reqctx.StartSpan(sctx, op)
+		endOp(err)
+		endSubmit(err)
+		return err
+	}
 	if b.cfg.Scheduler == nil {
 		if err := ctx.Err(); err != nil {
-			return status.FromContext("backend", err)
+			return reject(status.FromContext("backend", err))
 		}
 		if cost > 0 {
 			time.Sleep(cost)
 		}
-		fn()
-		return nil
+		err := run()
+		endSubmit(nil)
+		return err
 	}
-	return b.cfg.Scheduler.Submit(ctx, key, cost, fn)
+	var ferr error
+	if err := b.cfg.Scheduler.Submit(ctx, key, cost, func() { ferr = run() }); err != nil {
+		return reject(err)
+	}
+	endSubmit(nil)
+	return ferr
 }
 
 // TriggerTopic is the transactional message topic carrying write-trigger
@@ -204,9 +231,7 @@ func (b *Backend) Commit(ctx context.Context, dbID string, p Principal, ops []Wr
 // observed update time, else ErrConflict ("all data read by the
 // transaction is revalidated for freshness at the time of the commit",
 // §III-E).
-func (b *Backend) CommitTransactional(ctx context.Context, dbID string, p Principal, ops []WriteOp, reads []ReadValidation) (_ truetime.Timestamp, retErr error) {
-	ctx, end := reqctx.StartSpan(ctx, "backend.commit")
-	defer func() { end(retErr) }()
+func (b *Backend) CommitTransactional(ctx context.Context, dbID string, p Principal, ops []WriteOp, reads []ReadValidation) (truetime.Timestamp, error) {
 	db, err := b.cat.Get(dbID)
 	if err != nil {
 		return 0, err
@@ -216,14 +241,15 @@ func (b *Backend) CommitTransactional(ctx context.Context, dbID string, p Princi
 		cost = b.cfg.Costs.Write(dbID, len(ops))
 	}
 	var ts truetime.Timestamp
-	var cerr error
-	err = b.submit(ctx, b.schedKey(dbID, p), cost, func() {
+	err = b.submit(ctx, "backend.commit", b.schedKey(dbID, p), cost, func(ctx context.Context) error {
+		var cerr error
 		ts, cerr = b.commitLocked(ctx, db, p, ops, reads)
+		return cerr
 	})
 	if err != nil {
 		return 0, err
 	}
-	return ts, cerr
+	return ts, nil
 }
 
 func (b *Backend) commitLocked(ctx context.Context, db *catalog.Database, p Principal, ops []WriteOp, reads []ReadValidation) (truetime.Timestamp, error) {

@@ -57,19 +57,16 @@ func (b *Backend) CommitBulk(ctx context.Context, dbID string, p Principal, ops 
 			}
 			opErrs := make([]error, len(g.Items))
 			var ts truetime.Timestamp
-			var cerr error
-			err := b.submit(ctx, key, cost, func() {
+			cerr := b.submit(ctx, "backend.bulkgroup", key, cost, func(ctx context.Context) error {
 				if h := b.cfg.FailureHooks.BulkGroupErr; h != nil {
 					if herr := h(); herr != nil {
-						cerr = herr
-						return
+						return herr
 					}
 				}
-				ts, cerr = b.commitOps(ctx, db, p, g.Items, nil, opErrs)
+				var gerr error
+				ts, gerr = b.commitOps(ctx, db, p, g.Items, nil, opErrs)
+				return gerr
 			})
-			if err != nil {
-				cerr = err
-			}
 			// Scatter the group outcome back to the ops' batch positions
 			// (disjoint across groups, so no locking needed).
 			for j, i := range g.Indexes {

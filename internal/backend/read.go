@@ -2,6 +2,7 @@ package backend
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -9,7 +10,6 @@ import (
 	"firestore/internal/doc"
 	"firestore/internal/encoding"
 	"firestore/internal/query"
-	"firestore/internal/reqctx"
 	"firestore/internal/rules"
 	"firestore/internal/spanner"
 	"firestore/internal/truetime"
@@ -19,9 +19,7 @@ import (
 // (TT.now().latest); otherwise the read is served at the given snapshot
 // timestamp (§III-C: "point-in-time queries that are either
 // strongly-consistent or from a recent timestamp").
-func (b *Backend) GetDocument(ctx context.Context, dbID string, p Principal, name doc.Name, readTS truetime.Timestamp) (_ *doc.Document, _ truetime.Timestamp, retErr error) {
-	ctx, end := reqctx.StartSpan(ctx, "backend.get")
-	defer func() { end(retErr) }()
+func (b *Backend) GetDocument(ctx context.Context, dbID string, p Principal, name doc.Name, readTS truetime.Timestamp) (*doc.Document, truetime.Timestamp, error) {
 	db, err := b.cat.Get(dbID)
 	if err != nil {
 		return nil, 0, err
@@ -30,43 +28,49 @@ func (b *Backend) GetDocument(ctx context.Context, dbID string, p Principal, nam
 	if b.cfg.Costs.Read != nil {
 		cost = b.cfg.Costs.Read(dbID)
 	}
-	var d *doc.Document
-	var rerr error
 	if readTS == 0 {
 		readTS = db.Spanner.StrongReadTimestamp()
 	}
-	err = b.submit(ctx, b.schedKey(dbID, p), cost, func() {
+	var d *doc.Document
+	err = b.submit(ctx, "backend.get", b.schedKey(dbID, p), cost, func(ctx context.Context) error {
+		var rerr error
 		d, rerr = b.getAt(ctx, db, name, readTS)
+		if rerr != nil {
+			return rerr
+		}
+		if !p.Privileged {
+			meta := db.Meta()
+			if meta.Rules == nil {
+				return fmt.Errorf("%w: no rules deployed", rules.ErrDenied)
+			}
+			req := &rules.Request{
+				Method:   rules.MethodGet,
+				Path:     name,
+				Auth:     p.Auth,
+				Resource: d,
+				Get: func(n doc.Name) (*doc.Document, error) {
+					return b.getAt(ctx, db, n, readTS)
+				},
+			}
+			if err := meta.Rules.Authorize(req); err != nil {
+				return err
+			}
+		}
+		if b.cfg.Billing != nil {
+			b.cfg.Billing.RecordReads(dbID, 1)
+		}
+		if d == nil {
+			return fmt.Errorf("%w: %s", ErrNotFound, name)
+		}
+		return nil
 	})
 	if err != nil {
+		if errors.Is(err, ErrNotFound) && d == nil {
+			// Missing documents still report the snapshot they were read
+			// at, so callers can cache the negative result.
+			return nil, readTS, err
+		}
 		return nil, 0, err
-	}
-	if rerr != nil {
-		return nil, 0, rerr
-	}
-	if !p.Privileged {
-		meta := db.Meta()
-		if meta.Rules == nil {
-			return nil, 0, fmt.Errorf("%w: no rules deployed", rules.ErrDenied)
-		}
-		req := &rules.Request{
-			Method:   rules.MethodGet,
-			Path:     name,
-			Auth:     p.Auth,
-			Resource: d,
-			Get: func(n doc.Name) (*doc.Document, error) {
-				return b.getAt(ctx, db, n, readTS)
-			},
-		}
-		if err := meta.Rules.Authorize(req); err != nil {
-			return nil, 0, err
-		}
-	}
-	if b.cfg.Billing != nil {
-		b.cfg.Billing.RecordReads(dbID, 1)
-	}
-	if d == nil {
-		return nil, readTS, fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
 	return d, readTS, nil
 }
@@ -87,9 +91,7 @@ func (b *Backend) getAt(ctx context.Context, db *catalog.Database, name doc.Name
 // returns the result page and the snapshot timestamp it reflects, which
 // doubles as the max-commit-version for real-time subscriptions (§IV-D4
 // step 2).
-func (b *Backend) RunQuery(ctx context.Context, dbID string, p Principal, q *query.Query, resume []byte, readTS truetime.Timestamp) (_ *query.Result, _ truetime.Timestamp, retErr error) {
-	ctx, end := reqctx.StartSpan(ctx, "backend.query")
-	defer func() { end(retErr) }()
+func (b *Backend) RunQuery(ctx context.Context, dbID string, p Principal, q *query.Query, resume []byte, readTS truetime.Timestamp) (*query.Result, truetime.Timestamp, error) {
 	db, err := b.cat.Get(dbID)
 	if err != nil {
 		return nil, 0, err
@@ -123,16 +125,14 @@ func (b *Backend) RunQuery(ctx context.Context, dbID string, p Principal, q *que
 		cost = b.cfg.Costs.Query(dbID, q)
 	}
 	var res *query.Result
-	var qerr error
-	err = b.submit(ctx, b.schedKey(dbID, p), cost, func() {
+	err = b.submit(ctx, "backend.query", b.schedKey(dbID, p), cost, func(ctx context.Context) error {
 		st := &snapshotStorage{db: db, ts: readTS}
+		var qerr error
 		res, qerr = plan.Execute(ctx, st, resume)
+		return qerr
 	})
 	if err != nil {
 		return nil, 0, err
-	}
-	if qerr != nil {
-		return nil, 0, qerr
 	}
 	if b.cfg.Billing != nil {
 		n := int64(len(res.Docs))
@@ -148,9 +148,7 @@ func (b *Backend) RunQuery(ctx context.Context, dbID string, p Principal, q *que
 // entirely from index work with no document fetches, and billing charges
 // one read per 1000 index entries examined rather than per result, so
 // counting millions of documents stays pay-as-you-go.
-func (b *Backend) RunCount(ctx context.Context, dbID string, p Principal, q *query.Query, readTS truetime.Timestamp) (_ int64, _ truetime.Timestamp, retErr error) {
-	ctx, end := reqctx.StartSpan(ctx, "backend.count")
-	defer func() { end(retErr) }()
+func (b *Backend) RunCount(ctx context.Context, dbID string, p Principal, q *query.Query, readTS truetime.Timestamp) (int64, truetime.Timestamp, error) {
 	db, err := b.cat.Get(dbID)
 	if err != nil {
 		return 0, 0, err
@@ -181,16 +179,14 @@ func (b *Backend) RunCount(ctx context.Context, dbID string, p Principal, q *que
 		cost = b.cfg.Costs.Query(dbID, q)
 	}
 	var res *query.CountResult
-	var qerr error
-	err = b.submit(ctx, b.schedKey(dbID, p), cost, func() {
+	err = b.submit(ctx, "backend.count", b.schedKey(dbID, p), cost, func(ctx context.Context) error {
 		st := &snapshotStorage{db: db, ts: readTS}
+		var qerr error
 		res, qerr = plan.ExecuteCount(ctx, st)
+		return qerr
 	})
 	if err != nil {
 		return 0, 0, err
-	}
-	if qerr != nil {
-		return 0, 0, qerr
 	}
 	if b.cfg.Billing != nil {
 		reads := int64(res.ScannedEntries/1000) + 1

@@ -8,6 +8,7 @@ package core
 
 import (
 	"context"
+	"io"
 	"sync"
 	"time"
 
@@ -17,7 +18,9 @@ import (
 	"firestore/internal/doc"
 	"firestore/internal/frontend"
 	"firestore/internal/index"
+	"firestore/internal/obs"
 	"firestore/internal/query"
+	"firestore/internal/reqctx"
 	"firestore/internal/rtcache"
 	"firestore/internal/rules"
 	"firestore/internal/spanner"
@@ -79,6 +82,15 @@ type Config struct {
 	FailureHooks backend.FailureHooks
 	// Seed seeds latency jitter.
 	Seed int64
+	// TraceSampleProb is the hierarchical-trace head-sampling probability
+	// in [0, 1]; zero uses the tracer default (5%), negative disables
+	// sampling (slow and error traces are still kept).
+	TraceSampleProb float64
+	// SlowTraceThreshold marks a request slow — slow traces are always
+	// kept and logged. Zero uses the tracer default (100ms).
+	SlowTraceThreshold time.Duration
+	// SlowLog, when set, receives one JSON line per slow request.
+	SlowLog io.Writer
 }
 
 // Region is one assembled Firestore region.
@@ -92,6 +104,15 @@ type Region struct {
 	Scheduler *wfq.Scheduler
 	Billing   *billing.Accountant
 	Spanners  []*spanner.DB
+	// Obs is the region's metrics registry: every layer feeds it, and the
+	// server's /debug/metricz scrapes it.
+	Obs *obs.Registry
+	// Recorder aggregates span latencies; the server installs it on every
+	// request context.
+	Recorder *reqctx.Recorder
+	// Tracer assembles spans into hierarchical traces for /debug/tracez
+	// and /debug/requestz.
+	Tracer *reqctx.Tracer
 
 	mu       sync.Mutex
 	triggers map[string]*triggers.Service
@@ -142,6 +163,17 @@ func NewRegion(cfg Config) *Region {
 			return time.Duration(rows) * perRow
 		}
 	}
+	reg := obs.NewRegistry()
+	tracer := reqctx.NewTracer(reqctx.TracerConfig{
+		SampleProb:    cfg.TraceSampleProb,
+		SlowThreshold: cfg.SlowTraceThreshold,
+		OnKeep:        slowLogSink(cfg),
+		Seed:          cfg.Seed,
+	})
+	rec := reqctx.NewRecorder()
+	rec.SetRegistry(reg)
+	rec.SetTracer(tracer)
+
 	pool := make([]*spanner.DB, cfg.SpannerPoolSize)
 	for i := range pool {
 		pool[i] = spanner.New(spanner.Config{
@@ -152,6 +184,7 @@ func NewRegion(cfg Config) *Region {
 			SplitThreshold:     cfg.SplitThreshold,
 			MaxTabletRows:      cfg.MaxTabletRows,
 			Seed:               cfg.Seed + int64(i),
+			Obs:                reg,
 		})
 	}
 	cat := catalog.New(pool)
@@ -160,6 +193,7 @@ func NewRegion(cfg Config) *Region {
 		Ranges:         cfg.RTRanges,
 		HeartbeatEvery: 2 * time.Millisecond,
 		AutoSplitSubs:  cfg.RTAutoSplitSubs,
+		Obs:            reg,
 	})
 	var sched *wfq.Scheduler
 	if cfg.SchedulerWorkers > 0 {
@@ -167,6 +201,7 @@ func NewRegion(cfg Config) *Region {
 			Workers:  cfg.SchedulerWorkers,
 			Mode:     cfg.SchedulerMode,
 			MaxQueue: cfg.SchedulerMaxQueue,
+			Obs:      reg,
 		})
 	}
 	var acct *billing.Accountant
@@ -181,18 +216,36 @@ func NewRegion(cfg Config) *Region {
 		Costs:        cfg.Costs,
 		FailureHooks: cfg.FailureHooks,
 	})
+	f := frontend.New(b, cache)
+	f.SetObs(reg)
 	return &Region{
 		Config:    cfg,
 		Clock:     clock,
 		Catalog:   cat,
 		Backend:   b,
-		Frontend:  frontend.New(b, cache),
+		Frontend:  f,
 		Cache:     cache,
 		Scheduler: sched,
 		Billing:   acct,
 		Spanners:  pool,
+		Obs:       reg,
+		Recorder:  rec,
+		Tracer:    tracer,
 		triggers:  map[string]*triggers.Service{},
 	}
+}
+
+// slowLogSink builds the tracer's OnKeep sink from cfg.SlowLog: slow (or
+// failed-and-slow) traces are emitted as JSON lines.
+func slowLogSink(cfg Config) func(reqctx.TraceData) {
+	if cfg.SlowLog == nil {
+		return nil
+	}
+	threshold := cfg.SlowTraceThreshold
+	if threshold <= 0 {
+		threshold = 100 * time.Millisecond
+	}
+	return reqctx.NewSlowLog(cfg.SlowLog, threshold)
 }
 
 // Close stops background services.

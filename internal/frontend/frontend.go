@@ -11,12 +11,14 @@ package frontend
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"firestore/internal/backend"
 	"firestore/internal/doc"
+	"firestore/internal/obs"
 	"firestore/internal/query"
 	"firestore/internal/reqctx"
 	"firestore/internal/rtcache"
@@ -34,11 +36,78 @@ type Frontend struct {
 	backend *backend.Backend
 	cache   *rtcache.Cache
 	targets atomic.Int64
+	obs     *obs.Registry
+	active  atomic.Int64 // live real-time targets
+
+	mu    sync.Mutex
+	conns map[*Conn]struct{}
 }
 
 // New creates a Frontend over a Backend and the Real-time Cache.
 func New(b *backend.Backend, cache *rtcache.Cache) *Frontend {
-	return &Frontend{backend: b, cache: cache}
+	return &Frontend{backend: b, cache: cache, conns: map[*Conn]struct{}{}}
+}
+
+// SetObs attaches the metrics registry: connection/target gauges plus
+// per-database delivery, drop, and requery counters. Call before serving
+// traffic; the field is read without synchronization afterwards.
+func (f *Frontend) SetObs(reg *obs.Registry) {
+	f.obs = reg
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("frontend.connections", nil, func() float64 {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return float64(len(f.conns))
+	})
+	reg.GaugeFunc("frontend.targets", nil, func() float64 {
+		return float64(f.active.Load())
+	})
+}
+
+// count bumps a per-database frontend counter when metrics are attached.
+func (f *Frontend) count(name, db string) {
+	if f.obs != nil {
+		f.obs.Counter(name, obs.DB(db)).Inc()
+	}
+}
+
+// ConnInfo is one connection's state in a ConnStats snapshot
+// (/debug/listenz).
+type ConnInfo struct {
+	DB       string `json:"db"`
+	Queries  int    `json:"queries"`
+	Targets  int    `json:"targets"`
+	Buffered int    `json:"buffered_events"`
+}
+
+// ConnStats reports every open connection, busiest first.
+func (f *Frontend) ConnStats() []ConnInfo {
+	f.mu.Lock()
+	conns := make([]*Conn, 0, len(f.conns))
+	for c := range f.conns {
+		conns = append(conns, c)
+	}
+	f.mu.Unlock()
+	out := make([]ConnInfo, 0, len(conns))
+	for _, c := range conns {
+		c.mu.Lock()
+		out = append(out, ConnInfo{
+			DB:       c.dbID,
+			Queries:  len(c.queries),
+			Targets:  len(c.targets),
+			Buffered: len(c.events),
+		})
+		c.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Targets != out[j].Targets {
+			return out[i].Targets > out[j].Targets
+		}
+		return out[i].DB < out[j].DB
+	})
+	return out
 }
 
 // SnapshotEvent is one incremental snapshot delivered to the client: the
@@ -77,7 +146,7 @@ const eventBuffer = 1024
 
 // NewConn opens a connection for one client to one database.
 func (f *Frontend) NewConn(dbID string, p backend.Principal) *Conn {
-	return &Conn{
+	c := &Conn{
 		f:       f,
 		dbID:    dbID,
 		p:       p,
@@ -85,6 +154,10 @@ func (f *Frontend) NewConn(dbID string, p backend.Principal) *Conn {
 		queries: map[int64]*rtQuery{},
 		targets: map[int64]*rtQuery{},
 	}
+	f.mu.Lock()
+	f.conns[c] = struct{}{}
+	f.mu.Unlock()
+	return c
 }
 
 // Events is the stream of incremental snapshots for all queries on the
@@ -171,7 +244,9 @@ func (c *Conn) Listen(ctx context.Context, q *query.Query) (_ int64, retErr erro
 		return 0, ErrConnClosed
 	}
 	c.targets[targetID] = rq
+	c.f.active.Add(1)
 	c.mu.Unlock()
+	c.f.count("frontend.listens", c.dbID)
 
 	// Initial snapshot (step 3).
 	delivered := c.deliver(SnapshotEvent{
@@ -209,6 +284,7 @@ func (c *Conn) StopListening(targetID int64) {
 	if ok {
 		delete(c.targets, targetID)
 		delete(c.queries, rq.subID)
+		c.f.active.Add(-1)
 	}
 	c.mu.Unlock()
 	if ok {
@@ -228,9 +304,13 @@ func (c *Conn) Close() {
 	for id := range c.queries {
 		subs = append(subs, id)
 	}
+	c.f.active.Add(-int64(len(c.targets)))
 	c.queries = map[int64]*rtQuery{}
 	c.targets = map[int64]*rtQuery{}
 	c.mu.Unlock()
+	c.f.mu.Lock()
+	delete(c.f.conns, c)
+	c.f.mu.Unlock()
 	for _, id := range subs {
 		c.f.cache.Unsubscribe(c, id)
 	}
@@ -246,8 +326,10 @@ func (c *Conn) Close() {
 func (c *Conn) deliver(ev SnapshotEvent) bool {
 	select {
 	case c.events <- ev:
+		c.f.count("frontend.events_delivered", c.dbID)
 		return true
 	default:
+		c.f.count("frontend.events_dropped", c.dbID)
 		return false
 	}
 }
@@ -359,10 +441,23 @@ func (c *Conn) flushLocked() []SnapshotEvent {
 // the delta snapshot. It reports whether a limited query lost a member
 // and therefore needs a requery.
 func (c *Conn) applyLocked(rq *rtQuery, connTS truetime.Timestamp) (*SnapshotEvent, bool) {
+	// Pending updates can arrive out of timestamp order: Subscribe
+	// delivers its changelog replay outside the range lock, so a live
+	// forward racing with registration may enqueue a newer update before
+	// the older replayed ones. Apply in commit order or an older delete
+	// could clobber a newer set.
+	sort.SliceStable(rq.pending, func(i, j int) bool { return rq.pending[i].TS < rq.pending[j].TS })
 	var rest []rtcache.Update
-	var added, modified []*doc.Document
-	var removed []doc.Name
-	changed := false
+	// before records each touched document's membership at the window
+	// start so the snapshot carries the NET change per document: a
+	// delete-then-set of the same document within one window must emit a
+	// single Modified entry, not a Removed and an Added whose relative
+	// order the consumer cannot know.
+	type membership struct {
+		name doc.Name
+		was  bool
+	}
+	before := map[string]membership{}
 	for _, u := range rq.pending {
 		if u.TS > connTS {
 			rest = append(rest, u)
@@ -373,29 +468,37 @@ func (c *Conn) applyLocked(rq *rtQuery, connTS truetime.Timestamp) (*SnapshotEve
 		}
 		key := u.Name.String()
 		_, have := rq.results[key]
+		if _, seen := before[key]; !seen {
+			before[key] = membership{name: u.Name, was: have}
+		}
 		switch {
-		case u.Matches && have:
+		case u.Matches:
 			rq.results[key] = u.New
-			modified = append(modified, u.New)
-			changed = true
-		case u.Matches && !have:
-			rq.results[key] = u.New
-			added = append(added, u.New)
-			changed = true
-		case !u.Matches && have:
+		case have:
 			if rq.limited {
 				// A member left a limit query: the replacement is
 				// unknown here; redo the initial query (fast reset).
 				return nil, true
 			}
 			delete(rq.results, key)
-			removed = append(removed, u.Name)
-			changed = true
 		}
 	}
 	rq.pending = rest
 	rq.maxCommitVersion = connTS
-	if !changed {
+	var added, modified []*doc.Document
+	var removed []doc.Name
+	for key, m := range before {
+		cur, have := rq.results[key]
+		switch {
+		case have && !m.was:
+			added = append(added, cur)
+		case have && m.was:
+			modified = append(modified, cur)
+		case !have && m.was:
+			removed = append(removed, m.name)
+		}
+	}
+	if len(added)+len(modified)+len(removed) == 0 {
 		return nil, false
 	}
 	// Limit overflow: adding beyond the limit evicts the worst-ranked
@@ -447,6 +550,7 @@ func (c *Conn) OnReset(rangeID int, subID int64) {
 // full is true the client's state is unknown (a snapshot was dropped) and
 // the requery re-emits a full Initial snapshot instead of a delta.
 func (c *Conn) scheduleRequery(rq *rtQuery, full bool) {
+	c.f.count("frontend.requeries", c.dbID)
 	rq.resetting = true
 	rq.pending = nil
 	delete(c.queries, rq.subID)
@@ -465,7 +569,10 @@ func (c *Conn) requery(rq *rtQuery, full bool) {
 		// Backend unavailable: retry is the client SDK's job; surface a
 		// terminal removal of the target.
 		c.mu.Lock()
-		delete(c.targets, rq.targetID)
+		if _, ok := c.targets[rq.targetID]; ok {
+			delete(c.targets, rq.targetID)
+			c.f.active.Add(-1)
+		}
 		c.mu.Unlock()
 		return
 	}

@@ -83,6 +83,11 @@ func (h *Histogram) Mean() time.Duration {
 func (h *Histogram) Percentile(q float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return h.percentileLocked(q)
+}
+
+// percentileLocked is Percentile with h.mu held.
+func (h *Histogram) percentileLocked(q float64) time.Duration {
 	if h.count == 0 {
 		return 0
 	}
@@ -124,21 +129,33 @@ func (h *Histogram) Reset() {
 	h.count, h.sum, h.min, h.max = 0, 0, 0, 0
 }
 
-// Snapshot returns count, mean, p50, p95, p99 in one consistent view.
+// Snapshot returns count, mean, min/max, p50, p95, p99 in one consistent
+// view: the lock is taken once and every field derives from the same
+// state, so a snapshot can never pair a count with percentiles of a
+// different population.
 func (h *Histogram) Snapshot() Summary {
-	return Summary{
-		Count: h.Count(),
-		Mean:  h.Mean(),
-		P50:   h.Percentile(0.50),
-		P95:   h.Percentile(0.95),
-		P99:   h.Percentile(0.99),
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := Summary{
+		Count: h.count,
+		Min:   h.min,
+		Max:   h.max,
+		P50:   h.percentileLocked(0.50),
+		P95:   h.percentileLocked(0.95),
+		P99:   h.percentileLocked(0.99),
 	}
+	if h.count > 0 {
+		s.Mean = h.sum / time.Duration(h.count)
+	}
+	return s
 }
 
 // Summary is a point-in-time percentile summary.
 type Summary struct {
 	Count uint64
 	Mean  time.Duration
+	Min   time.Duration
+	Max   time.Duration
 	P50   time.Duration
 	P95   time.Duration
 	P99   time.Duration

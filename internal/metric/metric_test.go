@@ -102,6 +102,48 @@ func TestHistogramConcurrent(t *testing.T) {
 	}
 }
 
+// TestSnapshotConsistentUnderConcurrency pins down the "one consistent
+// view" contract: a writer records 1µs, 2µs, 3µs, ... so that after the
+// k-th record the exact invariants Mean == (k+1)*500ns and Max == k µs
+// hold. A snapshot mixing fields from different instants (the old
+// Count()/Mean()/Percentile() three-lock implementation) pairs a stale
+// Count with a fresher Mean or Max and breaks them.
+func TestSnapshotConsistentUnderConcurrency(t *testing.T) {
+	var h Histogram
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 1; i <= 50000; i++ {
+			h.Record(time.Duration(i) * time.Microsecond)
+		}
+	}()
+	checked := 0
+	for {
+		s := h.Snapshot()
+		if s.Count > 0 {
+			checked++
+			wantMean := time.Duration(s.Count+1) * 500 * time.Nanosecond
+			if s.Mean != wantMean {
+				t.Fatalf("torn snapshot: Count=%d Mean=%v, want %v", s.Count, s.Mean, wantMean)
+			}
+			if want := time.Duration(s.Count) * time.Microsecond; s.Max != want {
+				t.Fatalf("torn snapshot: Count=%d Max=%v, want %v", s.Count, s.Max, want)
+			}
+			if s.Min != time.Microsecond {
+				t.Fatalf("Min = %v, want 1µs", s.Min)
+			}
+		}
+		select {
+		case <-done:
+			if checked == 0 {
+				t.Fatal("no snapshot overlapped the writer")
+			}
+			return
+		default:
+		}
+	}
+}
+
 func TestSummaryString(t *testing.T) {
 	var h Histogram
 	h.Record(time.Millisecond)

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"firestore/internal/metric"
+)
+
+// CounterValue is one counter instance in a snapshot.
+type CounterValue struct {
+	Name   string `json:"name"`
+	Labels Labels `json:"labels,omitempty"`
+	Value  int64  `json:"value"`
+}
+
+// GaugeValue is one gauge instance in a snapshot.
+type GaugeValue struct {
+	Name   string  `json:"name"`
+	Labels Labels  `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+// HistogramValue is one histogram instance in a snapshot. Durations are
+// reported in nanoseconds, matching time.Duration.
+type HistogramValue struct {
+	Name   string `json:"name"`
+	Labels Labels `json:"labels,omitempty"`
+	Count  uint64 `json:"count"`
+	Mean   int64  `json:"mean_ns"`
+	P50    int64  `json:"p50_ns"`
+	P95    int64  `json:"p95_ns"`
+	P99    int64  `json:"p99_ns"`
+}
+
+// Snapshot is one consistent-enough walk of the registry: every family is
+// read under the registry lock, individual instances snapshot atomically.
+type Snapshot struct {
+	Counters   []CounterValue   `json:"counters"`
+	Gauges     []GaugeValue     `json:"gauges"`
+	Histograms []HistogramValue `json:"histograms"`
+}
+
+// view is a frozen copy of one family taken under the registry lock:
+// exporters iterate it (and invoke gauge funcs) lock-free while new
+// instances keep registering concurrently.
+type view[T any] struct {
+	name      string
+	keys      []string // canonical label keys, sorted
+	labels    map[string]Labels
+	instances map[string]T
+}
+
+// freeze deep-copies a family map into sorted views. Caller holds r.mu —
+// the instance pointers themselves are safe to read unlocked, but the
+// per-family maps are not.
+func freeze[T any](fams map[string]*family[T]) []view[T] {
+	out := make([]view[T], 0, len(fams))
+	for _, f := range fams {
+		v := view[T]{
+			name:      f.name,
+			keys:      make([]string, 0, len(f.instances)),
+			labels:    make(map[string]Labels, len(f.labels)),
+			instances: make(map[string]T, len(f.instances)),
+		}
+		for k, inst := range f.instances {
+			v.keys = append(v.keys, k)
+			v.instances[k] = inst
+			v.labels[k] = f.labels[k]
+		}
+		sort.Strings(v.keys)
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// collect copies every family out under the lock so exporters iterate
+// (and call gauge funcs) without holding it.
+func (r *Registry) collect() (cs []view[*Counter], gs []view[*Gauge], gfs []view[func() float64], hs []view[*metric.Histogram]) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return freeze(r.counters), freeze(r.gauges), freeze(r.gaugeFuncs), freeze(r.histograms)
+}
+
+// Snapshot captures every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	cs, gs, gfs, hs := r.collect()
+	var s Snapshot
+	for _, f := range cs {
+		for _, k := range f.keys {
+			s.Counters = append(s.Counters, CounterValue{Name: f.name, Labels: f.labels[k], Value: f.instances[k].Value()})
+		}
+	}
+	for _, f := range gs {
+		for _, k := range f.keys {
+			s.Gauges = append(s.Gauges, GaugeValue{Name: f.name, Labels: f.labels[k], Value: f.instances[k].Value()})
+		}
+	}
+	for _, f := range gfs {
+		for _, k := range f.keys {
+			s.Gauges = append(s.Gauges, GaugeValue{Name: f.name, Labels: f.labels[k], Value: f.instances[k]()})
+		}
+	}
+	for _, f := range hs {
+		for _, k := range f.keys {
+			sum := f.instances[k].Snapshot()
+			s.Histograms = append(s.Histograms, HistogramValue{
+				Name: f.name, Labels: f.labels[k], Count: sum.Count,
+				Mean: int64(sum.Mean), P50: int64(sum.P50), P95: int64(sum.P95), P99: int64(sum.P99),
+			})
+		}
+	}
+	return s
+}
+
+// promName sanitizes a layer.op metric name to Prometheus conventions.
+func promName(name string) string {
+	out := make([]byte, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			out[i] = c
+		default:
+			out[i] = '_'
+		}
+	}
+	return "firestore_" + string(out)
+}
+
+func promLine(w io.Writer, name, labelKey string, value string) {
+	if labelKey == "" {
+		fmt.Fprintf(w, "%s %s\n", name, value)
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %s\n", name, labelKey, value)
+}
+
+// withLabel appends one more label to a canonical label key.
+func withLabel(labelKey, k, v string) string {
+	extra := k + `="` + escapeLabel(v) + `"`
+	if labelKey == "" {
+		return extra
+	}
+	return labelKey + "," + extra
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format. Counters and gauges map directly; histograms are rendered as
+// summaries (quantile label, _sum in seconds, _count).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	cs, gs, gfs, hs := r.collect()
+	for _, f := range cs {
+		n := promName(f.name)
+		fmt.Fprintf(w, "# TYPE %s counter\n", n)
+		for _, k := range f.keys {
+			promLine(w, n, k, fmt.Sprintf("%d", f.instances[k].Value()))
+		}
+	}
+	for _, f := range gs {
+		n := promName(f.name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n", n)
+		for _, k := range f.keys {
+			promLine(w, n, k, formatFloat(f.instances[k].Value()))
+		}
+	}
+	for _, f := range gfs {
+		n := promName(f.name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n", n)
+		for _, k := range f.keys {
+			promLine(w, n, k, formatFloat(f.instances[k]()))
+		}
+	}
+	for _, f := range hs {
+		n := promName(f.name) + "_latency_seconds"
+		fmt.Fprintf(w, "# TYPE %s summary\n", n)
+		for _, k := range f.keys {
+			sum := f.instances[k].Snapshot()
+			promLine(w, n, withLabel(k, "quantile", "0.5"), formatFloat(seconds(sum.P50)))
+			promLine(w, n, withLabel(k, "quantile", "0.95"), formatFloat(seconds(sum.P95)))
+			promLine(w, n, withLabel(k, "quantile", "0.99"), formatFloat(seconds(sum.P99)))
+			promLine(w, n+"_sum", k, formatFloat(seconds(sum.Mean)*float64(sum.Count)))
+			promLine(w, n+"_count", k, fmt.Sprintf("%d", sum.Count))
+		}
+	}
+}
+
+func seconds(d time.Duration) float64 { return d.Seconds() }
+
+func formatFloat(v float64) string {
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,213 @@
+// Package obs is the central observability registry: named counters,
+// gauges, and log-bucketed latency histograms, all labelable — most
+// importantly by database ID, since every operational question about a
+// multi-tenant system is "which tenant did what" (§IV-C, §V). Metric
+// names follow the layer.op scheme ("backend.commit", "wfq.queue_wait")
+// and labels attach dimensions ({db="mydb"}), so a scrape of the
+// registry answers per-database questions directly.
+//
+// The registry exports two wire formats from one consistent walk:
+// Prometheus text exposition (names sanitized to underscores, histograms
+// rendered as summaries with quantile labels) and a JSON snapshot used
+// by /debug/metricz?format=json and fsctl stats.
+//
+// All operations are safe for concurrent use; metric handles returned by
+// Counter/Gauge/Histogram are cached by callers on hot paths to skip the
+// registry lookup.
+package obs
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"firestore/internal/metric"
+)
+
+// Labels is one metric instance's label set. Instances are keyed by the
+// canonical (sorted) rendering, so map ordering does not mint duplicates.
+type Labels map[string]string
+
+// DB is shorthand for the one label almost every metric carries.
+func DB(db string) Labels {
+	if db == "" {
+		return nil
+	}
+	return Labels{"db": db}
+}
+
+// key renders the canonical instance key: `k1="v1",k2="v2"` sorted by
+// label name — exactly the Prometheus label-body syntax, so exporters
+// reuse it verbatim.
+func (l Labels) key() string {
+	if len(l) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(l))
+	for k := range l {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, k := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l[k]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n < 0 is ignored; counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(floatBits(v)) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return floatOf(g.bits.Load()) }
+
+// family groups one metric name's labeled instances.
+type family[T any] struct {
+	name      string
+	instances map[string]T // canonical label key -> instance
+	labels    map[string]Labels
+}
+
+func newFamily[T any](name string) *family[T] {
+	return &family[T]{name: name, instances: map[string]T{}, labels: map[string]Labels{}}
+}
+
+// Registry holds every metric family. The zero value is not usable; call
+// NewRegistry.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*family[*Counter]
+	gauges     map[string]*family[*Gauge]
+	gaugeFuncs map[string]*family[func() float64]
+	histograms map[string]*family[*metric.Histogram]
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*family[*Counter]{},
+		gauges:     map[string]*family[*Gauge]{},
+		gaugeFuncs: map[string]*family[func() float64]{},
+		histograms: map[string]*family[*metric.Histogram]{},
+	}
+}
+
+// Default is the process-wide registry used by components not wired to an
+// explicit one (tests, benchmarks constructing layers directly). Servers
+// build their own via NewRegistry so scrapes see only their region.
+var Default = NewRegistry()
+
+// Counter returns the counter name{labels}, creating it on first use.
+func (r *Registry) Counter(name string, labels Labels) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.counters[name]
+	if !ok {
+		f = newFamily[*Counter](name)
+		r.counters[name] = f
+	}
+	k := labels.key()
+	c, ok := f.instances[k]
+	if !ok {
+		c = &Counter{}
+		f.instances[k] = c
+		f.labels[k] = labels
+	}
+	return c
+}
+
+// Gauge returns the settable gauge name{labels}, creating it on first use.
+func (r *Registry) Gauge(name string, labels Labels) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.gauges[name]
+	if !ok {
+		f = newFamily[*Gauge](name)
+		r.gauges[name] = f
+	}
+	k := labels.key()
+	g, ok := f.instances[k]
+	if !ok {
+		g = &Gauge{}
+		f.instances[k] = g
+		f.labels[k] = labels
+	}
+	return g
+}
+
+// GaugeFunc registers (or replaces) a callback gauge name{labels},
+// evaluated at scrape time. fn must be safe for concurrent use and cheap.
+func (r *Registry) GaugeFunc(name string, labels Labels, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.gaugeFuncs[name]
+	if !ok {
+		f = newFamily[func() float64](name)
+		r.gaugeFuncs[name] = f
+	}
+	k := labels.key()
+	f.instances[k] = fn
+	f.labels[k] = labels
+}
+
+// Histogram returns the latency histogram name{labels}, creating it on
+// first use.
+func (r *Registry) Histogram(name string, labels Labels) *metric.Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.histograms[name]
+	if !ok {
+		f = newFamily[*metric.Histogram](name)
+		r.histograms[name] = f
+	}
+	k := labels.key()
+	h, ok := f.instances[k]
+	if !ok {
+		h = &metric.Histogram{}
+		f.instances[k] = h
+		f.labels[k] = labels
+	}
+	return h
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func floatOf(b uint64) float64   { return math.Float64frombits(b) }

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("wfq.shed", DB("alpha"))
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters are monotonic
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	if again := r.Counter("wfq.shed", DB("alpha")); again != c {
+		t.Fatal("same name+labels should return the same counter instance")
+	}
+	if other := r.Counter("wfq.shed", DB("beta")); other == c {
+		t.Fatal("different labels must be a different instance")
+	}
+
+	g := r.Gauge("wfq.queue_depth", nil)
+	g.Set(7.5)
+	if got := g.Value(); got != 7.5 {
+		t.Fatalf("gauge = %v, want 7.5", got)
+	}
+	r.GaugeFunc("pool.tasks", nil, func() float64 { return 4 })
+
+	h := r.Histogram("backend.commit", DB("alpha"))
+	h.Record(3 * time.Millisecond)
+	if got := h.Snapshot().Count; got != 1 {
+		t.Fatalf("histogram count = %d, want 1", got)
+	}
+}
+
+func TestLabelKeyCanonical(t *testing.T) {
+	a := Labels{"db": "x", "code": "OK"}
+	b := Labels{"code": "OK", "db": "x"}
+	if a.key() != b.key() {
+		t.Fatalf("label key not canonical: %q vs %q", a.key(), b.key())
+	}
+	if want := `code="OK",db="x"`; a.key() != want {
+		t.Fatalf("key = %q, want %q", a.key(), want)
+	}
+}
+
+func TestPrometheusAndJSONExport(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rtcache.fanout", DB("mydb")).Add(42)
+	r.Gauge("wfq.queue_depth", nil).Set(3)
+	r.GaugeFunc("spanner.tablets", Labels{"pool": "0"}, func() float64 { return 2 })
+	h := r.Histogram("backend.commit", DB("mydb"))
+	for i := 0; i < 100; i++ {
+		h.Record(time.Millisecond)
+	}
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	text := buf.String()
+	for _, want := range []string{
+		`firestore_rtcache_fanout{db="mydb"} 42`,
+		`firestore_wfq_queue_depth 3`,
+		`firestore_spanner_tablets{pool="0"} 2`,
+		`firestore_backend_commit_latency_seconds{db="mydb",quantile="0.99"}`,
+		`firestore_backend_commit_latency_seconds_count{db="mydb"} 100`,
+		"# TYPE firestore_backend_commit_latency_seconds summary",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus output missing %q in:\n%s", want, text)
+		}
+	}
+
+	snap := r.Snapshot()
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("marshal snapshot: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("unmarshal snapshot: %v", err)
+	}
+	if len(back.Counters) != 1 || back.Counters[0].Value != 42 {
+		t.Fatalf("counters round-trip = %+v", back.Counters)
+	}
+	if len(back.Gauges) != 2 {
+		t.Fatalf("gauges = %+v, want settable + func", back.Gauges)
+	}
+	if len(back.Histograms) != 1 || back.Histograms[0].Count != 100 {
+		t.Fatalf("histograms round-trip = %+v", back.Histograms)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", Labels{"db": `we"ird\db`}).Inc()
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	if want := `db="we\"ird\\db"`; !strings.Contains(buf.String(), want) {
+		t.Fatalf("output missing escaped label %q:\n%s", want, buf.String())
+	}
+}
+
+// TestConcurrentScrapeDuringRecording exercises the registry under -race:
+// writers hammer counters/histograms on fresh and existing instances
+// while readers scrape both export formats.
+func TestConcurrentScrapeDuringRecording(t *testing.T) {
+	r := NewRegistry()
+	const writers = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dbs := []string{"a", "b", "c"}
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				db := dbs[n%len(dbs)]
+				r.Counter("ops", DB(db)).Inc()
+				r.Histogram("lat", DB(db)).Record(time.Duration(n%100) * time.Microsecond)
+				r.Gauge("depth", DB(db)).Set(float64(n))
+				r.GaugeFunc("fn", DB(db), func() float64 { return float64(n) })
+			}
+		}(i)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for i := 0; i < 50 || r.Counter("ops", DB("a")).Value() == 0 && time.Now().Before(deadline); i++ {
+		var buf bytes.Buffer
+		r.WritePrometheus(&buf)
+		_ = r.Snapshot()
+	}
+	close(stop)
+	wg.Wait()
+
+	snap := r.Snapshot()
+	var total int64
+	for _, c := range snap.Counters {
+		total += c.Value
+	}
+	if total == 0 {
+		t.Fatal("no counter increments observed")
+	}
+}

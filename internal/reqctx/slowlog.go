@@ -1,0 +1,56 @@
+package reqctx
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// slowLogLine is the structured slow-request record: trace ID, database,
+// query shape (when the query layer annotated one), and the per-layer
+// latency breakdown.
+type slowLogLine struct {
+	TraceID  string             `json:"trace_id"`
+	DB       string             `json:"db"`
+	QoS      string             `json:"qos"`
+	Op       string             `json:"op"`
+	Shape    string             `json:"shape,omitempty"`
+	Error    bool               `json:"error,omitempty"`
+	Duration float64            `json:"duration_ms"`
+	Layers   map[string]float64 `json:"layers_ms"`
+}
+
+// NewSlowLog returns a Tracer OnKeep sink that emits one JSON line per
+// kept trace whose duration meets threshold — the slow-query log. Lines
+// are serialized with an internal mutex so the sink is safe from
+// concurrent root-span ends.
+func NewSlowLog(w io.Writer, threshold time.Duration) func(TraceData) {
+	var mu sync.Mutex
+	enc := json.NewEncoder(w)
+	return func(td TraceData) {
+		if td.Duration < threshold {
+			return
+		}
+		line := slowLogLine{
+			TraceID:  td.ID,
+			DB:       td.DB,
+			QoS:      td.QoS,
+			Op:       td.Op(),
+			Shape:    td.Attr("shape"),
+			Error:    td.Error,
+			Duration: durMS(td.Duration),
+			Layers:   map[string]float64{},
+		}
+		for name, d := range td.LayerTimings() {
+			line.Layers[name] = durMS(d)
+		}
+		mu.Lock()
+		enc.Encode(line)
+		mu.Unlock()
+	}
+}
+
+func durMS(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}

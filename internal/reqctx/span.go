@@ -7,17 +7,22 @@ import (
 	"time"
 
 	"firestore/internal/metric"
+	"firestore/internal/obs"
 	"firestore/internal/status"
 )
 
 // Recorder aggregates span latencies into per-span, per-status-code
 // histograms (internal/metric) and optionally forwards every finished
-// span to a structured trace sink. The zero value is not usable; call
-// NewRecorder.
+// span to a structured trace sink. When a registry is attached it also
+// feeds per-database histograms named after the span ("backend.commit"
+// labeled {db=...}), and when a tracer is attached spans assemble into
+// hierarchical traces. The zero value is not usable; call NewRecorder.
 type Recorder struct {
-	mu    sync.Mutex
-	spans map[string]*spanStats
-	trace func(TraceEvent)
+	mu     sync.Mutex
+	spans  map[string]*spanStats
+	trace  func(TraceEvent)
+	reg    *obs.Registry
+	tracer *Tracer
 }
 
 type spanStats struct {
@@ -68,21 +73,48 @@ func (r *Recorder) SetTrace(fn func(TraceEvent)) {
 	r.trace = fn
 }
 
-func (r *Recorder) record(span string, code status.Code, d time.Duration) {
+// SetRegistry routes every finished span into reg as a per-database
+// latency histogram named after the span (nil disables).
+func (r *Recorder) SetRegistry(reg *obs.Registry) {
 	r.mu.Lock()
-	st, ok := r.spans[span]
+	defer r.mu.Unlock()
+	r.reg = reg
+}
+
+// SetTracer attaches a tracer: StartSpan then assembles spans into
+// per-request trace trees (nil disables tracing).
+func (r *Recorder) SetTracer(t *Tracer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tracer = t
+}
+
+// Tracer returns the attached tracer, or nil.
+func (r *Recorder) Tracer() *Tracer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tracer
+}
+
+func (r *Recorder) record(name, db string, code status.Code, d time.Duration) {
+	r.mu.Lock()
+	st, ok := r.spans[name]
 	if !ok {
 		st = &spanStats{byCode: map[status.Code]*metric.Histogram{}}
-		r.spans[span] = st
+		r.spans[name] = st
 	}
 	h, ok := st.byCode[code]
 	if !ok {
 		h = &metric.Histogram{}
 		st.byCode[code] = h
 	}
+	reg := r.reg
 	r.mu.Unlock()
 	st.all.Record(d)
 	h.Record(d)
+	if reg != nil {
+		reg.Histogram(name, obs.DB(db)).Record(d)
+	}
 }
 
 func (r *Recorder) traceFn() func(TraceEvent) {
@@ -156,20 +188,41 @@ func (r *Recorder) Reset() {
 // (nil on success); the elapsed time lands in the recorder's histogram
 // for (span, status.CodeOf(err)) and, when a trace sink is installed,
 // one TraceEvent is emitted with the request metadata.
-func StartSpan(ctx context.Context, span string) (context.Context, func(error)) {
+//
+// When the recorder carries a Tracer, spans also form a hierarchy: a
+// context without an active span starts a new trace (trace ID = the
+// request ID when set), and nested StartSpan calls become children of
+// the context's span. The returned context carries the new span, so it
+// must be the one passed to downstream layers.
+func StartSpan(ctx context.Context, name string) (context.Context, func(error)) {
 	rec := RecorderFrom(ctx)
 	meta := From(ctx)
 	start := time.Now()
+
+	var tr *Trace
+	var sp *span
+	if ref, ok := currentSpan(ctx); ok && ref.trace != nil {
+		tr = ref.trace
+		sp = tr.child(name, ref.span, start)
+		ctx = withSpan(ctx, tr, sp)
+	} else if tz := rec.Tracer(); tz != nil {
+		tr, sp = tz.startTrace(meta.RequestID, meta, name, start)
+		ctx = withSpan(ctx, tr, sp)
+	}
+
 	return ctx, func(err error) {
 		d := time.Since(start)
 		code := status.CodeOf(err)
-		rec.record(span, code, d)
-		if tr := rec.traceFn(); tr != nil {
-			tr(TraceEvent{
+		rec.record(name, meta.DB, code, d)
+		if tr != nil {
+			tr.endSpan(sp, code, time.Now())
+		}
+		if fn := rec.traceFn(); fn != nil {
+			fn(TraceEvent{
 				RequestID: meta.RequestID,
 				DB:        meta.DB,
 				QoS:       meta.QoS,
-				Span:      span,
+				Span:      name,
 				Code:      code,
 				Start:     start,
 				Duration:  d,

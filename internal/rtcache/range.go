@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"firestore/internal/doc"
+	"firestore/internal/obs"
 	"firestore/internal/query"
 	"firestore/internal/truetime"
 )
@@ -30,7 +31,8 @@ type subscriberQueries struct {
 // queries). The paper separates these into two task types; semantically
 // the pair share a range, so they are colocated here.
 type nameRange struct {
-	id int
+	id  int
+	obs *obs.Registry
 
 	mu sync.Mutex
 	// pending maps writeID -> prepare record.
@@ -122,6 +124,12 @@ func (r *nameRange) resolve(writeID, db string, muts []Mutation, ts truetime.Tim
 	}
 	wmDeliveries := r.advanceWatermarkLocked()
 	r.mu.Unlock()
+	if r.obs != nil && muts != nil {
+		r.obs.Counter("rtcache.forwarded", obs.DB(db)).Add(int64(len(muts)))
+		if len(deliveries) > 0 {
+			r.obs.Counter("rtcache.fanout", obs.DB(db)).Add(int64(len(deliveries)))
+		}
+	}
 	// Deliver outside the lock (subscribers must not re-enter, but they
 	// may take their own locks).
 	for _, d := range deliveries {
@@ -247,6 +255,9 @@ func (r *nameRange) expired(writeID string) bool {
 // to reset ("the Frontend task then aborts all accumulated state for that
 // query and redoes the steps starting with the initial query request").
 func (r *nameRange) markOutOfSync() {
+	if r.obs != nil {
+		r.obs.Counter("rtcache.out_of_sync", nil).Inc()
+	}
 	r.mu.Lock()
 	r.outOfSyncs++
 	r.pending = map[string]*prepareRecord{}

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"firestore/internal/doc"
+	"firestore/internal/obs"
 	"firestore/internal/truetime"
 )
 
@@ -97,6 +98,10 @@ type Config struct {
 	// slots spread over a new range (the Slicer behavior, §IV-D4).
 	// Zero disables automatic rebalancing.
 	AutoSplitSubs int
+	// Obs, when set, receives cache metrics: per-database fan-out
+	// counters, out-of-sync resets, a subscription gauge, and the
+	// watermark lag updated by the heartbeat loop.
+	Obs *obs.Registry
 }
 
 // Cache is the assembled Real-time Cache.
@@ -104,6 +109,7 @@ type Cache struct {
 	clock         truetime.Clock
 	acceptMargin  time.Duration
 	autoSplitSubs int
+	obs           *obs.Registry
 	stop          chan struct{}
 	stopOnce      sync.Once
 	wg            sync.WaitGroup
@@ -133,15 +139,26 @@ func New(cfg Config) *Cache {
 		clock:         cfg.Clock,
 		acceptMargin:  cfg.AcceptMargin,
 		autoSplitSubs: cfg.AutoSplitSubs,
+		obs:           cfg.Obs,
 		stop:          make(chan struct{}),
 		writes:        map[string]*writeRecord{},
 		assign:        make([]int32, slots),
 	}
 	for i := 0; i < cfg.Ranges; i++ {
-		c.ranges = append(c.ranges, newNameRange(i))
+		r := newNameRange(i)
+		r.obs = c.obs
+		c.ranges = append(c.ranges, r)
 	}
 	for slot := range c.assign {
 		c.assign[slot] = int32(slot * cfg.Ranges / slots)
+	}
+	if c.obs != nil {
+		c.obs.GaugeFunc("rtcache.subscriptions", nil, func() float64 {
+			return float64(c.Stats().Subscriptions)
+		})
+		c.obs.GaugeFunc("rtcache.ranges", nil, func() float64 {
+			return float64(c.RangeCount())
+		})
 	}
 	c.wg.Add(1)
 	go c.heartbeatLoop(cfg.HeartbeatEvery)
@@ -236,6 +253,7 @@ func (c *Cache) splitHotRange(threshold int) bool {
 		return false
 	}
 	fresh := newNameRange(len(c.ranges))
+	fresh.obs = c.obs
 	c.ranges = append(c.ranges, fresh)
 	owned := slotsOf[hot.id]
 	for _, slot := range owned[:len(owned)/2] {
@@ -359,6 +377,23 @@ func (c *Cache) heartbeatLoop(every time.Duration) {
 		for _, r := range ranges {
 			r.heartbeat(now, wall)
 		}
+		if c.obs != nil {
+			// Watermark lag: how far the slowest range trails TrueTime
+			// now — the staleness bound listeners observe.
+			var maxLag time.Duration
+			for _, r := range ranges {
+				r.mu.Lock()
+				wm := r.watermark
+				r.mu.Unlock()
+				if wm == 0 {
+					continue // never advanced: no listeners observed it yet
+				}
+				if lag := now.Sub(wm); lag > maxLag {
+					maxLag = lag
+				}
+			}
+			c.obs.Gauge("rtcache.watermark_lag_seconds", nil).Set(maxLag.Seconds())
+		}
 		if c.autoSplitSubs > 0 {
 			c.splitHotRange(c.autoSplitSubs)
 		}
@@ -385,6 +420,51 @@ type Stats struct {
 	Subscriptions int
 	OutOfSyncs    int64
 	Forwarded     int64
+}
+
+// RangeInfo is one name range's state for /debug/listenz.
+type RangeInfo struct {
+	ID            int                `json:"id"`
+	Slots         int                `json:"slots"`
+	Subscriptions int                `json:"subscriptions"`
+	Pending       int                `json:"pending_prepares"`
+	Watermark     truetime.Timestamp `json:"watermark"`
+	LastTS        truetime.Timestamp `json:"last_ts"`
+	LogLen        int                `json:"log_len"`
+	OutOfSyncs    int64              `json:"out_of_syncs"`
+	Forwarded     int64              `json:"forwarded"`
+}
+
+// RangeStats reports per-range watermark, subscription, and changelog
+// state, in range-ID order.
+func (c *Cache) RangeStats() []RangeInfo {
+	c.mu.Lock()
+	ranges := append([]*nameRange(nil), c.ranges...)
+	slotsOf := map[int]int{}
+	for _, rid := range c.assign {
+		slotsOf[int(rid)]++
+	}
+	c.mu.Unlock()
+	out := make([]RangeInfo, 0, len(ranges))
+	for _, r := range ranges {
+		r.mu.Lock()
+		info := RangeInfo{
+			ID:         r.id,
+			Slots:      slotsOf[r.id],
+			Pending:    len(r.pending),
+			Watermark:  r.watermark,
+			LastTS:     r.lastTS,
+			LogLen:     len(r.log),
+			OutOfSyncs: r.outOfSyncs,
+			Forwarded:  r.forwarded,
+		}
+		for _, sq := range r.subs {
+			info.Subscriptions += len(sq.queries)
+		}
+		r.mu.Unlock()
+		out = append(out, info)
+	}
+	return out
 }
 
 // Stats aggregates across ranges.

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"firestore/internal/obs"
 	"firestore/internal/status"
 	"firestore/internal/truetime"
 )
@@ -74,6 +75,10 @@ type Config struct {
 	LockTimeout time.Duration
 	// Seed seeds the latency sampler's jitter.
 	Seed int64
+	// Obs, when set, receives engine metrics: per-database lock-wait and
+	// commit-wait histograms, commit/abort/2PC counters, split/merge
+	// events, and a tablet-count gauge.
+	Obs *obs.Registry
 }
 
 // Latencies returns a CommitLatency sampler: base plus uniform jitter.
@@ -100,6 +105,7 @@ type DB struct {
 	commitBytesDelay func(int) time.Duration
 	commitRowDelay   func(int) time.Duration
 	lockTimeout      time.Duration
+	obs              *obs.Registry
 
 	locks *lockTable
 
@@ -144,13 +150,36 @@ func New(cfg Config) *DB {
 		commitBytesDelay: cfg.CommitBytesLatency,
 		commitRowDelay:   cfg.CommitRowLatency,
 		lockTimeout:      lt,
+		obs:              cfg.Obs,
 		locks:            newLockTable(),
 		splitThreshold:   cfg.SplitThreshold,
 		maxTabletRows:    cfg.MaxTabletRows,
 		queues:           make(map[string]chan Message),
 	}
 	db.tablets = []*tablet{newTablet(nil, nil)}
+	if db.obs != nil {
+		db.obs.GaugeFunc("spanner.tablets", nil, func() float64 {
+			return float64(db.TabletCount())
+		})
+	}
 	return db
+}
+
+// dbLabel builds the {db=...} label set; empty dbID (internal work, no
+// request context) means no label.
+func dbLabel(dbID string) obs.Labels {
+	if dbID == "" {
+		return nil
+	}
+	return obs.DB(dbID)
+}
+
+// count bumps a labeled engine counter when a registry is configured.
+func (db *DB) count(name, dbID string) {
+	if db.obs == nil {
+		return
+	}
+	db.obs.Counter(name, dbLabel(dbID)).Inc()
 }
 
 // Clock returns the database's TrueTime clock.
@@ -175,6 +204,49 @@ func (db *DB) TabletCount() int {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return len(db.tablets)
+}
+
+// TabletInfo is one tablet's state for /debug/tabletz.
+type TabletInfo struct {
+	Index int `json:"index"`
+	// Start and End delimit the tablet's key range; empty means
+	// unbounded on that side.
+	Start string `json:"start,omitempty"`
+	End   string `json:"end,omitempty"`
+	Rows  int    `json:"rows"`
+	// Load is the operation count in the current load window — the
+	// signal that drives load-based splitting.
+	Load       int64              `json:"load"`
+	LastCommit truetime.Timestamp `json:"last_commit_ts"`
+	// Prepared is the number of transactions mid-2PC on this tablet.
+	Prepared int `json:"prepared"`
+}
+
+// TabletStats reports per-tablet key range, row count, current load, and
+// in-flight prepares, in start-key order.
+func (db *DB) TabletStats() []TabletInfo {
+	db.mu.RLock()
+	tablets := append([]*tablet(nil), db.tablets...)
+	db.mu.RUnlock()
+	out := make([]TabletInfo, 0, len(tablets))
+	for i, t := range tablets {
+		t.mu.Lock()
+		info := TabletInfo{
+			Index:      i,
+			Start:      string(t.start),
+			End:        string(t.end),
+			Rows:       t.rows.Len(),
+			Load:       t.load,
+			LastCommit: t.lastCommit,
+			Prepared:   len(t.prepared),
+		}
+		if time.Since(t.windowStart) > loadWindow {
+			info.Load = 0
+		}
+		t.mu.Unlock()
+		out = append(out, info)
+	}
+	return out
 }
 
 // tabletFor returns the tablet owning key.

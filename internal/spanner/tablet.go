@@ -278,6 +278,7 @@ func (db *DB) maybeSplit() {
 		copy(db.tablets[i+2:], db.tablets[i+1:])
 		db.tablets[i+1] = right
 		db.stats.Splits++
+		db.count("spanner.splits", "")
 	}
 	db.mergeColdLocked()
 }
@@ -311,6 +312,7 @@ func (db *DB) mergeColdLocked() {
 		a.mu.Unlock()
 		db.tablets = append(db.tablets[:i+1], db.tablets[i+2:]...)
 		db.stats.Merges++
+		db.count("spanner.merges", "")
 		i--
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"firestore/internal/reqctx"
@@ -48,11 +49,16 @@ func (t *Txn) lock(ctx context.Context, key []byte, mode lockMode) error {
 	if cur, ok := t.held[k]; ok && (cur == lockExclusive || cur == mode) {
 		return nil
 	}
+	start := time.Now()
 	if err := t.db.locks.acquire(ctx, t, k, mode, t.db.lockTimeout); err != nil {
 		t.db.mu.Lock()
 		t.db.stats.LockTimeout++
 		t.db.mu.Unlock()
+		t.db.count("spanner.lock_timeout", reqctx.From(ctx).DB)
 		return err
+	}
+	if t.db.obs != nil {
+		t.db.obs.Histogram("spanner.lock_wait", dbLabel(reqctx.From(ctx).DB)).Record(time.Since(start))
 	}
 	t.held[k] = mode
 	return nil
@@ -207,6 +213,7 @@ func (t *Txn) Abort() {
 	t.db.mu.Lock()
 	t.db.stats.Aborts++
 	t.db.mu.Unlock()
+	t.db.count("spanner.aborts", "")
 }
 
 func (t *Txn) finish() {
@@ -226,6 +233,7 @@ func (t *Txn) finish() {
 func (t *Txn) Commit(ctx context.Context, minTS, maxTS truetime.Timestamp) (_ truetime.Timestamp, retErr error) {
 	ctx, end := reqctx.StartSpan(ctx, "spanner.txn.commit")
 	defer func() { end(retErr) }()
+	dbID := reqctx.From(ctx).DB
 	if t.done {
 		return 0, ErrTxnDone
 	}
@@ -239,6 +247,7 @@ func (t *Txn) Commit(ctx context.Context, minTS, maxTS truetime.Timestamp) (_ tr
 		t.db.mu.Lock()
 		t.db.stats.Commits++
 		t.db.mu.Unlock()
+		t.db.count("spanner.commits", dbID)
 		return t.db.clock.Now().Latest, nil
 	}
 
@@ -325,7 +334,13 @@ func (t *Txn) Commit(ctx context.Context, minTS, maxTS truetime.Timestamp) (_ tr
 		tab.apply(groups[tab], ts)
 		tab.recordOp(int64(len(groups[tab])))
 	}
+	reqctx.Annotate(ctx, "participants", strconv.Itoa(len(participants)))
+	cwStart := time.Now()
 	t.db.clock.CommitWait(ts)
+	if t.db.obs != nil {
+		t.db.obs.Histogram("spanner.commit_wait", dbLabel(dbID)).Record(time.Since(cwStart))
+		t.db.obs.Counter("spanner.2pc_participants", dbLabel(dbID)).Add(int64(len(participants)))
+	}
 	for _, tab := range participants {
 		tab.finish(t)
 	}
@@ -334,6 +349,10 @@ func (t *Txn) Commit(ctx context.Context, minTS, maxTS truetime.Timestamp) (_ tr
 	t.db.mu.Lock()
 	t.db.stats.Commits++
 	t.db.mu.Unlock()
+	t.db.count("spanner.commits", dbID)
+	if len(participants) > 1 {
+		t.db.count("spanner.2pc_commits", dbID)
+	}
 	t.db.deliver(t.msgs, ts)
 	t.db.maybeSplit()
 	return ts, nil

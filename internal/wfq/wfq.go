@@ -16,9 +16,11 @@ package wfq
 import (
 	"container/heap"
 	"context"
+	"sort"
 	"sync"
 	"time"
 
+	"firestore/internal/obs"
 	"firestore/internal/status"
 )
 
@@ -58,6 +60,10 @@ type Config struct {
 	// DefaultWeight is the fair-share weight for keys without an
 	// explicit weight. Defaults to 1.
 	DefaultWeight float64
+	// Obs, when set, receives scheduler metrics: per-database shed/
+	// expired/dispatched counters, queue-wait histograms, and queue
+	// gauges.
+	Obs *obs.Registry
 }
 
 // task is one queued work item.
@@ -68,6 +74,7 @@ type task struct {
 	fn       func()
 	vft      float64 // virtual finish time (Fair)
 	seq      int64   // arrival order (FIFO + tie break)
+	enqueued time.Time
 	done     chan struct{}
 	rejected error
 }
@@ -92,6 +99,12 @@ type Scheduler struct {
 	// how much capacity e.g. a database's batch traffic consumed.
 	accounted map[string]time.Duration
 	queued    int
+	queuedBy  map[string]int
+	// dispatched/shed/expired count per-key task outcomes for Snapshot
+	// (and mirror into cfg.Obs when configured).
+	dispatched map[string]int64
+	shed       map[string]int64
+	expired    map[string]int64
 
 	wg sync.WaitGroup
 }
@@ -105,19 +118,44 @@ func New(cfg Config) *Scheduler {
 		cfg.DefaultWeight = 1
 	}
 	s := &Scheduler{
-		cfg:       cfg,
-		lastVFT:   map[string]float64{},
-		weights:   map[string]float64{},
-		inflight:  map[string]int{},
-		limits:    map[string]int{},
-		accounted: map[string]time.Duration{},
+		cfg:        cfg,
+		lastVFT:    map[string]float64{},
+		weights:    map[string]float64{},
+		inflight:   map[string]int{},
+		limits:     map[string]int{},
+		accounted:  map[string]time.Duration{},
+		queuedBy:   map[string]int{},
+		dispatched: map[string]int64{},
+		shed:       map[string]int64{},
+		expired:    map[string]int64{},
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if cfg.Obs != nil {
+		cfg.Obs.GaugeFunc("wfq.queue_depth", nil, func() float64 {
+			return float64(s.QueueDepth())
+		})
+		cfg.Obs.GaugeFunc("wfq.virtual_time", nil, func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.vtime
+		})
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s
+}
+
+// count bumps a per-key outcome counter and mirrors it into the obs
+// registry. Caller must NOT hold s.mu.
+func (s *Scheduler) count(m map[string]int64, name, key string) {
+	s.mu.Lock()
+	m[key]++
+	s.mu.Unlock()
+	if s.cfg.Obs != nil {
+		s.cfg.Obs.Counter(name, obs.DB(key)).Inc()
+	}
 }
 
 // SetWeight sets the fair-share weight for key (higher = more capacity).
@@ -176,6 +214,7 @@ func (s *Scheduler) Close() {
 // and re-checked at dispatch so expired work never burns a worker.
 func (s *Scheduler) Submit(ctx context.Context, key string, cost time.Duration, fn func()) error {
 	if err := ctx.Err(); err != nil {
+		s.count(s.expired, "wfq.expired", key)
 		return status.FromContext("wfq", err)
 	}
 	s.mu.Lock()
@@ -185,14 +224,16 @@ func (s *Scheduler) Submit(ctx context.Context, key string, cost time.Duration, 
 	}
 	if s.cfg.MaxQueue > 0 && s.queued >= s.cfg.MaxQueue {
 		s.mu.Unlock()
+		s.count(s.shed, "wfq.shed", key)
 		return ErrOverloaded
 	}
 	if limit, ok := s.limits[key]; ok && s.inflight[key] >= limit {
 		s.mu.Unlock()
+		s.count(s.shed, "wfq.inflight_limited", key)
 		return ErrInFlightLimit
 	}
 	s.seq++
-	t := &task{ctx: ctx, key: key, cost: cost, fn: fn, seq: s.seq, done: make(chan struct{})}
+	t := &task{ctx: ctx, key: key, cost: cost, fn: fn, seq: s.seq, enqueued: time.Now(), done: make(chan struct{})}
 	if s.cfg.Mode == Fair {
 		w := s.cfg.DefaultWeight
 		if ww, ok := s.weights[key]; ok {
@@ -207,6 +248,7 @@ func (s *Scheduler) Submit(ctx context.Context, key string, cost time.Duration, 
 	}
 	s.inflight[key]++
 	s.queued++
+	s.queuedBy[key]++
 	heap.Push(&s.queue, t)
 	s.mu.Unlock()
 	s.cond.Signal()
@@ -234,10 +276,18 @@ func (s *Scheduler) worker() {
 		}
 		t := heap.Pop(&s.queue).(*task)
 		s.queued--
+		s.queuedBy[t.key]--
+		if s.queuedBy[t.key] <= 0 {
+			delete(s.queuedBy, t.key)
+		}
 		if s.cfg.Mode == Fair && t.vft > s.vtime {
 			s.vtime = t.vft
 		}
 		s.mu.Unlock()
+
+		if s.cfg.Obs != nil {
+			s.cfg.Obs.Histogram("wfq.queue_wait", obs.DB(t.key)).Record(time.Since(t.enqueued))
+		}
 
 		// Deadline enforcement at dispatch: work that expired while
 		// queued is dropped without burning CPU (the caller already got
@@ -245,6 +295,7 @@ func (s *Scheduler) worker() {
 		ran := false
 		if err := t.ctx.Err(); err != nil {
 			t.rejected = status.FromContext("wfq", err)
+			s.count(s.expired, "wfq.expired", t.key)
 		} else {
 			if t.cost > 0 {
 				time.Sleep(t.cost) // hold the worker slot: simulated CPU burn
@@ -253,6 +304,7 @@ func (s *Scheduler) worker() {
 				t.fn()
 			}
 			ran = true
+			s.count(s.dispatched, "wfq.dispatched", t.key)
 		}
 
 		s.mu.Lock()
@@ -266,6 +318,75 @@ func (s *Scheduler) worker() {
 		s.mu.Unlock()
 		close(t.done)
 	}
+}
+
+// KeyStats is one database's scheduler state in a Snapshot.
+type KeyStats struct {
+	Key        string        `json:"key"`
+	Queued     int           `json:"queued"`
+	InFlight   int           `json:"in_flight"`
+	Weight     float64       `json:"weight"`
+	Limit      int           `json:"limit,omitempty"`
+	LastVFT    float64       `json:"last_vft"`
+	Accounted  time.Duration `json:"accounted_cost_ns"`
+	Dispatched int64         `json:"dispatched"`
+	Shed       int64         `json:"shed"`
+	Expired    int64         `json:"expired"`
+}
+
+// Stats is a point-in-time view of the scheduler for /debug/schedz.
+type Stats struct {
+	Mode        string     `json:"mode"`
+	Workers     int        `json:"workers"`
+	Queued      int        `json:"queued"`
+	VirtualTime float64    `json:"virtual_time"`
+	Keys        []KeyStats `json:"keys"`
+}
+
+// Snapshot reports global and per-key scheduler state, keys sorted.
+func (s *Scheduler) Snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mode := "fair"
+	if s.cfg.Mode == FIFO {
+		mode = "fifo"
+	}
+	st := Stats{Mode: mode, Workers: s.cfg.Workers, Queued: s.queued, VirtualTime: s.vtime}
+	keys := map[string]struct{}{}
+	for _, m := range []map[string]int64{s.dispatched, s.shed, s.expired} {
+		for k := range m {
+			keys[k] = struct{}{}
+		}
+	}
+	for k := range s.queuedBy {
+		keys[k] = struct{}{}
+	}
+	for k := range s.inflight {
+		keys[k] = struct{}{}
+	}
+	for k := range s.lastVFT {
+		keys[k] = struct{}{}
+	}
+	for k := range keys {
+		w := s.cfg.DefaultWeight
+		if ww, ok := s.weights[k]; ok {
+			w = ww
+		}
+		st.Keys = append(st.Keys, KeyStats{
+			Key:        k,
+			Queued:     s.queuedBy[k],
+			InFlight:   s.inflight[k],
+			Weight:     w,
+			Limit:      s.limits[k],
+			LastVFT:    s.lastVFT[k],
+			Accounted:  s.accounted[k],
+			Dispatched: s.dispatched[k],
+			Shed:       s.shed[k],
+			Expired:    s.expired[k],
+		})
+	}
+	sort.Slice(st.Keys, func(i, j int) bool { return st.Keys[i].Key < st.Keys[j].Key })
+	return st
 }
 
 // taskHeap orders by virtual finish time (Fair) falling back to arrival
