@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet build test test-race race-pipeline race-obs debug-smoke fuzz bench
+.PHONY: verify fmt-check vet lint build test test-race race-pipeline race-obs debug-smoke fuzz bench
 
-verify: fmt-check vet build test-race
+verify: fmt-check vet build lint test-race
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -11,14 +11,21 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
+# fslint: the repo's own analyzers (status/lock/ctx/clock/obs discipline).
+# Exits non-zero on any finding; see DESIGN.md "Static analysis".
+lint:
+	$(GO) run ./cmd/fslint ./...
+
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test order so inter-test state dependencies
+# surface in CI instead of in production refactors.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 test-race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # Focused, repeated race pass over the concurrent write pipeline
 # (SDK BulkWriter/iterators, backend group commit, fair scheduler, ramp).

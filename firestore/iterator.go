@@ -10,8 +10,10 @@ import (
 
 // ErrIteratorDone is returned by DocumentIterator.Next when the result
 // set is exhausted. It is terminal: every subsequent Next returns it
-// again.
-var ErrIteratorDone = errors.New("firestore: iterator done")
+// again. It is a control-flow sentinel like io.EOF, not a failure, so it
+// deliberately carries no status code (it never crosses the wire or a
+// retry decision).
+var ErrIteratorDone = errors.New("firestore: iterator done") //fslint:ignore statusdiscipline io.EOF-style control-flow sentinel, not an RPC failure
 
 // DocumentIterator streams a query's results page by page, following the
 // engine's partial-result resumption (§IV-C) underneath so callers never

@@ -8,6 +8,7 @@ import (
 	"firestore/internal/frontend"
 	"firestore/internal/index"
 	"firestore/internal/query"
+	"firestore/internal/status"
 	"firestore/internal/truetime"
 )
 
@@ -56,7 +57,7 @@ func (q Query) Where(fieldPath, op string, value any) Query {
 	case "array-contains":
 		qop = query.ArrayContains
 	default:
-		q.err = fmt.Errorf("firestore: unknown operator %q", op)
+		q.err = status.Errorf(status.InvalidArgument, "firestore", "unknown operator %q", op)
 		return q
 	}
 	dv, err := toValue(value)
@@ -268,7 +269,7 @@ func (it *QuerySnapshotIterator) Next(ctx context.Context) (*QuerySnapshot, erro
 			return nil, ctx.Err()
 		case ev, ok := <-it.conn.Events():
 			if !ok {
-				return nil, fmt.Errorf("firestore: listener stopped")
+				return nil, status.New(status.FailedPrecondition, "firestore", "listener stopped")
 			}
 			if ev.TargetID != it.targetID {
 				continue

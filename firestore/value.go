@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"firestore/internal/doc"
+	"firestore/internal/status"
 )
 
 // GeoPoint is a latitude/longitude pair in the public API.
@@ -83,7 +84,7 @@ func toValue(v any) (doc.Value, error) {
 	case doc.Value:
 		return x, nil
 	default:
-		return doc.Null(), fmt.Errorf("unsupported value type %T", v)
+		return doc.Null(), status.Errorf(status.InvalidArgument, "firestore", "unsupported value type %T", v)
 	}
 }
 

@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// clockScope lists the packages whose timestamps must come from the
+// injected truetime.Clock: the storage engine (commit timestamps, lock
+// deadlines, load windows) and the clock package itself. A stray
+// time.Now() there breaks commit-wait semantics under a Manual clock
+// and makes runs unreplayable (PAPER.md §IV-D1).
+var clockScope = map[string]bool{
+	"firestore/internal/spanner":  true,
+	"firestore/internal/truetime": true,
+}
+
+// ClockDiscipline bans direct wall-clock reads in TrueTime-disciplined
+// packages.
+var ClockDiscipline = &Analyzer{
+	Name:    "clockdiscipline",
+	Doc:     "spanner and truetime read time only through the injected truetime.Clock, never time.Now()",
+	Applies: func(importPath string) bool { return clockScope[importPath] },
+	Run:     runClockDiscipline,
+}
+
+func runClockDiscipline(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(pass.Info, call)
+			for _, name := range []string{"Now", "Since", "Until"} {
+				if isFuncNamed(callee, "time", name) {
+					pass.Reportf(call.Pos(),
+						"time.%s() in a TrueTime-disciplined package; commit timestamps, deadlines, and load windows must come from the injected truetime.Clock", name)
+				}
+			}
+			return true
+		})
+	}
+}

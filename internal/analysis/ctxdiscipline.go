@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// CtxDiscipline enforces the context-propagation contract from PR 1:
+// request metadata (request ID, deadline, trace span, database label)
+// travels in a context.Context threaded through every layer.
+//
+//   - Any function taking a context.Context takes it as the first
+//     parameter, named ctx (or _), so call sites and wrappers stay
+//     uniform.
+//   - Request-path packages never mint context.Background() or
+//     context.TODO() outside tests: a fresh root silently drops the
+//     caller's deadline, trace, and database label. Background daemons
+//     that legitimately outlive requests allowlist the root they mint.
+var CtxDiscipline = &Analyzer{
+	Name: "ctxdiscipline",
+	Doc:  "ctx context.Context is the first parameter; request-path packages never mint context.Background()/TODO()",
+	Run:  runCtxDiscipline,
+}
+
+func runCtxDiscipline(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkCtxFirst(pass, n.Type)
+			case *ast.FuncLit:
+				checkCtxFirst(pass, n.Type)
+			case *ast.CallExpr:
+				if !pass.RequestPath {
+					return true
+				}
+				callee := calleeOf(pass.Info, n)
+				if isFuncNamed(callee, "context", "Background") || isFuncNamed(callee, "context", "TODO") {
+					pass.Reportf(n.Pos(),
+						"context.%s mints a root context, dropping the request's deadline, trace, and db label; thread the caller's ctx (allowlist genuine background roots)",
+						callee.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkCtxFirst(pass *Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0 // parameter index, expanding grouped names
+	for _, field := range ft.Params.List {
+		names := len(field.Names)
+		if names == 0 {
+			names = 1
+		}
+		if isNamedType(pass.Info.Types[field.Type].Type, "context", "Context") {
+			if pos != 0 {
+				pass.Reportf(field.Pos(), "context.Context must be the first parameter")
+				return
+			}
+			if len(field.Names) > 0 {
+				name := field.Names[0].Name
+				if name != "ctx" && name != "_" {
+					pass.Reportf(field.Pos(), "the context.Context parameter is named ctx by convention, not %q", name)
+				}
+			}
+		}
+		pos += names
+	}
+}

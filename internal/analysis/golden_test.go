@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The loader shells out to `go list -deps -export` once; every golden
+// test shares it.
+var (
+	loaderOnce sync.Once
+	sharedLdr  *Loader
+	loaderErr  error
+)
+
+func goldenLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		sharedLdr, loaderErr = NewLoader("../..")
+	})
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	return sharedLdr
+}
+
+// want is one `// want `regexp“ expectation parsed from a testdata file:
+// a finding must land on exactly that file and line with a matching
+// message, and every finding must be claimed by exactly one want.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("// want `([^`]+)`")
+
+func parseWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", dir, err)
+	}
+	var wants []*want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading %s: %v", path, err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, m[1], err)
+			}
+			wants = append(wants, &want{file: path, line: i + 1, re: re})
+		}
+	}
+	return wants
+}
+
+// runGolden loads the testdata directory under importPath (which decides
+// Applies scoping and Pass.RequestPath), runs the analyzers through the
+// full Run pipeline (so //fslint:ignore directives apply), and checks the
+// findings against the file's `// want` expectations both ways.
+func runGolden(t *testing.T, dir, importPath string, analyzers ...*Analyzer) []Finding {
+	t.Helper()
+	l := goldenLoader(t)
+	pkg, err := l.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	findings := Run([]*Package{pkg}, analyzers)
+	wants := parseWants(t, dir)
+	for _, f := range findings {
+		claimed := false
+		for _, w := range wants {
+			if !w.matched && w.file == f.Path && w.line == f.Line && w.re.MatchString(f.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched want `%s`", w.file, w.line, w.re)
+		}
+	}
+	return findings
+}
+
+func TestStatusDisciplineGolden(t *testing.T) {
+	findings := runGolden(t, filepath.Join("testdata", "src", "statusdiscipline"),
+		"firestore/internal/backend", StatusDiscipline)
+	// The acceptance bar: seeded violations make the suite exit non-zero,
+	// which cmd/fslint derives from a non-empty finding list.
+	if len(findings) == 0 {
+		t.Fatal("seeded violations produced no findings; fslint would exit 0")
+	}
+}
+
+func TestStatusDisciplineOutOfScope(t *testing.T) {
+	// The same seeded file under a non-request-path import produces
+	// nothing: Applies scoping keeps tools/ and cmd/ free to use fmt.Errorf.
+	l := goldenLoader(t)
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "statusdiscipline"), "fslint/testdata/outofscope")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if findings := Run([]*Package{pkg}, []*Analyzer{StatusDiscipline}); len(findings) != 0 {
+		t.Errorf("statusdiscipline ran outside the request path: %v", findings)
+	}
+}
+
+func TestLockDisciplineGolden(t *testing.T) {
+	runGolden(t, filepath.Join("testdata", "src", "lockdiscipline"),
+		"fslint/testdata/lockdiscipline", LockDiscipline)
+}
+
+func TestCtxDisciplineGolden(t *testing.T) {
+	runGolden(t, filepath.Join("testdata", "src", "ctxdiscipline"),
+		"firestore/internal/frontend", CtxDiscipline)
+}
+
+func TestCtxDisciplineBackgroundGolden(t *testing.T) {
+	runGolden(t, filepath.Join("testdata", "src", "ctxbg"),
+		"fslint/testdata/ctxbg", CtxDiscipline)
+}
+
+func TestClockDisciplineGolden(t *testing.T) {
+	runGolden(t, filepath.Join("testdata", "src", "clockdiscipline"),
+		"firestore/internal/spanner", ClockDiscipline)
+}
+
+func TestClockDisciplineOutOfScope(t *testing.T) {
+	l := goldenLoader(t)
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "clockdiscipline"), "fslint/testdata/wallclock")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if findings := Run([]*Package{pkg}, []*Analyzer{ClockDiscipline}); len(findings) != 0 {
+		t.Errorf("clockdiscipline ran outside its scope: %v", findings)
+	}
+}
+
+func TestObsDisciplineGolden(t *testing.T) {
+	runGolden(t, filepath.Join("testdata", "src", "obsd"),
+		"fslint/testdata/obsd", ObsDiscipline)
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Path: "a/b.go", Line: 7, Col: 3, Analyzer: "statusdiscipline", Message: "boom"}
+	if got, wantStr := f.String(), "a/b.go:7: [statusdiscipline] boom"; got != wantStr {
+		t.Errorf("String() = %q, want %q", got, wantStr)
+	}
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// StatusDiscipline enforces the canonical error taxonomy from PR 1:
+// every error a request-path package originates carries a status.Code,
+// so the retry/HTTP/shedding decisions stay mechanical (PAPER.md §IV-C).
+//
+//   - errors.New is banned: sentinels are built with status.New so
+//     status.CodeOf classifies them (a bare sentinel classifies as
+//     Internal, silently degrading retry behavior).
+//   - fmt.Errorf must wrap a classified cause with %w; without %w the
+//     chain bottoms out unclassified — use status.Errorf/Wrap instead.
+//   - Sentinel comparisons use errors.Is, never ==/!=: status sentinels
+//     travel wrapped, and identity comparison misses them.
+var StatusDiscipline = &Analyzer{
+	Name:    "statusdiscipline",
+	Doc:     "request-path errors carry canonical status codes; no bare errors.New/fmt.Errorf; compare sentinels with errors.Is",
+	Applies: IsRequestPath,
+	Run:     runStatusDiscipline,
+}
+
+func runStatusDiscipline(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkStatusCall(pass, n)
+			case *ast.BinaryExpr:
+				checkSentinelComparison(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+func checkStatusCall(pass *Pass, call *ast.CallExpr) {
+	callee := calleeOf(pass.Info, call)
+	switch {
+	case isFuncNamed(callee, "errors", "New"):
+		pass.Reportf(call.Pos(),
+			"errors.New creates an unclassified error (status.CodeOf = Internal); use status.New with a canonical code")
+	case isFuncNamed(callee, "fmt", "Errorf"):
+		if len(call.Args) == 0 {
+			return
+		}
+		format, ok := constString(pass.Info, call.Args[0])
+		if !ok {
+			pass.Reportf(call.Pos(),
+				"fmt.Errorf with a non-constant format; use status.Errorf so the error carries a canonical code")
+			return
+		}
+		if !strings.Contains(format, "%w") {
+			pass.Reportf(call.Pos(),
+				"fmt.Errorf without %%w creates an unclassified error; wrap a classified cause with %%w or use status.Errorf")
+		}
+	}
+}
+
+func checkSentinelComparison(pass *Pass, expr *ast.BinaryExpr) {
+	if expr.Op != token.EQL && expr.Op != token.NEQ {
+		return
+	}
+	x, y := ast.Unparen(expr.X), ast.Unparen(expr.Y)
+	if isNilIdent(pass, x) || isNilIdent(pass, y) {
+		return // err != nil is the idiom, not a sentinel comparison
+	}
+	xt, yt := pass.Info.Types[x], pass.Info.Types[y]
+	if isErrorType(xt.Type) && isErrorType(yt.Type) {
+		pass.Reportf(expr.Pos(),
+			"sentinel errors travel wrapped; compare with errors.Is, not %s", expr.Op)
+	}
+}
+
+func isNilIdent(pass *Pass, expr ast.Expr) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	return obj != nil && obj.Pkg() == nil && obj.Name() == "nil"
+}

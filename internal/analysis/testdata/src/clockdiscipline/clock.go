@@ -1,0 +1,32 @@
+// Package clockdiscipline is golden-test input loaded under a
+// TrueTime-disciplined import path: wall-clock reads are banned.
+package clockdiscipline
+
+import (
+	"time"
+
+	"firestore/internal/truetime"
+)
+
+func deadline(timeout time.Duration) time.Time {
+	return time.Now().Add(timeout) // want `time\.Now\(\) in a TrueTime-disciplined package`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since\(\) in a TrueTime-disciplined package`
+}
+
+func remaining(until time.Time) time.Duration {
+	return time.Until(until) // want `time\.Until\(\) in a TrueTime-disciplined package`
+}
+
+// viaClock reads through the injected truetime.Clock: no finding.
+func viaClock(c truetime.Clock, timeout time.Duration) truetime.Timestamp {
+	return c.Now().Latest.Add(timeout)
+}
+
+// parsing and arithmetic on time values are fine; only the wall-clock
+// reads (Now/Since/Until) are disciplined.
+func format(t time.Time) string {
+	return t.Format(time.RFC3339)
+}

@@ -1,0 +1,16 @@
+// Package ctxbg is golden-test input loaded under a NON-request-path
+// import path: minting a root context is legal here, but the signature
+// conventions still apply everywhere.
+package ctxbg
+
+import "context"
+
+// root is a background daemon's legitimate root context: no finding.
+func root() context.Context {
+	return context.Background()
+}
+
+func misplaced(n int, ctx context.Context) { // want `context.Context must be the first parameter`
+	_ = n
+	<-ctx.Done()
+}

@@ -1,0 +1,38 @@
+// Package ctxdiscipline is golden-test input loaded under a request-path
+// import path, so both the signature conventions and the root-context ban
+// apply.
+package ctxdiscipline
+
+import "context"
+
+// good threads the caller's context: no finding.
+func good(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+func ctxSecond(name string, ctx context.Context) { // want `context.Context must be the first parameter`
+	_ = name
+	<-ctx.Done()
+}
+
+func badName(c context.Context) { // want `the context.Context parameter is named ctx by convention, not "c"`
+	<-c.Done()
+}
+
+var handler = func(id string, ctx context.Context) { // want `context.Context must be the first parameter`
+	_ = id
+	<-ctx.Done()
+}
+
+func mintsRoot() context.Context {
+	return context.Background() // want `context.Background mints a root context`
+}
+
+func mintsTodo() context.Context {
+	return context.TODO() // want `context.TODO mints a root context`
+}
+
+func allowlisted() context.Context {
+	return context.Background() //fslint:ignore ctxdiscipline golden test for the allowlist path
+}

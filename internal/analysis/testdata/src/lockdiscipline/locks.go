@@ -1,0 +1,78 @@
+// Package lockdiscipline is golden-test input for the *Locked calling
+// convention, mutex-copy, and conditional-Lock/defer-Unlock checks.
+package lockdiscipline
+
+import "sync"
+
+type table struct {
+	mu    sync.Mutex
+	items map[string]int
+}
+
+func (t *table) sizeLocked() int { return len(t.items) }
+
+// Size holds the lock before the *Locked call: no finding.
+func (t *table) Size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sizeLocked()
+}
+
+// doubleLocked inherits the lock by contract: no finding.
+func (t *table) doubleLocked() int { return t.sizeLocked() * 2 }
+
+// SizeRacy calls a *Locked method with nothing held.
+func (t *table) SizeRacy() int {
+	return t.sizeLocked() // want `t.sizeLocked requires t's mutex held`
+}
+
+// SpawnRacy holds the lock, but the goroutine body is a separate scope
+// and outlives the critical section.
+func (t *table) SpawnRacy() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	go func() {
+		_ = t.sizeLocked() // want `t.sizeLocked requires t's mutex held`
+	}()
+}
+
+// MaybeLock defers an unlock whose only matching Lock is conditional.
+func (t *table) MaybeLock(cond bool) int {
+	if cond {
+		t.mu.Lock()
+	}
+	defer t.mu.Unlock() // want `every preceding t.Lock\(\) is inside a conditional`
+	return len(t.items)
+}
+
+var sink table
+
+// snapshot copies a mutex-containing struct by value.
+func snapshot(t *table) {
+	sink = *t // want `assignment copies .*table, which contains a mutex`
+}
+
+func use(tb table) int { return len(tb.items) }
+
+// passByValue hands a mutex-containing struct to a function by value.
+func passByValue() int {
+	return use(sink) // want `call argument copies .*table, which contains a mutex`
+}
+
+// sum ranges over mutex-containing values, copying each element.
+func sum(tables []table) int {
+	n := 0
+	for _, tb := range tables { // want `range copies .*table values, which contain a mutex`
+		n += len(tb.items)
+	}
+	return n
+}
+
+// sumPtrs iterates over pointers: no finding.
+func sumPtrs(tables []*table) int {
+	n := 0
+	for _, tb := range tables {
+		n += len(tb.items)
+	}
+	return n
+}

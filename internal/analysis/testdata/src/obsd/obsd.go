@@ -1,0 +1,35 @@
+// Package obsd is golden-test input for bounded metric cardinality:
+// names reaching an obs.Registry registration must be compile-time
+// constants, directly or through a forwarding wrapper.
+package obsd
+
+import (
+	"fmt"
+
+	"firestore/internal/obs"
+)
+
+const reqCounter = "fslint_requests_total"
+
+func direct(r *obs.Registry, db string) {
+	// Constant name with a variable label VALUE is the intended shape.
+	r.Counter(reqCounter, obs.Labels{"db": db}).Add(1)
+	r.Counter("fslint_literal_total", nil).Add(1)
+	r.Counter(fmt.Sprintf("req_%s_total", db), nil).Add(1) // want `metric name must be a compile-time constant`
+}
+
+// count forwards its name parameter: it is a registration wrapper, so
+// the constant-name requirement moves to its call sites.
+func count(r *obs.Registry, name, db string) {
+	r.Counter(name, obs.Labels{"db": db}).Add(1)
+}
+
+func viaWrapper(r *obs.Registry, db string) {
+	count(r, reqCounter, db)
+	count(r, "fslint_ok_total", db)
+	count(r, db+"_total", db) // want `metric name must be a compile-time constant`
+}
+
+func badKey(r *obs.Registry, k string) {
+	r.Gauge("fslint_gauge", obs.Labels{k: "v"}).Set(1) // want `obs.Labels key must be a compile-time constant`
+}

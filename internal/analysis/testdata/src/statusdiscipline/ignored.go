@@ -1,0 +1,20 @@
+package statusdiscipline
+
+import "fmt"
+
+// The allowlist path: a trailing directive suppresses the finding on its
+// own line, a standalone directive suppresses the line below, and a
+// directive naming a different analyzer suppresses nothing.
+
+func suppressedTrailing() error {
+	return fmt.Errorf("suppressed") //fslint:ignore statusdiscipline golden test for the trailing-directive path
+}
+
+func suppressedAbove() error {
+	//fslint:ignore * golden test for the standalone-directive path
+	return fmt.Errorf("also suppressed")
+}
+
+func wrongAnalyzerDirective() error {
+	return fmt.Errorf("not suppressed") //fslint:ignore clockdiscipline wrong analyzer // want `fmt.Errorf without %w`
+}

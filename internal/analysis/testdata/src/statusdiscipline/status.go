@@ -1,0 +1,45 @@
+// Package statusdiscipline is golden-test input: each line carrying a
+// `// want "regexp"` comment must produce a matching finding, and every
+// other line must produce none.
+package statusdiscipline
+
+import (
+	"errors"
+	"fmt"
+
+	"firestore/internal/status"
+)
+
+var errBare = errors.New("bare sentinel") // want `errors.New creates an unclassified error`
+
+var errGood = status.New(status.Aborted, "backend", "classified sentinel")
+
+func bareErrorf(n int) error {
+	return fmt.Errorf("no wrap %d", n) // want `fmt.Errorf without %w`
+}
+
+func wrappedErrorf(err error) error {
+	return fmt.Errorf("while frobbing: %w", err)
+}
+
+func nonConstFormat(format string) error {
+	return fmt.Errorf(format) // want `fmt.Errorf with a non-constant format`
+}
+
+func statusErrorf(n int) error {
+	return status.Errorf(status.InvalidArgument, "backend", "bad n %d", n)
+}
+
+func identityCompare(err error) bool {
+	if err == errGood { // want `compare with errors.Is`
+		return true
+	}
+	return err != errBare // want `compare with errors.Is`
+}
+
+func properCompare(err error) bool {
+	if err != nil {
+		return errors.Is(err, errGood)
+	}
+	return false
+}

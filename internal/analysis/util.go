@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// calleeOf resolves the object a call expression invokes: a package
+// function (fmt.Errorf), a method (r.Counter), or a plain function in
+// the current package. Returns nil for indirect calls through function
+// values, conversions, and builtins.
+func calleeOf(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[fun]; obj != nil {
+			if _, ok := obj.(*types.Func); ok {
+				return obj
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		// Qualified identifier (pkg.Func).
+		if obj := info.Uses[fun.Sel]; obj != nil {
+			if _, ok := obj.(*types.Func); ok {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// isFuncNamed reports whether obj is the function pkgPath.name.
+func isFuncNamed(obj types.Object, pkgPath, name string) bool {
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// constString returns the compile-time constant string value of expr, if
+// it has one (a literal, a named constant, or a constant expression).
+func constString(info *types.Info, expr ast.Expr) (string, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// isNamedType reports whether t (after pointer unwrapping) is the named
+// type pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// errorIface is the built-in error interface type.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t is the error interface or a concrete
+// type implementing it (a sentinel built with status.New is concrete).
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}

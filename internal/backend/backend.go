@@ -243,17 +243,13 @@ func (b *Backend) CommitTransactional(ctx context.Context, dbID string, p Princi
 	var ts truetime.Timestamp
 	err = b.submit(ctx, "backend.commit", b.schedKey(dbID, p), cost, func(ctx context.Context) error {
 		var cerr error
-		ts, cerr = b.commitLocked(ctx, db, p, ops, reads)
+		ts, cerr = b.commitOps(ctx, db, p, ops, reads, nil)
 		return cerr
 	})
 	if err != nil {
 		return 0, err
 	}
 	return ts, nil
-}
-
-func (b *Backend) commitLocked(ctx context.Context, db *catalog.Database, p Principal, ops []WriteOp, reads []ReadValidation) (truetime.Timestamp, error) {
-	return b.commitOps(ctx, db, p, ops, reads, nil)
 }
 
 // commitOps runs the seven-step write protocol. opErrs, when non-nil
@@ -573,11 +569,11 @@ func UnmarshalChange(payload []byte) (name doc.Name, old, new *doc.Document, err
 
 func readBlob(b []byte) (blob, rest []byte, err error) {
 	if len(b) < 4 {
-		return nil, nil, fmt.Errorf("backend: truncated blob length")
+		return nil, nil, status.New(status.Internal, "backend", "truncated blob length")
 	}
 	n := int(b[0])<<24 | int(b[1])<<16 | int(b[2])<<8 | int(b[3])
 	if n < 0 || n > len(b)-4 {
-		return nil, nil, fmt.Errorf("backend: bad blob length %d", n)
+		return nil, nil, status.Errorf(status.Internal, "backend", "bad blob length %d", n)
 	}
 	return b[4 : 4+n], b[4+n:], nil
 }

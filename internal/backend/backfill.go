@@ -8,6 +8,7 @@ import (
 	"firestore/internal/doc"
 	"firestore/internal/index"
 	"firestore/internal/spanner"
+	"firestore/internal/status"
 )
 
 // backfillBatch bounds documents per backfill transaction so the
@@ -25,7 +26,7 @@ func (b *Backend) AddCompositeIndex(ctx context.Context, dbID string, def index.
 		return err
 	}
 	if def.Kind != index.KindComposite {
-		return fmt.Errorf("backend: %v is not a composite index", def)
+		return status.Errorf(status.InvalidArgument, "backend", "%v is not a composite index", def)
 	}
 	db.AddComposite(def)
 	if err := b.backfill(ctx, db, def); err != nil {

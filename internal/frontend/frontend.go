@@ -132,6 +132,12 @@ type Conn struct {
 	dbID string
 	p    backend.Principal
 
+	// ctx is the connection's lifecycle context: requeries run under it
+	// (carrying the db label for metrics) and abort when the connection
+	// closes.
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	events chan SnapshotEvent
 
 	mu      sync.Mutex
@@ -154,6 +160,10 @@ func (f *Frontend) NewConn(dbID string, p backend.Principal) *Conn {
 		queries: map[int64]*rtQuery{},
 		targets: map[int64]*rtQuery{},
 	}
+	// Requeries are connection-scoped background work, detached from any
+	// single request's deadline, so the connection mints its own root.
+	ctx := context.Background() //fslint:ignore ctxdiscipline connection-lifecycle root: requeries outlive the request that triggered them
+	c.ctx, c.cancel = context.WithCancel(reqctx.With(ctx, reqctx.Meta{DB: dbID}))
 	f.mu.Lock()
 	f.conns[c] = struct{}{}
 	f.mu.Unlock()
@@ -300,6 +310,7 @@ func (c *Conn) Close() {
 		return
 	}
 	c.closed = true
+	c.cancel()
 	subs := make([]int64, 0, len(c.queries))
 	for id := range c.queries {
 		subs = append(subs, id)
@@ -564,7 +575,7 @@ func (c *Conn) scheduleRequery(rq *rtQuery, full bool) {
 }
 
 func (c *Conn) requery(rq *rtQuery, full bool) {
-	res, readTS, err := c.f.backend.RunQuery(context.Background(), c.dbID, c.p, rq.q, nil, 0)
+	res, readTS, err := c.f.backend.RunQuery(c.ctx, c.dbID, c.p, rq.q, nil, 0)
 	if err != nil {
 		// Backend unavailable: retry is the client SDK's job; surface a
 		// terminal removal of the target.

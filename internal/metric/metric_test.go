@@ -111,12 +111,20 @@ func TestHistogramConcurrent(t *testing.T) {
 func TestSnapshotConsistentUnderConcurrency(t *testing.T) {
 	var h Histogram
 	done := make(chan struct{})
+	started := make(chan struct{})
 	go func() {
 		defer close(done)
 		for i := 1; i <= 50000; i++ {
 			h.Record(time.Duration(i) * time.Microsecond)
+			if i == 1 {
+				close(started)
+			}
 		}
 	}()
+	// Wait for the first record so every snapshot below observes
+	// Count > 0: on a single-CPU box the writer can otherwise finish
+	// before this goroutine is scheduled at all.
+	<-started
 	checked := 0
 	for {
 		s := h.Snapshot()

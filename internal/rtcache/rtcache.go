@@ -21,12 +21,12 @@
 package rtcache
 
 import (
-	"fmt"
 	"sync"
 	"time"
 
 	"firestore/internal/doc"
 	"firestore/internal/obs"
+	"firestore/internal/status"
 	"firestore/internal/truetime"
 )
 
@@ -308,7 +308,7 @@ func (c *Cache) Prepare(writeID, db string, names []doc.Name, maxTS truetime.Tim
 	c.mu.Lock()
 	if _, dup := c.writes[writeID]; dup {
 		c.mu.Unlock()
-		return 0, fmt.Errorf("rtcache: duplicate write ID %q", writeID)
+		return 0, status.Errorf(status.Internal, "rtcache", "duplicate write ID %q", writeID)
 	}
 	c.writes[writeID] = &writeRecord{db: db, pending: pending}
 	c.mu.Unlock()

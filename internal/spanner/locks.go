@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"firestore/internal/truetime"
 )
 
 // lockMode is a row lock mode.
@@ -23,14 +25,17 @@ type lockEntry struct {
 
 // lockTable is the database-wide row lock manager. Deadlocks are resolved
 // by timeout-and-abort, matching the paper's description of query/write
-// contention behavior (§IV-D3).
+// contention behavior (§IV-D3). Lock deadlines come from the database's
+// TrueTime clock, not the wall clock, so contention behavior is
+// deterministic under a Manual clock and replayable.
 type lockTable struct {
+	clock truetime.Clock
 	mu    sync.Mutex
 	locks map[string]*lockEntry
 }
 
-func newLockTable() *lockTable {
-	return &lockTable{locks: map[string]*lockEntry{}}
+func newLockTable(clock truetime.Clock) *lockTable {
+	return &lockTable{clock: clock, locks: map[string]*lockEntry{}}
 }
 
 // canGrant reports whether txn may take key in mode given current
@@ -48,10 +53,17 @@ func (e *lockEntry) canGrant(txn *Txn, mode lockMode) bool {
 	return true
 }
 
-// acquire takes the lock on key for txn, blocking up to timeout. A nil
-// return means the lock is held (recorded in txn.held).
+// lockPoll bounds how long a lock waiter sleeps before re-reading the
+// TrueTime clock: a Manual clock advances without waking real-time
+// timers, so expiry is noticed by polling (the same watchdog idiom
+// tablet.waitSafe uses).
+const lockPoll = 5 * time.Millisecond
+
+// acquire takes the lock on key for txn, blocking up to timeout of the
+// database's TrueTime clock. A nil return means the lock is held
+// (recorded in txn.held).
 func (lt *lockTable) acquire(ctx context.Context, txn *Txn, key string, mode lockMode, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+	deadline := lt.clock.Now().Latest.Add(timeout)
 	lt.mu.Lock()
 	for {
 		e, ok := lt.locks[key]
@@ -70,16 +82,21 @@ func (lt *lockTable) acquire(ctx context.Context, txn *Txn, key string, mode loc
 		e.waiters = append(e.waiters, ch)
 		lt.mu.Unlock()
 
-		remaining := time.Until(deadline)
-		if remaining <= 0 {
+		if lt.clock.After(deadline) {
 			return ErrAborted
 		}
-		timer := time.NewTimer(remaining)
+		wait := deadline.Sub(lt.clock.Now().Earliest)
+		if wait <= 0 {
+			wait = time.Microsecond
+		} else if wait > lockPoll {
+			wait = lockPoll
+		}
+		timer := time.NewTimer(wait)
 		select {
 		case <-ch:
 			timer.Stop()
 		case <-timer.C:
-			return ErrAborted
+			// Watchdog tick: loop to re-check the deadline and grant.
 		case <-ctx.Done():
 			timer.Stop()
 			return ctx.Err()

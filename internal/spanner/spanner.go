@@ -151,12 +151,12 @@ func New(cfg Config) *DB {
 		commitRowDelay:   cfg.CommitRowLatency,
 		lockTimeout:      lt,
 		obs:              cfg.Obs,
-		locks:            newLockTable(),
+		locks:            newLockTable(clock),
 		splitThreshold:   cfg.SplitThreshold,
 		maxTabletRows:    cfg.MaxTabletRows,
 		queues:           make(map[string]chan Message),
 	}
-	db.tablets = []*tablet{newTablet(nil, nil)}
+	db.tablets = []*tablet{newTablet(clock, nil, nil)}
 	if db.obs != nil {
 		db.obs.GaugeFunc("spanner.tablets", nil, func() float64 {
 			return float64(db.TabletCount())
@@ -228,6 +228,7 @@ func (db *DB) TabletStats() []TabletInfo {
 	db.mu.RLock()
 	tablets := append([]*tablet(nil), db.tablets...)
 	db.mu.RUnlock()
+	now := db.clock.Now().Latest
 	out := make([]TabletInfo, 0, len(tablets))
 	for i, t := range tablets {
 		t.mu.Lock()
@@ -240,7 +241,7 @@ func (db *DB) TabletStats() []TabletInfo {
 			LastCommit: t.lastCommit,
 			Prepared:   len(t.prepared),
 		}
-		if time.Since(t.windowStart) > loadWindow {
+		if now.Sub(t.windowStart) > loadWindow {
 			info.Load = 0
 		}
 		t.mu.Unlock()

@@ -52,6 +52,10 @@ func (r *rowVersions) add(v version) {
 // tablet owns the key range [start, end) (nil start/end = unbounded) and
 // stores its rows' version chains in a B-tree.
 type tablet struct {
+	// clock is the owning DB's TrueTime clock; load windows are measured
+	// on it so split/merge decisions replay deterministically.
+	clock truetime.Clock
+
 	mu    sync.Mutex
 	cond  *sync.Cond
 	start []byte
@@ -69,16 +73,17 @@ type tablet struct {
 	// load is an operation counter used for load-based splitting; it
 	// decays via windowStart.
 	load        int64
-	windowStart time.Time
+	windowStart truetime.Timestamp
 }
 
-func newTablet(start, end []byte) *tablet {
+func newTablet(clock truetime.Clock, start, end []byte) *tablet {
 	t := &tablet{
+		clock:       clock,
 		start:       start,
 		end:         end,
 		rows:        btree.New(),
 		prepared:    map[*Txn]truetime.Timestamp{},
-		windowStart: time.Now(),
+		windowStart: clock.Now().Latest,
 	}
 	t.cond = sync.NewCond(&t.mu)
 	return t
@@ -88,19 +93,21 @@ func newTablet(start, end []byte) *tablet {
 const loadWindow = time.Second
 
 func (t *tablet) recordOp(n int64) {
+	now := t.clock.Now().Latest
 	t.mu.Lock()
-	if time.Since(t.windowStart) > loadWindow {
+	if now.Sub(t.windowStart) > loadWindow {
 		t.load = 0
-		t.windowStart = time.Now()
+		t.windowStart = now
 	}
 	t.load += n
 	t.mu.Unlock()
 }
 
 func (t *tablet) currentLoad() int64 {
+	now := t.clock.Now().Latest
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if time.Since(t.windowStart) > loadWindow {
+	if now.Sub(t.windowStart) > loadWindow {
 		return 0
 	}
 	return t.load
@@ -257,7 +264,7 @@ func (db *DB) maybeSplit() {
 			t.mu.Unlock()
 			continue
 		}
-		right := newTablet(append([]byte(nil), midKey...), t.end)
+		right := newTablet(db.clock, append([]byte(nil), midKey...), t.end)
 		// Move rows >= midKey into the new tablet.
 		var moved [][2]any
 		t.rows.Ascend(midKey, nil, func(k []byte, v any) bool {

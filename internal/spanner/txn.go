@@ -49,7 +49,7 @@ func (t *Txn) lock(ctx context.Context, key []byte, mode lockMode) error {
 	if cur, ok := t.held[k]; ok && (cur == lockExclusive || cur == mode) {
 		return nil
 	}
-	start := time.Now()
+	start := t.db.clock.Now().Latest
 	if err := t.db.locks.acquire(ctx, t, k, mode, t.db.lockTimeout); err != nil {
 		t.db.mu.Lock()
 		t.db.stats.LockTimeout++
@@ -58,7 +58,7 @@ func (t *Txn) lock(ctx context.Context, key []byte, mode lockMode) error {
 		return err
 	}
 	if t.db.obs != nil {
-		t.db.obs.Histogram("spanner.lock_wait", dbLabel(reqctx.From(ctx).DB)).Record(time.Since(start))
+		t.db.obs.Histogram("spanner.lock_wait", dbLabel(reqctx.From(ctx).DB)).Record(t.db.clock.Now().Latest.Sub(start))
 	}
 	t.held[k] = mode
 	return nil
@@ -335,10 +335,10 @@ func (t *Txn) Commit(ctx context.Context, minTS, maxTS truetime.Timestamp) (_ tr
 		tab.recordOp(int64(len(groups[tab])))
 	}
 	reqctx.Annotate(ctx, "participants", strconv.Itoa(len(participants)))
-	cwStart := time.Now()
+	cwStart := t.db.clock.Now().Latest
 	t.db.clock.CommitWait(ts)
 	if t.db.obs != nil {
-		t.db.obs.Histogram("spanner.commit_wait", dbLabel(dbID)).Record(time.Since(cwStart))
+		t.db.obs.Histogram("spanner.commit_wait", dbLabel(dbID)).Record(t.db.clock.Now().Latest.Sub(cwStart))
 		t.db.obs.Counter("spanner.2pc_participants", dbLabel(dbID)).Add(int64(len(participants)))
 	}
 	for _, tab := range participants {

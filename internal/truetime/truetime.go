@@ -84,7 +84,9 @@ func NewSystem(epsilon time.Duration) *System {
 	if epsilon < 0 {
 		epsilon = 0
 	}
-	return &System{epsilon: epsilon, origin: time.Now()}
+	// The System clock's origin is the one sanctioned wall-clock read:
+	// every other timestamp in the engine derives from Clock.Now().
+	return &System{epsilon: epsilon, origin: time.Now()} //fslint:ignore clockdiscipline the System clock is the wall-clock boundary itself
 }
 
 // Epsilon returns the clock's uncertainty bound.
@@ -92,7 +94,7 @@ func (c *System) Epsilon() time.Duration { return c.epsilon }
 
 // Now implements Clock.
 func (c *System) Now() Interval {
-	mid := int64(time.Since(c.origin))
+	mid := int64(time.Since(c.origin)) //fslint:ignore clockdiscipline the System clock is the wall-clock boundary itself
 	for {
 		prev := c.last.Load()
 		if mid <= prev {
