@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet lint build test test-race race-pipeline race-obs debug-smoke fuzz bench
+.PHONY: verify fmt-check vet lint build test test-race race-pipeline race-obs debug-smoke chaos-smoke fuzz bench
 
 verify: fmt-check vet build lint test-race
 
@@ -41,6 +41,12 @@ race-obs:
 # metricz shows per-layer histograms and tracez nests the layers.
 debug-smoke:
 	$(GO) test -run 'TestDebug' -v ./cmd/firestore-server/server/
+
+# Chaos smoke: two short fixed-seed fault-injection scenarios under the
+# race detector — one trips the out-of-sync/requery recovery path, one
+# exercises at-least-once queue redelivery (see EXPERIMENTS.md CHAOS).
+chaos-smoke:
+	$(GO) test -race -run 'TestChaosSmoke' -v ./internal/chaos/
 
 # Short fuzz pass over the trigger-payload decoder.
 fuzz:

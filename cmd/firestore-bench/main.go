@@ -8,6 +8,8 @@
 //	firestore-bench -tab 1            # the ease-of-use table
 //	firestore-bench -abl zigzag       # ablations: zigzag, multiregion, shedding
 //	firestore-bench -bulk             # YCSB bulk load: sequential Set vs BulkWriter
+//	firestore-bench -chaos list       # list fault-injection scenarios
+//	firestore-bench -chaos accept-blackhole -seed 7   # run one scenario
 //	firestore-bench -all              # everything
 //	firestore-bench -all -scale 0.2   # faster, smaller runs
 package main
@@ -19,6 +21,7 @@ import (
 	"os"
 
 	"firestore/internal/bench"
+	"firestore/internal/chaos"
 	"firestore/internal/reqctx"
 )
 
@@ -27,6 +30,7 @@ func main() {
 	tab := flag.String("tab", "", "table to regenerate: 1")
 	abl := flag.String("abl", "", "ablation to run: zigzag, multiregion, shedding")
 	bulk := flag.Bool("bulk", false, "run the YCSB bulk-load comparison (sequential Set vs BulkWriter)")
+	chaosName := flag.String("chaos", "", "fault-injection scenario to run (or \"list\", \"all\")")
 	all := flag.Bool("all", false, "run every experiment")
 	scale := flag.Float64("scale", 1.0, "experiment size/duration multiplier")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -116,6 +120,12 @@ func main() {
 		ran = true
 		bench.BulkLoad(opts).Fprint(out)
 	}
+	if *chaosName != "" {
+		ran = true
+		if !runChaos(out, logw, *chaosName, *seed) {
+			os.Exit(1)
+		}
+	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
@@ -141,5 +151,65 @@ func printSpans(out io.Writer) {
 		for _, code := range rec.Codes(span) {
 			fmt.Fprintf(out, "%-24s   [%s] %s\n", "", code, rec.CodeSummary(span, code))
 		}
+	}
+}
+
+// runChaos runs one named chaos scenario (or "all", or "list") and
+// prints its invariant report. It returns false if any invariant failed.
+func runChaos(out, logw io.Writer, name string, seed int64) bool {
+	if name == "list" {
+		fmt.Fprintf(out, "%-20s %s\n", "SCENARIO", "DESCRIPTION")
+		for _, sc := range chaos.Scenarios() {
+			fmt.Fprintf(out, "%-20s %s\n", sc.Name, sc.Doc)
+		}
+		return true
+	}
+	var run []chaos.Scenario
+	if name == "all" {
+		run = chaos.Scenarios()
+	} else {
+		sc, ok := chaos.Find(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown scenario %q (try -chaos list)\n", name)
+			os.Exit(2)
+		}
+		run = []chaos.Scenario{sc}
+	}
+	pass := true
+	for _, sc := range run {
+		opt := chaos.Options{Seed: seed}
+		if logw != nil {
+			opt.Log = func(format string, args ...any) {
+				fmt.Fprintf(logw, "chaos %s: "+format+"\n", append([]any{sc.Name}, args...)...)
+			}
+		}
+		rep, err := chaos.Run(sc, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos %s: %v\n", sc.Name, err)
+			os.Exit(1)
+		}
+		printChaosReport(out, rep)
+		pass = pass && rep.Pass
+	}
+	return pass
+}
+
+func printChaosReport(out io.Writer, rep *chaos.Report) {
+	verdict := "PASS"
+	if !rep.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(out, "\n# chaos %s (seed %d): %s\n", rep.Scenario, rep.Seed, verdict)
+	fmt.Fprintf(out, "commits=%d commit_errs=%d out_of_syncs=%d requeries=%d\n",
+		rep.Commits, rep.CommitErrs, rep.OutOfSyncs, rep.Requeries)
+	for site, sched := range rep.Schedules {
+		fmt.Fprintf(out, "schedule %-28s %s (fired %d)\n", site, sched, rep.Injected[site])
+	}
+	for _, inv := range rep.Invariants {
+		mark := "ok  "
+		if !inv.OK {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(out, "%s %-28s %s\n", mark, inv.Name, inv.Detail)
 	}
 }

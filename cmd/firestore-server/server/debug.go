@@ -1,11 +1,13 @@
 package server
 
 import (
+	"encoding/json"
 	"expvar"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
 
+	"firestore/internal/fault"
 	"firestore/internal/reqctx"
 )
 
@@ -25,6 +27,7 @@ type DebugOptions struct {
 //	/debug/schedz    fair-scheduler per-database state
 //	/debug/tabletz   Spanner tablet boundaries, load, and safe-time state
 //	/debug/listenz   real-time connections and cache ranges
+//	/debug/faultz    fault-injection plane (GET inventory; POST enable/disable)
 //
 // Debug requests bypass the ingress span so scrapes do not pollute the
 // RPC metrics they report.
@@ -35,6 +38,7 @@ func (s *Server) EnableDebug(opts DebugOptions) {
 	s.mux.HandleFunc("/debug/schedz", s.schedz)
 	s.mux.HandleFunc("/debug/tabletz", s.tabletz)
 	s.mux.HandleFunc("/debug/listenz", s.listenz)
+	s.mux.HandleFunc("/debug/faultz", s.faultz)
 	if opts.Pprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -116,6 +120,69 @@ func (s *Server) tabletz(w http.ResponseWriter, r *http.Request) {
 		out = append(out, dbView{Index: i, Stats: db.Stats(), Tablets: db.TabletStats()})
 	}
 	writeJSON(w, map[string]any{"spanners": out})
+}
+
+// faultzRequest is the POST body for /debug/faultz.
+type faultzRequest struct {
+	// Action is "enable", "disable", or "reset".
+	Action string `json:"action"`
+	// Spec describes the fault for "enable"; CodeName ("UNAVAILABLE",
+	// "ABORTED", ...) overrides Spec.Code for operator convenience.
+	Spec     fault.Spec `json:"spec"`
+	CodeName string     `json:"code_name,omitempty"`
+	// Site names the target for "disable".
+	Site string `json:"site,omitempty"`
+	// Seed, when non-zero, reseeds the firing schedule before enabling.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// faultz exposes the fault-injection plane: GET lists every site with
+// its live spec and counters; POST arms, disarms, or resets sites. It is
+// only mounted when the operator opts into the debug suite, exactly like
+// the other status pages.
+func (s *Server) faultz(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, map[string]any{"sites": fault.List()})
+	case http.MethodPost:
+		var req faultzRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		switch req.Action {
+		case "enable":
+			if req.CodeName != "" {
+				code, err := fault.CodeByName(req.CodeName)
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+				req.Spec.Code = code
+			}
+			if req.Seed != 0 {
+				fault.SetSeed(req.Seed)
+			}
+			if err := fault.Enable(req.Spec); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		case "disable":
+			if req.Site == "" {
+				http.Error(w, "disable requires site", http.StatusBadRequest)
+				return
+			}
+			fault.Disable(req.Site)
+		case "reset":
+			fault.Reset()
+		default:
+			http.Error(w, "unknown action "+strconv.Quote(req.Action), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, map[string]any{"sites": fault.List()})
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
 }
 
 func (s *Server) listenz(w http.ResponseWriter, r *http.Request) {

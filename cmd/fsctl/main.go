@@ -20,6 +20,13 @@
 //	watch <collection>                 stream real-time snapshots (SSE)
 //	stats [metric-substring]           scrape /debug/metricz and pretty-print
 //	traces [sampled|slow|error] [n]    dump recent traces from /debug/tracez
+//	faults list                        show fault-injection sites and counters
+//	faults enable <site> <mode> [k=v]  arm a fault (prob= latency= code= max= seed=)
+//	faults disable <site>              disarm one site
+//	faults reset                       disarm everything
+//
+// The faults commands require the server to run with -debug; the plane
+// is a test/operations facility, never on by default.
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 func main() {
@@ -71,6 +79,8 @@ func main() {
 		err = c.stats(args[1:])
 	case "traces":
 		err = c.traces(args[1:])
+	case "faults":
+		err = c.faults(args[1:])
 	default:
 		err = fmt.Errorf("unknown command %q", cmd)
 	}
@@ -324,6 +334,122 @@ func (c *cli) stats(args []string) error {
 
 // traces dumps recent kept traces from /debug/tracez as indented span
 // trees: one header line per trace, one line per span nested by depth.
+// faults drives /debug/faultz: list the fault-site inventory or arm and
+// disarm injection specs on the running server.
+func (c *cli) faults(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("faults list|enable|disable|reset")
+	}
+	switch sub := args[0]; sub {
+	case "list":
+		var resp struct {
+			Sites []struct {
+				Site      string  `json:"site"`
+				Layer     string  `json:"layer"`
+				Modes     string  `json:"modes"`
+				Doc       string  `json:"doc"`
+				Enabled   bool    `json:"enabled"`
+				Mode      string  `json:"mode"`
+				Code      string  `json:"code"`
+				LatencyNS int64   `json:"latency_ns"`
+				Prob      float64 `json:"prob"`
+				MaxCount  int64   `json:"max_count"`
+				Hits      int64   `json:"hits"`
+				Injected  int64   `json:"injected"`
+			} `json:"sites"`
+		}
+		if err := c.getJSON("/debug/faultz", &resp); err != nil {
+			return err
+		}
+		fmt.Printf("%-26s %-9s %-28s %-8s %6s %9s  %s\n",
+			"SITE", "LAYER", "ARMED", "HITS", "FIRED", "PROB", "DOC")
+		for _, st := range resp.Sites {
+			armed := "-"
+			if st.Enabled {
+				armed = st.Mode
+				if st.Code != "" {
+					armed += ":" + st.Code
+				}
+				if st.LatencyNS > 0 {
+					armed += ":" + (time.Duration(st.LatencyNS) * time.Nanosecond).String()
+				}
+				if st.MaxCount > 0 {
+					armed += fmt.Sprintf(" (max %d)", st.MaxCount)
+				}
+			}
+			prob := "-"
+			if st.Enabled {
+				p := st.Prob
+				if p == 0 {
+					p = 1
+				}
+				prob = strconv.FormatFloat(p, 'g', -1, 64)
+			}
+			fmt.Printf("%-26s %-9s %-28s %-8d %6d %9s  %s\n",
+				st.Site, st.Layer, armed, st.Hits, st.Injected, prob, st.Doc)
+		}
+		return nil
+	case "enable":
+		if len(args) < 3 {
+			return fmt.Errorf("faults enable <site> <mode> [prob=P] [latency=D] [code=NAME] [max=N] [seed=N]")
+		}
+		spec := map[string]any{"site": args[1], "mode": args[2]}
+		body := map[string]any{"action": "enable", "spec": spec}
+		for _, kv := range args[3:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("expected key=value, got %q", kv)
+			}
+			switch k {
+			case "prob":
+				p, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return fmt.Errorf("prob: %v", err)
+				}
+				spec["prob"] = p
+			case "latency":
+				d, err := time.ParseDuration(v)
+				if err != nil {
+					return fmt.Errorf("latency: %v", err)
+				}
+				spec["latency_ns"] = d.Nanoseconds()
+			case "code":
+				body["code_name"] = strings.ToUpper(v)
+			case "max":
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					return fmt.Errorf("max: %v", err)
+				}
+				spec["max_count"] = n
+			case "seed":
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					return fmt.Errorf("seed: %v", err)
+				}
+				body["seed"] = n
+			default:
+				return fmt.Errorf("unknown option %q (prob, latency, code, max, seed)", k)
+			}
+		}
+		enc, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		return c.post("/debug/faultz", string(enc))
+	case "disable":
+		if len(args) != 2 {
+			return fmt.Errorf("faults disable <site>")
+		}
+		enc, _ := json.Marshal(map[string]any{"action": "disable", "site": args[1]})
+		return c.post("/debug/faultz", string(enc))
+	case "reset":
+		enc, _ := json.Marshal(map[string]any{"action": "reset"})
+		return c.post("/debug/faultz", string(enc))
+	default:
+		return fmt.Errorf("unknown faults subcommand %q", sub)
+	}
+}
+
 func (c *cli) traces(args []string) error {
 	if len(args) > 2 {
 		return fmt.Errorf("traces [sampled|slow|error] [n]")

@@ -114,6 +114,10 @@ func Analyzers() []*Analyzer {
 var RequestPathPrefixes = []string{
 	"firestore/firestore",
 	"firestore/internal/backend",
+	// fault.Point/Decide hooks sit inline on the request path, so the
+	// fault plane observes the same ctx-first contract as the layers it
+	// instruments.
+	"firestore/internal/fault",
 	"firestore/internal/frontend",
 	"firestore/internal/rtcache",
 	"firestore/internal/spanner",

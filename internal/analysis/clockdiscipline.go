@@ -6,19 +6,24 @@ import (
 
 // clockScope lists the packages whose timestamps must come from the
 // injected truetime.Clock: the storage engine (commit timestamps, lock
-// deadlines, load windows) and the clock package itself. A stray
-// time.Now() there breaks commit-wait semantics under a Manual clock
-// and makes runs unreplayable (PAPER.md §IV-D1).
+// deadlines, load windows), the fault plane (injected latency must obey
+// a Manual clock so chaos runs stay deterministic), and the clock
+// package itself. A stray time.Now() there breaks commit-wait semantics
+// under a Manual clock and makes runs unreplayable (PAPER.md §IV-D1).
 var clockScope = map[string]bool{
+	"firestore/internal/fault":    true,
 	"firestore/internal/spanner":  true,
 	"firestore/internal/truetime": true,
 }
 
-// ClockDiscipline bans direct wall-clock reads in TrueTime-disciplined
-// packages.
+// ClockDiscipline bans direct wall-clock reads — and, equally, direct
+// wall-clock sleeps — in TrueTime-disciplined packages. time.Sleep is a
+// hidden clock dependency: injected latency slept on the wall clock
+// would stall Manual-clock tests and unsync simulated time, so delays
+// must flow through the injected truetime.Clock's Sleep.
 var ClockDiscipline = &Analyzer{
 	Name:    "clockdiscipline",
-	Doc:     "spanner and truetime read time only through the injected truetime.Clock, never time.Now()",
+	Doc:     "spanner, truetime, and fault read and sleep time only through the injected truetime.Clock, never time.Now()/time.Sleep()",
 	Applies: func(importPath string) bool { return clockScope[importPath] },
 	Run:     runClockDiscipline,
 }
@@ -36,6 +41,10 @@ func runClockDiscipline(pass *Pass) {
 					pass.Reportf(call.Pos(),
 						"time.%s() in a TrueTime-disciplined package; commit timestamps, deadlines, and load windows must come from the injected truetime.Clock", name)
 				}
+			}
+			if isFuncNamed(callee, "time", "Sleep") {
+				pass.Reportf(call.Pos(),
+					"time.Sleep() in a TrueTime-disciplined package; injected latency must go through the injected truetime.Clock's Sleep so Manual-clock runs stay deterministic")
 			}
 			return true
 		})

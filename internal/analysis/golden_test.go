@@ -148,6 +148,27 @@ func TestClockDisciplineGolden(t *testing.T) {
 		"firestore/internal/spanner", ClockDiscipline)
 }
 
+// TestClockDisciplineFaultGolden loads seeded violations under the fault
+// plane's import path: the plane is TrueTime-disciplined, including the
+// time.Sleep ban (injected latency must come from the injected clock).
+func TestClockDisciplineFaultGolden(t *testing.T) {
+	findings := runGolden(t, filepath.Join("testdata", "src", "faultclock"),
+		"firestore/internal/fault", ClockDiscipline)
+	if len(findings) == 0 {
+		t.Fatal("seeded fault-plane clock violations produced no findings")
+	}
+}
+
+// TestCtxDisciplineFaultGolden checks the fault plane counts as a
+// request-path package: hooks take ctx first and never mint roots.
+func TestCtxDisciplineFaultGolden(t *testing.T) {
+	findings := runGolden(t, filepath.Join("testdata", "src", "faultctx"),
+		"firestore/internal/fault", CtxDiscipline)
+	if len(findings) == 0 {
+		t.Fatal("seeded fault-plane ctx violations produced no findings")
+	}
+}
+
 func TestClockDisciplineOutOfScope(t *testing.T) {
 	l := goldenLoader(t)
 	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "clockdiscipline"), "fslint/testdata/wallclock")

@@ -1,0 +1,35 @@
+// Package faultclock is golden-test input loaded under the
+// firestore/internal/fault import path: the fault plane is
+// TrueTime-disciplined, so wall-clock reads AND wall-clock sleeps are
+// banned — injected latency slept on the wall clock would stall
+// Manual-clock chaos runs.
+package faultclock
+
+import (
+	"time"
+
+	"firestore/internal/truetime"
+)
+
+func injectLatencyWrong(d time.Duration) {
+	time.Sleep(d) // want `time\.Sleep\(\) in a TrueTime-disciplined package`
+}
+
+func stampWrong() time.Time {
+	return time.Now() // want `time\.Now\(\) in a TrueTime-disciplined package`
+}
+
+// injectLatency draws the delay from the injected clock: no finding, and
+// a Manual clock makes it instantaneous and deterministic.
+func injectLatency(c truetime.Clock, d time.Duration) {
+	c.Sleep(d)
+}
+
+// arithmetic on durations is fine; only reads and sleeps are disciplined.
+func double(d time.Duration) time.Duration {
+	return 2 * d
+}
+
+func allowlisted(d time.Duration) {
+	time.Sleep(d) //fslint:ignore clockdiscipline golden test for the allowlist path
+}

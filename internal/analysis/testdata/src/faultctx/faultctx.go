@@ -1,0 +1,23 @@
+// Package faultctx is golden-test input loaded under the
+// firestore/internal/fault import path: fault hooks run inline on the
+// request path, so the ctx-first convention and the root-context ban
+// both apply to the fault plane.
+package faultctx
+
+import "context"
+
+// point mirrors fault.Point's shape — ctx first, site second: no finding.
+func point(ctx context.Context, site string) error {
+	_ = site
+	return ctx.Err()
+}
+
+func siteFirst(site string, ctx context.Context) error { // want `context.Context must be the first parameter`
+	_ = site
+	return ctx.Err()
+}
+
+func decideWithRoot(site string) context.Context {
+	_ = site
+	return context.Background() // want `context.Background mints a root context`
+}

@@ -19,6 +19,7 @@ import (
 	"firestore/internal/catalog"
 	"firestore/internal/doc"
 	"firestore/internal/encoding"
+	"firestore/internal/fault"
 	"firestore/internal/index"
 	"firestore/internal/query"
 	"firestore/internal/reqctx"
@@ -403,6 +404,10 @@ func (b *Backend) commitOps(ctx context.Context, db *catalog.Database, p Princip
 			endPrepare(ErrUnavailable)
 			return abort(fmt.Errorf("%w: prepare failed", ErrUnavailable))
 		}
+		if err := fault.Point(ctx, fault.BackendPrepare); err != nil {
+			endPrepare(err)
+			return abort(err)
+		}
 		m, err := b.cache.Prepare(writeID, db.ID, names, maxTS)
 		endPrepare(status.Wrap(status.Unavailable, "rtcache", err))
 		if err != nil {
@@ -415,20 +420,26 @@ func (b *Backend) commitOps(ctx context.Context, db *catalog.Database, p Princip
 	ts, err := txn.Commit(ctx, minTS, maxTS)
 	if err != nil {
 		if b.cache != nil {
-			b.cache.Accept(writeID, rtcache.OutcomeFailure, 0, nil)
+			b.cache.Accept(ctx, writeID, rtcache.OutcomeFailure, 0, nil)
 		}
 		return 0, err
 	}
 
 	// Step 7: finish the two-phase commit with the Accept carrying the
-	// outcome and full document copies.
+	// outcome and full document copies. The injected fault here models the
+	// mid-protocol failure window between the Spanner commit and the RTC
+	// Accept: a drop loses the Accept entirely, an error means the Backend
+	// no longer knows the outcome it should report.
 	if b.cache != nil {
+		faultKind := fault.Decide(ctx, fault.BackendAccept).Kind
 		switch {
-		case b.cfg.FailureHooks.DropAccept != nil && b.cfg.FailureHooks.DropAccept():
+		case faultKind == fault.KindDrop,
+			b.cfg.FailureHooks.DropAccept != nil && b.cfg.FailureHooks.DropAccept():
 			// Accept lost: the Changelog times out and resets ranges,
 			// but the write IS acknowledged to the user.
-		case b.cfg.FailureHooks.UnknownOutcome != nil && b.cfg.FailureHooks.UnknownOutcome():
-			b.cache.Accept(writeID, rtcache.OutcomeUnknown, 0, nil)
+		case faultKind == fault.KindError,
+			b.cfg.FailureHooks.UnknownOutcome != nil && b.cfg.FailureHooks.UnknownOutcome():
+			b.cache.Accept(ctx, writeID, rtcache.OutcomeUnknown, 0, nil)
 		default:
 			// Stamp timestamps on the forwarded copies.
 			for i := range muts {
@@ -441,7 +452,7 @@ func (b *Backend) commitOps(ctx context.Context, db *catalog.Database, p Princip
 					muts[i].New = n
 				}
 			}
-			b.cache.Accept(writeID, rtcache.OutcomeSuccess, ts, muts)
+			b.cache.Accept(ctx, writeID, rtcache.OutcomeSuccess, ts, muts)
 		}
 	}
 

@@ -1,0 +1,514 @@
+// Package chaos runs named fault-injection scenarios against a full
+// in-process region and checks the system's end-to-end invariants while
+// faults fire.
+//
+// A scenario is a seeded workload (writers hammering a small keyspace,
+// optional real-time listeners, a trigger handler recording deliveries)
+// plus a fault schedule armed through internal/fault. Because fault
+// firing is a pure function of (seed, site, hit index), the same seed
+// reproduces the same fault schedule run after run; the workload itself
+// is driven by rand sources derived from the same seed.
+//
+// After the fault window closes the runner lets the system settle and
+// then checks invariants:
+//
+//   - listener-convergence: every real-time listener's materialized view
+//     equals a fresh re-execution of its query (§IV-D4 reset-and-requery
+//     must heal any stream the faults disrupted).
+//   - trigger-at-least-once: every committed write is observed by the
+//     trigger handler at least once (the transactional message queue may
+//     redeliver, never lose).
+//   - external-consistency: a strong read issued after a commit returns
+//     a document at least as new as that commit (§IV-C TrueTime commit
+//     wait).
+//   - validation-clean / repair-zero: backend.ValidateDatabase reports
+//     no index<->document divergence and RepairIndexes finds nothing to
+//     fix.
+//   - expectation checks: scenarios that are supposed to trip
+//     out-of-sync or reset-and-requery assert the respective counters
+//     actually moved, so the faults provably exercised the recovery
+//     paths rather than missing them.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"firestore/internal/backend"
+	"firestore/internal/core"
+	"firestore/internal/doc"
+	"firestore/internal/fault"
+	"firestore/internal/frontend"
+	"firestore/internal/obs"
+	"firestore/internal/query"
+	"firestore/internal/triggers"
+	"firestore/internal/truetime"
+	"firestore/internal/ycsb"
+)
+
+// dbID is the database every scenario runs against.
+const dbID = "chaos"
+
+// collection holds the scenario keyspace. A single top-level collection
+// maps to one rtcache range, which concentrates faults like
+// changelog-crash on the data under test.
+const collection = "/kv"
+
+// Scenario is one named chaos experiment: a workload shape plus the
+// faults armed while it runs and the recovery paths it is expected to
+// trip.
+type Scenario struct {
+	Name string
+	Doc  string
+	// Faults are armed (in order) after the preload, before writers
+	// start.
+	Faults []fault.Spec
+
+	// Workload shape. Zero values take the defaults in withDefaults.
+	Docs      int // distinct documents in the keyspace
+	Writers   int // concurrent writer goroutines
+	Writes    int // commits per writer
+	Listeners int // real-time listener connections
+
+	// ExpectOutOfSync asserts the rtcache reported at least one
+	// out-of-sync reset (§IV-D4).
+	ExpectOutOfSync bool
+	// ExpectRequery asserts the frontend re-executed at least one
+	// query (reset-and-requery).
+	ExpectRequery bool
+}
+
+func (s Scenario) withDefaults() Scenario {
+	if s.Docs == 0 {
+		s.Docs = 16
+	}
+	if s.Writers == 0 {
+		s.Writers = 4
+	}
+	if s.Writes == 0 {
+		s.Writes = 25
+	}
+	return s
+}
+
+// Options tune one Run.
+type Options struct {
+	// Seed drives both the fault schedule and the workload. The same
+	// seed reproduces the same run.
+	Seed int64
+	// Quick shrinks the workload for smoke tests.
+	Quick bool
+	// Log, when set, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		o.Log(format, args...)
+	}
+}
+
+// Invariant is one post-run check.
+type Invariant struct {
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail"`
+}
+
+// Report is the outcome of one scenario run.
+type Report struct {
+	Scenario   string `json:"scenario"`
+	Seed       int64  `json:"seed"`
+	Commits    int    `json:"commits"`
+	CommitErrs int    `json:"commit_errs"`
+	OutOfSyncs int64  `json:"out_of_syncs"`
+	Requeries  int64  `json:"requeries"`
+	// Injected counts fault firings per site over the run.
+	Injected map[string]int64 `json:"injected"`
+	// Schedules holds, per site, the first 64 hit decisions as a
+	// '0'/'1' string — a fingerprint proving determinism by seed.
+	Schedules  map[string]string `json:"schedules"`
+	Invariants []Invariant       `json:"invariants"`
+	Pass       bool              `json:"pass"`
+}
+
+func (r *Report) check(name string, ok bool, format string, args ...any) {
+	r.Invariants = append(r.Invariants, Invariant{
+		Name:   name,
+		OK:     ok,
+		Detail: fmt.Sprintf(format, args...),
+	})
+	if !ok {
+		r.Pass = false
+	}
+}
+
+var priv = backend.Principal{Privileged: true}
+
+// listenerView materializes one listener's stream of snapshot events
+// into the result set it implies.
+type listenerView struct {
+	mu   sync.Mutex
+	docs map[string]*doc.Document
+	ts   truetime.Timestamp
+}
+
+func (v *listenerView) apply(ev frontend.SnapshotEvent) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if ev.Initial {
+		v.docs = make(map[string]*doc.Document, len(ev.Added))
+	}
+	if v.docs == nil {
+		v.docs = map[string]*doc.Document{}
+	}
+	for _, d := range ev.Added {
+		v.docs[d.Name.String()] = d
+	}
+	for _, d := range ev.Modified {
+		v.docs[d.Name.String()] = d
+	}
+	for _, n := range ev.Removed {
+		delete(v.docs, n.String())
+	}
+	v.ts = ev.TS
+}
+
+// snapshot returns a copy of the current view keyed by document name,
+// with the value of the "v" field.
+func (v *listenerView) snapshot() map[string]int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make(map[string]int64, len(v.docs))
+	for name, d := range v.docs {
+		out[name] = d.Fields["v"].IntVal()
+	}
+	return out
+}
+
+// commitRecord is one successful write as the writer observed it.
+type commitRecord struct {
+	name doc.Name
+	ts   truetime.Timestamp
+	v    int64
+}
+
+// Run executes one scenario and reports the invariant results. It
+// resets the fault plane on exit.
+func Run(sc Scenario, opt Options) (*Report, error) {
+	sc = sc.withDefaults()
+	if opt.Quick {
+		sc.Writes = 10
+	}
+	rep := &Report{
+		Scenario:  sc.Name,
+		Seed:      opt.Seed,
+		Injected:  map[string]int64{},
+		Schedules: map[string]string{},
+		Pass:      true,
+	}
+
+	region := core.NewRegion(core.Config{
+		Name:            "chaos",
+		SpannerPoolSize: 2,
+		RTRanges:        4,
+		ClockEpsilon:    10 * time.Microsecond,
+		Seed:            opt.Seed,
+	})
+	defer region.Close()
+	// Reset before the region closes: a latency fault left armed would
+	// otherwise slow teardown.
+	defer fault.Reset()
+
+	if _, err := region.CreateDatabase(dbID); err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+
+	// Trigger handler first, so every commit (including preload) is
+	// observed. Deliveries are keyed by name@ts: at-least-once delivery
+	// may repeat a key, never skip one.
+	var trigMu sync.Mutex
+	delivered := map[string]int{}
+	svc := region.Triggers(dbID)
+	svc.OnWrite(collection[1:], func(_ context.Context, ch triggers.Change) error {
+		trigMu.Lock()
+		delivered[fmt.Sprintf("%s@%d", ch.Name, ch.TS)]++
+		trigMu.Unlock()
+		return nil
+	})
+
+	// Preload the keyspace so listeners and writers start from a full
+	// result set.
+	var commits []commitRecord
+	for i := 0; i < sc.Docs; i++ {
+		name := docName(i)
+		ts, err := region.Commit(ctx, dbID, priv, []backend.WriteOp{setOp(name, 0, -1)})
+		if err != nil {
+			return nil, fmt.Errorf("preload %s: %w", name, err)
+		}
+		commits = append(commits, commitRecord{name: name, ts: ts, v: 0})
+	}
+
+	// Listeners register before faults arm so the fault window covers
+	// live streams, not initial registration.
+	views := make([]*listenerView, sc.Listeners)
+	var wgListen sync.WaitGroup
+	// Conn.Close closes the events channel, which ends each drain
+	// goroutine; wait for them so nothing races region teardown.
+	defer wgListen.Wait()
+	for i := range views {
+		v := &listenerView{}
+		views[i] = v
+		conn := region.NewConn(dbID, priv)
+		defer conn.Close()
+		wgListen.Add(1)
+		go func(c *frontend.Conn) {
+			defer wgListen.Done()
+			for ev := range c.Events() {
+				v.apply(ev)
+			}
+		}(conn)
+		if _, err := conn.Listen(ctx, &query.Query{Collection: doc.MustCollection(collection)}); err != nil {
+			return nil, fmt.Errorf("listen: %w", err)
+		}
+	}
+
+	// Arm the fault plane. Seed first: Enable resets per-site hit
+	// counters, so the schedule starts at hit 0 under this seed.
+	fault.SetSeed(opt.Seed)
+	for _, spec := range sc.Faults {
+		if err := fault.Enable(spec); err != nil {
+			return nil, fmt.Errorf("enable %s: %w", spec.Site, err)
+		}
+		rep.Schedules[spec.Site] = fault.Schedule(opt.Seed, spec, 64)
+	}
+	opt.logf("armed %d fault(s), running %d writers x %d writes over %d docs",
+		len(sc.Faults), sc.Writers, sc.Writes, sc.Docs)
+
+	// Writers. Each has its own seed-derived rand source; keys come
+	// from a YCSB uniform chooser over the keyspace.
+	var (
+		wg         sync.WaitGroup
+		commitMu   sync.Mutex
+		commitErrs int
+		extViol    []string
+		seq        int64
+	)
+	for w := 0; w < sc.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opt.Seed*1_000_003 + int64(w)))
+			chooser := ycsb.Uniform{N: sc.Docs}
+			for i := 0; i < sc.Writes; i++ {
+				name := docName(chooser.Next(rng))
+				commitMu.Lock()
+				seq++
+				v := seq
+				commitMu.Unlock()
+				ts, err := region.Commit(ctx, dbID, priv, []backend.WriteOp{setOp(name, v, w)})
+				if err != nil {
+					commitMu.Lock()
+					commitErrs++
+					commitMu.Unlock()
+					continue
+				}
+				rec := commitRecord{name: name, ts: ts, v: v}
+				// External consistency: a strong read after the commit
+				// must see a document at least as new as the commit.
+				d, _, rerr := region.GetDocument(ctx, dbID, priv, name, 0)
+				commitMu.Lock()
+				commits = append(commits, rec)
+				if rerr == nil && (d == nil || d.UpdateTime < ts) {
+					got := truetime.Timestamp(0)
+					if d != nil {
+						got = d.UpdateTime
+					}
+					extViol = append(extViol, fmt.Sprintf("%s: strong read saw %d < commit %d", name, got, ts))
+				}
+				commitMu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	rep.Commits = len(commits)
+	rep.CommitErrs = commitErrs
+
+	// Close the fault window before settling: recovery must complete
+	// with the system healthy again.
+	for _, spec := range sc.Faults {
+		rep.Injected[spec.Site] = fault.Injected(spec.Site)
+	}
+	fault.Reset()
+	opt.logf("fault window closed: %d commits, %d commit errors", rep.Commits, rep.CommitErrs)
+
+	// Settle: listeners converge to a fresh re-execution of the query.
+	want, err := queryState(ctx, region)
+	if err != nil {
+		return nil, fmt.Errorf("requery: %w", err)
+	}
+	deadline := time.Now().Add(8 * time.Second)
+	for i, v := range views {
+		for {
+			got := v.snapshot()
+			if mapsEqual(got, want) {
+				break
+			}
+			if time.Now().After(deadline) {
+				rep.check("listener-convergence", false,
+					"listener %d view (%d docs) never converged to requeried state (%d docs): %s",
+					i, len(got), len(want), firstDiff(got, want))
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+			// The authoritative state can still advance while settling.
+			if want, err = queryState(ctx, region); err != nil {
+				return nil, fmt.Errorf("requery: %w", err)
+			}
+		}
+	}
+	if sc.Listeners > 0 && invariantMissing(rep, "listener-convergence") {
+		rep.check("listener-convergence", true, "%d listener(s) converged to requeried state", sc.Listeners)
+	}
+
+	// Trigger at-least-once: every committed name@ts must eventually be
+	// delivered (duplicates allowed).
+	trigDeadline := time.Now().Add(5 * time.Second)
+	var missing []string
+	for {
+		missing = missing[:0]
+		trigMu.Lock()
+		for _, rec := range commits {
+			if delivered[fmt.Sprintf("%s@%d", rec.name, rec.ts)] == 0 {
+				missing = append(missing, fmt.Sprintf("%s@%d", rec.name, rec.ts))
+			}
+		}
+		trigMu.Unlock()
+		if len(missing) == 0 || time.Now().After(trigDeadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	rep.check("trigger-at-least-once", len(missing) == 0,
+		"%d/%d commits delivered to trigger handler (missing %v)",
+		len(commits)-len(missing), len(commits), truncate(missing, 3))
+
+	rep.check("external-consistency", len(extViol) == 0,
+		"%d strong-read-after-commit checks violated (%v)", len(extViol), truncate(extViol, 3))
+
+	// Index <-> document cross-check.
+	vr, err := region.Backend.ValidateDatabase(ctx, dbID)
+	if err != nil {
+		return nil, fmt.Errorf("validate: %w", err)
+	}
+	rep.check("validation-clean", vr.Clean(),
+		"docs=%d entries=%d corrupt=%d missing=%d orphans=%d",
+		vr.Documents, vr.IndexEntries, len(vr.CorruptDocs), len(vr.MissingEntries), len(vr.OrphanEntries))
+	repaired, err := region.Backend.RepairIndexes(ctx, dbID)
+	if err != nil {
+		return nil, fmt.Errorf("repair: %w", err)
+	}
+	rep.check("repair-zero", repaired == 0, "RepairIndexes fixed %d entries", repaired)
+
+	rep.OutOfSyncs = region.Cache.Stats().OutOfSyncs
+	rep.Requeries = region.Obs.Counter("frontend.requeries", obs.DB(dbID)).Value()
+	if sc.ExpectOutOfSync {
+		rep.check("tripped-out-of-sync", rep.OutOfSyncs > 0,
+			"rtcache out_of_syncs=%d (scenario must trip the §IV-D4 reset path)", rep.OutOfSyncs)
+	}
+	if sc.ExpectRequery {
+		rep.check("tripped-requery", rep.Requeries > 0,
+			"frontend requeries=%d (scenario must trip reset-and-requery)", rep.Requeries)
+	}
+	for _, spec := range sc.Faults {
+		rep.check("injected:"+spec.Site, rep.Injected[spec.Site] > 0,
+			"fault fired %d time(s)", rep.Injected[spec.Site])
+	}
+
+	return rep, nil
+}
+
+// queryState re-executes the scenario query and returns name -> v.
+func queryState(ctx context.Context, region *core.Region) (map[string]int64, error) {
+	res, _, err := region.RunQuery(ctx, dbID, priv,
+		&query.Query{Collection: doc.MustCollection(collection)}, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int64, len(res.Docs))
+	for _, d := range res.Docs {
+		out[d.Name.String()] = d.Fields["v"].IntVal()
+	}
+	return out, nil
+}
+
+func docName(i int) doc.Name {
+	return doc.MustName(fmt.Sprintf("%s/%s", collection, ycsb.Key(i)))
+}
+
+func setOp(name doc.Name, v int64, writer int) backend.WriteOp {
+	return backend.WriteOp{
+		Kind: backend.OpSet,
+		Name: name,
+		Fields: map[string]doc.Value{
+			"v": doc.Int(v),
+			"w": doc.Int(int64(writer)),
+		},
+	}
+}
+
+func mapsEqual(a, b map[string]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+func firstDiff(got, want map[string]int64) string {
+	keys := make([]string, 0, len(want))
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		gv, ok := got[k]
+		if !ok {
+			return fmt.Sprintf("missing %s (want v=%d)", k, want[k])
+		}
+		if gv != want[k] {
+			return fmt.Sprintf("%s: got v=%d want v=%d", k, gv, want[k])
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			return fmt.Sprintf("extra %s (v=%d)", k, got[k])
+		}
+	}
+	return "views equal"
+}
+
+func invariantMissing(rep *Report, name string) bool {
+	for _, inv := range rep.Invariants {
+		if inv.Name == name {
+			return false
+		}
+	}
+	return true
+}
+
+func truncate(s []string, n int) []string {
+	if len(s) <= n {
+		return s
+	}
+	return append(append([]string{}, s[:n]...), fmt.Sprintf("... +%d more", len(s)-n))
+}

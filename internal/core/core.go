@@ -16,6 +16,7 @@ import (
 	"firestore/internal/billing"
 	"firestore/internal/catalog"
 	"firestore/internal/doc"
+	"firestore/internal/fault"
 	"firestore/internal/frontend"
 	"firestore/internal/index"
 	"firestore/internal/obs"
@@ -138,7 +139,14 @@ func NewRegion(cfg Config) *Region {
 	if cfg.ClockEpsilon <= 0 {
 		cfg.ClockEpsilon = 50 * time.Microsecond
 	}
-	clock := truetime.NewSystem(cfg.ClockEpsilon)
+	// The fault plane wraps the region's TrueTime source so the
+	// truetime.epsilon site can widen uncertainty intervals, and injected
+	// latency sleeps on the same clock the region runs on. The process-wide
+	// Default registry serves every region; with multiple regions the last
+	// one built owns the clock and metrics attachment (chaos scenarios run
+	// one region).
+	clock := fault.WrapClock(truetime.NewSystem(cfg.ClockEpsilon))
+	fault.SetClock(clock)
 
 	// Regional deployments commit after a same-metro quorum (~1-2ms);
 	// multi-region ones span metros (~4-7ms). TimeScale compresses both.
@@ -164,6 +172,7 @@ func NewRegion(cfg Config) *Region {
 		}
 	}
 	reg := obs.NewRegistry()
+	fault.SetObs(reg)
 	tracer := reqctx.NewTracer(reqctx.TracerConfig{
 		SampleProb:    cfg.TraceSampleProb,
 		SlowThreshold: cfg.SlowTraceThreshold,

@@ -18,6 +18,7 @@ import (
 
 	"firestore/internal/backend"
 	"firestore/internal/doc"
+	"firestore/internal/fault"
 	"firestore/internal/obs"
 	"firestore/internal/query"
 	"firestore/internal/reqctx"
@@ -335,6 +336,13 @@ func (c *Conn) Close() {
 // reset-and-requery — a delta stream with a hole in it is worse than a
 // reset ("this reset is fast, and is mostly transparent to the end-user").
 func (c *Conn) deliver(ev SnapshotEvent) bool {
+	// An injected drop models the connection losing this snapshot
+	// mid-stream; the caller's recovery is the same reset-and-requery
+	// path a full buffer takes.
+	if fault.Decide(c.ctx, fault.FrontendConnDeliver).Kind == fault.KindDrop {
+		c.f.count("frontend.events_dropped", c.dbID)
+		return false
+	}
 	select {
 	case c.events <- ev:
 		c.f.count("frontend.events_delivered", c.dbID)

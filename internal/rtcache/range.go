@@ -67,7 +67,12 @@ type loggedMutation struct {
 const logCap = 4096
 
 type prepareRecord struct {
-	minTS    truetime.Timestamp
+	minTS truetime.Timestamp
+	// maxTS is the write's maximum commit timestamp (§IV-D2 step 5). If
+	// the range abandons the prepare (timeout, crash, rebalance), the
+	// commit may still land anywhere up to maxTS — so resets must refuse
+	// to serve history below it (see markOutOfSync).
+	maxTS    truetime.Timestamp
 	deadline time.Time
 	expire   bool // set when the deadline passed and the range reset
 }
@@ -83,14 +88,14 @@ func newNameRange(id int) *nameRange {
 // prepare registers a pending write and returns the minimum allowed
 // commit timestamp: one past everything this range has already resolved
 // or advanced its watermark to, so the complete-sequence invariant holds.
-func (r *nameRange) prepare(writeID string, deadline time.Time) truetime.Timestamp {
+func (r *nameRange) prepare(writeID string, deadline time.Time, maxTS truetime.Timestamp) truetime.Timestamp {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	min := r.watermark + 1
 	if r.lastTS+1 > min {
 		min = r.lastTS + 1
 	}
-	r.pending[writeID] = &prepareRecord{minTS: min, deadline: deadline}
+	r.pending[writeID] = &prepareRecord{minTS: min, maxTS: maxTS, deadline: deadline}
 	return min
 }
 
@@ -241,6 +246,21 @@ func (r *nameRange) heartbeat(now truetime.Timestamp, wall time.Time) {
 	}
 }
 
+// crash simulates a Changelog task crash-and-restart (the
+// RTCacheChangelogCrash fault): every subscriber is reset and the
+// restarted task comes back with empty in-memory state — zero watermark
+// and last-resolved timestamp, no log, no pending prepares. The trim
+// horizon survives (raised by the reset): a restarted task must not
+// pretend to own history it never saw, so subscriptions predating the
+// crash go through the full requery path.
+func (r *nameRange) crash() {
+	r.markOutOfSync()
+	r.mu.Lock()
+	r.watermark = 0
+	r.lastTS = 0
+	r.mu.Unlock()
+}
+
 // expired reports whether writeID's prepare here is no longer pending
 // normally (timed out or already swept by a reset).
 func (r *nameRange) expired(writeID string) bool {
@@ -260,6 +280,16 @@ func (r *nameRange) markOutOfSync() {
 	}
 	r.mu.Lock()
 	r.outOfSyncs++
+	// Abandoned prepares may still commit at any timestamp up to their
+	// maxTS (the Accept is simply lost to this range). Raise the trim
+	// horizon past every such potential commit so no later subscription
+	// registers below it and silently misses the write — it resets and
+	// re-observes the write through its fresh initial snapshot instead.
+	for _, rec := range r.pending {
+		if rec.maxTS > r.trimmedBefore {
+			r.trimmedBefore = rec.maxTS
+		}
+	}
 	r.pending = map[string]*prepareRecord{}
 	r.log = nil
 	if r.lastTS > r.trimmedBefore {

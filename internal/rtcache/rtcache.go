@@ -21,10 +21,12 @@
 package rtcache
 
 import (
+	"context"
 	"sync"
 	"time"
 
 	"firestore/internal/doc"
+	"firestore/internal/fault"
 	"firestore/internal/obs"
 	"firestore/internal/status"
 	"firestore/internal/truetime"
@@ -299,7 +301,7 @@ func (c *Cache) Prepare(writeID, db string, names []doc.Name, maxTS truetime.Tim
 	var min truetime.Timestamp
 	var pending []*pendingWrite
 	for r := range byRange {
-		m := r.prepare(writeID, deadline)
+		m := r.prepare(writeID, deadline, maxTS)
 		if m > min {
 			min = m
 		}
@@ -318,7 +320,14 @@ func (c *Cache) Prepare(writeID, db string, names []doc.Name, maxTS truetime.Tim
 // Accept finishes the two-phase commit for writeID (§IV-D2 step 7). On
 // success the mutations are matched and forwarded; on unknown outcome the
 // affected ranges are marked out-of-sync.
-func (c *Cache) Accept(writeID string, outcome Outcome, ts truetime.Timestamp, muts []Mutation) {
+func (c *Cache) Accept(ctx context.Context, writeID string, outcome Outcome, ts truetime.Timestamp, muts []Mutation) {
+	// An injected drop loses the Accept at the cache boundary: the write
+	// record stays pending, so the heartbeat loop expires it past the
+	// accept margin and the affected ranges go out-of-sync — the paper's
+	// recovery path for a Changelog that never learns an outcome.
+	if fault.Decide(ctx, fault.RTCacheAccept).Kind == fault.KindDrop {
+		return
+	}
 	c.mu.Lock()
 	rec := c.writes[writeID]
 	delete(c.writes, writeID)
@@ -361,6 +370,8 @@ func (c *Cache) Accept(writeID string, outcome Outcome, ts truetime.Timestamp, m
 // whose Accept never arrived.
 func (c *Cache) heartbeatLoop(every time.Duration) {
 	defer c.wg.Done()
+	//fslint:ignore ctxdiscipline background daemon root: the heartbeat loop outlives any request
+	ctx := context.Background()
 	ticker := time.NewTicker(every)
 	defer ticker.Stop()
 	for {
@@ -368,6 +379,37 @@ func (c *Cache) heartbeatLoop(every time.Duration) {
 		case <-c.stop:
 			return
 		case <-ticker.C:
+		}
+		// Injected heartbeat stall: the Changelog tasks skip this tick, so
+		// watermarks stop advancing and overdue prepares are detected late.
+		if fault.Decide(ctx, fault.RTCacheHeartbeat).Kind == fault.KindDrop {
+			continue
+		}
+		// Injected Changelog crash: one range loses its in-memory state and
+		// restarts. The victim is the busiest task — the one serving the
+		// most subscriptions — because that is the crash that actually
+		// hurts (and the adversarial choice a chaos run wants); an idle
+		// cache rotates victims with the injection count instead.
+		if fault.Decide(ctx, fault.RTCacheChangelogCrash).Kind == fault.KindCrash {
+			c.mu.Lock()
+			ranges := append([]*nameRange(nil), c.ranges...)
+			c.mu.Unlock()
+			victim, busiest := ranges[0], -1
+			for _, r := range ranges {
+				r.mu.Lock()
+				subs := 0
+				for _, sq := range r.subs {
+					subs += len(sq.queries)
+				}
+				r.mu.Unlock()
+				if subs > busiest {
+					victim, busiest = r, subs
+				}
+			}
+			if busiest == 0 {
+				victim = ranges[int((fault.Injected(fault.RTCacheChangelogCrash)-1)%int64(len(ranges)))]
+			}
+			victim.crash()
 		}
 		now := c.clock.Now().Earliest
 		wall := time.Now()

@@ -1,6 +1,7 @@
 package rtcache
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -107,7 +108,7 @@ func TestPrepareAcceptDeliversMatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	ts := min + 100
-	c.Accept("w1", OutcomeSuccess, ts, []Mutation{{Name: d.Name, New: d}})
+	c.Accept(context.Background(), "w1", OutcomeSuccess, ts, []Mutation{{Name: d.Name, New: d}})
 
 	waitFor(t, "update delivery", func() bool { return rec.updateCount() == 1 })
 	rec.mu.Lock()
@@ -131,7 +132,7 @@ func TestNonMatchingUpdateNotDelivered(t *testing.T) {
 	c.Subscribe(rec, "db1", q, 0, 0)
 	d := ratingDoc("1", 2) // below the predicate
 	min, _ := c.Prepare("w1", "db1", []doc.Name{d.Name}, truetime.Max)
-	c.Accept("w1", OutcomeSuccess, min+1, []Mutation{{Name: d.Name, New: d}})
+	c.Accept(context.Background(), "w1", OutcomeSuccess, min+1, []Mutation{{Name: d.Name, New: d}})
 	time.Sleep(20 * time.Millisecond)
 	if rec.updateCount() != 0 {
 		t.Fatal("non-matching update delivered")
@@ -149,7 +150,7 @@ func TestRemovalDeliveredWhenDocStopsMatching(t *testing.T) {
 	old := ratingDoc("1", 5)
 	new := ratingDoc("1", 1)
 	min, _ := c.Prepare("w1", "db1", []doc.Name{old.Name}, truetime.Max)
-	c.Accept("w1", OutcomeSuccess, min+1, []Mutation{{Name: old.Name, Old: old, New: new}})
+	c.Accept(context.Background(), "w1", OutcomeSuccess, min+1, []Mutation{{Name: old.Name, Old: old, New: new}})
 	waitFor(t, "removal delivery", func() bool { return rec.updateCount() == 1 })
 	rec.mu.Lock()
 	u := rec.updates[0]
@@ -166,7 +167,7 @@ func TestDeleteDelivered(t *testing.T) {
 	c.Subscribe(rec, "db1", q, 0, 0)
 	old := ratingDoc("1", 5)
 	min, _ := c.Prepare("w1", "db1", []doc.Name{old.Name}, truetime.Max)
-	c.Accept("w1", OutcomeSuccess, min+1, []Mutation{{Name: old.Name, Old: old}})
+	c.Accept(context.Background(), "w1", OutcomeSuccess, min+1, []Mutation{{Name: old.Name, Old: old}})
 	waitFor(t, "delete delivery", func() bool { return rec.updateCount() == 1 })
 }
 
@@ -179,7 +180,7 @@ func TestUpdatesBeforeSubscriptionVersionSkipped(t *testing.T) {
 	// not be delivered.
 	c.Subscribe(rec, "db1", q, truetime.Max-1000, 0)
 	min, _ := c.Prepare("w1", "db1", []doc.Name{d.Name}, truetime.Max)
-	c.Accept("w1", OutcomeSuccess, min+1, []Mutation{{Name: d.Name, New: d}})
+	c.Accept(context.Background(), "w1", OutcomeSuccess, min+1, []Mutation{{Name: d.Name, New: d}})
 	time.Sleep(20 * time.Millisecond)
 	if rec.updateCount() != 0 {
 		t.Fatal("pre-version update delivered")
@@ -194,7 +195,7 @@ func TestFailedWriteDropped(t *testing.T) {
 	d := ratingDoc("1", 5)
 	min, _ := c.Prepare("w1", "db1", []doc.Name{d.Name}, truetime.Max)
 	_ = min
-	c.Accept("w1", OutcomeFailure, 0, nil)
+	c.Accept(context.Background(), "w1", OutcomeFailure, 0, nil)
 	time.Sleep(20 * time.Millisecond)
 	if rec.updateCount() != 0 {
 		t.Fatal("failed write delivered")
@@ -211,7 +212,7 @@ func TestUnknownOutcomeResetsRange(t *testing.T) {
 	c.Subscribe(rec, "db1", q, 0, 0)
 	d := ratingDoc("1", 5)
 	c.Prepare("w1", "db1", []doc.Name{d.Name}, truetime.Max)
-	c.Accept("w1", OutcomeUnknown, 0, nil)
+	c.Accept(context.Background(), "w1", OutcomeUnknown, 0, nil)
 	waitFor(t, "reset", func() bool { return rec.resetCount() >= 1 })
 	if c.Stats().OutOfSyncs == 0 {
 		t.Fatal("out-of-sync not counted")
@@ -240,7 +241,7 @@ func TestMissingAcceptTimesOut(t *testing.T) {
 	// failure mode).
 	waitFor(t, "timeout reset", func() bool { return rec.resetCount() >= 1 })
 	// A very late Accept is ignored harmlessly.
-	c.Accept("w1", OutcomeSuccess, 999999, []Mutation{{Name: d.Name, New: d}})
+	c.Accept(context.Background(), "w1", OutcomeSuccess, 999999, []Mutation{{Name: d.Name, New: d}})
 	time.Sleep(10 * time.Millisecond)
 	if rec.updateCount() != 0 {
 		t.Fatal("late accept delivered updates")
@@ -261,7 +262,7 @@ func TestWatermarkHeldByPendingPrepare(t *testing.T) {
 		t.Fatalf("watermark %d advanced past pending prepare min %d", wm, min)
 	}
 	ts := min + 10
-	c.Accept("w1", OutcomeSuccess, ts, []Mutation{{Name: d.Name, New: d}})
+	c.Accept(context.Background(), "w1", OutcomeSuccess, ts, []Mutation{{Name: d.Name, New: d}})
 	waitFor(t, "watermark past commit", func() bool { return c.Watermark(rid) >= ts })
 }
 
@@ -284,7 +285,7 @@ func TestUnsubscribeStopsDelivery(t *testing.T) {
 	c.Unsubscribe(rec, subID)
 	d := ratingDoc("1", 5)
 	min, _ := c.Prepare("w1", "db1", []doc.Name{d.Name}, truetime.Max)
-	c.Accept("w1", OutcomeSuccess, min+1, []Mutation{{Name: d.Name, New: d}})
+	c.Accept(context.Background(), "w1", OutcomeSuccess, min+1, []Mutation{{Name: d.Name, New: d}})
 	time.Sleep(20 * time.Millisecond)
 	if rec.updateCount() != 0 {
 		t.Fatal("unsubscribed recorder got updates")
@@ -300,7 +301,7 @@ func TestDuplicateWriteIDRejected(t *testing.T) {
 	if _, err := c.Prepare("w1", "db1", []doc.Name{d.Name}, truetime.Max); err == nil {
 		t.Fatal("duplicate write ID accepted")
 	}
-	c.Accept("w1", OutcomeFailure, 0, nil)
+	c.Accept(context.Background(), "w1", OutcomeFailure, 0, nil)
 }
 
 func TestMinTimestampsMonotonicPerRange(t *testing.T) {
@@ -321,7 +322,7 @@ func TestMinTimestampsMonotonicPerRange(t *testing.T) {
 			}
 		}
 		last = min
-		c.Accept(id, OutcomeSuccess, min+truetime.Timestamp(i)+1, []Mutation{{Name: d.Name, New: d}})
+		c.Accept(context.Background(), id, OutcomeSuccess, min+truetime.Timestamp(i)+1, []Mutation{{Name: d.Name, New: d}})
 	}
 }
 
@@ -346,7 +347,7 @@ func TestConcurrentWritesAndSubscribers(t *testing.T) {
 				t.Error(err)
 				return
 			}
-			c.Accept(id, OutcomeSuccess, min+truetime.Timestamp(i)+1, []Mutation{{Name: d.Name, New: d}})
+			c.Accept(context.Background(), id, OutcomeSuccess, min+truetime.Timestamp(i)+1, []Mutation{{Name: d.Name, New: d}})
 		}(i)
 	}
 	wg.Wait()
@@ -367,7 +368,7 @@ func TestMultiTenantIsolation(t *testing.T) {
 	c.Subscribe(recB, "dbB", q, 0, 0)
 	d := ratingDoc("1", 5)
 	min, _ := c.Prepare("w1", "dbA", []doc.Name{d.Name}, truetime.Max)
-	c.Accept("w1", OutcomeSuccess, min+1, []Mutation{{Name: d.Name, New: d}})
+	c.Accept(context.Background(), "w1", OutcomeSuccess, min+1, []Mutation{{Name: d.Name, New: d}})
 	waitFor(t, "dbA delivery", func() bool { return recA.updateCount() == 1 })
 	time.Sleep(20 * time.Millisecond)
 	if recB.updateCount() != 0 {
@@ -415,7 +416,7 @@ func TestRebalanceSplitsHotRange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Accept("w-post-split", OutcomeSuccess, min+1, []Mutation{{Name: d.Name, New: d}})
+	c.Accept(context.Background(), "w-post-split", OutcomeSuccess, min+1, []Mutation{{Name: d.Name, New: d}})
 	waitFor(t, "post-split delivery", func() bool { return rec.updateCount() == 1 })
 }
 
@@ -444,7 +445,7 @@ func TestChangelogReplayForLateSubscription(t *testing.T) {
 	// Commit a write with NO subscribers.
 	min, _ := c.Prepare("w1", "db1", []doc.Name{d.Name}, truetime.Max)
 	ts := min + 10
-	c.Accept("w1", OutcomeSuccess, ts, []Mutation{{Name: d.Name, New: d}})
+	c.Accept(context.Background(), "w1", OutcomeSuccess, ts, []Mutation{{Name: d.Name, New: d}})
 	// Subscribe afterwards with afterTS below the commit: replay.
 	rec := newRecorder()
 	q := ratingsQuery()
@@ -469,7 +470,7 @@ func TestSubscribeBelowTrimmedHorizonResets(t *testing.T) {
 	// meaningful horizon.
 	waitFor(t, "watermark progress", func() bool { return c.Watermark(rid) > 1 })
 	c.Prepare("w1", "db1", []doc.Name{d.Name}, truetime.Max)
-	c.Accept("w1", OutcomeUnknown, 0, nil) // forces trimmedBefore forward
+	c.Accept(context.Background(), "w1", OutcomeUnknown, 0, nil) // forces trimmedBefore forward
 	rec := newRecorder()
 	q := ratingsQuery()
 	c.Subscribe(rec, "db1", q, 1 /* ancient */, 0)

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"firestore/internal/fault"
 	"firestore/internal/obs"
 	"firestore/internal/status"
 	"firestore/internal/truetime"
@@ -307,6 +308,9 @@ func (db *DB) tabletsInRange(begin, end []byte) []*tablet {
 // the owning tablet's safe time reaches ts so the result reflects every
 // transaction with a commit timestamp <= ts.
 func (db *DB) SnapshotGet(ctx context.Context, key []byte, ts truetime.Timestamp) ([]byte, truetime.Timestamp, bool, error) {
+	if err := fault.Point(ctx, fault.SpannerRead); err != nil {
+		return nil, 0, false, err
+	}
 	t := db.tabletFor(key)
 	if err := t.waitSafe(ctx, ts); err != nil {
 		return nil, 0, false, err
@@ -329,6 +333,9 @@ type ScanRow struct {
 // ts, in ascending (or descending if reverse) key order, calling fn for
 // each row until fn returns false or the range is exhausted.
 func (db *DB) SnapshotScan(ctx context.Context, begin, end []byte, ts truetime.Timestamp, reverse bool, fn func(ScanRow) bool) error {
+	if err := fault.Point(ctx, fault.SpannerRead); err != nil {
+		return err
+	}
 	tablets := db.tabletsInRange(begin, end)
 	if reverse {
 		for i, j := 0, len(tablets)-1; i < j; i, j = i+1, j-1 {
@@ -417,16 +424,27 @@ func (db *DB) queue(topic string) chan Message {
 	return q
 }
 
-func (db *DB) deliver(msgs []Message, ts truetime.Timestamp) {
+func (db *DB) deliver(ctx context.Context, msgs []Message, ts truetime.Timestamp) {
 	for _, m := range msgs {
 		m.CommitTS = ts
+		copies := 1
+		switch fault.Decide(ctx, fault.SpannerQueueDeliver).Kind {
+		case fault.KindDrop:
+			copies = 0
+		case fault.KindDuplicate:
+			// At-least-once redelivery: the consumer must tolerate the
+			// same (topic, commit-TS) message arriving twice.
+			copies = 2
+		}
 		q := db.queue(m.Topic)
-		select {
-		case q <- m:
-		default:
-			// Queue full: drop rather than stall commits. Triggers are
-			// at-least-once in production via redelivery; a bounded
-			// simulation accepts loss under extreme backlog.
+		for i := 0; i < copies; i++ {
+			select {
+			case q <- m:
+			default:
+				// Queue full: drop rather than stall commits. Triggers are
+				// at-least-once in production via redelivery; a bounded
+				// simulation accepts loss under extreme backlog.
+			}
 		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"time"
 
+	"firestore/internal/fault"
 	"firestore/internal/reqctx"
 	"firestore/internal/truetime"
 )
@@ -49,6 +50,9 @@ func (t *Txn) lock(ctx context.Context, key []byte, mode lockMode) error {
 	if cur, ok := t.held[k]; ok && (cur == lockExclusive || cur == mode) {
 		return nil
 	}
+	if err := fault.Point(ctx, fault.SpannerLockWait); err != nil {
+		return err
+	}
 	start := t.db.clock.Now().Latest
 	if err := t.db.locks.acquire(ctx, t, k, mode, t.db.lockTimeout); err != nil {
 		t.db.mu.Lock()
@@ -87,6 +91,9 @@ func (t *Txn) GetVersioned(ctx context.Context, key []byte, forUpdate bool) ([]b
 	mode := lockShared
 	if forUpdate {
 		mode = lockExclusive
+	}
+	if err := fault.Point(ctx, fault.SpannerRead); err != nil {
+		return nil, 0, false, err
 	}
 	if err := t.lock(ctx, key, mode); err != nil {
 		return nil, 0, false, err
@@ -304,6 +311,17 @@ func (t *Txn) Commit(ctx context.Context, minTS, maxTS truetime.Timestamp) (_ tr
 		return 0, fmt.Errorf("%w: need %d > max %d", ErrCommitWindow, ts, maxTS)
 	}
 
+	// Injected quorum fault: an error here models losing the replication
+	// quorum after prepare — the commit aborts cleanly, no tablet applied
+	// anything; injected latency models a quorum slowdown.
+	if err := fault.Point(ctx, fault.SpannerCommitQuorum); err != nil {
+		for _, tab := range participants {
+			tab.finish(t)
+		}
+		t.Abort()
+		return 0, err
+	}
+
 	// Replication: pay the quorum latency (doubled for multi-tablet
 	// two-phase commits, which require an extra round), plus optional
 	// size- and row-count-dependent components.
@@ -353,7 +371,7 @@ func (t *Txn) Commit(ctx context.Context, minTS, maxTS truetime.Timestamp) (_ tr
 	if len(participants) > 1 {
 		t.db.count("spanner.2pc_commits", dbID)
 	}
-	t.db.deliver(t.msgs, ts)
+	t.db.deliver(ctx, t.msgs, ts)
 	t.db.maybeSplit()
 	return ts, nil
 }
