@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet lint build test test-race race-pipeline race-obs debug-smoke chaos-smoke fuzz bench
+.PHONY: verify fmt-check vet lint build test test-race race-pipeline race-obs debug-smoke chaos-smoke chaos-recovery bulk-durable fuzz bench
 
 verify: fmt-check vet build lint test-race
 
@@ -47,6 +47,17 @@ debug-smoke:
 # exercises at-least-once queue redelivery (see EXPERIMENTS.md CHAOS).
 chaos-smoke:
 	$(GO) test -race -run 'TestChaosSmoke' -v ./internal/chaos/
+
+# Crash-recovery chaos: fixed-seed scenarios that kill tablets
+# mid-commit on the durable engine (WAL + segments), then restart the
+# region from disk and require zero divergence (see EXPERIMENTS.md).
+chaos-recovery:
+	$(GO) test -race -run 'TestChaosRecovery' -v ./internal/chaos/
+
+# Disk-backed BULK parity gate: the BulkWriter on the durable engine
+# must hold >= 0.2x in-memory docs/s and recover every doc on restart.
+bulk-durable:
+	$(GO) test -run 'TestBulkLoadDurableParity' -v ./internal/bench/
 
 # Short fuzz pass over the trigger-payload decoder.
 fuzz:

@@ -30,6 +30,7 @@ func main() {
 	tab := flag.String("tab", "", "table to regenerate: 1")
 	abl := flag.String("abl", "", "ablation to run: zigzag, multiregion, shedding")
 	bulk := flag.Bool("bulk", false, "run the YCSB bulk-load comparison (sequential Set vs BulkWriter)")
+	bulkDurable := flag.Bool("bulk-durable", false, "run the BulkWriter load on in-memory vs durable storage (WAL + segments) and verify restart recovery")
 	chaosName := flag.String("chaos", "", "fault-injection scenario to run (or \"list\", \"all\")")
 	all := flag.Bool("all", false, "run every experiment")
 	scale := flag.Float64("scale", 1.0, "experiment size/duration multiplier")
@@ -120,6 +121,10 @@ func main() {
 		ran = true
 		bench.BulkLoad(opts).Fprint(out)
 	}
+	if *bulkDurable {
+		ran = true
+		runBulkDurable(out, opts)
+	}
 	if *chaosName != "" {
 		ran = true
 		if !runChaos(out, logw, *chaosName, *seed) {
@@ -154,6 +159,23 @@ func printSpans(out io.Writer) {
 	}
 }
 
+// runBulkDurable provisions a scratch directory (all other file I/O
+// lives in internal/storage) and runs the durable bulk-load comparison.
+func runBulkDurable(out io.Writer, opts bench.Options) {
+	dir, err := os.MkdirTemp("", "firestore-bulk-durable-")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bulk-durable: %v\n", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	tbl, err := bench.BulkLoadDurable(opts, dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bulk-durable: %v\n", err)
+		os.Exit(1)
+	}
+	tbl.Fprint(out)
+}
+
 // runChaos runs one named chaos scenario (or "all", or "list") and
 // prints its invariant report. It returns false if any invariant failed.
 func runChaos(out, logw io.Writer, name string, seed int64) bool {
@@ -178,6 +200,15 @@ func runChaos(out, logw io.Writer, name string, seed int64) bool {
 	pass := true
 	for _, sc := range run {
 		opt := chaos.Options{Seed: seed}
+		if sc.Durable {
+			dir, err := os.MkdirTemp("", "firestore-chaos-"+sc.Name+"-")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "chaos %s: %v\n", sc.Name, err)
+				os.Exit(1)
+			}
+			defer os.RemoveAll(dir)
+			opt.Dir = dir
+		}
 		if logw != nil {
 			opt.Log = func(format string, args ...any) {
 				fmt.Fprintf(logw, "chaos %s: "+format+"\n", append([]any{sc.Name}, args...)...)
@@ -202,6 +233,10 @@ func printChaosReport(out io.Writer, rep *chaos.Report) {
 	fmt.Fprintf(out, "\n# chaos %s (seed %d): %s\n", rep.Scenario, rep.Seed, verdict)
 	fmt.Fprintf(out, "commits=%d commit_errs=%d out_of_syncs=%d requeries=%d\n",
 		rep.Commits, rep.CommitErrs, rep.OutOfSyncs, rep.Requeries)
+	if rep.Recoveries+rep.Flushes+rep.Compactions > 0 {
+		fmt.Fprintf(out, "storage: recoveries=%d flushes=%d compactions=%d\n",
+			rep.Recoveries, rep.Flushes, rep.Compactions)
+	}
 	for site, sched := range rep.Schedules {
 		fmt.Fprintf(out, "schedule %-28s %s (fired %d)\n", site, sched, rep.Injected[site])
 	}

@@ -38,6 +38,8 @@ func main() {
 	traceSample := flag.Float64("trace-sample", 0.05, "head-sampling probability for traces (0 = slow/error only, <0 = off)")
 	slowThreshold := flag.Duration("slow-threshold", 100*time.Millisecond, "traces slower than this are always kept and slow-logged")
 	slowLogPath := flag.String("slow-log", "", "append slow-query log lines to this file (\"-\" = stderr)")
+	dataDir := flag.String("data-dir", "", "back the Spanner pool with durable storage (WAL + segments) rooted here; empty = in-memory")
+	memtableCap := flag.Int64("memtable-cap", 0, "durable memtable flush threshold in bytes (0 = default; needs -data-dir)")
 	flag.Parse()
 
 	var slowLog io.Writer
@@ -54,7 +56,7 @@ func main() {
 		slowLog = f
 	}
 
-	region := core.NewRegion(core.Config{
+	region, err := core.OpenRegion(core.Config{
 		Name:               "http",
 		MultiRegion:        *multiRegion,
 		TimeScale:          *timeScale,
@@ -62,8 +64,16 @@ func main() {
 		TraceSampleProb:    *traceSample,
 		SlowTraceThreshold: *slowThreshold,
 		SlowLog:            slowLog,
+		StorageDir:         *dataDir,
+		MemtableCap:        *memtableCap,
 	})
+	if err != nil {
+		log.Fatalf("firestore-server: open region: %v", err)
+	}
 	defer region.Close()
+	if *dataDir != "" {
+		log.Printf("durable storage at %s (recovered state is live)", *dataDir)
+	}
 
 	handler := server.New(region)
 	if *debug {

@@ -26,6 +26,7 @@ type DebugOptions struct {
 //	/debug/requestz  in-flight requests, oldest first
 //	/debug/schedz    fair-scheduler per-database state
 //	/debug/tabletz   Spanner tablet boundaries, load, and safe-time state
+//	/debug/storagez  per-tablet storage engines (WAL, memtable, segments)
 //	/debug/listenz   real-time connections and cache ranges
 //	/debug/faultz    fault-injection plane (GET inventory; POST enable/disable)
 //
@@ -37,6 +38,7 @@ func (s *Server) EnableDebug(opts DebugOptions) {
 	s.mux.HandleFunc("/debug/requestz", s.requestz)
 	s.mux.HandleFunc("/debug/schedz", s.schedz)
 	s.mux.HandleFunc("/debug/tabletz", s.tabletz)
+	s.mux.HandleFunc("/debug/storagez", s.storagez)
 	s.mux.HandleFunc("/debug/listenz", s.listenz)
 	s.mux.HandleFunc("/debug/faultz", s.faultz)
 	if opts.Pprof {
@@ -120,6 +122,45 @@ func (s *Server) tabletz(w http.ResponseWriter, r *http.Request) {
 		out = append(out, dbView{Index: i, Stats: db.Stats(), Tablets: db.TabletStats()})
 	}
 	writeJSON(w, map[string]any{"spanners": out})
+}
+
+// storagez reports each tablet's storage engine: kind, key counts,
+// WAL/memtable/segment sizes, and flush/compaction/recovery activity,
+// plus region-wide totals for the operator's first glance.
+func (s *Server) storagez(w http.ResponseWriter, r *http.Request) {
+	type dbView struct {
+		Index   int `json:"index"`
+		Tablets any `json:"tablets"`
+	}
+	type totals struct {
+		Tablets     int   `json:"tablets"`
+		Keys        int64 `json:"keys"`
+		WALBytes    int64 `json:"wal_bytes"`
+		MemBytes    int64 `json:"memtable_bytes"`
+		Segments    int64 `json:"segments"`
+		SegBytes    int64 `json:"segment_bytes"`
+		Flushes     int64 `json:"flushes"`
+		Compactions int64 `json:"compactions"`
+		Recoveries  int64 `json:"recoveries"`
+	}
+	var sum totals
+	out := make([]dbView, 0, len(s.region.Spanners))
+	for i, db := range s.region.Spanners {
+		infos := db.TabletStats()
+		for _, ti := range infos {
+			sum.Tablets++
+			sum.Keys += int64(ti.Storage.Keys)
+			sum.WALBytes += ti.Storage.WALBytes
+			sum.MemBytes += ti.Storage.MemtableBytes
+			sum.Segments += int64(ti.Storage.Segments)
+			sum.SegBytes += ti.Storage.SegmentBytes
+			sum.Flushes += ti.Storage.Flushes
+			sum.Compactions += ti.Storage.Compactions
+			sum.Recoveries += ti.Storage.Recoveries
+		}
+		out = append(out, dbView{Index: i, Tablets: infos})
+	}
+	writeJSON(w, map[string]any{"totals": sum, "spanners": out})
 }
 
 // faultzRequest is the POST body for /debug/faultz.

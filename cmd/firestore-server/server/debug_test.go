@@ -232,6 +232,7 @@ func TestDebugStatusPages(t *testing.T) {
 		"/debug/requestz",
 		"/debug/schedz",
 		"/debug/tabletz",
+		"/debug/storagez",
 		"/debug/listenz",
 		"/debug/vars",
 	} {

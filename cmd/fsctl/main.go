@@ -19,6 +19,7 @@
 //	scan <collection> [pageSize]       page through a whole collection by cursor
 //	watch <collection>                 stream real-time snapshots (SSE)
 //	stats [metric-substring]           scrape /debug/metricz and pretty-print
+//	storage                            per-tablet storage engines from /debug/storagez
 //	traces [sampled|slow|error] [n]    dump recent traces from /debug/tracez
 //	faults list                        show fault-injection sites and counters
 //	faults enable <site> <mode> [k=v]  arm a fault (prob= latency= code= max= seed=)
@@ -77,6 +78,8 @@ func main() {
 		err = c.watch(args[1:])
 	case "stats":
 		err = c.stats(args[1:])
+	case "storage":
+		err = c.storage(args[1:])
 	case "traces":
 		err = c.traces(args[1:])
 	case "faults":
@@ -329,6 +332,65 @@ func (c *cli) stats(args []string) error {
 			"count=%d p50=%s p95=%s p99=%s mean=%s",
 			m.Count, ms(m.P50), ms(m.P95), ms(m.P99), ms(m.Mean)))
 	}
+	return nil
+}
+
+// storage scrapes /debug/storagez and renders one line per tablet —
+// engine kind, key counts, WAL/memtable/segment footprint, and
+// flush/compaction/recovery activity — plus a region totals line.
+func (c *cli) storage(args []string) error {
+	if len(args) != 0 {
+		return fmt.Errorf("storage takes no arguments")
+	}
+	type engineStats struct {
+		Kind          string `json:"kind"`
+		Keys          int    `json:"keys"`
+		MemtableKeys  int    `json:"memtable_keys"`
+		MemtableBytes int64  `json:"memtable_bytes"`
+		WALBytes      int64  `json:"wal_bytes"`
+		Fsyncs        int64  `json:"fsyncs"`
+		Segments      int    `json:"segments"`
+		SegmentBytes  int64  `json:"segment_bytes"`
+		Flushes       int64  `json:"flushes"`
+		Compactions   int64  `json:"compactions"`
+		Recoveries    int64  `json:"recoveries"`
+	}
+	var view struct {
+		Totals   map[string]int64 `json:"totals"`
+		Spanners []struct {
+			Index   int `json:"index"`
+			Tablets []struct {
+				ID      uint64      `json:"id"`
+				Start   string      `json:"start,omitempty"`
+				End     string      `json:"end,omitempty"`
+				Storage engineStats `json:"storage"`
+			} `json:"tablets"`
+		} `json:"spanners"`
+	}
+	if err := c.getJSON("/debug/storagez", &view); err != nil {
+		return err
+	}
+	for _, sp := range view.Spanners {
+		for _, t := range sp.Tablets {
+			st := t.Storage
+			fmt.Printf("spanner %d tablet %-4d %-4s keys=%-6d mem=%dB/%d keys wal=%dB fsyncs=%d segs=%d/%dB flush=%d compact=%d recover=%d\n",
+				sp.Index, t.ID, st.Kind, st.Keys,
+				st.MemtableBytes, st.MemtableKeys,
+				st.WALBytes, st.Fsyncs,
+				st.Segments, st.SegmentBytes,
+				st.Flushes, st.Compactions, st.Recoveries)
+		}
+	}
+	keys := make([]string, 0, len(view.Totals))
+	for k := range view.Totals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, view.Totals[k]))
+	}
+	fmt.Println("totals:", strings.Join(parts, " "))
 	return nil
 }
 

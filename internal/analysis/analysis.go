@@ -4,7 +4,7 @@
 // *Locked mutex-held naming convention, and TrueTime-driven timestamps —
 // and this package makes them mechanically un-violable: a loader drives
 // go/parser and go/types over packages enumerated with `go list -json`
-// (keeping go.mod dependency-free), and five repo-specific analyzers
+// (keeping go.mod dependency-free), and six repo-specific analyzers
 // report violations as findings a CI gate turns into failures.
 //
 // The analyzers are:
@@ -24,6 +24,10 @@
 //   - obsdiscipline: metric names registered with internal/obs are
 //     compile-time constants with fixed label sets (no per-request name
 //     formatting, which would explode metric cardinality).
+//   - iodiscipline: direct os.* file operations are confined to
+//     internal/storage (plus the analysis loader, cmd/, and examples/);
+//     every other layer must route durable state through the storage
+//     engine so the WAL/manifest crash-recovery protocol governs it.
 //
 // A finding on a line is suppressed by an allowlist directive on the
 // same line or the line above:
@@ -104,6 +108,7 @@ func Analyzers() []*Analyzer {
 		CtxDiscipline,
 		ClockDiscipline,
 		ObsDiscipline,
+		IODiscipline,
 	}
 }
 

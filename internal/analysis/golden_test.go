@@ -185,6 +185,36 @@ func TestObsDisciplineGolden(t *testing.T) {
 		"fslint/testdata/obsd", ObsDiscipline)
 }
 
+func TestIODisciplineGolden(t *testing.T) {
+	findings := runGolden(t, filepath.Join("testdata", "src", "iodiscipline"),
+		"firestore/internal/spanner", IODiscipline)
+	if len(findings) == 0 {
+		t.Fatal("seeded file-I/O violations produced no findings; fslint would exit 0")
+	}
+}
+
+// TestIODisciplineOutOfScope loads the same seeded violations under the
+// allowlisted trees: internal/storage (the engine owns all file I/O),
+// internal/analysis (the loader reads Go sources), and the cmd/ and
+// examples/ prefixes (entry points own flag-driven scratch dirs).
+func TestIODisciplineOutOfScope(t *testing.T) {
+	l := goldenLoader(t)
+	for _, importPath := range []string{
+		"firestore/internal/storage",
+		"firestore/internal/analysis",
+		"firestore/cmd/firestore-bench",
+		"firestore/examples/restaurants",
+	} {
+		pkg, err := l.LoadDir(filepath.Join("testdata", "src", "iodiscipline"), importPath)
+		if err != nil {
+			t.Fatalf("LoadDir: %v", err)
+		}
+		if findings := Run([]*Package{pkg}, []*Analyzer{IODiscipline}); len(findings) != 0 {
+			t.Errorf("iodiscipline ran inside allowlisted %s: %v", importPath, findings)
+		}
+	}
+}
+
 func TestFindingString(t *testing.T) {
 	f := Finding{Path: "a/b.go", Line: 7, Col: 3, Analyzer: "statusdiscipline", Message: "boom"}
 	if got, wantStr := f.String(), "a/b.go:7: [statusdiscipline] boom"; got != wantStr {

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// ioAllowed lists the packages that may touch the filesystem directly.
+// The storage-engine refactor's central contract is that every file
+// handle, fsync decision, and on-disk format lives in internal/storage;
+// if any other layer opens files, crash-recovery guarantees silently
+// depend on code the WAL/manifest protocol does not govern. The
+// analysis loader itself reads Go sources, and cmd/ and examples/
+// binaries own flag-driven scratch directories (they pass paths IN to
+// the engine but never manage durable state themselves).
+var ioAllowed = map[string]bool{
+	"firestore/internal/storage":  true,
+	"firestore/internal/analysis": true,
+}
+
+// ioAllowedPrefixes extends ioAllowed to whole trees: process entry
+// points and example apps.
+var ioAllowedPrefixes = []string{
+	"firestore/cmd/",
+	"firestore/examples/",
+}
+
+// ioBanned is the set of os package functions that create, read,
+// mutate, or probe filesystem state.
+var ioBanned = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "ReadDir": true,
+	"Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+	"Remove": true, "RemoveAll": true, "Rename": true,
+	"Stat": true, "Lstat": true, "Readlink": true,
+	"Truncate": true, "Chmod": true, "Chown": true, "Chtimes": true,
+	"Link": true, "Symlink": true, "NewFile": true,
+}
+
+// IODiscipline bans direct os file I/O outside internal/storage (and
+// the deliberate exceptions above). Durability is a protocol — WAL
+// append, group fsync, segment flush, manifest swap — and the protocol
+// is only enforceable if internal/storage is the sole owner of file
+// handles. A stray os.WriteFile in another layer bypasses the WAL and
+// produces state a crash can tear.
+var IODiscipline = &Analyzer{
+	Name: "iodiscipline",
+	Doc:  "file I/O lives in internal/storage; no direct os.* file operations elsewhere (durability is a protocol, not a convention)",
+	Applies: func(importPath string) bool {
+		if ioAllowed[importPath] {
+			return false
+		}
+		for _, p := range ioAllowedPrefixes {
+			if len(importPath) >= len(p) && importPath[:len(p)] == p {
+				return false
+			}
+		}
+		return true
+	},
+	Run: runIODiscipline,
+}
+
+func runIODiscipline(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(pass.Info, call)
+			for name := range ioBanned {
+				if isFuncNamed(callee, "os", name) {
+					pass.Reportf(call.Pos(),
+						"os.%s() outside internal/storage; file I/O must go through the storage engine so the WAL/manifest crash-recovery protocol governs every byte on disk", name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,46 @@
+// Package iodiscipline is golden-test input loaded under a
+// non-storage import path: direct os file I/O is banned there — durable
+// state must flow through the storage engine.
+package iodiscipline
+
+import (
+	"io"
+	"os"
+)
+
+func persist(path string, state []byte) error {
+	return os.WriteFile(path, state, 0o600) // want `os\.WriteFile\(\) outside internal/storage`
+}
+
+func load(path string) ([]byte, error) {
+	return os.ReadFile(path) // want `os\.ReadFile\(\) outside internal/storage`
+}
+
+func open(path string) (io.ReadCloser, error) {
+	return os.Open(path) // want `os\.Open\(\) outside internal/storage`
+}
+
+func scratch() (string, error) {
+	return os.MkdirTemp("", "scratch-") // want `os\.MkdirTemp\(\) outside internal/storage`
+}
+
+func clean(dir string) error {
+	return os.RemoveAll(dir) // want `os\.RemoveAll\(\) outside internal/storage`
+}
+
+func probe(path string) bool {
+	//fslint:ignore iodiscipline golden example of an allowlisted probe
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// Non-filesystem os functions stay legal everywhere: environment,
+// process identity, and the standard streams are not durable state.
+func environment() (string, int) {
+	os.Setenv("IODISCIPLINE_GOLDEN", "1")
+	return os.Getenv("IODISCIPLINE_GOLDEN"), os.Getpid()
+}
+
+func report(msg string) {
+	io.WriteString(os.Stderr, msg)
+}

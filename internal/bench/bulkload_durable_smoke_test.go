@@ -1,0 +1,33 @@
+package bench
+
+import "testing"
+
+// TestBulkLoadDurableParity is the disk-backed BULK parity gate: the
+// BulkWriter on the durable engine (WAL + fsync + segment flush) must
+// sustain at least 0.2x the in-memory docs/s at equal op count, load
+// with zero per-record errors, actually exercise the flush path, and
+// recover every document after a region restart.
+func TestBulkLoadDurableParity(t *testing.T) {
+	res, err := runBulkLoadDurable(fast, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mem.Errors != 0 || res.Durable.Errors != 0 {
+		t.Fatalf("load errors: mem=%d durable=%d", res.Mem.Errors, res.Durable.Errors)
+	}
+	if res.Mem.DocsPerSec() <= 0 {
+		t.Fatalf("in-memory docs/s = %v", res.Mem.DocsPerSec())
+	}
+	if p := res.Parity(); p < 0.2 {
+		t.Fatalf("durable parity = %.2fx (mem %.0f docs/s, durable %.0f docs/s), want >= 0.2x",
+			p, res.Mem.DocsPerSec(), res.Durable.DocsPerSec())
+	}
+	if res.Flushes == 0 {
+		t.Fatalf("durable load never flushed a segment (WAL-only run proves nothing about the flush path)")
+	}
+	if res.Recovered != res.Durable.Docs {
+		t.Fatalf("restart recovered %d/%d documents", res.Recovered, res.Durable.Docs)
+	}
+	t.Logf("durable parity: %.2fx (mem %.0f docs/s, durable %.0f docs/s), %d flushes, %d compactions, recovered %d docs",
+		res.Parity(), res.Mem.DocsPerSec(), res.Durable.DocsPerSec(), res.Flushes, res.Compactions, res.Recovered)
+}

@@ -80,6 +80,24 @@ type Scenario struct {
 	// ExpectRequery asserts the frontend re-executed at least one
 	// query (reset-and-requery).
 	ExpectRequery bool
+
+	// Durable backs the region's Spanner pool with the disk engine
+	// (WAL + memtable + segments) rooted at Options.Dir, and adds a
+	// restart-durability invariant: after the run, the whole region is
+	// closed and reopened from disk and must recover the exact
+	// authoritative state with clean validation.
+	Durable bool
+	// MemtableCap caps each durable tablet's memtable (bytes); the
+	// durable default (256 B) is deliberately tiny so the workload is
+	// guaranteed to round-trip through segment flush and compaction.
+	MemtableCap int64
+	// ExpectRecoveries asserts at least one tablet engine crashed and
+	// was recovered (WAL replay) during the run.
+	ExpectRecoveries bool
+	// ExpectFlushes asserts at least one memtable flushed to a segment.
+	ExpectFlushes bool
+	// ExpectCompactions asserts at least one segment compaction ran.
+	ExpectCompactions bool
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -92,6 +110,12 @@ func (s Scenario) withDefaults() Scenario {
 	if s.Writes == 0 {
 		s.Writes = 25
 	}
+	if s.Durable && s.MemtableCap == 0 {
+		// Tiny on purpose: even the Quick workload must flush every few
+		// commits so segment flush and compaction are genuinely on the
+		// path under test.
+		s.MemtableCap = 256
+	}
 	return s
 }
 
@@ -102,6 +126,11 @@ type Options struct {
 	Seed int64
 	// Quick shrinks the workload for smoke tests.
 	Quick bool
+	// Dir roots a Durable scenario's on-disk state. The chaos runner
+	// itself never touches the filesystem (all file I/O lives in
+	// internal/storage), so callers must supply a scratch directory —
+	// typically t.TempDir() or os.MkdirTemp in a cmd.
+	Dir string
 	// Log, when set, receives progress lines.
 	Log func(format string, args ...any)
 }
@@ -127,6 +156,10 @@ type Report struct {
 	CommitErrs int    `json:"commit_errs"`
 	OutOfSyncs int64  `json:"out_of_syncs"`
 	Requeries  int64  `json:"requeries"`
+	// Storage-engine activity over the run (durable scenarios).
+	Recoveries  int64 `json:"recoveries,omitempty"`
+	Flushes     int64 `json:"flushes,omitempty"`
+	Compactions int64 `json:"compactions,omitempty"`
 	// Injected counts fault firings per site over the run.
 	Injected map[string]int64 `json:"injected"`
 	// Schedules holds, per site, the first 64 hit decisions as a
@@ -212,13 +245,24 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 		Pass:      true,
 	}
 
-	region := core.NewRegion(core.Config{
+	cfg := core.Config{
 		Name:            "chaos",
 		SpannerPoolSize: 2,
 		RTRanges:        4,
 		ClockEpsilon:    10 * time.Microsecond,
 		Seed:            opt.Seed,
-	})
+	}
+	if sc.Durable {
+		if opt.Dir == "" {
+			return nil, fmt.Errorf("scenario %s is durable: Options.Dir must point at a scratch directory", sc.Name)
+		}
+		cfg.StorageDir = opt.Dir
+		cfg.MemtableCap = sc.MemtableCap
+	}
+	region, err := core.OpenRegion(cfg)
+	if err != nil {
+		return nil, err
+	}
 	defer region.Close()
 	// Reset before the region closes: a latency fault left armed would
 	// otherwise slow teardown.
@@ -430,7 +474,69 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 			"fault fired %d time(s)", rep.Injected[spec.Site])
 	}
 
+	rep.Recoveries, rep.Flushes, rep.Compactions = storageActivity(region)
+	if sc.ExpectRecoveries {
+		rep.check("tripped-recovery", rep.Recoveries > 0,
+			"tablet recoveries=%d (scenario must crash and WAL-replay at least one engine)", rep.Recoveries)
+	}
+	if sc.ExpectFlushes {
+		rep.check("tripped-flush", rep.Flushes > 0,
+			"segment flushes=%d (workload must overflow the %dB memtable cap)", rep.Flushes, sc.MemtableCap)
+	}
+	if sc.ExpectCompactions {
+		rep.check("tripped-compaction", rep.Compactions > 0,
+			"compactions=%d (workload must accumulate enough segments to compact)", rep.Compactions)
+	}
+
+	// Restart durability: tear the whole region down and recover it from
+	// disk. The reopened region must serve exactly the authoritative
+	// pre-shutdown state, with index validation still clean.
+	if sc.Durable {
+		finalWant, err := queryState(ctx, region)
+		if err != nil {
+			return nil, fmt.Errorf("final requery: %w", err)
+		}
+		region.Close()
+		re, err := core.OpenRegion(cfg)
+		if err != nil {
+			rep.check("restart-durability", false, "reopen after shutdown: %v", err)
+			return rep, nil
+		}
+		defer re.Close()
+		// Catalog placement is a deterministic hash of the database ID,
+		// so re-creating it rebinds the recovered directory prefix.
+		if _, err := re.CreateDatabase(dbID); err != nil {
+			return nil, fmt.Errorf("recreate database after restart: %w", err)
+		}
+		got, err := queryState(ctx, re)
+		if err != nil {
+			return nil, fmt.Errorf("requery after restart: %w", err)
+		}
+		rep.check("restart-durability", mapsEqual(got, finalWant),
+			"recovered %d docs (want %d): %s", len(got), len(finalWant), firstDiff(got, finalWant))
+		vr2, err := re.Backend.ValidateDatabase(ctx, dbID)
+		if err != nil {
+			return nil, fmt.Errorf("validate after restart: %w", err)
+		}
+		rep.check("restart-validation-clean", vr2.Clean(),
+			"docs=%d entries=%d corrupt=%d missing=%d orphans=%d",
+			vr2.Documents, vr2.IndexEntries, len(vr2.CorruptDocs), len(vr2.MissingEntries), len(vr2.OrphanEntries))
+	}
+
 	return rep, nil
+}
+
+// storageActivity sums engine recoveries, flushes, and compactions over
+// the region's Spanner pool.
+func storageActivity(region *core.Region) (recoveries, flushes, compactions int64) {
+	for _, db := range region.Spanners {
+		recoveries += db.Stats().Recoveries
+		for _, ti := range db.TabletStats() {
+			flushes += ti.Storage.Flushes
+			compactions += ti.Storage.Compactions
+		}
+	}
+	return recoveries, flushes, compactions
 }
 
 // queryState re-executes the scenario query and returns name -> v.

@@ -13,7 +13,7 @@ func runScenario(t *testing.T, name string, seed int64) *Report {
 	if !ok {
 		t.Fatalf("unknown scenario %q", name)
 	}
-	rep, err := Run(sc, Options{Seed: seed, Quick: true, Log: t.Logf})
+	rep, err := Run(sc, Options{Seed: seed, Quick: true, Dir: t.TempDir(), Log: t.Logf})
 	if err != nil {
 		t.Fatalf("%s: %v", name, err)
 	}
@@ -44,6 +44,29 @@ func TestChaosSmoke(t *testing.T) {
 	if rep.Injected[fault.SpannerQueueDeliver] == 0 {
 		t.Errorf("queue-redelivery: duplicate fault never fired")
 	}
+}
+
+// TestChaosRecovery is the durable recovery gate (make chaos-recovery):
+// fixed-seed scenarios that crash tablet engines mid-commit and flake the
+// WAL/flush paths. Each must WAL-replay to zero validation divergence,
+// keep strong reads externally consistent, push a dataset larger than the
+// memtable cap through flush (+ compaction), and survive a full region
+// close + reopen from disk.
+func TestChaosRecovery(t *testing.T) {
+	rep := runScenario(t, "tablet-crash-commit", 7)
+	if rep.Recoveries == 0 {
+		t.Errorf("tablet-crash-commit: no engine recoveries under seed 7")
+	}
+	if rep.Flushes == 0 || rep.Compactions == 0 {
+		t.Errorf("tablet-crash-commit: flushes=%d compactions=%d, want both > 0", rep.Flushes, rep.Compactions)
+	}
+
+	rep = runScenario(t, "wal-fsync-flake", 7)
+	if rep.Recoveries == 0 {
+		t.Errorf("wal-fsync-flake: fsync faults never forced a recovery")
+	}
+
+	runScenario(t, "segment-flush-flake", 7)
 }
 
 // TestAllScenarios runs the full catalog in quick mode: every named

@@ -114,6 +114,44 @@ var scenarios = []Scenario{
 		},
 		Listeners: 2,
 	},
+	// Durable scenarios run the region on the disk engine (Options.Dir
+	// required). Their tiny memtable cap forces the workload through
+	// segment flush + compaction, and each ends with a full region
+	// close + reopen asserting restart durability.
+	{
+		Name: "tablet-crash-commit",
+		Doc:  "Tablets crash immediately after commit apply and recover by WAL replay; acknowledged commits survive, strong reads stay externally consistent, and the full state survives a region restart.",
+		Faults: []fault.Spec{
+			{Site: fault.TabletCrashRestart, Mode: fault.ModeCrash, Prob: 0.3, MaxCount: 6},
+		},
+		Listeners:         1,
+		Durable:           true,
+		ExpectRecoveries:  true,
+		ExpectFlushes:     true,
+		ExpectCompactions: true,
+	},
+	{
+		Name: "wal-fsync-flake",
+		Doc:  "WAL group fsync fails intermittently; the engine fails fast (crash-consistent), commits roll forward through recovery, and nothing acknowledged is lost.",
+		Faults: []fault.Spec{
+			{Site: fault.WALFsync, Mode: fault.ModeError, Code: status.Unavailable, Prob: 0.15, MaxCount: 6},
+		},
+		Listeners:        1,
+		Durable:          true,
+		ExpectRecoveries: true,
+		ExpectFlushes:    true,
+	},
+	{
+		Name: "segment-flush-flake",
+		Doc:  "Segment flushes fail transiently; the memtable keeps absorbing writes and flushing retries later, so durability and compaction still happen.",
+		Faults: []fault.Spec{
+			{Site: fault.SegmentFlush, Mode: fault.ModeError, Code: status.Unavailable, Prob: 0.5, MaxCount: 10},
+		},
+		Listeners:         1,
+		Durable:           true,
+		ExpectFlushes:     true,
+		ExpectCompactions: true,
+	},
 }
 
 // Scenarios returns the catalog (copy; callers may not mutate it).

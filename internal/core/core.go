@@ -8,7 +8,9 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"io"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -25,6 +27,7 @@ import (
 	"firestore/internal/rtcache"
 	"firestore/internal/rules"
 	"firestore/internal/spanner"
+	"firestore/internal/storage"
 	"firestore/internal/triggers"
 	"firestore/internal/truetime"
 	"firestore/internal/wfq"
@@ -92,6 +95,20 @@ type Config struct {
 	SlowTraceThreshold time.Duration
 	// SlowLog, when set, receives one JSON line per slow request.
 	SlowLog io.Writer
+	// StorageDir, when set, backs every Spanner pool database with the
+	// durable storage engine (WAL + memtable + segments) rooted at this
+	// directory; pool database i uses StorageDir/spanner-i. Empty keeps
+	// the in-memory engine (tests, examples). Reopening a Region on the
+	// same directory recovers all committed state.
+	StorageDir string
+	// CompactAt is the live-segment count that triggers a full compaction
+	// on durable tablets (storage.DefaultCompactAt if zero; negative
+	// disables). Only meaningful with StorageDir.
+	CompactAt int
+	// MemtableCap caps each durable tablet's memtable in bytes before a
+	// segment flush; zero uses the storage default. Ignored without
+	// StorageDir.
+	MemtableCap int64
 }
 
 // Region is one assembled Firestore region.
@@ -128,8 +145,21 @@ func (cfg Config) scaled(d time.Duration) time.Duration {
 	return time.Duration(float64(d) * cfg.TimeScale)
 }
 
-// NewRegion builds and starts a region.
+// NewRegion builds and starts a region, panicking if recovery of a
+// durable StorageDir fails. Callers that can surface the error (servers,
+// benchmarks) should prefer OpenRegion.
 func NewRegion(cfg Config) *Region {
+	r, err := OpenRegion(cfg)
+	if err != nil {
+		panic("core: " + err.Error())
+	}
+	return r
+}
+
+// OpenRegion builds and starts a region. With Config.StorageDir set, the
+// Spanner pool is recovered from disk (WAL replay + manifest load) before
+// the region serves traffic.
+func OpenRegion(cfg Config) (*Region, error) {
 	if cfg.SpannerPoolSize <= 0 {
 		cfg.SpannerPoolSize = 2
 	}
@@ -185,7 +215,19 @@ func NewRegion(cfg Config) *Region {
 
 	pool := make([]*spanner.DB, cfg.SpannerPoolSize)
 	for i := range pool {
-		pool[i] = spanner.New(spanner.Config{
+		var fac storage.Factory
+		if cfg.StorageDir != "" {
+			var err error
+			fac, err = storage.NewDiskFactory(
+				filepath.Join(cfg.StorageDir, fmt.Sprintf("spanner-%d", i)),
+				storage.Options{MemtableCap: cfg.MemtableCap, CompactAt: cfg.CompactAt, Obs: reg},
+			)
+			if err != nil {
+				closeDBs(pool[:i])
+				return nil, err
+			}
+		}
+		db, err := spanner.Open(spanner.Config{
 			Clock:              clock,
 			CommitLatency:      commitLatency,
 			CommitBytesLatency: bytesLatency,
@@ -194,7 +236,13 @@ func NewRegion(cfg Config) *Region {
 			MaxTabletRows:      cfg.MaxTabletRows,
 			Seed:               cfg.Seed + int64(i),
 			Obs:                reg,
+			Storage:            fac,
 		})
+		if err != nil {
+			closeDBs(pool[:i])
+			return nil, err
+		}
+		pool[i] = db
 	}
 	cat := catalog.New(pool)
 	cache := rtcache.New(rtcache.Config{
@@ -241,6 +289,16 @@ func NewRegion(cfg Config) *Region {
 		Recorder:  rec,
 		Tracer:    tracer,
 		triggers:  map[string]*triggers.Service{},
+	}, nil
+}
+
+// closeDBs closes the pool databases built so far when OpenRegion fails
+// partway, releasing WAL and segment file handles.
+func closeDBs(dbs []*spanner.DB) {
+	for _, db := range dbs {
+		if db != nil {
+			db.Close()
+		}
 	}
 }
 
@@ -277,6 +335,10 @@ func (r *Region) Close() {
 	if r.Scheduler != nil {
 		r.Scheduler.Close()
 	}
+	// Closing the pool last quiesces WAL/segment file handles after all
+	// writers have stopped, so a subsequent OpenRegion on the same
+	// StorageDir recovers cleanly.
+	closeDBs(r.Spanners)
 }
 
 // CreateDatabase initializes a database in this region ("a customer picks

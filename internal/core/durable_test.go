@@ -1,0 +1,96 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"firestore/internal/backend"
+	"firestore/internal/doc"
+	"firestore/internal/query"
+)
+
+// TestRegionDurableRestart: a region on a StorageDir recovers every
+// committed document — and the index entries queries depend on — after a
+// full close + reopen, including state flushed to segments.
+func TestRegionDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	cfg := Config{Name: "durable", StorageDir: dir, MemtableCap: 4 << 10}
+
+	r, err := OpenRegion(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.CreateDatabase("app"); err != nil {
+		t.Fatal(err)
+	}
+	const docs = 60
+	for i := 0; i < docs; i++ {
+		_, err := r.Commit(ctx, "app", priv, []backend.WriteOp{{
+			Kind: backend.OpSet, Name: doc.MustName(fmt.Sprintf("/cities/c%03d", i)),
+			Fields: map[string]doc.Value{
+				"name": doc.String(fmt.Sprintf("city-%03d", i)),
+				"pop":  doc.Int(int64(i * 1000)),
+			},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Close()
+
+	re, err := OpenRegion(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	// The catalog registry is in-memory; placement is a deterministic
+	// hash of the ID, so re-creating the database rebinds the same
+	// directory prefix in the same recovered pool database.
+	if _, err := re.CreateDatabase("app"); err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := re.GetDocument(ctx, "app", priv, doc.MustName("/cities/c007"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Fields["name"].StringVal(); got != "city-007" {
+		t.Fatalf("recovered doc name = %q", got)
+	}
+	res, _, err := re.RunQuery(ctx, "app", priv, &query.Query{
+		Collection: doc.MustCollection("/cities"),
+	}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Docs) != docs {
+		t.Fatalf("recovered query returned %d docs, want %d", len(res.Docs), docs)
+	}
+	// A recovered region keeps serving writes that survive yet another
+	// restart (timestamps must have resumed past the recovered horizon).
+	if _, err := re.Commit(ctx, "app", priv, []backend.WriteOp{{
+		Kind: backend.OpSet, Name: doc.MustName("/cities/c007"),
+		Fields: map[string]doc.Value{"name": doc.String("renamed")},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	d, _, err = re.GetDocument(ctx, "app", priv, doc.MustName("/cities/c007"), 0)
+	if err != nil || d.Fields["name"].StringVal() != "renamed" {
+		t.Fatalf("post-recovery write not visible: %v, %v", d, err)
+	}
+	re.Close()
+
+	r3, err := OpenRegion(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Close()
+	if _, err := r3.CreateDatabase("app"); err != nil {
+		t.Fatal(err)
+	}
+	d, _, err = r3.GetDocument(ctx, "app", priv, doc.MustName("/cities/c007"), 0)
+	if err != nil || d.Fields["name"].StringVal() != "renamed" {
+		t.Fatalf("second recovery lost post-recovery write: %v, %v", d, err)
+	}
+}

@@ -65,6 +65,22 @@ const (
 	// FrontendConnDeliver: a connection drops a snapshot mid-stream; the
 	// frontend must recover via full reset-and-requery.
 	FrontendConnDeliver = "frontend.conn.deliver"
+	// WALAppend: the durable engine's WAL append fails cleanly (error:
+	// nothing written, commit aborts) or tears (crash: a partial frame is
+	// written and the engine must be recovered; replay truncates the torn
+	// tail).
+	WALAppend = "wal.append"
+	// WALFsync: the group fsync covering a commit record fails. The bytes
+	// may already be on disk, so the outcome is unknown: the commit
+	// reports ErrCrashed, yet replay may surface it.
+	WALFsync = "wal.fsync"
+	// SegmentFlush: memtable flush to an immutable segment file fails or
+	// stalls; the flush is skipped and retried on a later commit.
+	SegmentFlush = "segment.flush"
+	// TabletCrashRestart: the tablet process "crashes" after a successful
+	// apply: volatile engine state is dropped and the tablet recovers from
+	// manifest + WAL replay before serving again.
+	TabletCrashRestart = "tablet.crash-restart"
 )
 
 // SiteDoc describes one known injection point for operators (fsctl
@@ -89,6 +105,10 @@ var Sites = []SiteDoc{
 	{BackendPrepare, "backend", "error", "Real-time Cache Prepare fails (write aborts)"},
 	{BackendAccept, "backend", "drop,error", "Accept dropped or outcome reported unknown after commit"},
 	{FrontendConnDeliver, "frontend", "drop", "connection drops a snapshot mid-stream"},
+	{WALAppend, "storage", "error,crash,latency", "WAL append fails cleanly or tears a partial frame"},
+	{WALFsync, "storage", "error,latency", "group fsync fails after append: commit outcome unknown"},
+	{SegmentFlush, "storage", "error,latency", "memtable flush to segment fails; retried later"},
+	{TabletCrashRestart, "storage", "crash", "tablet crash after apply: drop volatile state, recover from disk"},
 }
 
 // Mode selects a site's injected behavior.
@@ -529,6 +549,15 @@ func (c *inflatedClock) CommitWait(ts truetime.Timestamp) {
 }
 
 func (c *inflatedClock) Sleep(d time.Duration) { c.inner.Sleep(d) }
+
+// Forward implements truetime.Forwarder when the inner clock does, so
+// recovery can re-anchor a wrapped clock past the durable high-water
+// mark. On other clocks it is a no-op.
+func (c *inflatedClock) Forward(ts truetime.Timestamp) {
+	if f, ok := c.inner.(truetime.Forwarder); ok {
+		f.Forward(ts)
+	}
+}
 
 // Package-level wrappers over Default, the registry every layer's hooks
 // consult.

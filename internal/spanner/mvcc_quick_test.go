@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"firestore/internal/storage"
 	"firestore/internal/truetime"
 )
 
@@ -86,7 +87,7 @@ func TestSnapshotReadsMatchReferenceHistory(t *testing.T) {
 		// Exact timestamps reproduce exact states. Only the most recent
 		// gcHorizon versions per key are retained, so check the tail of
 		// the history.
-		start := len(history) - gcHorizon/2
+		start := len(history) - storage.GCHorizon/2
 		for _, snap := range history[start:] {
 			if !equal(readState(snap.ts), snap.state) {
 				return false

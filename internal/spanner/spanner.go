@@ -24,11 +24,13 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"firestore/internal/fault"
 	"firestore/internal/obs"
 	"firestore/internal/status"
+	"firestore/internal/storage"
 	"firestore/internal/truetime"
 )
 
@@ -45,6 +47,11 @@ var (
 	// ErrTxnDone reports use of a committed or aborted transaction — a
 	// caller bug, not a retryable condition.
 	ErrTxnDone = status.New(status.Internal, "spanner", "transaction already finished")
+	// ErrClosed reports an operation against a closed DB: shutdown raced
+	// an in-flight request (an async flusher, a background writer).
+	// Unavailable, so the caller's retry policy treats it like any other
+	// stopped replica.
+	ErrClosed = status.New(status.Unavailable, "spanner", "database closed")
 )
 
 // Config tunes a DB instance.
@@ -80,6 +87,12 @@ type Config struct {
 	// commit-wait histograms, commit/abort/2PC counters, split/merge
 	// events, and a tablet-count gauge.
 	Obs *obs.Registry
+	// Storage creates and recovers tablet row engines. Nil means the
+	// in-memory engine (storage.MemFactory): fastest, volatile, the
+	// default. A storage.DiskFactory makes tablets durable — commits are
+	// WAL-logged and group-fsynced, and Open recovers every tablet the
+	// factory lists (manifest load + WAL replay).
+	Storage storage.Factory
 }
 
 // Latencies returns a CommitLatency sampler: base plus uniform jitter.
@@ -110,6 +123,11 @@ type DB struct {
 
 	locks *lockTable
 
+	// storage creates and recovers tablet engines; nextTabletID
+	// allocates stable tablet identities (above any recovered id).
+	storage      storage.Factory
+	nextTabletID atomic.Uint64
+
 	mu      sync.RWMutex
 	tablets []*tablet // sorted by start key; tablets[0].start == nil
 
@@ -132,11 +150,28 @@ type Stats struct {
 	Scans       int64
 	SnapWaits   int64
 	LockTimeout int64
+	// Recoveries counts tablet engine crash-recoveries (manifest load +
+	// WAL replay after an injected or real storage crash).
+	Recoveries int64
 }
 
-// New creates a database with a single tablet covering the whole key
-// space.
+// New creates (or, with a durable storage factory, recovers) a
+// database. It panics if the storage factory cannot open its tablets —
+// use Open to handle startup storage errors.
 func New(cfg Config) *DB {
+	db, err := Open(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("spanner: opening storage: %v", err))
+	}
+	return db
+}
+
+// Open creates a database. With the default in-memory storage it starts
+// with a single tablet covering the whole key space; with a durable
+// factory it recovers every tablet the factory lists (manifest load +
+// WAL replay to the last durable commit), clamping any bound overlap
+// left by a crash mid-split in favor of the later tablet.
+func Open(cfg Config) (*DB, error) {
 	clock := cfg.Clock
 	if clock == nil {
 		clock = truetime.NewSystem(100 * time.Microsecond)
@@ -144,6 +179,10 @@ func New(cfg Config) *DB {
 	lt := cfg.LockTimeout
 	if lt == 0 {
 		lt = 2 * time.Second
+	}
+	fac := cfg.Storage
+	if fac == nil {
+		fac = storage.MemFactory{}
 	}
 	db := &DB{
 		clock:            clock,
@@ -153,17 +192,117 @@ func New(cfg Config) *DB {
 		lockTimeout:      lt,
 		obs:              cfg.Obs,
 		locks:            newLockTable(clock),
+		storage:          fac,
 		splitThreshold:   cfg.SplitThreshold,
 		maxTabletRows:    cfg.MaxTabletRows,
 		queues:           make(map[string]chan Message),
 	}
-	db.tablets = []*tablet{newTablet(clock, nil, nil)}
+	if err := db.openTablets(); err != nil {
+		return nil, err
+	}
 	if db.obs != nil {
 		db.obs.GaugeFunc("spanner.tablets", nil, func() float64 {
 			return float64(db.TabletCount())
 		})
 	}
-	return db
+	return db, nil
+}
+
+// allocTabletID returns a fresh stable tablet identity.
+func (db *DB) allocTabletID() uint64 { return db.nextTabletID.Add(1) }
+
+// openTablets recovers the factory's tablet set, or creates the initial
+// whole-keyspace tablet when nothing is recoverable.
+func (db *DB) openTablets() error {
+	metas, err := db.storage.List()
+	if err != nil {
+		return err
+	}
+	if len(metas) == 0 {
+		id := db.allocTabletID()
+		e, err := db.storage.Open(id, nil, nil)
+		if err != nil {
+			return err
+		}
+		if err := e.Commission(); err != nil {
+			e.Close()
+			return err
+		}
+		db.tablets = []*tablet{newTablet(db, id, e, nil, nil)}
+		return nil
+	}
+	maxID := uint64(0)
+	maxDurable := truetime.Zero
+	for i, m := range metas {
+		// Resolve bound overlap from a crash mid-split/merge in favor of
+		// the later (split-target) tablet, and force full keyspace
+		// coverage at the edges.
+		var start, end []byte
+		if i > 0 {
+			start = m.Start
+		}
+		if i < len(metas)-1 {
+			end = metas[i+1].Start
+		}
+		e, err := db.storage.Open(m.ID, m.Start, m.End)
+		if err != nil {
+			db.closeTablets()
+			return err
+		}
+		if !bytesEqualNil(start, m.Start) || !bytesEqualNil(end, m.End) {
+			if err := e.SetBounds(start, end); err != nil {
+				e.Close()
+				db.closeTablets()
+				return err
+			}
+		}
+		t := newTablet(db, m.ID, e, start, end)
+		if lc := e.LastDurable(); lc != truetime.Max {
+			t.lastCommit = lc
+			if lc > maxDurable {
+				maxDurable = lc
+			}
+		}
+		db.tablets = append(db.tablets, t)
+		if m.ID > maxID {
+			maxID = m.ID
+		}
+	}
+	db.nextTabletID.Store(maxID)
+	// TrueTime is absolute in production, so a restarted node naturally
+	// issues timestamps past everything it ever committed. Our clocks are
+	// relative to clock creation, so re-anchor past the recovered
+	// high-water mark or new commits would sort before recovered versions.
+	if f, ok := db.clock.(truetime.Forwarder); ok && maxDurable > truetime.Zero {
+		f.Forward(maxDurable)
+	}
+	return nil
+}
+
+func bytesEqualNil(a, b []byte) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return compareBytes(a, b) == 0
+}
+
+func (db *DB) closeTablets() {
+	for _, t := range db.tablets {
+		if t.store != nil {
+			t.store.Close()
+		}
+	}
+	db.tablets = nil
+}
+
+// Close releases every tablet engine (flushing nothing: a durable
+// engine's WAL already holds everything acknowledged; the next Open
+// replays it). The DB must not be used afterwards.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.closeTablets()
+	return nil
 }
 
 // dbLabel builds the {db=...} label set; empty dbID (internal work, no
@@ -207,9 +346,12 @@ func (db *DB) TabletCount() int {
 	return len(db.tablets)
 }
 
-// TabletInfo is one tablet's state for /debug/tabletz.
+// TabletInfo is one tablet's state for /debug/tabletz and
+// /debug/storagez.
 type TabletInfo struct {
 	Index int `json:"index"`
+	// ID is the tablet's stable storage identity.
+	ID uint64 `json:"id"`
 	// Start and End delimit the tablet's key range; empty means
 	// unbounded on that side.
 	Start string `json:"start,omitempty"`
@@ -221,10 +363,13 @@ type TabletInfo struct {
 	LastCommit truetime.Timestamp `json:"last_commit_ts"`
 	// Prepared is the number of transactions mid-2PC on this tablet.
 	Prepared int `json:"prepared"`
+	// Storage is the row engine's state: kind, memtable size, WAL and
+	// segment footprint, flush/compaction/recovery counters.
+	Storage storage.Stats `json:"storage"`
 }
 
-// TabletStats reports per-tablet key range, row count, current load, and
-// in-flight prepares, in start-key order.
+// TabletStats reports per-tablet key range, row count, current load,
+// in-flight prepares, and storage-engine state, in start-key order.
 func (db *DB) TabletStats() []TabletInfo {
 	db.mu.RLock()
 	tablets := append([]*tablet(nil), db.tablets...)
@@ -233,11 +378,12 @@ func (db *DB) TabletStats() []TabletInfo {
 	out := make([]TabletInfo, 0, len(tablets))
 	for i, t := range tablets {
 		t.mu.Lock()
+		e := t.store
 		info := TabletInfo{
 			Index:      i,
+			ID:         t.id,
 			Start:      string(t.start),
 			End:        string(t.end),
-			Rows:       t.rows.Len(),
 			Load:       t.load,
 			LastCommit: t.lastCommit,
 			Prepared:   len(t.prepared),
@@ -246,15 +392,22 @@ func (db *DB) TabletStats() []TabletInfo {
 			info.Load = 0
 		}
 		t.mu.Unlock()
+		// Engine stats outside t.mu: Stats takes engine-internal locks.
+		info.Storage = e.Stats()
+		info.Rows = info.Storage.Keys
 		out = append(out, info)
 	}
 	return out
 }
 
-// tabletFor returns the tablet owning key.
+// tabletFor returns the tablet owning key, or nil after Close (callers
+// surface ErrClosed: shutdown legitimately races in-flight requests).
 func (db *DB) tabletFor(key []byte) *tablet {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	if len(db.tablets) == 0 {
+		return nil
+	}
 	return db.tablets[db.tabletIndexLocked(key)]
 }
 
@@ -311,14 +464,42 @@ func (db *DB) SnapshotGet(ctx context.Context, key []byte, ts truetime.Timestamp
 	if err := fault.Point(ctx, fault.SpannerRead); err != nil {
 		return nil, 0, false, err
 	}
-	t := db.tabletFor(key)
-	if err := t.waitSafe(ctx, ts); err != nil {
-		return nil, 0, false, err
+	for {
+		t := db.tabletFor(key)
+		if t == nil {
+			return nil, 0, false, ErrClosed
+		}
+		if err := t.waitSafe(ctx, ts); err != nil {
+			return nil, 0, false, err
+		}
+		t.recordOp(1)
+		v, vts, ok := t.readAt(key, ts)
+		if !t.ownsKey(key) {
+			// A split or merge moved the key between resolution and the
+			// read; re-resolve the owner.
+			continue
+		}
+		db.bumpReads(1)
+		return v, vts, ok, nil
 	}
-	t.recordOp(1)
-	v, vts, ok := t.readAt(key, ts)
-	db.bumpReads(1)
-	return v, vts, ok, nil
+}
+
+// readOwned reads the newest version of key visible at ts, re-resolving
+// the owning tablet when a concurrent split or merge migrates the key
+// between resolution and the engine read. Used by locked transactional
+// reads, which need no safe-time wait.
+func (db *DB) readOwned(key []byte, ts truetime.Timestamp) ([]byte, truetime.Timestamp, bool, error) {
+	for {
+		t := db.tabletFor(key)
+		if t == nil {
+			return nil, 0, false, ErrClosed
+		}
+		t.recordOp(1)
+		v, vts, ok := t.readAt(key, ts)
+		if t.ownsKey(key) {
+			return v, vts, ok, nil
+		}
+	}
 }
 
 // ScanRow is one row produced by a scan.
@@ -336,23 +517,50 @@ func (db *DB) SnapshotScan(ctx context.Context, begin, end []byte, ts truetime.T
 	if err := fault.Point(ctx, fault.SpannerRead); err != nil {
 		return err
 	}
-	tablets := db.tabletsInRange(begin, end)
-	if reverse {
-		for i, j := 0, len(tablets)-1; i < j; i, j = i+1, j-1 {
-			tablets[i], tablets[j] = tablets[j], tablets[i]
-		}
-	}
 	db.bumpScans(1)
-	for _, t := range tablets {
-		if err := t.waitSafe(ctx, ts); err != nil {
-			return err
+	lo, hi := begin, end
+	for {
+		tablets := db.tabletsInRange(lo, hi)
+		if reverse {
+			for i, j := 0, len(tablets)-1; i < j; i, j = i+1, j-1 {
+				tablets[i], tablets[j] = tablets[j], tablets[i]
+			}
 		}
-		t.recordOp(1)
-		if !t.scanAt(begin, end, ts, reverse, fn) {
+		var last []byte
+		emit := func(r ScanRow) bool {
+			last = r.Key
+			return fn(r)
+		}
+		restart := false
+		for _, t := range tablets {
+			if err := t.waitSafe(ctx, ts); err != nil {
+				return err
+			}
+			t.recordOp(1)
+			more, valid := t.scanAt(lo, hi, ts, reverse, emit)
+			if !valid {
+				// A split or merge migrated part of the range mid-scan.
+				restart = true
+				break
+			}
+			if !more {
+				return nil
+			}
+		}
+		if !restart {
 			return nil
 		}
+		// Re-resolve and resume after the last row already delivered;
+		// rows re-read at the same ts are identical, so the restart is
+		// invisible to fn.
+		if last != nil {
+			if reverse {
+				hi = append([]byte(nil), last...)
+			} else {
+				lo = append(append([]byte(nil), last...), 0)
+			}
+		}
 	}
-	return nil
 }
 
 func (db *DB) bumpReads(n int64) {

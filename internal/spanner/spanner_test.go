@@ -556,3 +556,30 @@ func BenchmarkSnapshotGet(b *testing.B) {
 		db.SnapshotGet(context.Background(), []byte(fmt.Sprintf("k%d", i%1000)), ts)
 	}
 }
+
+// TestClosedDBReturnsErrClosed: shutdown legitimately races in-flight
+// work (async flushers, background writers), so operations against a
+// closed DB must fail with the canonical ErrClosed, never panic.
+func TestClosedDBReturnsErrClosed(t *testing.T) {
+	db := testDB(t)
+	put(t, db, "a", "1")
+	ts := db.StrongReadTimestamp()
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	ctx := context.Background()
+	if _, _, _, err := db.SnapshotGet(ctx, []byte("a"), ts); !errors.Is(err, ErrClosed) {
+		t.Errorf("SnapshotGet after Close: err = %v, want ErrClosed", err)
+	}
+	txn := db.Begin()
+	if _, _, _, err := txn.GetVersioned(ctx, []byte("a"), false); !errors.Is(err, ErrClosed) {
+		t.Errorf("GetVersioned after Close: err = %v, want ErrClosed", err)
+	}
+	txn.Abort()
+	txn = db.Begin()
+	txn.Put([]byte("b"), []byte("2"))
+	if _, err := txn.Commit(ctx, 0, 0); !errors.Is(err, ErrClosed) {
+		t.Errorf("Commit after Close: err = %v, want ErrClosed", err)
+	}
+}

@@ -2,65 +2,45 @@ package spanner
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"time"
 
-	"firestore/internal/btree"
+	"firestore/internal/storage"
 	"firestore/internal/truetime"
 )
 
-// version is one MVCC version of a row.
-type version struct {
-	ts      truetime.Timestamp
-	value   []byte
-	deleted bool
-}
-
-// rowVersions is a row's version chain, newest last.
-type rowVersions struct {
-	versions []version
-}
-
-// at returns the row value visible at ts and its version timestamp.
-func (r *rowVersions) at(ts truetime.Timestamp) ([]byte, truetime.Timestamp, bool) {
-	for i := len(r.versions) - 1; i >= 0; i-- {
-		v := r.versions[i]
-		if v.ts <= ts {
-			if v.deleted {
-				return nil, 0, false
-			}
-			return v.value, v.ts, true
-		}
-	}
-	return nil, 0, false
-}
-
-// gcHorizon is how many versions a chain keeps before trimming old ones.
-const gcHorizon = 8
-
-func (r *rowVersions) add(v version) {
-	r.versions = append(r.versions, v)
-	if len(r.versions) > gcHorizon {
-		// Keep the newest gcHorizon versions. Snapshot reads older than
-		// the trimmed horizon are out of scope (Spanner similarly bounds
-		// version GC to about an hour).
-		copy(r.versions, r.versions[len(r.versions)-gcHorizon:])
-		r.versions = r.versions[:gcHorizon]
-	}
-}
-
-// tablet owns the key range [start, end) (nil start/end = unbounded) and
-// stores its rows' version chains in a B-tree.
+// tablet owns the key range [start, end) (nil start/end = unbounded).
+// Row state lives behind a storage.Engine: the in-memory engine by
+// default, or a durable WAL+segment engine when the DB is configured
+// with a disk factory. The tablet layer keeps only coordination state —
+// prepared-transaction bounds (safe time), load accounting, and the
+// last applied commit timestamp.
 type tablet struct {
+	// db owns the tablet; used for engine recovery after a crash.
+	db *DB
 	// clock is the owning DB's TrueTime clock; load windows are measured
 	// on it so split/merge decisions replay deterministically.
 	clock truetime.Clock
+	// id is the tablet's stable storage identity (the factory's tablet
+	// directory name survives restarts under it).
+	id uint64
 
 	mu    sync.Mutex
 	cond  *sync.Cond
 	start []byte
 	end   []byte
-	rows  *btree.Tree
+	// store is the row engine. Swapped under mu by recoverTablet when
+	// the engine crashes; readers grab the pointer, read, then re-check
+	// Crashed() to discard results that raced the crash.
+	store storage.Engine
+
+	// retired is set (under mu) when a merge absorbs this tablet into its
+	// left neighbor, just before the store is closed and destroyed. A
+	// reader that resolved the tablet before the merge uses it to
+	// distinguish "tablet no longer owns anything" from a genuine miss
+	// and re-resolves via the DB instead of recovering a destroyed engine.
+	retired bool
 
 	// prepared holds the lower bound of the commit timestamp of each
 	// transaction currently two-phase committing on this tablet. Snapshot
@@ -76,17 +56,44 @@ type tablet struct {
 	windowStart truetime.Timestamp
 }
 
-func newTablet(clock truetime.Clock, start, end []byte) *tablet {
+func newTablet(db *DB, id uint64, store storage.Engine, start, end []byte) *tablet {
 	t := &tablet{
-		clock:       clock,
+		db:          db,
+		clock:       db.clock,
+		id:          id,
 		start:       start,
 		end:         end,
-		rows:        btree.New(),
+		store:       store,
 		prepared:    map[*Txn]truetime.Timestamp{},
-		windowStart: clock.Now().Latest,
+		windowStart: db.clock.Now().Latest,
 	}
 	t.cond = sync.NewCond(&t.mu)
 	return t
+}
+
+// engine returns the tablet's current row engine.
+func (t *tablet) engine() storage.Engine {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.store
+}
+
+func (t *tablet) isRetired() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.retired
+}
+
+// ownsKey reports whether the tablet still owns key: not retired by a
+// merge and key within the current bounds (a split narrows end). Read
+// paths check this AFTER reading the engine — split and merge mutate
+// the engine while holding t.mu, so a read whose ownership check passes
+// is ordered entirely before any migration of the key.
+func (t *tablet) ownsKey(key []byte) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return !t.retired && lessOrEqual(t.start, key) &&
+		(t.end == nil || compareBytes(key, t.end) < 0)
 }
 
 // loadWindow is the decay window for tablet load accounting.
@@ -169,62 +176,145 @@ func waitCond(c *sync.Cond, d time.Duration) {
 }
 
 // readAt returns the value of key visible at ts and its version
-// timestamp. Caller need not hold locks; the tablet locks internally.
+// timestamp. A result read off an engine that crashed mid-read is
+// discarded and retried against the recovered engine.
 func (t *tablet) readAt(key []byte, ts truetime.Timestamp) ([]byte, truetime.Timestamp, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	rv, ok := t.rows.Get(key)
-	if !ok {
-		return nil, 0, false
+	for {
+		e := t.engine()
+		v, vts, ok := e.Get(key, ts)
+		if !e.Crashed() {
+			return v, vts, ok
+		}
+		if t.isRetired() {
+			// A merge closed this engine for good; the caller's ownership
+			// check re-resolves to the absorbing tablet.
+			return nil, 0, false
+		}
+		if !t.db.recoverTablet(t, e) {
+			// Recovery itself failed (real storage trouble); back off on
+			// the clock instead of spinning.
+			t.clock.Sleep(time.Millisecond)
+		}
 	}
-	return rv.(*rowVersions).at(ts)
 }
 
 // scanAt iterates rows of [begin, end) ∩ [t.start, t.end) visible at ts.
-// Returns false if fn stopped the scan.
-func (t *tablet) scanAt(begin, end []byte, ts truetime.Timestamp, reverse bool, fn func(ScanRow) bool) bool {
+// The first result is false if fn stopped the scan. valid is false when
+// a concurrent split or merge changed what the tablet owns of [begin,
+// end) between resolution and the engine scan — no rows were emitted
+// and the caller must re-resolve tablets for the range and retry.
+func (t *tablet) scanAt(begin, end []byte, ts truetime.Timestamp, reverse bool, fn func(ScanRow) bool) (more, valid bool) {
+	t.mu.Lock()
 	lo, hi := clampRange(begin, end, t.start, t.end)
-	// Collect matching rows under the tablet lock, then call fn outside
-	// it so callbacks may issue further reads.
-	t.mu.Lock()
-	var rows []ScanRow
-	visit := func(k []byte, v any) bool {
-		if val, vts, ok := v.(*rowVersions).at(ts); ok {
-			rows = append(rows, ScanRow{Key: k, Value: val, TS: vts})
-		}
-		return true
-	}
-	if reverse {
-		t.rows.Descend(lo, hi, visit)
-	} else {
-		t.rows.Ascend(lo, hi, visit)
-	}
+	retired := t.retired
 	t.mu.Unlock()
-	for _, r := range rows {
-		if !fn(r) {
-			return false
-		}
+	if retired {
+		return true, false
 	}
-	return true
-}
-
-// apply installs a set of writes at commit timestamp ts.
-func (t *tablet) apply(writes []bufferedWrite, ts truetime.Timestamp) {
-	t.mu.Lock()
-	for _, w := range writes {
-		rv, ok := t.rows.Get(w.key)
-		if !ok {
-			nrv := &rowVersions{}
-			nrv.add(version{ts: ts, value: w.value, deleted: w.delete})
-			t.rows.Set(w.key, nrv)
+	// Collect rows first, then call fn outside any engine state so
+	// callbacks may issue further reads; re-check Crashed so a scan that
+	// raced a crash retries instead of reporting a hole.
+	for {
+		e := t.engine()
+		var rows []ScanRow
+		e.Scan(lo, hi, ts, reverse, func(r storage.Row) bool {
+			rows = append(rows, ScanRow{Key: r.Key, Value: r.Value, TS: r.TS})
+			return true
+		})
+		if e.Crashed() {
+			if t.isRetired() {
+				return true, false
+			}
+			if !t.db.recoverTablet(t, e) {
+				t.clock.Sleep(time.Millisecond)
+			}
 			continue
 		}
-		rv.(*rowVersions).add(version{ts: ts, value: w.value, deleted: w.delete})
+		// Revalidate ownership before emitting anything: split/merge
+		// migrate chains while holding t.mu, so an unchanged clamp means
+		// the engine scan above was ordered entirely before any migration
+		// of this range.
+		t.mu.Lock()
+		lo2, hi2 := clampRange(begin, end, t.start, t.end)
+		valid = !t.retired && sameBound(lo, lo2) && sameBound(hi, hi2)
+		t.mu.Unlock()
+		if !valid {
+			return true, false
+		}
+		for _, r := range rows {
+			if !fn(r) {
+				return false, true
+			}
+		}
+		return true, true
 	}
+}
+
+// sameBound reports equality of two range bounds where nil means
+// unbounded.
+func sameBound(a, b []byte) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return compareBytes(a, b) == 0
+}
+
+// apply installs a set of writes at commit timestamp ts. An
+// ErrCrashed-classified failure triggers tablet recovery (manifest load
+// + WAL replay) before returning; the commit itself reports the error.
+func (t *tablet) apply(ctx context.Context, writes []bufferedWrite, ts truetime.Timestamp) error {
+	sw := make([]storage.Write, len(writes))
+	for i, w := range writes {
+		sw[i] = storage.Write{Key: w.key, Value: w.value, Delete: w.delete}
+	}
+	e := t.engine()
+	if err := e.Apply(ctx, sw, ts); err != nil {
+		if errors.Is(err, storage.ErrCrashed) {
+			t.db.recoverTablet(t, e)
+		}
+		return err
+	}
+	t.mu.Lock()
 	if ts > t.lastCommit {
 		t.lastCommit = ts
 	}
 	t.mu.Unlock()
+	return nil
+}
+
+// applyMaxAttempts bounds phase-2 roll-forward: a commit survives this
+// many consecutive storage crashes before reporting the outcome
+// unknown.
+const applyMaxAttempts = 8
+
+// applyRollForward applies writes at ts, recovering the engine and
+// retrying on crash. A replayed record surviving a failed fsync can
+// legally duplicate a version at the same timestamp; reads resolve the
+// newest entry at or below ts, so the duplicate is benign.
+func (t *tablet) applyRollForward(ctx context.Context, writes []bufferedWrite, ts truetime.Timestamp) error {
+	var err error
+	for attempt := 0; attempt < applyMaxAttempts; attempt++ {
+		if err = t.apply(ctx, writes, ts); err == nil {
+			return nil
+		}
+		if !errors.Is(err, storage.ErrCrashed) {
+			// Injected clean failures (e.g. wal.append error mode) are
+			// transient: nothing reached the log, retry.
+			continue
+		}
+	}
+	return err
+}
+
+// crashRestart simulates a tablet server crash immediately followed by
+// restart: the volatile engine is dropped and the tablet recovers from
+// disk (manifest + WAL replay). Used by the tablet.crash-restart fault
+// site after a successful apply, so the recovered state must include
+// the commit.
+func (t *tablet) crashRestart() {
+	e := t.engine()
+	e.Close()
+	t.db.recoverTablet(t, e)
 }
 
 // clampRange intersects [begin,end) with [start,end2), where nil means
@@ -241,6 +331,45 @@ func clampRange(begin, end, start, end2 []byte) (lo, hi []byte) {
 	return lo, hi
 }
 
+// recoverTablet swaps in a freshly opened engine for t after failed
+// crashed. Idempotent: concurrent observers of the same crash recover
+// once. The prepared map and lock table survive (in a real deployment
+// the 2PC coordinator would re-resolve participants; here commits that
+// raced the crash abort and release their own state).
+func (db *DB) recoverTablet(t *tablet, failed storage.Engine) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.retired {
+		// Merged away and its directory destroyed; re-opening would
+		// resurrect an empty tablet. Callers re-resolve ownership.
+		return false
+	}
+	if t.store != failed {
+		return true // someone else already recovered it
+	}
+	// Close first: after Close returns no stray append can land in the
+	// tablet directory, so the re-open sees a quiesced file set.
+	failed.Close()
+	e, err := db.storage.Open(t.id, t.start, t.end)
+	if err != nil {
+		// Leave the crashed engine in place; the next observer retries.
+		return false
+	}
+	if err := e.Commission(); err != nil {
+		e.Close()
+		return false
+	}
+	t.store = e
+	if lc := e.LastDurable(); lc > t.lastCommit && lc != truetime.Max {
+		t.lastCommit = lc
+	}
+	db.mu.Lock()
+	db.stats.Recoveries++
+	db.mu.Unlock()
+	db.count("spanner.tablet_recoveries", "")
+	return true
+}
+
 // maybeSplit splits hot or oversized tablets and merges cold neighbors.
 // Called opportunistically after commits.
 func (db *DB) maybeSplit() {
@@ -252,34 +381,25 @@ func (db *DB) maybeSplit() {
 	for i := 0; i < len(db.tablets); i++ {
 		t := db.tablets[i]
 		t.mu.Lock()
-		n := t.rows.Len()
+		e := t.store
+		n := e.Len()
 		hot := db.splitThreshold > 0 && t.load > db.splitThreshold && n >= 2
 		big := db.maxTabletRows > 0 && n > db.maxTabletRows
-		if len(t.prepared) > 0 || !hot && !big {
+		if len(t.prepared) > 0 || e.Crashed() || !hot && !big {
 			t.mu.Unlock()
 			continue
 		}
-		midKey, ok := t.rows.KeyAt(n / 2)
+		midKey, ok := e.KeyAt(n / 2)
 		if !ok || (t.start != nil && compareBytes(midKey, t.start) <= 0) {
 			t.mu.Unlock()
 			continue
 		}
-		right := newTablet(db.clock, append([]byte(nil), midKey...), t.end)
-		// Move rows >= midKey into the new tablet.
-		var moved [][2]any
-		t.rows.Ascend(midKey, nil, func(k []byte, v any) bool {
-			moved = append(moved, [2]any{k, v})
-			return true
-		})
-		for _, kv := range moved {
-			t.rows.Delete(kv[0].([]byte))
-			right.rows.Set(kv[0].([]byte), kv[1])
-		}
-		right.lastCommit = t.lastCommit
-		t.end = right.start
-		t.load /= 2
-		right.load = t.load
+		midKey = append([]byte(nil), midKey...)
+		right := db.splitLocked(t, e, midKey)
 		t.mu.Unlock()
+		if right == nil {
+			continue
+		}
 		// Insert right after t.
 		db.tablets = append(db.tablets, nil)
 		copy(db.tablets[i+2:], db.tablets[i+1:])
@@ -288,6 +408,58 @@ func (db *DB) maybeSplit() {
 		db.count("spanner.splits", "")
 	}
 	db.mergeColdLocked()
+}
+
+// splitLocked migrates [midKey, t.end) of t into a new tablet and
+// returns it, or nil if the split could not complete. Caller holds
+// db.mu and t.mu. The durable protocol is crash-ordered: the target is
+// created pending (recovery removes it if abandoned), receives the
+// chains, is commissioned, and only then does the source narrow its
+// bounds and purge the moved keys — so every crash point leaves exactly
+// one durable owner for every key.
+func (db *DB) splitLocked(t *tablet, e storage.Engine, midKey []byte) *tablet {
+	rid := db.allocTabletID()
+	re, err := db.storage.Open(rid, midKey, t.end)
+	if err != nil {
+		return nil
+	}
+	abandon := func() *tablet {
+		re.Close()
+		db.storage.Destroy(rid)
+		return nil
+	}
+	var moved []storage.Chain
+	var movedKeys [][]byte
+	e.AscendChains(midKey, nil, func(c storage.Chain) bool {
+		moved = append(moved, c)
+		movedKeys = append(movedKeys, c.Key)
+		return true
+	})
+	if len(moved) == 0 {
+		return abandon()
+	}
+	if err := re.IngestChains(moved); err != nil {
+		return abandon()
+	}
+	if err := re.Commission(); err != nil {
+		return abandon()
+	}
+	// The target owns [midKey, end) durably from here. Narrow the
+	// source; on failure the source engine is crashed and recovery
+	// clamps the overlapping bound (DB startup resolves range overlap in
+	// favor of the later tablet).
+	if err := e.SetBounds(t.start, midKey); err != nil {
+		return abandon()
+	}
+	if err := e.PurgeChains(movedKeys); err != nil {
+		return abandon()
+	}
+	right := newTablet(db, rid, re, midKey, t.end)
+	right.lastCommit = t.lastCommit
+	t.end = midKey
+	t.load /= 2
+	right.load = t.load
+	return right
 }
 
 // mergeThresholdRows is the combined row bound under which two cold
@@ -300,21 +472,43 @@ func (db *DB) mergeColdLocked() {
 		a.mu.Lock()
 		b.mu.Lock()
 		cold := a.load == 0 && b.load == 0 &&
-			a.rows.Len()+b.rows.Len() <= mergeThresholdRows &&
-			len(a.prepared) == 0 && len(b.prepared) == 0
+			a.store.Len()+b.store.Len() <= mergeThresholdRows &&
+			len(a.prepared) == 0 && len(b.prepared) == 0 &&
+			!a.store.Crashed() && !b.store.Crashed()
 		if !cold {
 			b.mu.Unlock()
 			a.mu.Unlock()
 			continue
 		}
-		b.rows.Ascend(nil, nil, func(k []byte, v any) bool {
-			a.rows.Set(k, v)
+		var chains []storage.Chain
+		b.store.AscendChains(nil, nil, func(c storage.Chain) bool {
+			chains = append(chains, c)
 			return true
 		})
+		// Crash ordering: a absorbs b's chains and widens durably before
+		// b's storage is destroyed, so a restart between the steps serves
+		// b's keys from exactly one of the two (overlap clamps to b until
+		// the destroy).
+		if err := a.store.IngestChains(chains); err != nil {
+			b.mu.Unlock()
+			a.mu.Unlock()
+			continue
+		}
+		if err := a.store.SetBounds(a.start, b.end); err != nil {
+			b.mu.Unlock()
+			a.mu.Unlock()
+			continue
+		}
 		a.end = b.end
 		if b.lastCommit > a.lastCommit {
 			a.lastCommit = b.lastCommit
 		}
+		// Retire before closing: a stale reader holding b sees the flag,
+		// treats the closed engine as "no longer owns anything", and
+		// re-resolves to a instead of recovering the destroyed directory.
+		b.retired = true
+		b.store.Close()
+		db.storage.Destroy(b.id)
 		b.mu.Unlock()
 		a.mu.Unlock()
 		db.tablets = append(db.tablets[:i+1], db.tablets[i+2:]...)

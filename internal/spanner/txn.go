@@ -98,10 +98,11 @@ func (t *Txn) GetVersioned(ctx context.Context, key []byte, forUpdate bool) ([]b
 	if err := t.lock(ctx, key, mode); err != nil {
 		return nil, 0, false, err
 	}
-	tab := t.db.tabletFor(key)
-	tab.recordOp(1)
+	v, vts, ok, err := t.db.readOwned(key, truetime.Max)
+	if err != nil {
+		return nil, 0, false, err
+	}
 	t.db.bumpReads(1)
-	v, vts, ok := tab.readAt(key, truetime.Max)
 	return v, vts, ok, nil
 }
 
@@ -112,14 +113,28 @@ func (t *Txn) Scan(ctx context.Context, begin, end []byte, fn func(ScanRow) bool
 	if t.done {
 		return ErrTxnDone
 	}
-	// Collect committed rows, then overlay buffered writes.
+	// Collect committed rows, then overlay buffered writes. A split or
+	// merge racing the collection invalidates a tablet's contribution;
+	// restart the whole collection (values are re-read under locks below,
+	// so only the key set needs to be complete).
 	var rows []ScanRow
-	for _, tab := range t.db.tabletsInRange(begin, end) {
-		tab.recordOp(1)
-		tab.scanAt(begin, end, truetime.Max, false, func(r ScanRow) bool {
-			rows = append(rows, r)
-			return true
-		})
+	for {
+		rows = rows[:0]
+		ok := true
+		for _, tab := range t.db.tabletsInRange(begin, end) {
+			tab.recordOp(1)
+			_, valid := tab.scanAt(begin, end, truetime.Max, false, func(r ScanRow) bool {
+				rows = append(rows, r)
+				return true
+			})
+			if !valid {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			break
+		}
 	}
 	t.db.bumpScans(1)
 	rows = t.overlay(rows, begin, end)
@@ -134,7 +149,9 @@ func (t *Txn) Scan(ctx context.Context, begin, end []byte, fn func(ScanRow) bool
 				continue
 			}
 			r.Value = w.value
-		} else if v, _, ok := t.db.tabletFor(r.Key).readAt(r.Key, truetime.Max); ok {
+		} else if v, _, ok, err := t.db.readOwned(r.Key, truetime.Max); err != nil {
+			return err
+		} else if ok {
 			r.Value = v
 		} else {
 			continue // deleted concurrently before we locked it
@@ -279,6 +296,11 @@ func (t *Txn) Commit(ctx context.Context, minTS, maxTS truetime.Timestamp) (_ tr
 	bound := t.db.clock.Now().Earliest
 	groups := map[*tablet][]bufferedWrite{}
 	t.db.mu.RLock()
+	if len(t.db.tablets) == 0 {
+		t.db.mu.RUnlock()
+		t.Abort()
+		return 0, ErrClosed
+	}
 	for _, w := range ordered {
 		tab := t.db.tablets[t.db.tabletIndexLocked(w.key)]
 		groups[tab] = append(groups[tab], w)
@@ -347,10 +369,32 @@ func (t *Txn) Commit(ctx context.Context, minTS, maxTS truetime.Timestamp) (_ tr
 	}
 
 	// Phase 2: apply to every participant, then commit wait so the
-	// timestamp is guaranteed past before anyone learns of it.
+	// timestamp is guaranteed past before anyone learns of it. Once
+	// phase 2 starts the transaction is committed — like a Paxos group,
+	// a participant that crashes mid-apply recovers (manifest + WAL
+	// replay) and the apply rolls forward rather than aborting, so the
+	// batch stays atomic across tablets.
 	for _, tab := range participants {
-		tab.apply(groups[tab], ts)
+		if err := tab.applyRollForward(ctx, groups[tab], ts); err != nil {
+			// Storage is persistently failing; some participants may have
+			// applied. Report the outcome as unknown (Unavailable) — the
+			// client retries against whatever recovered.
+			for _, p := range participants {
+				p.finish(t)
+			}
+			t.Abort()
+			return 0, err
+		}
 		tab.recordOp(int64(len(groups[tab])))
+	}
+	// Injected tablet crash AFTER the applies are durable: the tablet
+	// drops its volatile engine state and recovers from disk before the
+	// commit is acknowledged — a strong read right after Commit returns
+	// must still observe this transaction.
+	if fault.Decide(ctx, fault.TabletCrashRestart).Kind == fault.KindCrash {
+		for _, tab := range participants {
+			tab.crashRestart()
+		}
 	}
 	reqctx.Annotate(ctx, "participants", strconv.Itoa(len(participants)))
 	cwStart := t.db.clock.Now().Latest

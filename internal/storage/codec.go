@@ -1,0 +1,258 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"firestore/internal/truetime"
+)
+
+// WAL record types.
+const (
+	recCommit byte = 1 // a transaction's writes at one commit timestamp
+	recIngest byte = 2 // full chains received from a split/merge
+	recPurge  byte = 3 // purge markers left behind by a split
+)
+
+// castagnoli is the CRC polynomial used for WAL frames and segment
+// checksums (the same choice as iSCSI and most storage systems: better
+// error detection than IEEE for short records).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frameHeaderSize is the per-frame overhead: u32 payload length + u32
+// CRC32-C of the payload.
+const frameHeaderSize = 8
+
+// maxFrameSize bounds a single WAL record; a length prefix beyond it is
+// treated as a torn tail rather than an allocation request.
+const maxFrameSize = 64 << 20
+
+// appendFrame appends a length+CRC framed payload to buf.
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// errTornFrame reports a frame that is incomplete or fails its checksum:
+// the replay must stop and truncate here (prefix-consistent recovery).
+var errTornFrame = fmt.Errorf("storage: torn or corrupt frame")
+
+// readFrame reads one framed payload from r. io.EOF means a clean end;
+// errTornFrame means a partial or corrupt tail.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, errTornFrame
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n > maxFrameSize {
+		return nil, errTornFrame
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, errTornFrame
+	}
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return nil, errTornFrame
+	}
+	return payload, nil
+}
+
+// walRecord is a decoded WAL record.
+type walRecord struct {
+	kind   byte
+	ts     truetime.Timestamp // recCommit only
+	writes []Write            // recCommit
+	chains []Chain            // recIngest
+	keys   [][]byte           // recPurge
+}
+
+func appendBytesField(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+func appendVersion(buf []byte, v Version) []byte {
+	buf = binary.AppendUvarint(buf, uint64(v.TS))
+	var flags byte
+	if v.Deleted {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	return appendBytesField(buf, v.Value)
+}
+
+// encodeCommit builds a recCommit payload.
+func encodeCommit(writes []Write, ts truetime.Timestamp) []byte {
+	buf := []byte{recCommit}
+	buf = binary.AppendUvarint(buf, uint64(ts))
+	buf = binary.AppendUvarint(buf, uint64(len(writes)))
+	for _, w := range writes {
+		buf = appendBytesField(buf, w.Key)
+		var flags byte
+		if w.Delete {
+			flags |= 1
+		}
+		buf = append(buf, flags)
+		buf = appendBytesField(buf, w.Value)
+	}
+	return buf
+}
+
+// encodeIngest builds a recIngest payload.
+func encodeIngest(chains []Chain) []byte {
+	buf := []byte{recIngest}
+	buf = binary.AppendUvarint(buf, uint64(len(chains)))
+	for _, c := range chains {
+		buf = appendChain(buf, c)
+	}
+	return buf
+}
+
+// encodePurge builds a recPurge payload.
+func encodePurge(keys [][]byte) []byte {
+	buf := []byte{recPurge}
+	buf = binary.AppendUvarint(buf, uint64(len(keys)))
+	for _, k := range keys {
+		buf = appendBytesField(buf, k)
+	}
+	return buf
+}
+
+// appendChain encodes one chain (shared by WAL ingest records and
+// segment files).
+func appendChain(buf []byte, c Chain) []byte {
+	buf = appendBytesField(buf, c.Key)
+	var flags byte
+	if c.Purged {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(len(c.Versions)))
+	for _, v := range c.Versions {
+		buf = appendVersion(buf, v)
+	}
+	return buf
+}
+
+// byteReader walks an in-memory payload for decoding.
+type byteReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *byteReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.err = errTornFrame
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *byteReader) bytes() []byte {
+	n := int(r.uvarint())
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.buf) {
+		r.err = errTornFrame
+		return nil
+	}
+	b := r.buf[r.off : r.off+n : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *byteReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.err = errTornFrame
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+func (r *byteReader) version() Version {
+	ts := truetime.Timestamp(r.uvarint())
+	flags := r.byte()
+	val := r.bytes()
+	return Version{TS: ts, Value: val, Deleted: flags&1 != 0}
+}
+
+func (r *byteReader) chain() Chain {
+	key := r.bytes()
+	flags := r.byte()
+	nv := int(r.uvarint())
+	if r.err != nil || nv > len(r.buf) {
+		r.err = errTornFrame
+		return Chain{}
+	}
+	c := Chain{Key: key, Purged: flags&1 != 0}
+	for i := 0; i < nv; i++ {
+		c.Versions = append(c.Versions, r.version())
+	}
+	return c
+}
+
+// decodeRecord parses a framed WAL payload.
+func decodeRecord(payload []byte) (walRecord, error) {
+	if len(payload) == 0 {
+		return walRecord{}, errTornFrame
+	}
+	r := &byteReader{buf: payload, off: 1}
+	rec := walRecord{kind: payload[0]}
+	switch rec.kind {
+	case recCommit:
+		rec.ts = truetime.Timestamp(r.uvarint())
+		n := int(r.uvarint())
+		if r.err != nil || n > len(payload) {
+			return walRecord{}, errTornFrame
+		}
+		for i := 0; i < n; i++ {
+			key := r.bytes()
+			flags := r.byte()
+			val := r.bytes()
+			rec.writes = append(rec.writes, Write{Key: key, Value: val, Delete: flags&1 != 0})
+		}
+	case recIngest:
+		n := int(r.uvarint())
+		if r.err != nil || n > len(payload) {
+			return walRecord{}, errTornFrame
+		}
+		for i := 0; i < n; i++ {
+			rec.chains = append(rec.chains, r.chain())
+		}
+	case recPurge:
+		n := int(r.uvarint())
+		if r.err != nil || n > len(payload) {
+			return walRecord{}, errTornFrame
+		}
+		for i := 0; i < n; i++ {
+			rec.keys = append(rec.keys, r.bytes())
+		}
+	default:
+		return walRecord{}, errTornFrame
+	}
+	if r.err != nil {
+		return walRecord{}, r.err
+	}
+	return rec, nil
+}

@@ -1,0 +1,1076 @@
+package storage
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"firestore/internal/fault"
+	"firestore/internal/obs"
+	"firestore/internal/truetime"
+)
+
+// Default Disk tuning; Options zero values resolve to these.
+const (
+	// DefaultMemtableCap is the memtable byte size that triggers a flush.
+	DefaultMemtableCap = 4 << 20
+	// DefaultCompactAt is the segment count that triggers a full
+	// compaction after a flush.
+	DefaultCompactAt = 4
+)
+
+// Metric names registered by DiskFactory.
+const (
+	metricWALAppends    = "storage.wal.appends"
+	metricWALBytes      = "storage.wal.appended.bytes"
+	metricFsyncs        = "storage.wal.fsyncs"
+	metricFlushes       = "storage.flushes"
+	metricCompactions   = "storage.compactions"
+	metricRecoveries    = "storage.recoveries"
+	metricMemtableBytes = "storage.memtable.bytes"
+	metricSegments      = "storage.segments"
+	metricSegmentBytes  = "storage.segment.bytes"
+)
+
+// Options tunes Disk engines created by a DiskFactory.
+type Options struct {
+	// MemtableCap is the memtable byte size that triggers a flush
+	// (DefaultMemtableCap if zero).
+	MemtableCap int64
+	// CompactAt is the live-segment count that triggers a full
+	// compaction (DefaultCompactAt if zero; negative disables).
+	CompactAt int
+	// Obs, when set, registers storage counters and gauges.
+	Obs *obs.Registry
+}
+
+// factoryMetrics are the obs instruments shared by a factory's engines
+// (nil pointers when no registry is configured).
+type factoryMetrics struct {
+	walAppends  *obs.Counter
+	walBytes    *obs.Counter
+	fsyncs      *obs.Counter
+	flushes     *obs.Counter
+	compactions *obs.Counter
+	recoveries  *obs.Counter
+}
+
+func (m *factoryMetrics) add(c *obs.Counter, n int64) {
+	if m != nil && c != nil {
+		c.Add(n)
+	}
+}
+
+// DiskFactory creates and recovers durable engines under one root
+// directory, one subdirectory (t-<id>) per tablet.
+type DiskFactory struct {
+	dir  string
+	opts Options
+	met  *factoryMetrics
+
+	mu   sync.Mutex
+	open map[uint64]*Disk
+}
+
+// NewDiskFactory opens (creating if needed) a durable-engine root
+// directory.
+func NewDiskFactory(dir string, opts Options) (*DiskFactory, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if opts.MemtableCap == 0 {
+		opts.MemtableCap = DefaultMemtableCap
+	}
+	if opts.CompactAt == 0 {
+		opts.CompactAt = DefaultCompactAt
+	}
+	f := &DiskFactory{dir: dir, opts: opts, open: map[uint64]*Disk{}}
+	if reg := opts.Obs; reg != nil {
+		f.met = &factoryMetrics{
+			walAppends:  reg.Counter(metricWALAppends, nil),
+			walBytes:    reg.Counter(metricWALBytes, nil),
+			fsyncs:      reg.Counter(metricFsyncs, nil),
+			flushes:     reg.Counter(metricFlushes, nil),
+			compactions: reg.Counter(metricCompactions, nil),
+			recoveries:  reg.Counter(metricRecoveries, nil),
+		}
+		reg.GaugeFunc(metricMemtableBytes, nil, func() float64 {
+			return float64(f.sumStats(func(s Stats) int64 { return s.MemtableBytes }))
+		})
+		reg.GaugeFunc(metricSegments, nil, func() float64 {
+			return float64(f.sumStats(func(s Stats) int64 { return int64(s.Segments) }))
+		})
+		reg.GaugeFunc(metricSegmentBytes, nil, func() float64 {
+			return float64(f.sumStats(func(s Stats) int64 { return s.SegmentBytes }))
+		})
+	}
+	return f, nil
+}
+
+func (f *DiskFactory) sumStats(field func(Stats) int64) int64 {
+	f.mu.Lock()
+	engines := make([]*Disk, 0, len(f.open))
+	for _, e := range f.open {
+		engines = append(engines, e)
+	}
+	f.mu.Unlock()
+	var sum int64
+	for _, e := range engines {
+		sum += field(e.Stats())
+	}
+	return sum
+}
+
+func tabletDirName(id uint64) string { return fmt.Sprintf("t-%016x", id) }
+
+// Open opens tablet id's engine, recovering persisted state when a
+// commissioned manifest exists and creating a pending fresh engine
+// otherwise.
+func (f *DiskFactory) Open(id uint64, start, end []byte) (Engine, error) {
+	e, err := openDisk(f, filepath.Join(f.dir, tabletDirName(id)), id, start, end)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.open[id] = e
+	f.mu.Unlock()
+	return e, nil
+}
+
+// List enumerates commissioned tablets, removing half-created (pending)
+// directories abandoned by a crash mid-split.
+func (f *DiskFactory) List() ([]TabletMeta, error) {
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return nil, err
+	}
+	var metas []TabletMeta
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		var id uint64
+		if _, err := fmt.Sscanf(ent.Name(), "t-%016x", &id); err != nil || tabletDirName(id) != ent.Name() {
+			continue
+		}
+		dir := filepath.Join(f.dir, ent.Name())
+		man, ok, err := readManifest(dir)
+		if err != nil {
+			return nil, err
+		}
+		if !ok || man.Pending {
+			// Never commissioned: the split that created it did not
+			// complete, and its keys still live in the source tablet.
+			if err := os.RemoveAll(dir); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		metas = append(metas, TabletMeta{ID: man.TabletID, Start: man.Start, End: man.End})
+	}
+	sort.Slice(metas, func(i, j int) bool {
+		a, b := metas[i].Start, metas[j].Start
+		if a == nil {
+			return b != nil
+		}
+		if b == nil {
+			return false
+		}
+		return bytes.Compare(a, b) < 0
+	})
+	return metas, nil
+}
+
+// Destroy removes tablet id's persistent state.
+func (f *DiskFactory) Destroy(id uint64) error {
+	f.mu.Lock()
+	delete(f.open, id)
+	f.mu.Unlock()
+	return os.RemoveAll(filepath.Join(f.dir, tabletDirName(id)))
+}
+
+func (f *DiskFactory) forget(id uint64, e *Disk) {
+	f.mu.Lock()
+	if f.open[id] == e {
+		delete(f.open, id)
+	}
+	f.mu.Unlock()
+}
+
+// Disk is the durable engine: WAL + memtable + immutable segments.
+//
+// Lock order: mu before walMu; syncMu is a leaf. The WAL index space is
+// monotone across rotations; outstanding counts records appended but
+// not yet inserted into the memtable, and flush only rotates when it is
+// zero, so every memtable snapshot is exactly the set of records in WAL
+// generations below the rotation point.
+type Disk struct {
+	fac  *DiskFactory // nil in unit tests
+	dir  string
+	id   uint64
+	opts Options
+
+	// dead flips once on the first crash (injected or real I/O error);
+	// every later operation fails fast with ErrCrashed until the owner
+	// recovers a fresh engine from disk.
+	dead atomic.Bool
+
+	mu          sync.RWMutex
+	tab         memtable
+	segs        []*segment // oldest first
+	man         manifestData
+	lastDurable truetime.Timestamp
+
+	walMu       sync.Mutex
+	walF        *os.File
+	walSeq      int
+	walSize     int64
+	walIdx      int64
+	outstanding atomic.Int64
+
+	syncMu      sync.Mutex
+	syncCond    *sync.Cond
+	syncedIdx   int64
+	appendedIdx atomic.Int64
+	syncing     bool
+	syncErr     error
+
+	walRecords  atomic.Int64
+	walBytes    atomic.Int64
+	fsyncs      atomic.Int64
+	flushes     atomic.Int64
+	compactions atomic.Int64
+	recoveries  atomic.Int64
+}
+
+// openDisk opens or creates one tablet directory.
+func openDisk(fac *DiskFactory, dir string, id uint64, start, end []byte) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	e := &Disk{fac: fac, dir: dir, id: id, tab: newMemtable()}
+	if fac != nil {
+		e.opts = fac.opts
+	}
+	if e.opts.MemtableCap == 0 {
+		e.opts.MemtableCap = DefaultMemtableCap
+	}
+	if e.opts.CompactAt == 0 {
+		e.opts.CompactAt = DefaultCompactAt
+	}
+	e.syncCond = sync.NewCond(&e.syncMu)
+
+	man, ok, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if ok && man.Pending {
+		// A pending directory reopened under the same id: the previous
+		// creation never commissioned; start over.
+		if err := removeDirContents(dir); err != nil {
+			return nil, err
+		}
+		ok = false
+	}
+	if !ok {
+		e.man = manifestData{
+			TabletID: id,
+			Pending:  true,
+			Start:    append([]byte(nil), start...),
+			End:      append([]byte(nil), end...),
+			WALSeq:   1,
+			NextSeg:  1,
+		}
+		if len(start) == 0 {
+			e.man.Start = nil
+		}
+		if len(end) == 0 {
+			e.man.End = nil
+		}
+		if err := writeManifest(dir, e.man); err != nil {
+			return nil, err
+		}
+		f, err := createWAL(dir, 1)
+		if err != nil {
+			return nil, err
+		}
+		e.walF, e.walSeq = f, 1
+		return e, nil
+	}
+	if err := e.recover(man); err != nil {
+		e.closeFiles()
+		return nil, err
+	}
+	return e, nil
+}
+
+// removeDirContents empties dir without removing the directory itself.
+func removeDirContents(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, ent := range entries {
+		if err := os.RemoveAll(filepath.Join(dir, ent.Name())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recover rebuilds serving state from a commissioned manifest: open the
+// segment set, replay WAL generations at or above the manifest boundary
+// into the memtable, and truncate any torn tail (prefix-consistent
+// recovery to the last durable commit).
+func (e *Disk) recover(man manifestData) error {
+	e.man = man
+	e.lastDurable = man.FlushedTS
+	for _, meta := range man.Segments {
+		seg, err := openSegment(e.dir, meta)
+		if err != nil {
+			return err
+		}
+		e.segs = append(e.segs, seg)
+		if meta.MaxTS > e.lastDurable {
+			e.lastDurable = meta.MaxTS
+		}
+	}
+	// Stale generations below the manifest boundary are fully covered by
+	// segments (flush deletes them; a crash between manifest swap and
+	// deletion leaves them behind).
+	if err := removeWALsBelow(e.dir, man.WALSeq); err != nil {
+		return err
+	}
+	seqs, err := listWALs(e.dir)
+	if err != nil {
+		return err
+	}
+	apply := func(rec walRecord) error {
+		switch rec.kind {
+		case recCommit:
+			for _, w := range rec.writes {
+				e.tab.add(w.Key, Version{TS: rec.ts, Value: w.Value, Deleted: w.Delete}, 0)
+			}
+			if rec.ts > e.lastDurable {
+				e.lastDurable = rec.ts
+			}
+		case recIngest:
+			e.tab.ingest(rec.chains)
+		case recPurge:
+			for _, k := range rec.keys {
+				e.tab.purge(k)
+			}
+		}
+		return nil
+	}
+	lastSeq := man.WALSeq
+	for i, seq := range seqs {
+		lastSeq = seq
+		path := filepath.Join(e.dir, walFileName(seq))
+		goodOff, torn, err := replayWAL(path, apply)
+		if err != nil {
+			return err
+		}
+		if torn {
+			// Only the newest generation can legally tear (older ones
+			// were complete before rotation); truncating restores the
+			// longest intact prefix either way.
+			if err := os.Truncate(path, goodOff); err != nil {
+				return err
+			}
+			if i != len(seqs)-1 {
+				return fmt.Errorf("storage: torn WAL %s is not the newest generation", path)
+			}
+		}
+	}
+	// Continue appending to the newest generation.
+	f, err := os.OpenFile(filepath.Join(e.dir, walFileName(lastSeq)), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	size, err := f.Seek(0, 2)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	e.walF, e.walSeq, e.walSize = f, lastSeq, size
+	e.recoveries.Add(1)
+	met := e.metrics()
+	met.add(met.recoveries, 1)
+	return nil
+}
+
+// noMetrics is the instrument set used when no registry is configured
+// (all nil counters; add is a no-op).
+var noMetrics = &factoryMetrics{}
+
+func (e *Disk) metrics() *factoryMetrics {
+	if e.fac == nil || e.fac.met == nil {
+		return noMetrics
+	}
+	return e.fac.met
+}
+
+// markDead flips the engine to the crashed state and wakes sync waiters.
+func (e *Disk) markDead() {
+	e.dead.Store(true)
+	e.syncMu.Lock()
+	if e.syncErr == nil {
+		e.syncErr = ErrCrashed
+	}
+	e.syncCond.Broadcast()
+	e.syncMu.Unlock()
+}
+
+// append frames payload into the current WAL generation and returns the
+// file (pinned against rotation by the outstanding count) and the
+// record's sync index.
+func (e *Disk) append(payload []byte) (*os.File, int64, error) {
+	framed := appendFrame(nil, payload)
+	e.walMu.Lock()
+	defer e.walMu.Unlock()
+	if e.dead.Load() {
+		return nil, 0, ErrCrashed
+	}
+	if _, err := e.walF.Write(framed); err != nil {
+		e.markDead()
+		return nil, 0, ErrCrashed
+	}
+	e.walSize += int64(len(framed))
+	e.walIdx++
+	e.appendedIdx.Store(e.walIdx)
+	e.outstanding.Add(1)
+	e.walRecords.Add(1)
+	e.walBytes.Add(int64(len(framed)))
+	met := e.metrics()
+	met.add(met.walAppends, 1)
+	met.add(met.walBytes, int64(len(framed)))
+	return e.walF, e.walIdx, nil
+}
+
+// tear simulates a torn write: half a frame reaches the file, then the
+// engine dies. Recovery truncates the partial frame away.
+func (e *Disk) tear(payload []byte) {
+	framed := appendFrame(nil, payload)
+	e.walMu.Lock()
+	if !e.dead.Load() {
+		e.walF.Write(framed[:len(framed)/2])
+		e.markDead()
+	}
+	e.walMu.Unlock()
+}
+
+// syncTo blocks until a group fsync covers record idx of file f. One
+// waiter at a time leads an fsync covering everything appended so far;
+// the rest piggyback (group commit).
+func (e *Disk) syncTo(ctx context.Context, f *os.File, idx int64) error {
+	e.syncMu.Lock()
+	for e.syncedIdx < idx {
+		if e.syncErr != nil {
+			e.syncMu.Unlock()
+			return ErrCrashed
+		}
+		if !e.syncing {
+			e.syncing = true
+			target := e.appendedIdx.Load()
+			e.syncMu.Unlock()
+
+			var serr error
+			if d := fault.Decide(ctx, fault.WALFsync); d.Kind == fault.KindError {
+				serr = d.Err
+			} else {
+				serr = f.Sync()
+			}
+			e.fsyncs.Add(1)
+			met := e.metrics()
+			met.add(met.fsyncs, 1)
+
+			e.syncMu.Lock()
+			e.syncing = false
+			if serr != nil {
+				// The appended bytes may or may not be on disk: the
+				// commit outcome is unknown. Report a crash; recovery
+				// replays whatever survived.
+				if e.syncErr == nil {
+					e.syncErr = serr
+				}
+				e.syncCond.Broadcast()
+				e.syncMu.Unlock()
+				e.dead.Store(true)
+				return ErrCrashed
+			}
+			if target > e.syncedIdx {
+				e.syncedIdx = target
+			}
+			e.syncCond.Broadcast()
+			continue
+		}
+		e.syncCond.Wait()
+	}
+	e.syncMu.Unlock()
+	return nil
+}
+
+func (e *Disk) Apply(ctx context.Context, writes []Write, ts truetime.Timestamp) error {
+	if e.dead.Load() {
+		return ErrCrashed
+	}
+	switch d := fault.Decide(ctx, fault.WALAppend); d.Kind {
+	case fault.KindError:
+		// Clean append failure: nothing reached the log, the commit
+		// aborts with the injected status.
+		return d.Err
+	case fault.KindCrash:
+		e.tear(encodeCommit(writes, ts))
+		return ErrCrashed
+	}
+	f, idx, err := e.append(encodeCommit(writes, ts))
+	if err != nil {
+		return err
+	}
+	if err := e.syncTo(ctx, f, idx); err != nil {
+		e.outstanding.Add(-1)
+		return err
+	}
+	e.mu.Lock()
+	for _, w := range writes {
+		e.tab.add(w.Key, Version{TS: ts, Value: w.Value, Deleted: w.Delete}, 0)
+	}
+	if ts > e.lastDurable {
+		e.lastDurable = ts
+	}
+	e.outstanding.Add(-1)
+	e.maybeFlushLocked(ctx)
+	e.mu.Unlock()
+	return nil
+}
+
+// newestAtOrBefore returns the newest version with TS <= ts.
+func newestAtOrBefore(versions []Version, ts truetime.Timestamp) (Version, bool) {
+	for i := len(versions) - 1; i >= 0; i-- {
+		if versions[i].TS <= ts {
+			return versions[i], true
+		}
+	}
+	return Version{}, false
+}
+
+func (e *Disk) Get(key []byte, ts truetime.Timestamp) ([]byte, truetime.Timestamp, bool) {
+	e.mu.RLock()
+	if cv, ok := e.tab.rows.Get(key); ok {
+		c := cv.(*memChain)
+		if v, found := newestAtOrBefore(c.versions, ts); found {
+			e.mu.RUnlock()
+			if v.Deleted {
+				return nil, 0, false
+			}
+			return v.Value, v.TS, true
+		}
+		if c.purged {
+			e.mu.RUnlock()
+			return nil, 0, false
+		}
+	}
+	segs := append([]*segment(nil), e.segs...)
+	e.mu.RUnlock()
+	for i := len(segs) - 1; i >= 0; i-- {
+		c, ok, err := segs[i].get(key)
+		if err != nil {
+			// Racing a crash/close; the caller observes Crashed() and
+			// retries against the recovered engine.
+			return nil, 0, false
+		}
+		if !ok {
+			continue
+		}
+		if v, found := newestAtOrBefore(c.Versions, ts); found {
+			if v.Deleted {
+				return nil, 0, false
+			}
+			return v.Value, v.TS, true
+		}
+		if c.Purged {
+			return nil, 0, false
+		}
+	}
+	return nil, 0, false
+}
+
+// resolveState tracks the per-key outcome while layering newest-first.
+type resolveState struct {
+	val     []byte
+	ts      truetime.Timestamp
+	present bool
+	done    bool
+}
+
+// resolveRange merges memtable and segments for [lo, hi) at ts,
+// returning the visible rows sorted by key.
+func (e *Disk) resolveRange(lo, hi []byte, ts truetime.Timestamp) []Row {
+	m := map[string]*resolveState{}
+	decide := func(key []byte, versions []Version, purged bool) {
+		k := string(key)
+		st := m[k]
+		if st == nil {
+			st = &resolveState{}
+			m[k] = st
+		}
+		if st.done {
+			return
+		}
+		if v, found := newestAtOrBefore(versions, ts); found {
+			st.done = true
+			if !v.Deleted {
+				st.val, st.ts, st.present = v.Value, v.TS, true
+			}
+			return
+		}
+		if purged {
+			st.done = true
+		}
+	}
+	e.mu.RLock()
+	e.tab.rows.Ascend(lo, hi, func(k []byte, v any) bool {
+		c := v.(*memChain)
+		decide(k, c.versions, c.purged)
+		return true
+	})
+	segs := append([]*segment(nil), e.segs...)
+	e.mu.RUnlock()
+	for i := len(segs) - 1; i >= 0; i-- {
+		segs[i].ascend(lo, hi, func(c Chain) bool {
+			decide(c.Key, c.Versions, c.Purged)
+			return true
+		})
+	}
+	rows := make([]Row, 0, len(m))
+	for k, st := range m {
+		if st.present {
+			rows = append(rows, Row{Key: []byte(k), Value: st.val, TS: st.ts})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return bytes.Compare(rows[i].Key, rows[j].Key) < 0 })
+	return rows
+}
+
+func (e *Disk) Scan(lo, hi []byte, ts truetime.Timestamp, reverse bool, fn func(Row) bool) bool {
+	rows := e.resolveRange(lo, hi, ts)
+	if reverse {
+		for i := len(rows) - 1; i >= 0; i-- {
+			if !fn(rows[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, r := range rows {
+		if !fn(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// Len approximates distinct keys: exact memtable keys plus per-segment
+// chain counts (a key rewritten across generations counts once per
+// generation until compaction folds them).
+func (e *Disk) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	n := e.tab.rows.Len()
+	for _, s := range e.segs {
+		n += s.meta.Chains
+	}
+	return n
+}
+
+// mergedChains resolves the full version chain per key across segments
+// (oldest first) and the memtable: purge markers reset accumulation,
+// otherwise layers concatenate (per-key timestamps only ascend across
+// generations, so concatenation keeps chains ordered).
+func (e *Disk) mergedChains(lo, hi []byte) []Chain {
+	type acc struct {
+		versions []Version
+		purged   bool
+	}
+	m := map[string]*acc{}
+	layer := func(key []byte, versions []Version, purged bool) {
+		k := string(key)
+		a := m[k]
+		if a == nil {
+			a = &acc{}
+			m[k] = a
+		}
+		if purged {
+			a.versions = append([]Version(nil), versions...)
+			a.purged = true
+			return
+		}
+		a.versions = append(a.versions, versions...)
+	}
+	e.mu.RLock()
+	segs := append([]*segment(nil), e.segs...)
+	e.mu.RUnlock()
+	for _, s := range segs {
+		s.ascend(lo, hi, func(c Chain) bool {
+			layer(c.Key, c.Versions, c.Purged)
+			return true
+		})
+	}
+	e.mu.RLock()
+	e.tab.rows.Ascend(lo, hi, func(k []byte, v any) bool {
+		c := v.(*memChain)
+		layer(k, c.versions, c.purged)
+		return true
+	})
+	e.mu.RUnlock()
+	chains := make([]Chain, 0, len(m))
+	for k, a := range m {
+		if len(a.versions) == 0 {
+			continue
+		}
+		chains = append(chains, Chain{Key: []byte(k), Versions: a.versions, Purged: a.purged})
+	}
+	sort.Slice(chains, func(i, j int) bool { return bytes.Compare(chains[i].Key, chains[j].Key) < 0 })
+	return chains
+}
+
+func (e *Disk) KeyAt(i int) ([]byte, bool) {
+	chains := e.mergedChains(nil, nil)
+	if i < 0 || i >= len(chains) {
+		return nil, false
+	}
+	return chains[i].Key, true
+}
+
+func (e *Disk) AscendChains(lo, hi []byte, fn func(Chain) bool) {
+	for _, c := range e.mergedChains(lo, hi) {
+		// Resolved chains are complete; the purge marker has done its
+		// masking and is not reported.
+		if !fn(Chain{Key: c.Key, Versions: c.Versions}) {
+			return
+		}
+	}
+}
+
+// logThenApply is the shared WAL-first path of IngestChains/PurgeChains.
+func (e *Disk) logThenApply(payload []byte, apply func()) error {
+	if e.dead.Load() {
+		return ErrCrashed
+	}
+	f, idx, err := e.append(payload)
+	if err != nil {
+		return err
+	}
+	if err := e.syncTo(context.Background(), f, idx); err != nil {
+		e.outstanding.Add(-1)
+		return err
+	}
+	e.mu.Lock()
+	apply()
+	e.outstanding.Add(-1)
+	e.mu.Unlock()
+	return nil
+}
+
+func (e *Disk) IngestChains(chains []Chain) error {
+	if len(chains) == 0 {
+		return nil
+	}
+	return e.logThenApply(encodeIngest(chains), func() {
+		e.tab.ingest(chains)
+		for _, c := range chains {
+			if v, ok := newestAtOrBefore(c.Versions, truetime.Max); ok && v.TS > e.lastDurable {
+				e.lastDurable = v.TS
+			}
+		}
+	})
+}
+
+func (e *Disk) PurgeChains(keys [][]byte) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	return e.logThenApply(encodePurge(keys), func() {
+		for _, k := range keys {
+			e.tab.purge(k)
+		}
+	})
+}
+
+func (e *Disk) SetBounds(start, end []byte) error {
+	if e.dead.Load() {
+		return ErrCrashed
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	man := e.man
+	man.Start = append([]byte(nil), start...)
+	man.End = append([]byte(nil), end...)
+	if len(start) == 0 {
+		man.Start = nil
+	}
+	if len(end) == 0 {
+		man.End = nil
+	}
+	if err := writeManifest(e.dir, man); err != nil {
+		e.markDead()
+		return ErrCrashed
+	}
+	e.man = man
+	return nil
+}
+
+func (e *Disk) Commission() error {
+	if e.dead.Load() {
+		return ErrCrashed
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.man.Pending {
+		return nil
+	}
+	man := e.man
+	man.Pending = false
+	if err := writeManifest(e.dir, man); err != nil {
+		e.markDead()
+		return ErrCrashed
+	}
+	e.man = man
+	return nil
+}
+
+// maybeFlushLocked flushes the memtable to a segment once it exceeds the
+// cap. Caller holds e.mu.
+func (e *Disk) maybeFlushLocked(ctx context.Context) {
+	if e.tab.bytes < e.opts.MemtableCap || e.tab.rows.Len() == 0 {
+		return
+	}
+	e.flushLocked(ctx)
+}
+
+// flushLocked rotates the WAL, writes the memtable as an immutable
+// segment, swaps the manifest, and drops the covered WAL generations.
+// Any failure leaves the memtable intact for a later retry — the
+// manifest boundary only moves after the segment is durable. Caller
+// holds e.mu.
+func (e *Disk) flushLocked(ctx context.Context) {
+	if e.dead.Load() {
+		return
+	}
+	if err := fault.Point(ctx, fault.SegmentFlush); err != nil {
+		return
+	}
+	// Rotate first so the flushed snapshot is exactly the generations
+	// below newSeq. Records mid-Apply (appended, not yet in the
+	// memtable) would be lost from both snapshot and replay range, so
+	// wait for the next commit instead of flushing under them.
+	e.walMu.Lock()
+	if e.outstanding.Load() != 0 {
+		e.walMu.Unlock()
+		return
+	}
+	newSeq := e.walSeq + 1
+	nf, err := createWAL(e.dir, newSeq)
+	if err != nil {
+		e.walMu.Unlock()
+		e.markDead()
+		return
+	}
+	old := e.walF
+	e.walF, e.walSeq, e.walSize = nf, newSeq, 0
+	old.Close()
+	e.walMu.Unlock()
+
+	var chains []Chain
+	e.tab.rows.Ascend(nil, nil, func(k []byte, v any) bool {
+		c := v.(*memChain)
+		chains = append(chains, Chain{Key: k, Versions: c.versions, Purged: c.purged})
+		return true
+	})
+	name := fmt.Sprintf("seg-%08d.seg", e.man.NextSeg)
+	meta, err := writeSegment(e.dir, name, chains)
+	if err != nil {
+		// The memtable and the old WAL generations are untouched; the
+		// manifest still points below them, so nothing is lost and the
+		// flush retries on a later commit.
+		return
+	}
+	man := e.man
+	man.Segments = append(append([]segmentMeta(nil), man.Segments...), meta)
+	man.WALSeq = newSeq
+	man.NextSeg++
+	man.FlushedTS = e.lastDurable
+	if err := writeManifest(e.dir, man); err != nil {
+		e.markDead()
+		return
+	}
+	seg, err := openSegment(e.dir, meta)
+	if err != nil {
+		e.markDead()
+		return
+	}
+	e.man = man
+	e.segs = append(e.segs, seg)
+	e.tab.reset()
+	e.flushes.Add(1)
+	met := e.metrics()
+	met.add(met.flushes, 1)
+	// Covered generations are garbage now; deletion is best-effort
+	// (recovery re-deletes anything left behind).
+	removeWALsBelow(e.dir, newSeq)
+	e.maybeCompactLocked()
+}
+
+// maybeCompactLocked folds every live segment into one once the count
+// reaches CompactAt: chains merge with purge-mask semantics, trim to
+// GCHorizon, and drop keys now outside the tablet bounds. Caller holds
+// e.mu.
+func (e *Disk) maybeCompactLocked() {
+	if e.opts.CompactAt <= 0 || len(e.segs) < e.opts.CompactAt {
+		return
+	}
+	type acc struct {
+		versions []Version
+		purged   bool
+	}
+	m := map[string]*acc{}
+	var order [][]byte
+	for _, s := range e.segs {
+		err := s.ascend(nil, nil, func(c Chain) bool {
+			k := string(c.Key)
+			a := m[k]
+			if a == nil {
+				a = &acc{}
+				m[k] = a
+				order = append(order, c.Key)
+			}
+			if c.Purged {
+				a.versions = append([]Version(nil), c.Versions...)
+				a.purged = true
+			} else {
+				a.versions = append(a.versions, c.Versions...)
+			}
+			return true
+		})
+		if err != nil {
+			return
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return bytes.Compare(order[i], order[j]) < 0 })
+	chains := make([]Chain, 0, len(order))
+	for _, k := range order {
+		a := m[string(k)]
+		// A full compaction sees every older generation, so purge
+		// markers have nothing left to mask and bounds are final: drop
+		// masked-out and migrated-away state for good.
+		if !boundsContain(e.man.Start, e.man.End, k) {
+			continue
+		}
+		vs := trimChain(a.versions, GCHorizon)
+		if len(vs) == 0 {
+			continue
+		}
+		chains = append(chains, Chain{Key: k, Versions: vs})
+	}
+	name := fmt.Sprintf("seg-%08d.seg", e.man.NextSeg)
+	meta, err := writeSegment(e.dir, name, chains)
+	if err != nil {
+		return
+	}
+	man := e.man
+	man.Segments = []segmentMeta{meta}
+	man.NextSeg++
+	if err := writeManifest(e.dir, man); err != nil {
+		e.markDead()
+		return
+	}
+	seg, err := openSegment(e.dir, meta)
+	if err != nil {
+		e.markDead()
+		return
+	}
+	olds := e.segs
+	e.man = man
+	e.segs = []*segment{seg}
+	for _, s := range olds {
+		s.close()
+		os.Remove(filepath.Join(e.dir, s.meta.Name))
+	}
+	e.compactions.Add(1)
+	met := e.metrics()
+	met.add(met.compactions, 1)
+}
+
+func (e *Disk) LastDurable() truetime.Timestamp {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.lastDurable
+}
+
+func (e *Disk) FlushedTS() truetime.Timestamp {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.man.FlushedTS
+}
+
+func (e *Disk) Crashed() bool { return e.dead.Load() }
+
+func (e *Disk) Stats() Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	s := Stats{
+		Kind:          "disk",
+		MemtableKeys:  e.tab.rows.Len(),
+		MemtableBytes: e.tab.bytes,
+		WALRecords:    e.walRecords.Load(),
+		Fsyncs:        e.fsyncs.Load(),
+		Segments:      len(e.segs),
+		Flushes:       e.flushes.Load(),
+		Compactions:   e.compactions.Load(),
+		Recoveries:    e.recoveries.Load(),
+		LastDurable:   e.lastDurable,
+		FlushedTS:     e.man.FlushedTS,
+	}
+	s.Keys = e.tab.rows.Len()
+	for _, seg := range e.segs {
+		s.Keys += seg.meta.Chains
+		s.SegmentBytes += seg.meta.Bytes
+	}
+	e.walMu.Lock()
+	s.WALBytes = e.walSize
+	e.walMu.Unlock()
+	return s
+}
+
+func (e *Disk) closeFiles() {
+	e.walMu.Lock()
+	if e.walF != nil {
+		e.walF.Close()
+		e.walF = nil
+	}
+	e.walMu.Unlock()
+	e.mu.Lock()
+	for _, s := range e.segs {
+		s.close()
+	}
+	e.segs = nil
+	e.mu.Unlock()
+}
+
+// Close marks the engine dead and releases its files. Safe to call on a
+// crashed engine before reopening the tablet directory: the walMu
+// hand-off guarantees no stray append lands after Close returns.
+func (e *Disk) Close() error {
+	e.markDead()
+	e.closeFiles()
+	if e.fac != nil {
+		e.fac.forget(e.id, e)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"firestore/internal/truetime"
+)
+
+// manifestName is the manifest file inside a tablet directory. It is the
+// commit point for every segment swap: written to a temp file, fsynced,
+// renamed into place, and the directory fsynced, so readers see either
+// the old or the new segment set, never a mix.
+const manifestName = "MANIFEST.json"
+
+// segmentMeta records one immutable segment file in the manifest.
+type segmentMeta struct {
+	// Name is the file name within the tablet directory (seg-NNNNNNNN).
+	Name string `json:"name"`
+	// Bytes is the file size, for stats.
+	Bytes int64 `json:"bytes"`
+	// Chains is the number of chains in the file, for Len accounting.
+	Chains int `json:"chains"`
+	// MaxTS is the largest version timestamp in the file.
+	MaxTS truetime.Timestamp `json:"max_ts"`
+}
+
+// manifestData is the durable root of one tablet's storage state.
+type manifestData struct {
+	Magic    string `json:"magic"`
+	TabletID uint64 `json:"tablet_id"`
+	// Pending marks a tablet directory created by a split that has not
+	// been commissioned: recovery removes it (the split never completed,
+	// and its keys still live in the source tablet).
+	Pending bool `json:"pending"`
+	// Start and End are the key bounds (base64 per encoding/json;
+	// len 0 = unbounded).
+	Start []byte `json:"start,omitempty"`
+	End   []byte `json:"end,omitempty"`
+	// WALSeq is the first WAL file sequence whose records are NOT covered
+	// by Segments; replay applies wal files with seq >= WALSeq.
+	WALSeq int `json:"wal_seq"`
+	// NextSeg numbers the next segment file.
+	NextSeg int `json:"next_seg"`
+	// Segments lists live segment files, oldest first.
+	Segments []segmentMeta `json:"segments"`
+	// FlushedTS is the flushed horizon at the last flush.
+	FlushedTS truetime.Timestamp `json:"flushed_ts"`
+}
+
+const manifestMagic = "firestore-tablet-v1"
+
+// writeManifest atomically replaces dir's manifest.
+func writeManifest(dir string, m manifestData) error {
+	m.Magic = manifestMagic
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// readManifest loads dir's manifest; ok=false means none exists (a
+// fresh directory).
+func readManifest(dir string) (manifestData, bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return manifestData{}, false, nil
+	}
+	if err != nil {
+		return manifestData{}, false, err
+	}
+	var m manifestData
+	if err := json.Unmarshal(data, &m); err != nil {
+		return manifestData{}, false, fmt.Errorf("storage: manifest corrupt in %s: %w", dir, err)
+	}
+	if m.Magic != manifestMagic {
+		return manifestData{}, false, fmt.Errorf("storage: manifest magic %q in %s", m.Magic, dir)
+	}
+	if len(m.Start) == 0 {
+		m.Start = nil
+	}
+	if len(m.End) == 0 {
+		m.End = nil
+	}
+	return m, true, nil
+}
+
+// syncDir fsyncs a directory so a preceding rename/create is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

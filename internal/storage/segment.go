@@ -1,0 +1,316 @@
+package storage
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"firestore/internal/truetime"
+)
+
+// Segment file layout (all integers little-endian):
+//
+//	magic "FSSEG001" (8 bytes)
+//	chains: appendChain encoding, sorted by key, back to back
+//	index: every sparseEvery-th chain: uvarint keyLen, key, uvarint offset
+//	footer (28 bytes):
+//	    u64 index offset
+//	    u64 chain count
+//	    u32 CRC32-C of [magic .. end of index]
+//	    magic "FSEND001" (8 bytes)
+//
+// Segments are immutable: written to a temp file, fsynced, renamed into
+// place, and only then referenced by a manifest swap. Readers keep the
+// sparse index in memory and pread chain groups on demand.
+
+const (
+	segMagic      = "FSSEG001"
+	segEndMagic   = "FSEND001"
+	segFooterSize = 8 + 8 + 4 + 8
+	// sparseEvery is the sparse-index stride: one index entry per this
+	// many chains bounds a point lookup to parsing at most sparseEvery
+	// chains after one pread.
+	sparseEvery = 16
+)
+
+// writeSegment writes chains (sorted by key, oldest-first versions) to
+// path atomically and returns its metadata.
+func writeSegment(dir, name string, chains []Chain) (segmentMeta, error) {
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return segmentMeta{}, err
+	}
+	meta, err := writeSegmentTo(f, chains)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return segmentMeta{}, err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp)
+		return segmentMeta{}, err
+	}
+	if err := syncDir(dir); err != nil {
+		return segmentMeta{}, err
+	}
+	meta.Name = name
+	return meta, nil
+}
+
+func writeSegmentTo(w io.Writer, chains []Chain) (segmentMeta, error) {
+	crc := crc32.New(castagnoli)
+	out := io.MultiWriter(w, crc)
+	off := int64(0)
+	write := func(b []byte) error {
+		n, err := out.Write(b)
+		off += int64(n)
+		return err
+	}
+	if err := write([]byte(segMagic)); err != nil {
+		return segmentMeta{}, err
+	}
+	var index []byte
+	var maxTS truetime.Timestamp
+	buf := make([]byte, 0, 4096)
+	for i, c := range chains {
+		if i%sparseEvery == 0 {
+			index = appendBytesField(index, c.Key)
+			index = binary.AppendUvarint(index, uint64(off))
+		}
+		buf = appendChain(buf[:0], c)
+		if err := write(buf); err != nil {
+			return segmentMeta{}, err
+		}
+		for _, v := range c.Versions {
+			if v.TS > maxTS {
+				maxTS = v.TS
+			}
+		}
+	}
+	indexOff := off
+	if err := write(index); err != nil {
+		return segmentMeta{}, err
+	}
+	var footer [segFooterSize]byte
+	binary.LittleEndian.PutUint64(footer[0:8], uint64(indexOff))
+	binary.LittleEndian.PutUint64(footer[8:16], uint64(len(chains)))
+	binary.LittleEndian.PutUint32(footer[16:20], crc.Sum32())
+	copy(footer[20:28], segEndMagic)
+	if err := write(footer[:]); err != nil {
+		return segmentMeta{}, err
+	}
+	return segmentMeta{Bytes: off, Chains: len(chains), MaxTS: maxTS}, nil
+}
+
+// indexEntry is one in-memory sparse-index entry.
+type indexEntry struct {
+	key []byte
+	off int64
+}
+
+// segment is an open immutable sorted file of chains.
+type segment struct {
+	f        *os.File
+	meta     segmentMeta
+	index    []indexEntry
+	indexOff int64
+}
+
+// openSegment opens and validates the segment file named by meta.
+func openSegment(dir string, meta segmentMeta) (*segment, error) {
+	f, err := os.Open(filepath.Join(dir, meta.Name))
+	if err != nil {
+		return nil, err
+	}
+	s, err := loadSegment(f, meta)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func loadSegment(f *os.File, meta segmentMeta) (*segment, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size < int64(len(segMagic))+segFooterSize {
+		return nil, fmt.Errorf("storage: segment %s too short", meta.Name)
+	}
+	var footer [segFooterSize]byte
+	if _, err := f.ReadAt(footer[:], size-segFooterSize); err != nil {
+		return nil, err
+	}
+	if string(footer[20:28]) != segEndMagic {
+		return nil, fmt.Errorf("storage: segment %s bad end magic", meta.Name)
+	}
+	indexOff := int64(binary.LittleEndian.Uint64(footer[0:8]))
+	count := int64(binary.LittleEndian.Uint64(footer[8:16]))
+	if indexOff < int64(len(segMagic)) || indexOff > size-segFooterSize {
+		return nil, fmt.Errorf("storage: segment %s bad index offset", meta.Name)
+	}
+	var magic [8]byte
+	if _, err := f.ReadAt(magic[:], 0); err != nil {
+		return nil, err
+	}
+	if string(magic[:]) != segMagic {
+		return nil, fmt.Errorf("storage: segment %s bad magic", meta.Name)
+	}
+	raw := make([]byte, size-segFooterSize-indexOff)
+	if _, err := f.ReadAt(raw, indexOff); err != nil {
+		return nil, err
+	}
+	r := &byteReader{buf: raw}
+	var index []indexEntry
+	for r.off < len(raw) && r.err == nil {
+		key := append([]byte(nil), r.bytes()...)
+		off := int64(r.uvarint())
+		if r.err == nil {
+			index = append(index, indexEntry{key: key, off: off})
+		}
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("storage: segment %s index corrupt", meta.Name)
+	}
+	meta.Chains = int(count)
+	return &segment{f: f, meta: meta, index: index, indexOff: indexOff}, nil
+}
+
+func (s *segment) close() error { return s.f.Close() }
+
+// seekOff returns the file offset at which a forward parse can start to
+// find key (the greatest sparse entry <= key, or the first chain).
+func (s *segment) seekOff(key []byte) int64 {
+	if key == nil {
+		return int64(len(segMagic))
+	}
+	// First sparse entry strictly greater than key; start from its
+	// predecessor.
+	i := sort.Search(len(s.index), func(i int) bool {
+		return bytes.Compare(s.index[i].key, key) > 0
+	})
+	if i == 0 {
+		return int64(len(segMagic))
+	}
+	return s.index[i-1].off
+}
+
+// get returns key's chain, if present.
+func (s *segment) get(key []byte) (Chain, bool, error) {
+	start := s.seekOff(key)
+	r := bufio.NewReaderSize(io.NewSectionReader(s.f, start, s.indexOff-start), 32<<10)
+	br := &chainStream{r: r}
+	for {
+		c, err := br.next()
+		if err == io.EOF {
+			return Chain{}, false, nil
+		}
+		if err != nil {
+			return Chain{}, false, err
+		}
+		switch bytes.Compare(c.Key, key) {
+		case 0:
+			return c, true, nil
+		case 1:
+			return Chain{}, false, nil
+		}
+	}
+}
+
+// ascend streams chains of [lo, hi) in key order. fn returning false
+// stops the iteration.
+func (s *segment) ascend(lo, hi []byte, fn func(Chain) bool) error {
+	start := s.seekOff(lo)
+	r := bufio.NewReaderSize(io.NewSectionReader(s.f, start, s.indexOff-start), 64<<10)
+	br := &chainStream{r: r}
+	for {
+		c, err := br.next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if lo != nil && bytes.Compare(c.Key, lo) < 0 {
+			continue
+		}
+		if hi != nil && bytes.Compare(c.Key, hi) >= 0 {
+			return nil
+		}
+		if !fn(c) {
+			return nil
+		}
+	}
+}
+
+// chainStream incrementally decodes appendChain-encoded chains from a
+// reader.
+type chainStream struct {
+	r *bufio.Reader
+}
+
+func (cs *chainStream) next() (Chain, error) {
+	key, err := readBytesField(cs.r)
+	if err != nil {
+		return Chain{}, err
+	}
+	flags, err := cs.r.ReadByte()
+	if err != nil {
+		return Chain{}, errTornFrame
+	}
+	nv, err := binary.ReadUvarint(cs.r)
+	if err != nil {
+		return Chain{}, errTornFrame
+	}
+	c := Chain{Key: key, Purged: flags&1 != 0}
+	for i := uint64(0); i < nv; i++ {
+		ts, err := binary.ReadUvarint(cs.r)
+		if err != nil {
+			return Chain{}, errTornFrame
+		}
+		vflags, err := cs.r.ReadByte()
+		if err != nil {
+			return Chain{}, errTornFrame
+		}
+		val, err := readBytesField(cs.r)
+		if err != nil {
+			return Chain{}, errTornFrame
+		}
+		c.Versions = append(c.Versions, Version{TS: truetime.Timestamp(ts), Value: val, Deleted: vflags&1 != 0})
+	}
+	return c, nil
+}
+
+// readBytesField reads a uvarint-length-prefixed byte field. Returns
+// io.EOF only when the stream ends cleanly before the length prefix.
+func readBytesField(r *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err == io.EOF {
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, errTornFrame
+	}
+	if n > maxFrameSize {
+		return nil, errTornFrame
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, errTornFrame
+	}
+	return b, nil
+}

@@ -1,0 +1,230 @@
+// Package storage is the tablet storage-engine layer: everything below a
+// Spanner tablet's MVCC row semantics and above the filesystem. It owns
+// every file descriptor, write syscall, and fsync decision in the
+// repository (the fslint iodiscipline analyzer enforces that no other
+// serving layer touches the filesystem), exposing a small Engine
+// interface the tablet layer programs against.
+//
+// Two implementations exist:
+//
+//   - Mem: the original in-memory copy-on-write B-tree of version
+//     chains, extracted verbatim from internal/spanner. The default —
+//     fastest, volatile, "crash" means total state loss.
+//   - Disk: a durable engine in the log-then-apply shape of Taurus and
+//     the classic LSM tree: a per-tablet write-ahead log (length+CRC
+//     framed records, group fsync on commit), a memtable over
+//     internal/btree, periodic flush to immutable sorted segment files,
+//     size-tiered compaction, and a manifest providing atomic segment
+//     swaps. Recovery is manifest load + WAL replay to the last durable
+//     commit; a torn or truncated WAL tail is truncated away, yielding a
+//     prefix-consistent tablet.
+//
+// Version-retention (GC) policy lives here too: the Mem engine trims
+// each chain to the newest GCHorizon versions on write (Spanner bounds
+// version GC similarly), while the Disk engine's memtable consults the
+// flushed horizon — a version newer than the last flush exists nowhere
+// but the memtable and WAL, so trimming it would serve stale segment
+// data; chains are trimmed to GCHorizon only at compaction, where every
+// older version is provably covered by the merged result.
+package storage
+
+import (
+	"context"
+
+	"firestore/internal/status"
+	"firestore/internal/truetime"
+)
+
+// GCHorizon is how many versions a chain keeps before trimming old ones.
+// Snapshot reads older than the trimmed horizon are out of scope
+// (Spanner similarly bounds version GC to about an hour).
+const GCHorizon = 8
+
+// ErrCrashed reports that the engine crashed mid-operation (injected or
+// real): volatile state is no longer trustworthy and the owner must
+// recover the tablet from disk before serving again. Detect with
+// errors.Is.
+var ErrCrashed = status.New(status.Unavailable, "storage", "engine crashed; recover from disk")
+
+// Write is one row mutation in an atomically applied batch.
+type Write struct {
+	Key    []byte
+	Value  []byte
+	Delete bool
+}
+
+// Row is one visible row produced by a scan.
+type Row struct {
+	Key   []byte
+	Value []byte
+	// TS is the version (commit) timestamp of the row value.
+	TS truetime.Timestamp
+}
+
+// Version is one MVCC version of a row.
+type Version struct {
+	TS      truetime.Timestamp
+	Value   []byte
+	Deleted bool
+}
+
+// Chain is a row's full version history, oldest first, as moved between
+// engines during tablet splits and merges.
+type Chain struct {
+	Key      []byte
+	Versions []Version
+	// Purged marks a chain that masks any older (already-flushed) state
+	// for its key: the key reads as absent at every timestamp not covered
+	// by Versions. Split sources leave purge markers behind for moved
+	// keys; compaction retires them.
+	Purged bool
+}
+
+// Stats reports one engine's storage state for /debug/storagez, fsctl,
+// and chaos-scenario expectation checks.
+type Stats struct {
+	// Kind is "mem" or "disk".
+	Kind string `json:"kind"`
+	// Keys approximates the number of distinct keys (exact for Mem; Disk
+	// may overcount a key rewritten across flush generations).
+	Keys int `json:"keys"`
+	// MemtableKeys and MemtableBytes size the unflushed state.
+	MemtableKeys  int   `json:"memtable_keys"`
+	MemtableBytes int64 `json:"memtable_bytes"`
+	// WALBytes is the live write-ahead-log size; WALRecords and Fsyncs
+	// count appends and group fsyncs over the engine's lifetime.
+	WALBytes   int64 `json:"wal_bytes"`
+	WALRecords int64 `json:"wal_records"`
+	Fsyncs     int64 `json:"fsyncs"`
+	// Segments and SegmentBytes describe the immutable sorted files.
+	Segments     int   `json:"segments"`
+	SegmentBytes int64 `json:"segment_bytes"`
+	// Flushes, Compactions, and Recoveries count lifecycle events.
+	Flushes     int64 `json:"flushes"`
+	Compactions int64 `json:"compactions"`
+	Recoveries  int64 `json:"recoveries"`
+	// LastDurable is the largest commit timestamp guaranteed recoverable
+	// after a crash; FlushedTS is the flushed horizon (every version at
+	// or below it is retained in segments).
+	LastDurable truetime.Timestamp `json:"last_durable_ts"`
+	FlushedTS   truetime.Timestamp `json:"flushed_ts"`
+}
+
+// Engine is what a tablet needs from its row store. Implementations are
+// safe for concurrent use; Apply batches are atomic and, for durable
+// engines, recoverable once Apply returns.
+type Engine interface {
+	// Get returns the value of key visible at ts and its version
+	// timestamp.
+	Get(key []byte, ts truetime.Timestamp) (value []byte, vts truetime.Timestamp, ok bool)
+
+	// Scan iterates rows of [lo, hi) visible at ts (nil bound =
+	// unbounded) in ascending (or descending if reverse) key order,
+	// calling fn until it returns false or the range is exhausted.
+	// Returns false if fn stopped the scan.
+	Scan(lo, hi []byte, ts truetime.Timestamp, reverse bool, fn func(Row) bool) bool
+
+	// Apply atomically installs a batch of writes at commit timestamp
+	// ts. A durable engine returns only after the batch is recoverable
+	// (logged and group-fsynced); an ErrCrashed return means the engine
+	// must be recovered from disk by the owner.
+	Apply(ctx context.Context, writes []Write, ts truetime.Timestamp) error
+
+	// Len approximates the number of distinct keys (exact for Mem).
+	Len() int
+
+	// KeyAt returns the i-th smallest key (0-based), for median split
+	// points. Returns false if i is out of range.
+	KeyAt(i int) ([]byte, bool)
+
+	// AscendChains iterates full version chains of [lo, hi) in key
+	// order, for split/merge migration. Purge markers are not reported.
+	AscendChains(lo, hi []byte, fn func(Chain) bool)
+
+	// IngestChains bulk-installs chains (the receiving side of a tablet
+	// split or merge), durably for disk engines.
+	IngestChains(chains []Chain) error
+
+	// PurgeChains removes the given keys' chains entirely, masking any
+	// flushed state (the giving side of a tablet split).
+	PurgeChains(keys [][]byte) error
+
+	// SetBounds durably narrows the engine's key bounds [start, end)
+	// (nil = unbounded). Out-of-bounds chains are dropped at the next
+	// compaction; recovery uses bounds to rebuild tablet ranges.
+	SetBounds(start, end []byte) error
+
+	// Commission marks a newly created engine as live: until then,
+	// recovery treats its directory as an abandoned half-split and
+	// removes it. No-op for Mem and for engines opened by recovery.
+	Commission() error
+
+	// LastDurable is the largest commit timestamp recoverable after a
+	// crash (truetime.Max for Mem: it never "recovers" to less than it
+	// serves).
+	LastDurable() truetime.Timestamp
+
+	// FlushedTS is the flushed horizon: every version with TS at or
+	// below it is retained in segment files (zero for Mem).
+	FlushedTS() truetime.Timestamp
+
+	// Crashed reports that the engine hit ErrCrashed (injected or real)
+	// and is no longer serving trustworthy state. Readers that observe
+	// Crashed after a read must discard the result and retry against the
+	// recovered engine.
+	Crashed() bool
+
+	// Stats snapshots the engine's storage counters.
+	Stats() Stats
+
+	// Close releases files. The engine must not be used afterwards.
+	Close() error
+}
+
+// TabletMeta describes one recoverable tablet found by Factory.List.
+type TabletMeta struct {
+	ID         uint64
+	Start, End []byte
+}
+
+// Factory creates and recovers the engines of one Spanner database's
+// tablets.
+type Factory interface {
+	// Open opens (recovering if state exists) or creates the engine for
+	// tablet id with the given key bounds.
+	Open(id uint64, start, end []byte) (Engine, error)
+	// List enumerates recoverable tablets, sorted by start key. Empty
+	// for Mem factories and fresh directories.
+	List() ([]TabletMeta, error)
+	// Destroy removes tablet id's persistent state (after a merge).
+	Destroy(id uint64) error
+}
+
+// chainAt returns the value visible at ts within a version chain (oldest
+// first) and its version timestamp.
+func chainAt(versions []Version, ts truetime.Timestamp) ([]byte, truetime.Timestamp, bool) {
+	for i := len(versions) - 1; i >= 0; i-- {
+		v := versions[i]
+		if v.TS <= ts {
+			if v.Deleted {
+				return nil, 0, false
+			}
+			return v.Value, v.TS, true
+		}
+	}
+	return nil, 0, false
+}
+
+// trimChain keeps the newest max versions of a chain, in place.
+func trimChain(versions []Version, max int) []Version {
+	if len(versions) <= max {
+		return versions
+	}
+	copy(versions, versions[len(versions)-max:])
+	return versions[:max]
+}
+
+// versionBytes is the memtable accounting size of one version.
+func versionBytes(key []byte, v Version) int64 {
+	return int64(len(key) + len(v.Value) + 16)
+}

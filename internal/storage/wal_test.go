@@ -1,0 +1,138 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"firestore/internal/truetime"
+)
+
+// buildWAL encodes n commit records and returns the file bytes plus the
+// offset just past each frame (boundaries[i] = end of record i).
+func buildWAL(n int, rng *rand.Rand) (data []byte, boundaries []int64, recs [][]Write) {
+	for i := 0; i < n; i++ {
+		var writes []Write
+		for j := 0; j <= rng.Intn(3); j++ {
+			key := []byte(fmt.Sprintf("key-%03d-%d", i, j))
+			val := make([]byte, rng.Intn(64))
+			rng.Read(val)
+			writes = append(writes, Write{Key: key, Value: val, Delete: rng.Intn(8) == 0})
+		}
+		data = appendFrame(data, encodeCommit(writes, timestampOf(i)))
+		boundaries = append(boundaries, int64(len(data)))
+		recs = append(recs, writes)
+	}
+	return data, boundaries, recs
+}
+
+func timestampOf(i int) truetime.Timestamp { return truetime.Timestamp(1000 + i) }
+
+// TestWALTornTailRecovery is the torn-tail property test: for any
+// truncation point (crash mid-append), replay recovers exactly the
+// records whose frames are complete — a prefix — and reports the torn
+// tail so recovery can truncate it.
+func TestWALTornTailRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	data, boundaries, recs := buildWAL(40, rng)
+	dir := t.TempDir()
+	path := filepath.Join(dir, walFileName(1))
+
+	cuts := map[int64]bool{0: true, int64(len(data)): true}
+	for _, b := range boundaries {
+		cuts[b] = true
+		if b > 0 {
+			cuts[b-1] = true // one byte short of a boundary: torn
+		}
+		cuts[b+1] = true // one byte into the next header
+	}
+	for i := 0; i < 200; i++ {
+		cuts[int64(rng.Intn(len(data)+1))] = true
+	}
+
+	for cut := range cuts {
+		if cut > int64(len(data)) {
+			continue
+		}
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// wantPrefix = number of fully contained frames.
+		wantPrefix := 0
+		var wantOff int64
+		for i, b := range boundaries {
+			if b <= cut {
+				wantPrefix = i + 1
+				wantOff = b
+			}
+		}
+		var got [][]Write
+		goodOff, torn, err := replayWAL(path, func(rec walRecord) error {
+			if rec.kind != recCommit {
+				t.Fatalf("cut %d: unexpected record kind %d", cut, rec.kind)
+			}
+			got = append(got, rec.writes)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("cut %d: replay error: %v", cut, err)
+		}
+		if len(got) != wantPrefix {
+			t.Fatalf("cut %d: replayed %d records, want prefix %d", cut, len(got), wantPrefix)
+		}
+		if goodOff != wantOff {
+			t.Fatalf("cut %d: goodOff %d, want %d", cut, goodOff, wantOff)
+		}
+		if wantTorn := cut != wantOff; torn != wantTorn {
+			t.Fatalf("cut %d: torn=%v, want %v", cut, torn, wantTorn)
+		}
+		for i := range got {
+			for j := range got[i] {
+				if !bytes.Equal(got[i][j].Key, recs[i][j].Key) || !bytes.Equal(got[i][j].Value, recs[i][j].Value) || got[i][j].Delete != recs[i][j].Delete {
+					t.Fatalf("cut %d: record %d write %d differs", cut, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestWALCorruptMiddleStopsReplay: a flipped bit mid-file (not just a
+// truncated tail) must also stop replay at the last intact prefix.
+func TestWALCorruptMiddleStopsReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data, boundaries, _ := buildWAL(10, rng)
+	dir := t.TempDir()
+	path := filepath.Join(dir, walFileName(1))
+
+	corruptAt := boundaries[4] + 3 // inside record 5
+	mut := append([]byte(nil), data...)
+	mut[corruptAt] ^= 0xff
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	goodOff, torn, err := replayWAL(path, func(walRecord) error { n++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 || !torn || goodOff != boundaries[4] {
+		t.Fatalf("got n=%d torn=%v goodOff=%d, want 5 true %d", n, torn, goodOff, boundaries[4])
+	}
+}
+
+func TestWALNameRoundTrip(t *testing.T) {
+	for _, seq := range []int{1, 7, 99999999} {
+		got, ok := parseWALName(walFileName(seq))
+		if !ok || got != seq {
+			t.Fatalf("parseWALName(%q) = %d, %v", walFileName(seq), got, ok)
+		}
+	}
+	for _, bad := range []string{"wal-1.log", "wal-0000001x.log", "seg-00000001.seg", "MANIFEST.json"} {
+		if _, ok := parseWALName(bad); ok {
+			t.Fatalf("parseWALName(%q) unexpectedly ok", bad)
+		}
+	}
+}

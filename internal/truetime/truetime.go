@@ -67,11 +67,25 @@ type Clock interface {
 	Sleep(d time.Duration)
 }
 
+// Forwarder is implemented by clocks that can be re-anchored to a
+// recovered timestamp at startup. Production TrueTime is absolute, so a
+// restarted node naturally resumes past every timestamp it ever issued;
+// the clocks here measure time since clock creation, so recovery must
+// explicitly fast-forward past the durable high-water mark to preserve
+// external consistency across restarts.
+type Forwarder interface {
+	// Forward ensures every subsequent Now() reading is strictly later
+	// than ts. Passing a timestamp that has already elapsed is a no-op.
+	Forward(ts Timestamp)
+}
+
 // System is a Clock backed by the machine's monotonic clock with a fixed
 // uncertainty epsilon. The zero value is not usable; use NewSystem.
 type System struct {
 	epsilon time.Duration
 	origin  time.Time
+	// base shifts the clock's epoch forward; see Forward.
+	base atomic.Int64
 	// last is used to guarantee strictly monotonic interval midpoints
 	// even if the underlying clock stalls.
 	last atomic.Int64
@@ -92,9 +106,25 @@ func NewSystem(epsilon time.Duration) *System {
 // Epsilon returns the clock's uncertainty bound.
 func (c *System) Epsilon() time.Duration { return c.epsilon }
 
+// Forward implements Forwarder by shifting the clock's epoch so that
+// readings resume past ts and then advance at the wall rate (rather than
+// stalling on the monotonic fence until wall time catches up).
+func (c *System) Forward(ts Timestamp) {
+	wall := int64(time.Since(c.origin)) //fslint:ignore clockdiscipline the System clock is the wall-clock boundary itself
+	for {
+		base := c.base.Load()
+		if wall+base > int64(ts) {
+			return
+		}
+		if c.base.CompareAndSwap(base, int64(ts)-wall+1) {
+			return
+		}
+	}
+}
+
 // Now implements Clock.
 func (c *System) Now() Interval {
-	mid := int64(time.Since(c.origin)) //fslint:ignore clockdiscipline the System clock is the wall-clock boundary itself
+	mid := int64(time.Since(c.origin)) + c.base.Load() //fslint:ignore clockdiscipline the System clock is the wall-clock boundary itself
 	for {
 		prev := c.last.Load()
 		if mid <= prev {
@@ -170,6 +200,12 @@ func (m *Manual) Set(ts Timestamp) {
 	}
 	m.mu.Unlock()
 	m.cond.Broadcast()
+}
+
+// Forward implements Forwarder: it moves the clock just past ts so that
+// recovered state is in the observable past.
+func (m *Manual) Forward(ts Timestamp) {
+	m.Set(ts + 1)
 }
 
 // Now implements Clock.
