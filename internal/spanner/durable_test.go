@@ -322,3 +322,167 @@ func TestStaleTabletReadAfterMerge(t *testing.T) {
 		run(t, diskConfig(t, t.TempDir()))
 	})
 }
+
+// failingSetBounds fails SetBounds the way a real storage fault does:
+// the engine crashes (Close marks it dead) and the call reports
+// ErrCrashed. Everything else delegates.
+type failingSetBounds struct {
+	storage.Engine
+}
+
+func (f *failingSetBounds) SetBounds(start, end []byte) error {
+	f.Engine.Close()
+	return storage.ErrCrashed
+}
+
+// TestSplitSourceFailureKeepsCommissionedTarget: once a split's target
+// is commissioned it is the sole durable owner of [mid, end), so a
+// failure narrowing the source must NOT destroy it (that would
+// permanently drop those keys). The split completes: every key stays
+// readable (the crashed source recovers on demand, its in-memory bounds
+// clamping serving to [start, mid)), and a restart resolves the durable
+// bound overlap in favor of the target.
+func TestSplitSourceFailureKeepsCommissionedTarget(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	db, err := Open(diskConfig(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	for i := 0; i < n; i++ {
+		put(t, db, fmt.Sprintf("k-%04d", i), fmt.Sprintf("v%d", i))
+	}
+
+	db.mu.Lock()
+	tab := db.tablets[0]
+	tab.mu.Lock()
+	e := tab.store
+	mid, ok := e.KeyAt(e.Len() / 2)
+	if !ok {
+		tab.mu.Unlock()
+		db.mu.Unlock()
+		t.Fatal("no split point")
+	}
+	mid = append([]byte(nil), mid...)
+	right := db.splitLocked(tab, &failingSetBounds{Engine: e}, mid)
+	if right != nil {
+		db.tablets = append(db.tablets, nil)
+		copy(db.tablets[2:], db.tablets[1:])
+		db.tablets[1] = right
+	}
+	tab.mu.Unlock()
+	db.mu.Unlock()
+	if right == nil {
+		t.Fatal("split abandoned its commissioned target after a source SetBounds failure")
+	}
+
+	readTS := db.StrongReadTimestamp()
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("k-%04d", i))
+		got, _, ok, err := db.SnapshotGet(ctx, k, readTS)
+		if err != nil || !ok || string(got) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("key %s lost after interrupted split (ok=%v got=%q err=%v)", k, ok, got, err)
+		}
+	}
+	db.Close()
+
+	re, err := Open(diskConfig(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.TabletCount() != 2 {
+		t.Fatalf("recovered %d tablets, want 2", re.TabletCount())
+	}
+	readTS = re.StrongReadTimestamp()
+	count := 0
+	if err := re.SnapshotScan(ctx, nil, nil, readTS, false, func(r ScanRow) bool {
+		count++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("scanned %d rows after restart, want %d", count, n)
+	}
+}
+
+// TestCommitInterruptedPhase2RollsForward: when phase 2 exhausts its
+// retries with at least one participant's WAL already holding the
+// batch, the commit must not abort into a partially applied, visible
+// state. Instead the transaction keeps its locks and safe-time bounds
+// while a background roll-forward completes — readers block rather than
+// observe partial state, and once storage heals both writes appear
+// together.
+func TestCommitInterruptedPhase2RollsForward(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	fault.Reset()
+	defer fault.Reset()
+	fault.SetSeed(5)
+
+	cfg := diskConfig(t, dir)
+	cfg.MaxTabletRows = 10
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	const n = 40
+	for i := 0; i < n; i++ {
+		put(t, db, fmt.Sprintf("k-%04d", i), "seed")
+	}
+	if db.TabletCount() < 2 {
+		t.Fatal("expected splits with MaxTabletRows=10")
+	}
+	k1, k2 := []byte("k-0000"), []byte(fmt.Sprintf("k-%04d", n-1))
+	if db.TabletIndex(k1) == db.TabletIndex(k2) {
+		t.Fatal("test keys landed on the same tablet")
+	}
+
+	// Every fsync fails: applyRollForward exhausts its attempts, with
+	// the batch already replayable from at least one participant's WAL.
+	if err := fault.Enable(fault.Spec{Site: fault.WALFsync, Mode: fault.ModeError, Prob: 1}); err != nil {
+		t.Fatal(err)
+	}
+	txn := db.Begin()
+	txn.Put(k1, []byte("rolled"))
+	txn.Put(k2, []byte("forward"))
+	if _, err := txn.Commit(ctx, 0, 0); err == nil {
+		t.Fatal("commit must report the outcome unknown while every fsync fails")
+	}
+	if got := db.Stats().RollForwards; got != 1 {
+		t.Fatalf("RollForwards = %d, want 1", got)
+	}
+	// Partial state is pinned out of view: a strong read of a written
+	// key blocks on safe time (ctx expiry) instead of observing it.
+	rctx, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
+	_, _, _, err = db.SnapshotGet(rctx, k1, db.StrongReadTimestamp())
+	cancel()
+	if err == nil {
+		t.Fatal("snapshot read observed state of a commit still rolling forward")
+	}
+
+	// Storage heals; the background roll-forward finishes and releases
+	// the locks, making both writes visible together.
+	fault.Reset()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rctx, cancel := context.WithTimeout(ctx, time.Second)
+		v, _, ok, err := db.SnapshotGet(rctx, k1, db.StrongReadTimestamp())
+		cancel()
+		if err == nil && ok && string(v) == "rolled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("roll-forward never completed (ok=%v v=%q err=%v)", ok, v, err)
+		}
+	}
+	// Locks release only after every participant applied, so the other
+	// participant's write must be visible too — atomicity held.
+	v2, _, ok, err := db.SnapshotGet(ctx, k2, db.StrongReadTimestamp())
+	if err != nil || !ok || string(v2) != "forward" {
+		t.Fatalf("second participant's write missing after roll-forward (ok=%v v=%q err=%v)", ok, v2, err)
+	}
+}

@@ -128,6 +128,10 @@ type DB struct {
 	storage      storage.Factory
 	nextTabletID atomic.Uint64
 
+	// closed flips once in Close; background roll-forward retry loops
+	// check it so they stop instead of recovering engines of a closed DB.
+	closed atomic.Bool
+
 	mu      sync.RWMutex
 	tablets []*tablet // sorted by start key; tablets[0].start == nil
 
@@ -153,6 +157,11 @@ type Stats struct {
 	// Recoveries counts tablet engine crash-recoveries (manifest load +
 	// WAL replay after an injected or real storage crash).
 	Recoveries int64
+	// RollForwards counts commits whose phase 2 was interrupted by
+	// persistent storage failure and driven to completion asynchronously:
+	// the outcome is reported unknown to the caller, and the writes stay
+	// invisible (locks and safe-time bounds held) until fully applied.
+	RollForwards int64
 }
 
 // New creates (or, with a durable storage factory, recovers) a
@@ -299,11 +308,14 @@ func (db *DB) closeTablets() {
 // engine's WAL already holds everything acknowledged; the next Open
 // replays it). The DB must not be used afterwards.
 func (db *DB) Close() error {
+	db.closed.Store(true)
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.closeTablets()
 	return nil
 }
+
+func (db *DB) isClosed() bool { return db.closed.Load() }
 
 // dbLabel builds the {db=...} label set; empty dbID (internal work, no
 // request context) means no label.

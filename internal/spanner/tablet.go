@@ -337,37 +337,51 @@ func clampRange(begin, end, start, end2 []byte) (lo, hi []byte) {
 // the 2PC coordinator would re-resolve participants; here commits that
 // raced the crash abort and release their own state).
 func (db *DB) recoverTablet(t *tablet, failed storage.Engine) bool {
+	ok, recovered := t.swapRecoveredEngine(db.storage, failed)
+	if recovered {
+		// Stats are bumped strictly after t.mu is released: maybeSplit
+		// and mergeColdLocked take t.mu while holding db.mu, so taking
+		// db.mu under t.mu here would be an AB-BA deadlock.
+		db.mu.Lock()
+		db.stats.Recoveries++
+		db.mu.Unlock()
+		db.count("spanner.tablet_recoveries", "")
+	}
+	return ok
+}
+
+// swapRecoveredEngine re-opens t's engine from disk if failed is still
+// installed. It holds only t.mu (never db.mu — see recoverTablet).
+// recovered reports that this call performed the swap (vs. losing the
+// race or failing).
+func (t *tablet) swapRecoveredEngine(fac storage.Factory, failed storage.Engine) (ok, recovered bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.retired {
 		// Merged away and its directory destroyed; re-opening would
 		// resurrect an empty tablet. Callers re-resolve ownership.
-		return false
+		return false, false
 	}
 	if t.store != failed {
-		return true // someone else already recovered it
+		return true, false // someone else already recovered it
 	}
 	// Close first: after Close returns no stray append can land in the
 	// tablet directory, so the re-open sees a quiesced file set.
 	failed.Close()
-	e, err := db.storage.Open(t.id, t.start, t.end)
+	e, err := fac.Open(t.id, t.start, t.end)
 	if err != nil {
 		// Leave the crashed engine in place; the next observer retries.
-		return false
+		return false, false
 	}
 	if err := e.Commission(); err != nil {
 		e.Close()
-		return false
+		return false, false
 	}
 	t.store = e
 	if lc := e.LastDurable(); lc > t.lastCommit && lc != truetime.Max {
 		t.lastCommit = lc
 	}
-	db.mu.Lock()
-	db.stats.Recoveries++
-	db.mu.Unlock()
-	db.count("spanner.tablet_recoveries", "")
-	return true
+	return true, true
 }
 
 // maybeSplit splits hot or oversized tablets and merges cold neighbors.
@@ -411,12 +425,15 @@ func (db *DB) maybeSplit() {
 }
 
 // splitLocked migrates [midKey, t.end) of t into a new tablet and
-// returns it, or nil if the split could not complete. Caller holds
-// db.mu and t.mu. The durable protocol is crash-ordered: the target is
+// returns it, or nil if the split could not start. Caller holds db.mu
+// and t.mu. The durable protocol is crash-ordered: the target is
 // created pending (recovery removes it if abandoned), receives the
 // chains, is commissioned, and only then does the source narrow its
-// bounds and purge the moved keys — so every crash point leaves exactly
-// one durable owner for every key.
+// bounds and purge the moved keys. Commission is the point of no
+// return: before it, every key's only durable owner is the source and
+// the target is abandoned on failure; after it, the target owns
+// [midKey, end) and the split always completes (source-side failures
+// are absorbed by recovery and restart-time overlap resolution).
 func (db *DB) splitLocked(t *tablet, e storage.Engine, midKey []byte) *tablet {
 	rid := db.allocTabletID()
 	re, err := db.storage.Open(rid, midKey, t.end)
@@ -435,7 +452,10 @@ func (db *DB) splitLocked(t *tablet, e storage.Engine, midKey []byte) *tablet {
 		movedKeys = append(movedKeys, c.Key)
 		return true
 	})
-	if len(moved) == 0 {
+	if len(moved) == 0 || e.Crashed() {
+		// A crash mid-iteration can truncate the chain set; migrating a
+		// partial set would lose keys. Nothing durable happened to the
+		// pending target yet, so abandoning is safe.
 		return abandon()
 	}
 	if err := re.IngestChains(moved); err != nil {
@@ -444,15 +464,16 @@ func (db *DB) splitLocked(t *tablet, e storage.Engine, midKey []byte) *tablet {
 	if err := re.Commission(); err != nil {
 		return abandon()
 	}
-	// The target owns [midKey, end) durably from here. Narrow the
-	// source; on failure the source engine is crashed and recovery
-	// clamps the overlapping bound (DB startup resolves range overlap in
-	// favor of the later tablet).
-	if err := e.SetBounds(t.start, midKey); err != nil {
-		return abandon()
-	}
-	if err := e.PurgeChains(movedKeys); err != nil {
-		return abandon()
+	// The target is the durable owner of [midKey, end) from here on —
+	// it must NEVER be destroyed, or those keys lose their only owner.
+	// Narrow the source; a failure marks the source engine crashed, and
+	// the split still completes: the source tablet's in-memory bounds
+	// clamp serving to [start, midKey), recovery reopens it within those
+	// bounds, and the next restart's overlap resolution (later tablet
+	// wins) plus compaction converge the durable state. A failed purge
+	// likewise leaves only unreachable duplicate chains behind.
+	if err := e.SetBounds(t.start, midKey); err == nil {
+		e.PurgeChains(movedKeys)
 	}
 	right := newTablet(db, rid, re, midKey, t.end)
 	right.lastCommit = t.lastCommit
@@ -485,6 +506,13 @@ func (db *DB) mergeColdLocked() {
 			chains = append(chains, c)
 			return true
 		})
+		if b.store.Crashed() {
+			// A crash mid-iteration can truncate the chain set; absorbing
+			// a partial set and destroying b would lose the rest.
+			b.mu.Unlock()
+			a.mu.Unlock()
+			continue
+		}
 		// Crash ordering: a absorbs b's chains and widens durably before
 		// b's storage is destroyed, so a restart between the steps serves
 		// b's keys from exactly one of the two (overlap clamps to b until

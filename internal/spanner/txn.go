@@ -2,6 +2,7 @@ package spanner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -9,6 +10,7 @@ import (
 
 	"firestore/internal/fault"
 	"firestore/internal/reqctx"
+	"firestore/internal/storage"
 	"firestore/internal/truetime"
 )
 
@@ -249,6 +251,47 @@ func (t *Txn) finish() {
 	t.db.locks.release(t, keys)
 }
 
+// rollForwardAsync drives an interrupted phase 2 to completion in the
+// background: participants[from:] retry their applies (recovering
+// crashed engines between attempts) until they succeed, and only then
+// are the prepare records and row locks released. Snapshot readers
+// block on safe time and transactional readers on the row locks, so the
+// partially applied transaction is never observable — the writes become
+// visible all-at-once or, until then, not at all. Re-applying a batch
+// whose first attempt did reach the WAL is benign: reads resolve the
+// newest version at or below ts, so a duplicate at the same timestamp
+// is invisible.
+func (t *Txn) rollForwardAsync(participants []*tablet, from int, groups map[*tablet][]bufferedWrite, ts truetime.Timestamp) {
+	t.done = true // the txn handle is spent; a later Abort is a no-op
+	db := t.db
+	db.mu.Lock()
+	db.stats.RollForwards++
+	db.mu.Unlock()
+	db.count("spanner.roll_forwards", "")
+	keys := make([]string, 0, len(t.held))
+	for k := range t.held {
+		keys = append(keys, k)
+	}
+	go func() {
+		for _, tab := range participants[from:] {
+			// The client's ctx may be cancelled, but the roll-forward
+			// must outlive it (as a Paxos group's would), so retries run
+			// on a background context. Prepared tablets are exempt from
+			// split and merge, so the participant set stays valid.
+			for !db.isClosed() {
+				if err := tab.apply(context.Background(), groups[tab], ts); err == nil { //fslint:ignore ctxdiscipline commit-lifecycle root: roll-forward must outlive the request that committed
+					break
+				}
+				db.clock.Sleep(time.Millisecond)
+			}
+		}
+		for _, tab := range participants {
+			tab.finish(t)
+		}
+		db.locks.release(t, keys)
+	}()
+}
+
 // Commit atomically applies the buffered writes at a TrueTime timestamp
 // within [minTS, maxTS] (Zero/Max mean unconstrained). It acquires
 // exclusive locks on every written row, runs two-phase commit across the
@@ -374,15 +417,27 @@ func (t *Txn) Commit(ctx context.Context, minTS, maxTS truetime.Timestamp) (_ tr
 	// a participant that crashes mid-apply recovers (manifest + WAL
 	// replay) and the apply rolls forward rather than aborting, so the
 	// batch stays atomic across tablets.
-	for _, tab := range participants {
+	for i, tab := range participants {
 		if err := tab.applyRollForward(ctx, groups[tab], ts); err != nil {
-			// Storage is persistently failing; some participants may have
-			// applied. Report the outcome as unknown (Unavailable) — the
-			// client retries against whatever recovered.
-			for _, p := range participants {
-				p.finish(t)
+			if i == 0 && !errors.Is(err, storage.ErrCrashed) {
+				// Every attempt on the first participant failed cleanly
+				// (nothing reached any WAL), so no participant holds
+				// durable state: aborting keeps the batch atomic.
+				for _, p := range participants {
+					p.finish(t)
+				}
+				t.Abort()
+				return 0, err
 			}
-			t.Abort()
+			// Some participant may already hold the writes durably at ts
+			// (earlier participants definitely do; a crashed engine's WAL
+			// outcome is unknown). Releasing locks now would expose a
+			// partially applied transaction, so instead phase 2 keeps
+			// rolling forward in the background while the row locks and
+			// prepare bounds pin the state out of every reader's view.
+			// The caller sees the outcome as unknown (Unavailable) and
+			// its retry finds the transaction fully applied.
+			t.rollForwardAsync(participants, i, groups, ts)
 			return 0, err
 		}
 		tab.recordOp(int64(len(groups[tab])))

@@ -550,6 +550,24 @@ func (e *Disk) Apply(ctx context.Context, writes []Write, ts truetime.Timestamp)
 	return nil
 }
 
+// pinSegments snapshots the live segment set with a reference held on
+// each, so a compaction that swaps e.segs concurrently cannot close or
+// unlink the files under an in-flight pread. Caller must
+// releaseSegments when done. Caller holds e.mu (read or write).
+func (e *Disk) pinSegmentsLocked() []*segment {
+	segs := append([]*segment(nil), e.segs...)
+	for _, s := range segs {
+		s.incRef()
+	}
+	return segs
+}
+
+func releaseSegments(segs []*segment) {
+	for _, s := range segs {
+		s.decRef()
+	}
+}
+
 // newestAtOrBefore returns the newest version with TS <= ts.
 func newestAtOrBefore(versions []Version, ts truetime.Timestamp) (Version, bool) {
 	for i := len(versions) - 1; i >= 0; i-- {
@@ -576,13 +594,17 @@ func (e *Disk) Get(key []byte, ts truetime.Timestamp) ([]byte, truetime.Timestam
 			return nil, 0, false
 		}
 	}
-	segs := append([]*segment(nil), e.segs...)
+	segs := e.pinSegmentsLocked()
 	e.mu.RUnlock()
+	defer releaseSegments(segs)
 	for i := len(segs) - 1; i >= 0; i-- {
 		c, ok, err := segs[i].get(key)
 		if err != nil {
-			// Racing a crash/close; the caller observes Crashed() and
-			// retries against the recovered engine.
+			// The pin rules out a racing compaction close, so this is
+			// real I/O trouble. A plain not-found here would silently
+			// drop committed data; fail the engine instead so the tablet
+			// layer observes Crashed(), recovers, and retries.
+			e.markDead()
 			return nil, 0, false
 		}
 		if !ok {
@@ -640,13 +662,20 @@ func (e *Disk) resolveRange(lo, hi []byte, ts truetime.Timestamp) []Row {
 		decide(k, c.versions, c.purged)
 		return true
 	})
-	segs := append([]*segment(nil), e.segs...)
+	segs := e.pinSegmentsLocked()
 	e.mu.RUnlock()
+	defer releaseSegments(segs)
 	for i := len(segs) - 1; i >= 0; i-- {
-		segs[i].ascend(lo, hi, func(c Chain) bool {
+		if err := segs[i].ascend(lo, hi, func(c Chain) bool {
 			decide(c.Key, c.Versions, c.Purged)
 			return true
-		})
+		}); err != nil {
+			// Real I/O trouble on a pinned file: fail the engine rather
+			// than return a scan with silently missing rows; the tablet
+			// layer observes Crashed() and retries post-recovery.
+			e.markDead()
+			return nil
+		}
 	}
 	rows := make([]Row, 0, len(m))
 	for k, st := range m {
@@ -714,13 +743,19 @@ func (e *Disk) mergedChains(lo, hi []byte) []Chain {
 		a.versions = append(a.versions, versions...)
 	}
 	e.mu.RLock()
-	segs := append([]*segment(nil), e.segs...)
+	segs := e.pinSegmentsLocked()
 	e.mu.RUnlock()
+	defer releaseSegments(segs)
 	for _, s := range segs {
-		s.ascend(lo, hi, func(c Chain) bool {
+		if err := s.ascend(lo, hi, func(c Chain) bool {
 			layer(c.Key, c.Versions, c.Purged)
 			return true
-		})
+		}); err != nil {
+			// A truncated chain set would migrate partial data during a
+			// split or merge; fail the engine so callers see Crashed().
+			e.markDead()
+			return nil
+		}
 	}
 	e.mu.RLock()
 	e.tab.rows.Ascend(lo, hi, func(k []byte, v any) bool {
@@ -959,6 +994,10 @@ func (e *Disk) maybeCompactLocked() {
 			return true
 		})
 		if err != nil {
+			// Real I/O trouble (e.mu excludes concurrent swaps here):
+			// recovery revalidates the segment set instead of retrying a
+			// doomed compaction at every flush.
+			e.markDead()
 			return
 		}
 	}
@@ -999,8 +1038,11 @@ func (e *Disk) maybeCompactLocked() {
 	e.man = man
 	e.segs = []*segment{seg}
 	for _, s := range olds {
-		s.close()
-		os.Remove(filepath.Join(e.dir, s.meta.Name))
+		// Close and unlink are deferred until in-flight readers that
+		// pinned the old segment set drain (they still see a complete,
+		// consistent view — the new segment holds the same data).
+		s.markObsolete()
+		s.decRef()
 	}
 	e.compactions.Add(1)
 	met := e.metrics()
@@ -1057,7 +1099,7 @@ func (e *Disk) closeFiles() {
 	e.walMu.Unlock()
 	e.mu.Lock()
 	for _, s := range e.segs {
-		s.close()
+		s.decRef() // files stay on disk for recovery; only the fd drops
 	}
 	e.segs = nil
 	e.mu.Unlock()

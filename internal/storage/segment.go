@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync/atomic"
 
 	"firestore/internal/truetime"
 )
@@ -120,17 +121,27 @@ type indexEntry struct {
 	off int64
 }
 
-// segment is an open immutable sorted file of chains.
+// segment is an open immutable sorted file of chains, reference-counted
+// so readers that pread it lock-free never race a compaction's close
+// and unlink: the engine holds one reference, each in-flight reader
+// pins another, and the file is closed (and, once obsoleted by a
+// compaction, unlinked) only when the last reference drains.
 type segment struct {
 	f        *os.File
+	path     string
 	meta     segmentMeta
 	index    []indexEntry
 	indexOff int64
+
+	refs     atomic.Int32
+	obsolete atomic.Bool
 }
 
-// openSegment opens and validates the segment file named by meta.
+// openSegment opens and validates the segment file named by meta. The
+// returned segment carries the caller's (the engine's) reference.
 func openSegment(dir string, meta segmentMeta) (*segment, error) {
-	f, err := os.Open(filepath.Join(dir, meta.Name))
+	path := filepath.Join(dir, meta.Name)
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -139,8 +150,30 @@ func openSegment(dir string, meta segmentMeta) (*segment, error) {
 		f.Close()
 		return nil, err
 	}
+	s.path = path
 	return s, nil
 }
+
+// incRef pins the segment against close/unlink while a reader preads it.
+func (s *segment) incRef() { s.refs.Add(1) }
+
+// decRef releases one reference; the last release closes the file and
+// unlinks it if a compaction marked the segment obsolete. The obsolete
+// store and the refs decrement are both atomic, so whichever goroutine
+// observes zero sees the marker.
+func (s *segment) decRef() {
+	if s.refs.Add(-1) == 0 {
+		s.f.Close()
+		if s.obsolete.Load() {
+			os.Remove(s.path)
+		}
+	}
+}
+
+// markObsolete schedules the segment file for deletion once every
+// reference drains. Called by compaction after the manifest stops
+// referencing the file.
+func (s *segment) markObsolete() { s.obsolete.Store(true) }
 
 func loadSegment(f *os.File, meta segmentMeta) (*segment, error) {
 	fi, err := f.Stat()
@@ -187,10 +220,10 @@ func loadSegment(f *os.File, meta segmentMeta) (*segment, error) {
 		return nil, fmt.Errorf("storage: segment %s index corrupt", meta.Name)
 	}
 	meta.Chains = int(count)
-	return &segment{f: f, meta: meta, index: index, indexOff: indexOff}, nil
+	s := &segment{f: f, meta: meta, index: index, indexOff: indexOff}
+	s.refs.Store(1)
+	return s, nil
 }
-
-func (s *segment) close() error { return s.f.Close() }
 
 // seekOff returns the file offset at which a forward parse can start to
 // find key (the greatest sparse entry <= key, or the first chain).
