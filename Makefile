@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet lint build test test-race race-pipeline race-obs debug-smoke chaos-smoke chaos-recovery bulk-durable fuzz bench
+.PHONY: verify fmt-check vet lint build test test-race race-pipeline race-obs debug-smoke chaos-smoke chaos-recovery bulk-durable bench-planner fuzz bench
 
 verify: fmt-check vet build lint test-race
 
@@ -58,6 +58,11 @@ chaos-recovery:
 # must hold >= 0.2x in-memory docs/s and recover every doc on restart.
 bulk-durable:
 	$(GO) test -run 'TestBulkLoadDurableParity' -v ./internal/bench/
+
+# Cost-based planner gate: the plan picked on every ABL4 query shape
+# must visit <= 1.25x the index entries of the oracle-best alternative.
+bench-planner:
+	$(GO) test -run 'TestPlannerOracleParity' -v ./internal/bench/
 
 # Short fuzz pass over the trigger-payload decoder.
 fuzz:

@@ -6,7 +6,7 @@
 //
 //	firestore-bench -fig 6            # one figure: 6, 7, 8, 9, 10a, 10b, 11
 //	firestore-bench -tab 1            # the ease-of-use table
-//	firestore-bench -abl zigzag       # ablations: zigzag, multiregion, shedding
+//	firestore-bench -abl zigzag       # ablations: zigzag, multiregion, shedding, planner
 //	firestore-bench -bulk             # YCSB bulk load: sequential Set vs BulkWriter
 //	firestore-bench -chaos list       # list fault-injection scenarios
 //	firestore-bench -chaos accept-blackhole -seed 7   # run one scenario
@@ -28,7 +28,7 @@ import (
 func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 6, 7, 8, 7+8, 9, 10a, 10b, 11")
 	tab := flag.String("tab", "", "table to regenerate: 1")
-	abl := flag.String("abl", "", "ablation to run: zigzag, multiregion, shedding")
+	abl := flag.String("abl", "", "ablation to run: zigzag, multiregion, shedding, planner")
 	bulk := flag.Bool("bulk", false, "run the YCSB bulk-load comparison (sequential Set vs BulkWriter)")
 	bulkDurable := flag.Bool("bulk-durable", false, "run the BulkWriter load on in-memory vs durable storage (WAL + segments) and verify restart recovery")
 	chaosName := flag.String("chaos", "", "fault-injection scenario to run (or \"list\", \"all\")")
@@ -59,6 +59,7 @@ func main() {
 		bench.AblZigzag(opts).Fprint(out)
 		bench.AblMultiRegion(opts).Fprint(out)
 		bench.AblShedding(opts).Fprint(out)
+		bench.AblPlanner(opts).Fprint(out)
 		bench.BulkLoad(opts).Fprint(out)
 		if *spans {
 			printSpans(out)
@@ -112,6 +113,8 @@ func main() {
 			bench.AblMultiRegion(opts).Fprint(out)
 		case "shedding":
 			bench.AblShedding(opts).Fprint(out)
+		case "planner":
+			bench.AblPlanner(opts).Fprint(out)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown ablation %q\n", *abl)
 			os.Exit(2)

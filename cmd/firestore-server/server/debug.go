@@ -29,6 +29,7 @@ type DebugOptions struct {
 //	/debug/storagez  per-tablet storage engines (WAL, memtable, segments)
 //	/debug/listenz   real-time connections and cache ranges
 //	/debug/faultz    fault-injection plane (GET inventory; POST enable/disable)
+//	/debug/advisorz  index advisor: per-query-shape planner outcomes (?db=)
 //
 // Debug requests bypass the ingress span so scrapes do not pollute the
 // RPC metrics they report.
@@ -41,6 +42,7 @@ func (s *Server) EnableDebug(opts DebugOptions) {
 	s.mux.HandleFunc("/debug/storagez", s.storagez)
 	s.mux.HandleFunc("/debug/listenz", s.listenz)
 	s.mux.HandleFunc("/debug/faultz", s.faultz)
+	s.mux.HandleFunc("/debug/advisorz", s.advisorz)
 	if opts.Pprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -224,6 +226,15 @@ func (s *Server) faultz(w http.ResponseWriter, r *http.Request) {
 	default:
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 	}
+}
+
+// advisorz reports the index advisor: per-query-shape planner choices,
+// scanned:returned ratios, and composite index suggestions for shapes
+// that scan far more entries than they return.
+func (s *Server) advisorz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"shapes": s.region.Backend.AdvisorReport(r.URL.Query().Get("db")),
+	})
 }
 
 func (s *Server) listenz(w http.ResponseWriter, r *http.Request) {

@@ -341,8 +341,40 @@ type queryJSON struct {
 	StartAfter []any `json:"startAfter"`
 	EndAt      []any `json:"endAt"`
 	EndBefore  []any `json:"endBefore"`
-	// Count executes the query as a COUNT aggregation.
+	// Count executes the query as a COUNT aggregation. Deprecated wire
+	// form kept for old clients; Aggregations is the general mechanism.
 	Count bool `json:"count"`
+	// Aggregations executes the query as an aggregation request: every
+	// listed aggregation is computed at one snapshot timestamp, entirely
+	// from index entries (count/sum/avg; field required for sum/avg).
+	Aggregations []aggregationJSON `json:"aggregations"`
+	// Explain returns the planner's alternatives and cost estimates
+	// instead of results; Analyze additionally executes every
+	// alternative and reports actual index entries visited.
+	Explain bool `json:"explain"`
+	Analyze bool `json:"analyze"`
+}
+
+// aggregationJSON is the wire form of one aggregation.
+type aggregationJSON struct {
+	Op    string `json:"op"`    // "count", "sum", or "avg"
+	Field string `json:"field"` // aggregated field; empty for count
+	Alias string `json:"alias"` // result key
+}
+
+func (aj aggregationJSON) build() (query.Aggregation, error) {
+	a := query.Aggregation{Path: doc.FieldPath(aj.Field), Alias: aj.Alias}
+	switch aj.Op {
+	case "count":
+		a.Kind = query.AggCount
+	case "sum":
+		a.Kind = query.AggSum
+	case "avg":
+		a.Kind = query.AggAvg
+	default:
+		return a, fmt.Errorf("unknown aggregation op %q", aj.Op)
+	}
+	return a, nil
 }
 
 // cursorFromJSON converts one of a pair of wire cursor variants (the
@@ -432,6 +464,39 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request) {
 	q, err := qj.build()
 	if err != nil {
 		badRequest(w, err)
+		return
+	}
+	if qj.Explain || qj.Analyze {
+		alts, readTS, err := s.region.Backend.ExplainQuery(r.Context(), r.PathValue("db"), principal(r), q, qj.Analyze, 0)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"plan":         alts[0],
+			"alternatives": alts[1:],
+			"readTime":     int64(readTS),
+		})
+		return
+	}
+	if len(qj.Aggregations) > 0 {
+		aggs := make([]query.Aggregation, len(qj.Aggregations))
+		for i, aj := range qj.Aggregations {
+			if aggs[i], err = aj.build(); err != nil {
+				badRequest(w, err)
+				return
+			}
+		}
+		res, readTS, err := s.region.Backend.RunAggregation(r.Context(), r.PathValue("db"), principal(r), q, aggs, 0)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		vals := make(map[string]any, len(res.Values))
+		for alias, v := range res.Values {
+			vals[alias] = valueToJSON(v)
+		}
+		writeJSON(w, map[string]any{"aggregations": vals, "readTime": int64(readTS)})
 		return
 	}
 	if qj.Count {

@@ -357,3 +357,114 @@ func TestCountOverHTTP(t *testing.T) {
 		t.Fatalf("count = %d, want 4", out.Count)
 	}
 }
+
+func TestAggregationsOverHTTP(t *testing.T) {
+	ts := newServer(t)
+	do(t, ts, "POST", "/v1/databases", map[string]string{"id": "app"}, nil)
+	for i := 0; i < 8; i++ {
+		do(t, ts, "PUT", fmt.Sprintf("/v1/databases/app/docs/games/g%d", i), map[string]any{
+			"score": i,
+		}, nil)
+	}
+	resp, body := do(t, ts, "POST", "/v1/databases/app/query", map[string]any{
+		"collection": "/games",
+		"aggregations": []map[string]any{
+			{"op": "count", "alias": "n"},
+			{"op": "sum", "field": "score", "alias": "total"},
+			{"op": "avg", "field": "score", "alias": "mean"},
+		},
+	}, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("aggregate: %d %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Aggregations map[string]any `json:"aggregations"`
+		ReadTime     int64          `json:"readTime"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ReadTime == 0 {
+		t.Fatal("missing readTime")
+	}
+	// JSON numbers decode as float64.
+	if got := out.Aggregations["n"]; got != float64(8) {
+		t.Errorf("count = %v, want 8", got)
+	}
+	if got := out.Aggregations["total"]; got != float64(28) {
+		t.Errorf("sum = %v, want 28", got)
+	}
+	if got := out.Aggregations["mean"]; got != float64(3.5) {
+		t.Errorf("avg = %v, want 3.5", got)
+	}
+
+	// Malformed op is a 400, not a silent zero.
+	resp, _ = do(t, ts, "POST", "/v1/databases/app/query", map[string]any{
+		"collection":   "/games",
+		"aggregations": []map[string]any{{"op": "median", "field": "score", "alias": "m"}},
+	}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad op = %d, want 400", resp.StatusCode)
+	}
+
+	// Legacy count:true keeps working.
+	resp, body = do(t, ts, "POST", "/v1/databases/app/query", map[string]any{
+		"collection": "/games", "count": true,
+	}, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("legacy count: %d %s", resp.StatusCode, body)
+	}
+	var cnt struct {
+		Count int64 `json:"count"`
+	}
+	if err := json.Unmarshal(body, &cnt); err != nil {
+		t.Fatal(err)
+	}
+	if cnt.Count != 8 {
+		t.Fatalf("legacy count = %d, want 8", cnt.Count)
+	}
+}
+
+func TestExplainOverHTTP(t *testing.T) {
+	ts := newServer(t)
+	do(t, ts, "POST", "/v1/databases", map[string]string{"id": "app"}, nil)
+	for i := 0; i < 6; i++ {
+		do(t, ts, "PUT", fmt.Sprintf("/v1/databases/app/docs/r/x%d", i), map[string]any{
+			"a": i % 2, "b": i % 3,
+		}, nil)
+	}
+	resp, body := do(t, ts, "POST", "/v1/databases/app/query", map[string]any{
+		"collection": "/r",
+		"where": []map[string]any{
+			{"field": "a", "op": "==", "value": 0},
+			{"field": "b", "op": "==", "value": 0},
+		},
+		"explain": true,
+		"analyze": true,
+	}, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("explain: %d %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Plan struct {
+			Plan    string `json:"plan"`
+			Choice  string `json:"choice"`
+			Chosen  bool   `json:"chosen"`
+			Results int    `json:"results"`
+		} `json:"plan"`
+		Alternatives []map[string]any `json:"alternatives"`
+		ReadTime     int64            `json:"readTime"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Plan.Chosen || out.Plan.Choice != "zigzag" {
+		t.Fatalf("chosen plan = %+v, want zigzag", out.Plan)
+	}
+	if out.Plan.Results != 1 { // only x0 has a==0 and b==0
+		t.Fatalf("analyze results = %d, want 1", out.Plan.Results)
+	}
+	if out.ReadTime == 0 {
+		t.Fatal("missing readTime")
+	}
+}

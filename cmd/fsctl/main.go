@@ -16,6 +16,8 @@
 //	get <path>                         read a document
 //	delete <path>                      delete a document
 //	query <json>                       run a query (see firestore-server docs)
+//	explain <json> [analyze]           show the planner's alternatives and costs
+//	advisor                            index advisor report from /debug/advisorz
 //	scan <collection> [pageSize]       page through a whole collection by cursor
 //	watch <collection>                 stream real-time snapshots (SSE)
 //	stats [metric-substring]           scrape /debug/metricz and pretty-print
@@ -72,6 +74,10 @@ func main() {
 		err = c.simple("DELETE", "/docs", args[1:])
 	case "query":
 		err = c.query(args[1:])
+	case "explain":
+		err = c.explain(args[1:])
+	case "advisor":
+		err = c.advisor(args[1:])
 	case "scan":
 		err = c.scan(args[1:])
 	case "watch":
@@ -181,6 +187,101 @@ func (c *cli) query(args []string) error {
 		return fmt.Errorf("query <json>")
 	}
 	return c.echo("POST", c.dbPath("/query"), args[0])
+}
+
+// explain posts the query with the explain flag set and renders the
+// planner's chosen plan and its rejected alternatives with cost
+// estimates; with "analyze", every alternative is also executed so
+// estimated and actual index entries visited appear side by side.
+func (c *cli) explain(args []string) error {
+	if len(args) < 1 || len(args) > 2 || (len(args) == 2 && args[1] != "analyze") {
+		return fmt.Errorf("explain <json> [analyze]")
+	}
+	var q map[string]any
+	if err := json.Unmarshal([]byte(args[0]), &q); err != nil {
+		return fmt.Errorf("explain: %v", err)
+	}
+	q["explain"] = true
+	analyze := len(args) == 2
+	if analyze {
+		q["analyze"] = true
+	}
+	body, err := json.Marshal(q)
+	if err != nil {
+		return err
+	}
+	resp, err := c.request("POST", c.dbPath("/query"), string(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(buf.String()))
+	}
+	type alt struct {
+		Plan          string `json:"plan"`
+		Choice        string `json:"choice"`
+		Cost          int64  `json:"cost"`
+		Chosen        bool   `json:"chosen"`
+		ActualEntries int    `json:"actualEntries"`
+		Results       int    `json:"results"`
+	}
+	var view struct {
+		Plan         alt   `json:"plan"`
+		Alternatives []alt `json:"alternatives"`
+		ReadTime     int64 `json:"readTime"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return err
+	}
+	emit := func(marker string, a alt) {
+		line := fmt.Sprintf("%s %-10s est=%-8d %s", marker, a.Choice, a.Cost, a.Plan)
+		if analyze {
+			line += fmt.Sprintf("  [actual=%d results=%d]", a.ActualEntries, a.Results)
+		}
+		fmt.Println(line)
+	}
+	emit("*", view.Plan)
+	for _, a := range view.Alternatives {
+		emit(" ", a)
+	}
+	return nil
+}
+
+// advisor renders the index advisor report: per-query-shape planner
+// choices, scan efficiency, and composite index suggestions for shapes
+// scanning far more entries than they return.
+func (c *cli) advisor(args []string) error {
+	if len(args) != 0 {
+		return fmt.Errorf("advisor takes no arguments")
+	}
+	var view struct {
+		Shapes []struct {
+			Shape     string `json:"shape"`
+			Choice    string `json:"choice"`
+			Queries   int64  `json:"queries"`
+			Scanned   int64  `json:"scanned"`
+			Results   int64  `json:"results"`
+			Suggested string `json:"suggested"`
+		} `json:"shapes"`
+	}
+	if err := c.getJSON("/debug/advisorz?db="+c.db, &view); err != nil {
+		return err
+	}
+	if len(view.Shapes) == 0 {
+		fmt.Println("no queries observed yet")
+		return nil
+	}
+	fmt.Printf("%-10s %8s %10s %8s  %s\n", "CHOICE", "QUERIES", "SCANNED", "RESULTS", "SHAPE")
+	for _, s := range view.Shapes {
+		fmt.Printf("%-10s %8d %10d %8d  %s\n", s.Choice, s.Queries, s.Scanned, s.Results, s.Shape)
+		if s.Suggested != "" {
+			fmt.Printf("%32s suggest: %s\n", "", s.Suggested)
+		}
+	}
+	return nil
 }
 
 // scan pages through an entire collection in name order, one JSON

@@ -185,18 +185,16 @@ func (q Query) GetAll(ctx context.Context) ([]*DocumentSnapshot, error) {
 
 // Count executes the query as a COUNT aggregation: the result comes
 // entirely from index scans with no documents fetched or returned.
+//
+// Deprecated: Count is a thin wrapper over NewAggregationQuery, which
+// also supports SUM and AVG and multiple aggregations per request.
 func (q Query) Count(ctx context.Context) (int64, error) {
-	iq, err := q.build()
+	res, err := q.NewAggregationQuery().WithCount("count").Get(ctx)
 	if err != nil {
 		return 0, err
 	}
-	var n int64
-	err = withRetry(ctx, func() error {
-		var err error
-		n, _, err = q.c.region.Backend.RunCount(ctx, q.c.dbID, q.c.p, iq, 0)
-		return err
-	})
-	return n, err
+	n, _ := res["count"].(int64)
+	return n, nil
 }
 
 // QuerySnapshot is one consistent view of a real-time query's results.

@@ -21,6 +21,7 @@ import (
 	"firestore/internal/encoding"
 	"firestore/internal/fault"
 	"firestore/internal/index"
+	"firestore/internal/obs"
 	"firestore/internal/query"
 	"firestore/internal/reqctx"
 	"firestore/internal/rtcache"
@@ -131,6 +132,9 @@ type Config struct {
 	// MaxCommitWindow bounds how far past "now" a commit timestamp may
 	// be (the max commit timestamp M in §IV-D2 step 5). Default 1s.
 	MaxCommitWindow time.Duration
+	// Obs, when set, records query-planner metrics (plan choices,
+	// estimated vs actual entries scanned).
+	Obs *obs.Registry
 	// FailureHooks inject the §IV-D2 failure modes in tests.
 	FailureHooks FailureHooks
 }
@@ -159,6 +163,9 @@ type Backend struct {
 	// batchKeys remembers scheduler keys whose batch weight is already
 	// installed, so schedKey sets it once per key rather than per RPC.
 	batchKeys sync.Map
+	// advisor aggregates per-query-shape planner outcomes for the index
+	// suggestion report.
+	advisor advisor
 }
 
 // New creates a Backend.
@@ -300,6 +307,10 @@ func (b *Backend) commitOps(ctx context.Context, db *catalog.Database, p Princip
 	changes := make([]change, 0, len(ops))
 	names := make([]doc.Name, 0, len(ops))
 	muts := make([]rtcache.Mutation, 0, len(ops))
+	// Planner statistics deltas, applied only after the Spanner commit
+	// succeeds so estimates track durable state.
+	var statRemoved, statAdded []index.Entry
+	docDeltas := map[string]int64{}
 	for i, op := range ops {
 		// failOp routes an op-level failure: recorded and skipped in
 		// per-op mode, transaction-fatal otherwise.
@@ -368,13 +379,21 @@ func (b *Backend) commitOps(ctx context.Context, db *catalog.Database, p Princip
 		} else if ch.old != nil {
 			txn.Delete(db.EntityKey(nameEnc))
 		}
-		removed, added := index.Diff(ch.old, ch.new, meta.Composites, &meta.Exemptions)
-		for _, k := range removed {
-			txn.Delete(db.IndexKey(k))
+		removed, added := index.DiffEntries(ch.old, ch.new, meta.Composites, &meta.Exemptions)
+		for _, e := range removed {
+			txn.Delete(db.IndexKey(e.Key))
 		}
 		nameText := []byte(ch.op.Name.String())
-		for _, k := range added {
-			txn.Put(db.IndexKey(k), nameText)
+		for _, e := range added {
+			txn.Put(db.IndexKey(e.Key), nameText)
+		}
+		statRemoved = append(statRemoved, removed...)
+		statAdded = append(statAdded, added...)
+		switch {
+		case ch.old == nil && ch.new != nil:
+			docDeltas[ch.op.Name.Collection().String()]++
+		case ch.old != nil && ch.new == nil:
+			docDeltas[ch.op.Name.Collection().String()]--
 		}
 		changes = append(changes, ch)
 		names = append(names, ch.op.Name)
@@ -423,6 +442,14 @@ func (b *Backend) commitOps(ctx context.Context, db *catalog.Database, p Princip
 			b.cache.Accept(ctx, writeID, rtcache.OutcomeFailure, 0, nil)
 		}
 		return 0, err
+	}
+
+	// Commit durable: fold the index-entry diff into the planner's
+	// cardinality statistics.
+	stats := db.Stats()
+	stats.ApplyDiff(statRemoved, statAdded)
+	for coll, delta := range docDeltas {
+		stats.ApplyDoc(coll, delta)
 	}
 
 	// Step 7: finish the two-phase commit with the Accept carrying the

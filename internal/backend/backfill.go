@@ -39,6 +39,7 @@ func (b *Backend) AddCompositeIndex(ctx context.Context, dbID string, def index.
 func (b *Backend) backfill(ctx context.Context, db *catalog.Database, def index.Definition) error {
 	return b.scanAllDocuments(ctx, db, func(batch []*doc.Document) error {
 		txn := db.Spanner.Begin()
+		var added []index.Entry
 		for _, snap := range batch {
 			if snap.Name.Collection().ID() != def.Collection {
 				continue
@@ -54,17 +55,23 @@ func (b *Backend) backfill(ctx context.Context, db *catalog.Database, def index.
 			if d == nil {
 				continue
 			}
-			for _, key := range index.Entries(d, []index.Definition{def}, nil) {
-				// Entries() computed with only this def still includes
+			for _, e := range index.EntryList(d, []index.Definition{def}, nil) {
+				// EntryList() computed with only this def still includes
 				// the automatic entries; keep only this index's.
-				if !hasIDPrefix(key, def.ID) {
+				if !hasIDPrefix(e.Key, def.ID) {
 					continue
 				}
-				txn.Put(db.IndexKey(key), []byte(d.Name.String()))
+				txn.Put(db.IndexKey(e.Key), []byte(d.Name.String()))
+				added = append(added, e)
 			}
 		}
-		_, err := txn.Commit(ctx, 0, 0)
-		return err
+		if _, err := txn.Commit(ctx, 0, 0); err != nil {
+			return err
+		}
+		// Fold the committed batch into the planner statistics so the
+		// index is costed sensibly as soon as it becomes ready.
+		db.Stats().ApplyDiff(nil, added)
+		return nil
 	})
 }
 
@@ -76,6 +83,7 @@ func (b *Backend) RemoveCompositeIndex(ctx context.Context, dbID string, id uint
 		return err
 	}
 	db.RemoveComposite(id)
+	db.Stats().DropIndex(id)
 	// Backremoval: delete the index's whole IndexEntries range in
 	// batches.
 	prefix := index.IDPrefix(id)

@@ -9,6 +9,7 @@ import (
 	"firestore/internal/catalog"
 	"firestore/internal/doc"
 	"firestore/internal/encoding"
+	"firestore/internal/obs"
 	"firestore/internal/query"
 	"firestore/internal/rules"
 	"firestore/internal/spanner"
@@ -113,10 +114,11 @@ func (b *Backend) RunQuery(ctx context.Context, dbID string, p Principal, q *que
 			return nil, 0, err
 		}
 	}
-	plan, err := query.BuildPlan(q, meta.ReadyComposites(), &meta.Exemptions)
+	plan, err := query.BuildPlanWithStats(q, meta.ReadyComposites(), &meta.Exemptions, db.Stats())
 	if err != nil {
 		return nil, 0, err
 	}
+	b.notePlan(dbID, plan)
 	if readTS == 0 {
 		readTS = db.Spanner.StrongReadTimestamp()
 	}
@@ -134,6 +136,7 @@ func (b *Backend) RunQuery(ctx context.Context, dbID string, p Principal, q *que
 	if err != nil {
 		return nil, 0, err
 	}
+	b.noteActual(dbID, q, plan, res.ScannedEntries, len(res.Docs))
 	if b.cfg.Billing != nil {
 		n := int64(len(res.Docs))
 		if n == 0 {
@@ -144,32 +147,34 @@ func (b *Backend) RunQuery(ctx context.Context, dbID string, p Principal, q *que
 	return res, readTS, nil
 }
 
-// RunCount executes q as a COUNT aggregation (§VIII): the count comes
-// entirely from index work with no document fetches, and billing charges
-// one read per 1000 index entries examined rather than per result, so
-// counting millions of documents stays pay-as-you-go.
-func (b *Backend) RunCount(ctx context.Context, dbID string, p Principal, q *query.Query, readTS truetime.Timestamp) (int64, truetime.Timestamp, error) {
+// RunAggregation executes q's aggregations (§VIII): COUNT, SUM, and AVG
+// all resolve entirely from index entries — SUM/AVG decode the
+// aggregated field out of the index key's sort suffix — with no document
+// fetches, at one snapshot timestamp. Billing charges one read per 1000
+// index entries examined rather than per result, so aggregating millions
+// of documents stays pay-as-you-go; partial work is billed even when
+// execution fails mid-scan.
+func (b *Backend) RunAggregation(ctx context.Context, dbID string, p Principal, q *query.Query, aggs []query.Aggregation, readTS truetime.Timestamp) (*query.AggregationResult, truetime.Timestamp, error) {
 	db, err := b.cat.Get(dbID)
 	if err != nil {
-		return 0, 0, err
+		return nil, 0, err
 	}
 	meta := db.Meta()
 	if !p.Privileged {
 		if meta.Rules == nil {
-			return 0, 0, fmt.Errorf("%w: no rules deployed", rules.ErrDenied)
+			return nil, 0, fmt.Errorf("%w: no rules deployed", rules.ErrDenied)
 		}
 		probe, perr := q.Collection.Doc("?")
 		if perr != nil {
-			return 0, 0, perr
+			return nil, 0, perr
 		}
 		req := &rules.Request{Method: rules.MethodList, Path: probe, Auth: p.Auth}
 		if err := meta.Rules.Authorize(req); err != nil {
-			return 0, 0, err
+			return nil, 0, err
 		}
 	}
-	plan, err := query.BuildPlan(q, meta.ReadyComposites(), &meta.Exemptions)
-	if err != nil {
-		return 0, 0, err
+	if err := query.ValidateAggregations(q, aggs); err != nil {
+		return nil, 0, err
 	}
 	if readTS == 0 {
 		readTS = db.Spanner.StrongReadTimestamp()
@@ -178,21 +183,151 @@ func (b *Backend) RunCount(ctx context.Context, dbID string, p Principal, q *que
 	if b.cfg.Costs.Query != nil {
 		cost = b.cfg.Costs.Query(dbID, q)
 	}
-	var res *query.CountResult
-	err = b.submit(ctx, "backend.count", b.schedKey(dbID, p), cost, func(ctx context.Context) error {
+	// Every aggregation (the base query and each SUM/AVG field variant)
+	// is planned with the cost-based planner against current statistics.
+	planner := func(vq *query.Query) (*query.Plan, error) {
+		pl, perr := query.BuildPlanWithStats(vq, meta.ReadyComposites(), &meta.Exemptions, db.Stats())
+		if perr != nil {
+			return nil, perr
+		}
+		b.notePlan(dbID, pl)
+		return pl, nil
+	}
+	var res *query.AggregationResult
+	err = b.submit(ctx, "backend.aggregate", b.schedKey(dbID, p), cost, func(ctx context.Context) error {
 		st := &snapshotStorage{db: db, ts: readTS}
 		var qerr error
-		res, qerr = plan.ExecuteCount(ctx, st)
+		res, qerr = query.ExecuteAggregations(ctx, st, q, aggs, planner)
 		return qerr
 	})
-	if err != nil {
-		return 0, 0, err
-	}
-	if b.cfg.Billing != nil {
+	// Bill the index work performed even when the scan failed partway —
+	// the entries were visited regardless of the outcome.
+	if b.cfg.Billing != nil && res != nil {
 		reads := int64(res.ScannedEntries/1000) + 1
 		b.cfg.Billing.RecordReads(dbID, reads)
 	}
-	return res.Count, readTS, nil
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, readTS, nil
+}
+
+// RunCount executes q as a COUNT aggregation. Kept as a convenience
+// wrapper over RunAggregation for existing callers.
+func (b *Backend) RunCount(ctx context.Context, dbID string, p Principal, q *query.Query, readTS truetime.Timestamp) (int64, truetime.Timestamp, error) {
+	res, ts, err := b.RunAggregation(ctx, dbID, p, q,
+		[]query.Aggregation{{Kind: query.AggCount, Alias: "count"}}, readTS)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Values["count"].IntVal(), ts, nil
+}
+
+// PlanExplain describes one plan alternative the cost-based planner
+// considered for a query, in the order considered (the chosen plan
+// first).
+type PlanExplain struct {
+	// Plan is the human-readable plan description.
+	Plan string `json:"plan"`
+	// Choice is the plan family: composite, auto, zigzag, or entities.
+	Choice string `json:"choice"`
+	// Cost is the planner's estimated index entries visited.
+	Cost int64 `json:"cost"`
+	// Chosen marks the plan the planner would execute.
+	Chosen bool `json:"chosen"`
+	// ActualEntries and Results report a full drain of the alternative
+	// when explain runs in analyze mode.
+	ActualEntries int `json:"actualEntries,omitempty"`
+	Results       int `json:"results,omitempty"`
+}
+
+// ExplainQuery enumerates and costs every plan alternative for q without
+// serving results. With analyze set, each alternative is also executed
+// to exhaustion at one shared snapshot so estimated and actual entries
+// visited can be compared side by side.
+func (b *Backend) ExplainQuery(ctx context.Context, dbID string, p Principal, q *query.Query, analyze bool, readTS truetime.Timestamp) ([]PlanExplain, truetime.Timestamp, error) {
+	db, err := b.cat.Get(dbID)
+	if err != nil {
+		return nil, 0, err
+	}
+	meta := db.Meta()
+	if !p.Privileged {
+		if meta.Rules == nil {
+			return nil, 0, fmt.Errorf("%w: no rules deployed", rules.ErrDenied)
+		}
+		probe, perr := q.Collection.Doc("?")
+		if perr != nil {
+			return nil, 0, perr
+		}
+		req := &rules.Request{Method: rules.MethodList, Path: probe, Auth: p.Auth}
+		if err := meta.Rules.Authorize(req); err != nil {
+			return nil, 0, err
+		}
+	}
+	alts, err := query.EnumeratePlans(q, meta.ReadyComposites(), &meta.Exemptions, db.Stats())
+	if err != nil {
+		return nil, 0, err
+	}
+	if readTS == 0 {
+		readTS = db.Spanner.StrongReadTimestamp()
+	}
+	out := make([]PlanExplain, len(alts))
+	for i, alt := range alts {
+		out[i] = PlanExplain{
+			Plan:   alt.Plan.String(),
+			Choice: alt.Plan.Choice,
+			Cost:   alt.Cost,
+			Chosen: i == 0,
+		}
+		if !analyze {
+			continue
+		}
+		st := &snapshotStorage{db: db, ts: readTS}
+		scanned, results, aerr := drainPlan(ctx, st, alt.Plan)
+		if aerr != nil {
+			return nil, 0, aerr
+		}
+		out[i].ActualEntries = scanned
+		out[i].Results = results
+	}
+	return out, readTS, nil
+}
+
+// drainPlan executes a plan to exhaustion, following resume tokens, and
+// reports total index entries visited and result rows produced.
+func drainPlan(ctx context.Context, st query.Storage, p *query.Plan) (scanned, results int, err error) {
+	var resume []byte
+	for {
+		res, err := p.Execute(ctx, st, resume)
+		if err != nil {
+			return scanned, results, err
+		}
+		scanned += res.ScannedEntries
+		results += len(res.Docs)
+		if res.Resume == nil {
+			return scanned, results, nil
+		}
+		resume = res.Resume
+	}
+}
+
+// notePlan records a planning decision in the obs registry: which plan
+// family won and the estimated entries it will visit.
+func (b *Backend) notePlan(dbID string, p *query.Plan) {
+	if b.cfg.Obs == nil {
+		return
+	}
+	b.cfg.Obs.Counter("query.plans_total", obs.Labels{"db": dbID, "choice": p.Choice}).Inc()
+	b.cfg.Obs.Histogram("query.plan_estimated_entries", obs.DB(dbID)).Record(time.Duration(p.Cost))
+}
+
+// noteActual records a query execution's observed index work, feeding
+// both the estimated-vs-actual histograms and the index advisor.
+func (b *Backend) noteActual(dbID string, q *query.Query, p *query.Plan, scanned, results int) {
+	if b.cfg.Obs != nil {
+		b.cfg.Obs.Histogram("query.plan_actual_entries", obs.DB(dbID)).Record(time.Duration(scanned))
+	}
+	b.advisor.record(dbID, q, p, scanned, results)
 }
 
 // snapshotStorage adapts a database snapshot to the query executor's

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"firestore/internal/backend"
+	"firestore/internal/core"
+	"firestore/internal/doc"
+	"firestore/internal/index"
+	"firestore/internal/query"
+)
+
+// AblPlanner scores the cost-based query planner against an oracle: for
+// each query shape on the ABL1 restaurant workload, every legal plan
+// alternative is executed to exhaustion and the planner's pick is
+// compared to the alternative that actually visited the fewest index
+// entries. A perfect planner scores ratio 1.0 on every shape.
+func AblPlanner(opts Options) *Table {
+	t, _ := AblPlannerScore(opts)
+	return t
+}
+
+// AblPlannerScore runs the ABL4 ablation and also returns the worst
+// chosen:best entries-visited ratio across shapes, the number CI gates
+// on (cost-picked plan ≤ 1.25× oracle-best).
+func AblPlannerScore(opts Options) (*Table, float64) {
+	region := core.NewRegion(core.Config{Seed: opts.Seed})
+	defer region.Close()
+	region.CreateDatabase("abl")
+	ctx := context.Background()
+	n := opts.scaledN(4000, 500)
+	opts.logf("abl planner: seeding %d docs", n)
+
+	// The ABL1 dataset, with a numeric field for inequality shapes.
+	cities := []string{"SF", "NY", "LA", "CHI"}
+	types := []string{"BBQ", "Sushi", "Pizza", "Thai"}
+	for i := 0; i < n; i++ {
+		region.Commit(ctx, "abl", privileged, []backend.WriteOp{{
+			Kind: backend.OpSet, Name: doc.MustName(fmt.Sprintf("/restaurants/r%06d", i)),
+			Fields: map[string]doc.Value{
+				"city":       doc.String(cities[i%len(cities)]),
+				"type":       doc.String(types[(i/len(cities))%len(types)]),
+				"numRatings": doc.Int(int64(i % 500)),
+			},
+		}})
+	}
+	comp := index.CompositeDef("restaurants",
+		index.Field{Path: "city", Dir: index.Ascending},
+		index.Field{Path: "type", Dir: index.Ascending})
+	if err := region.AddCompositeIndex(ctx, "abl", comp); err != nil {
+		opts.logf("abl planner: backfill: %v", err)
+	}
+
+	coll := doc.MustCollection("/restaurants")
+	shapes := []struct {
+		name string
+		q    *query.Query
+	}{
+		{"city== type== (composite exists)", &query.Query{Collection: coll,
+			Predicates: []query.Predicate{
+				{Path: "city", Op: query.Eq, Value: doc.String("SF")},
+				{Path: "type", Op: query.Eq, Value: doc.String("BBQ")},
+			}}},
+		{"city== (single equality)", &query.Query{Collection: coll,
+			Predicates: []query.Predicate{
+				{Path: "city", Op: query.Eq, Value: doc.String("SF")},
+			}}},
+		{"city== numRatings> (no composite)", &query.Query{Collection: coll,
+			Predicates: []query.Predicate{
+				{Path: "city", Op: query.Eq, Value: doc.String("SF")},
+				{Path: "numRatings", Op: query.Gt, Value: doc.Int(400)},
+			}}},
+		{"bare collection", &query.Query{Collection: coll}},
+		{"order by numRatings desc", &query.Query{Collection: coll,
+			Orders: []query.Order{{Path: "numRatings", Dir: index.Descending}}}},
+	}
+
+	t := &Table{
+		ID:      "ABL4",
+		Title:   "cost-based planner vs oracle-best alternative (actual index entries visited)",
+		Columns: []string{"query shape", "chosen", "est", "actual", "best alt", "ratio"},
+	}
+	worst := 1.0
+	for _, s := range shapes {
+		alts, _, err := region.Backend.ExplainQuery(ctx, "abl", privileged, s.q, true, 0)
+		if err != nil {
+			opts.logf("abl planner: %s: %v", s.name, err)
+			continue
+		}
+		chosen := alts[0]
+		best := chosen.ActualEntries
+		for _, a := range alts[1:] {
+			if a.ActualEntries < best {
+				best = a.ActualEntries
+			}
+		}
+		// +1 smoothing keeps zero-entry shapes well-defined.
+		ratio := float64(chosen.ActualEntries+1) / float64(best+1)
+		if ratio > worst {
+			worst = ratio
+		}
+		t.AddRow(s.name, chosen.Choice, chosen.Cost, chosen.ActualEntries, best, ratio)
+	}
+	t.Notes = append(t.Notes,
+		"ratio = chosen plan's entries visited / best alternative's (1.0 = planner matched the oracle)",
+		fmt.Sprintf("worst ratio %.3g; CI gates on worst <= 1.25", worst))
+	return t, worst
+}

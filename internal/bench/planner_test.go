@@ -1,0 +1,16 @@
+package bench
+
+import "testing"
+
+// TestPlannerOracleParity gates the cost-based planner: on every ABL4
+// query shape the plan it picks must visit no more than 1.25× the index
+// entries of the best alternative found by executing them all.
+func TestPlannerOracleParity(t *testing.T) {
+	tbl, worst := AblPlannerScore(Options{Scale: 0.1, Seed: 7})
+	if len(tbl.Rows) == 0 {
+		t.Fatal("planner ablation produced no rows")
+	}
+	if worst > 1.25 {
+		t.Fatalf("worst chosen:best ratio %.3g exceeds 1.25; rows: %v", worst, tbl.Rows)
+	}
+}

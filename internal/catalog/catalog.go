@@ -69,6 +69,7 @@ func (c *Catalog) Create(id string) (*Database, error) {
 		ID:      id,
 		Spanner: c.spanners[int(h.Sum32())%len(c.spanners)],
 		dir:     append(encoding.AppendEscaped(nil, []byte(id)), 0x00),
+		stats:   index.NewStats(),
 	}
 	db.meta.Store(&Meta{})
 	c.dbs[id] = db
@@ -117,7 +118,13 @@ type Database struct {
 
 	metaMu sync.Mutex // serializes metadata writers
 	meta   atomic.Pointer[Meta]
+
+	stats *index.Stats
 }
+
+// Stats returns the database's index-cardinality tracker. It is nil-safe
+// to use but never nil for catalog-created databases.
+func (db *Database) Stats() *index.Stats { return db.stats }
 
 // Meta is the immutable metadata snapshot hot paths read — the paper's
 // Metadata Cache (Figure 4). Mutators install a fresh snapshot.

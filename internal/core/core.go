@@ -271,6 +271,7 @@ func OpenRegion(cfg Config) (*Region, error) {
 		Scheduler:    sched,
 		Billing:      acct,
 		Costs:        cfg.Costs,
+		Obs:          reg,
 		FailureHooks: cfg.FailureHooks,
 	})
 	f := frontend.New(b, cache)

@@ -1,0 +1,148 @@
+package encoding
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"firestore/internal/doc"
+)
+
+// decodeRoundTripValues is the corpus every DecodeValue property runs
+// over: one of each kind plus the numeric edge cases the residual
+// encoding exists for.
+func decodeRoundTripValues() []doc.Value {
+	return []doc.Value{
+		doc.Null(),
+		doc.Bool(false),
+		doc.Bool(true),
+		doc.Int(0),
+		doc.Int(1),
+		doc.Int(-1),
+		doc.Int(42),
+		doc.Int(math.MaxInt64),
+		doc.Int(math.MinInt64),
+		doc.Int(math.MaxInt64 - 1),
+		doc.Int(1<<53 + 1), // not exactly representable in float64
+		doc.Double(0),
+		doc.Double(3.25),
+		doc.Double(-2.75),
+		doc.Double(math.Inf(1)),
+		doc.Double(math.Inf(-1)),
+		doc.Double(1e300),
+		doc.Timestamp(time.Unix(1700000000, 123456000).UTC()),
+		doc.String(""),
+		doc.String("hello"),
+		doc.String("with\x00nul"),
+		doc.Bytes([]byte{0, 1, 2, 0xff}),
+		doc.Reference("/restaurants/one"),
+		doc.Geo(37.7, -122.4),
+		doc.Array(),
+		doc.Array(doc.Int(1), doc.String("x"), doc.Bool(true)),
+		doc.Array(doc.Array(doc.Int(1)), doc.Null()),
+		doc.Map(map[string]doc.Value{}),
+		doc.Map(map[string]doc.Value{"a": doc.Int(1), "b": doc.String("two")}),
+		doc.Map(map[string]doc.Value{"nested": doc.Map(map[string]doc.Value{"x": doc.Double(1.5)})}),
+	}
+}
+
+func TestDecodeValueRoundTrip(t *testing.T) {
+	for _, v := range decodeRoundTripValues() {
+		enc := EncodeValue(nil, v)
+		got, n, err := DecodeValue(enc)
+		if err != nil {
+			t.Fatalf("DecodeValue(%s): %v", v, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("DecodeValue(%s) consumed %d of %d bytes", v, n, len(enc))
+		}
+		// Numbers may change representation (3.0 decodes as 3) but never
+		// numeric position; everything else round-trips exactly.
+		if doc.Compare(got, v) != 0 {
+			t.Fatalf("DecodeValue(%s) = %s", v, got)
+		}
+		if v.Kind() != doc.KindNumber && !doc.Equal(got, v) {
+			t.Fatalf("DecodeValue(%s) = %s, want exact round-trip", v, got)
+		}
+	}
+}
+
+func TestDecodeValueDescRoundTrip(t *testing.T) {
+	for _, v := range decodeRoundTripValues() {
+		enc := EncodeValueDesc(nil, v)
+		got, n, err := DecodeValueDesc(enc)
+		if err != nil {
+			t.Fatalf("DecodeValueDesc(%s): %v", v, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("DecodeValueDesc(%s) consumed %d of %d bytes", v, n, len(enc))
+		}
+		if doc.Compare(got, v) != 0 {
+			t.Fatalf("DecodeValueDesc(%s) = %s", v, got)
+		}
+	}
+}
+
+func TestDecodeValueNaN(t *testing.T) {
+	enc := EncodeValue(nil, doc.Double(math.NaN()))
+	got, _, err := DecodeValue(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind() != doc.KindNumber || got.IsInt() || !math.IsNaN(got.DoubleVal()) {
+		t.Fatalf("DecodeValue(NaN) = %s", got)
+	}
+}
+
+// TestDecodeValueSelfDelimiting checks the property aggregation relies
+// on: a decoder positioned at a component boundary inside a concatenated
+// tuple reads exactly that component.
+func TestDecodeValueSelfDelimiting(t *testing.T) {
+	vals := decodeRoundTripValues()
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		tuple := []doc.Value{
+			vals[rng.Intn(len(vals))],
+			vals[rng.Intn(len(vals))],
+			vals[rng.Intn(len(vals))],
+		}
+		var enc []byte
+		for _, v := range tuple {
+			enc = EncodeValue(enc, v)
+		}
+		i := 0
+		for c, want := range tuple {
+			got, n, err := DecodeValue(enc[i:])
+			if err != nil {
+				t.Fatalf("trial %d component %d: %v", trial, c, err)
+			}
+			if doc.Compare(got, want) != 0 {
+				t.Fatalf("trial %d component %d: got %s, want %s", trial, c, got, want)
+			}
+			i += n
+		}
+		if i != len(enc) {
+			t.Fatalf("trial %d: consumed %d of %d bytes", trial, i, len(enc))
+		}
+	}
+}
+
+func TestDecodeValueCorrupt(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0xee},              // unknown tag
+		{tagBool},           // truncated bool
+		{tagNumber},         // truncated number
+		{tagNumber, 1, 0},   // truncated float
+		{tagString, 'a'},    // unterminated payload
+		{tagArray, tagNull}, // unterminated array
+		{tagMap, 0x02},      // bad entry marker
+	}
+	for _, b := range cases {
+		if _, _, err := DecodeValue(b); err == nil {
+			t.Errorf("DecodeValue(% x) succeeded, want error", b)
+		}
+	}
+}

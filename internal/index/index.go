@@ -228,33 +228,76 @@ type FieldValue struct {
 	Value doc.Value
 }
 
+// Entry pairs an IndexEntries key with the structural offsets the
+// cardinality statistics need: without them a raw key is opaque (the
+// escaped document ID can begin with any byte, so value boundaries are
+// not recoverable from the bytes alone).
+type Entry struct {
+	Key []byte
+	ID  uint64
+	// PrefixEnds holds the lengths of Key's statistically interesting
+	// prefixes: the collection prefix first, then the prefix through
+	// each successive value component. The query planner estimates
+	// equality-prefix selectivity by looking up exactly these prefixes.
+	PrefixEnds []int
+}
+
+// entryOf builds one Entry: the EntryKey bytes plus the prefix offsets
+// recorded as each value component is appended.
+func entryOf(def Definition, values []doc.Value, name doc.Name) Entry {
+	key := CollectionPrefix(def.ID, name.Collection())
+	ends := make([]int, 0, len(values)+1)
+	ends = append(ends, len(key))
+	for i, v := range values {
+		if def.Fields[i].Dir == Descending {
+			key = encoding.EncodeValueDesc(key, v)
+		} else {
+			key = encoding.EncodeValue(key, v)
+		}
+		ends = append(ends, len(key))
+	}
+	key = encoding.AppendEscaped(key, []byte(name.ID()))
+	return Entry{Key: key, ID: def.ID, PrefixEnds: ends}
+}
+
 // Entries computes the full set of IndexEntries keys for a document:
 // ascending and descending automatic entries per flattened field (minus
 // exemptions), array-contains entries per distinct array element, and one
 // entry per matching composite index. The per-write cost is linear in the
 // number of fields, which is exactly the Fig. 10b relationship.
 func Entries(d *doc.Document, composites []Definition, ex *Exemptions) [][]byte {
+	es := EntryList(d, composites, ex)
+	keys := make([][]byte, len(es))
+	for i, e := range es {
+		keys[i] = e.Key
+	}
+	return keys
+}
+
+// EntryList is Entries with the structural offsets preserved, for
+// callers that also maintain cardinality statistics.
+func EntryList(d *doc.Document, composites []Definition, ex *Exemptions) []Entry {
 	coll := d.Name.Collection().ID()
 	flat := FlattenFields(d)
-	var keys [][]byte
+	var out []Entry
 	for _, fv := range flat {
 		if ex.IsExempt(coll, fv.Path) {
 			continue
 		}
 		asc := AutoDef(coll, fv.Path, Ascending)
 		desc := AutoDef(coll, fv.Path, Descending)
-		keys = append(keys,
-			EntryKey(asc, []doc.Value{fv.Value}, d.Name),
-			EntryKey(desc, []doc.Value{fv.Value}, d.Name),
+		out = append(out,
+			entryOf(asc, []doc.Value{fv.Value}, d.Name),
+			entryOf(desc, []doc.Value{fv.Value}, d.Name),
 		)
 		if fv.Value.Kind() == doc.KindArray {
 			cdef := ContainsDef(coll, fv.Path)
 			seen := map[string]bool{}
 			for _, el := range fv.Value.ArrayVal() {
-				ek := EntryKey(cdef, []doc.Value{el}, d.Name)
-				if !seen[string(ek)] {
-					seen[string(ek)] = true
-					keys = append(keys, ek)
+				e := entryOf(cdef, []doc.Value{el}, d.Name)
+				if !seen[string(e.Key)] {
+					seen[string(e.Key)] = true
+					out = append(out, e)
 				}
 			}
 		}
@@ -278,10 +321,10 @@ func Entries(d *doc.Document, composites []Definition, ex *Exemptions) [][]byte 
 			values = append(values, v)
 		}
 		if ok {
-			keys = append(keys, EntryKey(def, values, d.Name))
+			out = append(out, entryOf(def, values, d.Name))
 		}
 	}
-	return keys
+	return out
 }
 
 // lookup finds a field by path in the flattened map, falling back to the
@@ -297,29 +340,43 @@ func lookup(d *doc.Document, flat map[doc.FieldPath]doc.Value, p doc.FieldPath) 
 // (present for old but not new) and keys to add (present for new but not
 // old). Either document may be nil (insert / delete).
 func Diff(old, new *doc.Document, composites []Definition, ex *Exemptions) (removed, added [][]byte) {
-	var oldKeys, newKeys [][]byte
+	rem, add := DiffEntries(old, new, composites, ex)
+	for _, e := range rem {
+		removed = append(removed, e.Key)
+	}
+	for _, e := range add {
+		added = append(added, e.Key)
+	}
+	return removed, added
+}
+
+// DiffEntries is Diff with the structural offsets preserved, so commit
+// paths can both mutate IndexEntries rows and fold the same diff into
+// the cardinality statistics.
+func DiffEntries(old, new *doc.Document, composites []Definition, ex *Exemptions) (removed, added []Entry) {
+	var oldEs, newEs []Entry
 	if old != nil {
-		oldKeys = Entries(old, composites, ex)
+		oldEs = EntryList(old, composites, ex)
 	}
 	if new != nil {
-		newKeys = Entries(new, composites, ex)
+		newEs = EntryList(new, composites, ex)
 	}
-	oldSet := make(map[string]bool, len(oldKeys))
-	for _, k := range oldKeys {
-		oldSet[string(k)] = true
+	oldSet := make(map[string]bool, len(oldEs))
+	for _, e := range oldEs {
+		oldSet[string(e.Key)] = true
 	}
-	newSet := make(map[string]bool, len(newKeys))
-	for _, k := range newKeys {
-		newSet[string(k)] = true
+	newSet := make(map[string]bool, len(newEs))
+	for _, e := range newEs {
+		newSet[string(e.Key)] = true
 	}
-	for _, k := range oldKeys {
-		if !newSet[string(k)] {
-			removed = append(removed, k)
+	for _, e := range oldEs {
+		if !newSet[string(e.Key)] {
+			removed = append(removed, e)
 		}
 	}
-	for _, k := range newKeys {
-		if !oldSet[string(k)] {
-			added = append(added, k)
+	for _, e := range newEs {
+		if !oldSet[string(e.Key)] {
+			added = append(added, e)
 		}
 	}
 	return removed, added

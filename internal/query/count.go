@@ -11,70 +11,91 @@ import (
 // "a COUNT query returns a single value but may count millions of
 // documents", so it executes entirely on the index (no document fetches)
 // and the caller bills by the index work performed rather than the single
-// result.
+// result. SUM/AVG build on the same index-only walk in aggregate.go.
 
 // CountResult is a COUNT execution's output.
 type CountResult struct {
 	Count int64
-	// ScannedEntries is the index work performed, the billing unit for
-	// aggregations (§VIII: "such extensions cannot break the
-	// pay-as-you-go billing").
+	// ScannedEntries is the index work performed — entries actually
+	// visited, not results matched — the billing unit for aggregations
+	// (§VIII: "such extensions cannot break the pay-as-you-go
+	// billing").
 	ScannedEntries int
 }
 
 // ExecuteCount counts the plan's result set without fetching any
 // documents: single scans count index entries in range; zig-zag joins
-// count join hits; bare collection plans count Entities rows.
+// count join hits; Entities plans count rows passing the residual
+// filter. On error (including context cancellation mid-join) the
+// partial result is still returned so the entries already visited are
+// billed.
 func (p *Plan) ExecuteCount(ctx context.Context, st Storage) (*CountResult, error) {
 	res := &CountResult{}
-	if p.Scans[0].Def.ID == 0 {
-		err := st.ScanCollection(ctx, p.Query.Collection, "", func(*doc.Document) bool {
-			res.Count++
-			return true
-		})
-		if err != nil {
-			return nil, err
-		}
-		res.ScannedEntries = int(res.Count)
-		applyOffsetLimit(res, p.Query)
-		return res, nil
+	visited, err := p.walkIndexOnly(ctx, st, func([]byte) bool {
+		res.Count++
+		return true
+	})
+	res.ScannedEntries = visited
+	if err != nil {
+		return res, err
 	}
+	applyOffsetLimit(res, p.Query)
+	return res, nil
+}
+
+// walkIndexOnly runs the plan without fetching documents, calling emit
+// once per result row: the join suffix past the scan prefix (sort
+// values + escaped document ID) for index plans, nil for Entities rows.
+// It reports the entries visited even when err != nil, so billing
+// reflects the work performed before a failure or cancellation.
+func (p *Plan) walkIndexOnly(ctx context.Context, st Storage, emit func(suffix []byte) bool) (visited int, err error) {
+	// Entities plan: scan the collection, re-applying predicates when
+	// the plan carries a residual filter.
+	if p.Scans[0].Def.ID == 0 {
+		err := st.ScanCollection(ctx, p.Query.Collection, "", func(d *doc.Document) bool {
+			visited++
+			if !p.Query.matchesResidual(d) {
+				return true
+			}
+			return emit(nil)
+		})
+		return visited, err
+	}
+	// Single index scan: every row in range is a result.
 	if len(p.Scans) == 1 {
 		sc := p.Scans[0]
-		err := st.ScanIndex(ctx, sc.Lo, sc.Hi, func([]byte, []byte) bool {
-			res.Count++
-			return true
+		err := st.ScanIndex(ctx, sc.Lo, sc.Hi, func(key, _ []byte) bool {
+			visited++
+			return emit(key[len(sc.Prefix):])
 		})
-		if err != nil {
-			return nil, err
-		}
-		res.ScannedEntries = int(res.Count)
-		applyOffsetLimit(res, p.Query)
-		return res, nil
+		return visited, err
 	}
 	// Zig-zag join: same loop as Execute, skipping document fetches.
 	iters := make([]*scanIter, len(p.Scans))
 	for i := range p.Scans {
 		iters[i] = &scanIter{st: st, scan: &p.Scans[i]}
 	}
+	total := func() int {
+		n := 0
+		for _, it := range iters {
+			n += it.scanned
+		}
+		return n
+	}
 	var candidate []byte
 	for {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return total(), err
 		}
 		allEqual := true
 		var maxSuffix []byte
 		for _, it := range iters {
 			suffix, _, ok, err := it.seek(ctx, candidate)
 			if err != nil {
-				return nil, err
+				return total(), err
 			}
 			if !ok {
-				for _, it := range iters {
-					res.ScannedEntries += it.scanned
-				}
-				applyOffsetLimit(res, p.Query)
-				return res, nil
+				return total(), nil
 			}
 			switch {
 			case maxSuffix == nil:
@@ -88,7 +109,9 @@ func (p *Plan) ExecuteCount(ctx context.Context, st Storage) (*CountResult, erro
 		}
 		candidate = maxSuffix
 		if allEqual {
-			res.Count++
+			if !emit(maxSuffix) {
+				return total(), nil
+			}
 			candidate = encoding.Successor(maxSuffix)
 		}
 	}

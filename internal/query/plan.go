@@ -21,6 +21,17 @@ type Scan struct {
 type Plan struct {
 	Query *Query
 	Scans []Scan
+
+	// Choice labels the plan family ("composite", "auto", "zigzag",
+	// "entities") for metrics and EXPLAIN.
+	Choice string
+	// Cost is the planner's estimated index entries (or weighted
+	// Entities rows) visited, from the statistics available at plan
+	// time; zero when no statistics were available.
+	Cost int64
+	// Residual marks an Entities full scan that must re-apply the
+	// query's predicates per document.
+	Residual bool
 }
 
 // ZigZag reports whether the plan joins multiple indexes.
@@ -28,6 +39,12 @@ func (p *Plan) ZigZag() bool { return len(p.Scans) > 1 }
 
 func (p *Plan) String() string {
 	if len(p.Scans) == 1 {
+		if p.Scans[0].Def.ID == 0 {
+			if p.Residual {
+				return "scan entities + residual filter"
+			}
+			return "scan entities"
+		}
 		return fmt.Sprintf("scan %s", p.Scans[0].Def)
 	}
 	s := "zigzag("
@@ -40,133 +57,87 @@ func (p *Plan) String() string {
 	return s + ")"
 }
 
-// BuildPlan runs the greedy index-set selection (§IV-D3) for q against
-// the database's composite indexes and exemptions. It returns a
-// *NeedsIndexError when no usable index set exists, which in production
-// surfaces to the developer with a creation link.
+// BuildPlan plans q against the database's composite indexes and
+// exemptions without cardinality statistics: the enumerator's
+// no-statistics preference order reproduces the paper's greedy
+// index-set selection (§IV-D3). It returns a *NeedsIndexError when no
+// usable index set exists, which in production surfaces to the
+// developer with a creation link.
 func BuildPlan(q *Query, composites []index.Definition, ex *index.Exemptions) (*Plan, error) {
+	return BuildPlanWithStats(q, composites, ex, nil)
+}
+
+// planInputs is the analyzed, validated query shape shared by the plan
+// enumerator: predicates partitioned by class, the required sort
+// suffix, and the candidate index definitions.
+type planInputs struct {
+	coll       string
+	sortFields []index.Field
+	eqs        []Predicate
+	contains   []Predicate
+	ineqs      map[Operator]doc.Value
+	candidates []index.Definition
+	composites []index.Definition
+}
+
+// analyzeQuery validates q and precomputes the planning inputs,
+// rejecting queries over exempted fields (§III-B: "queries that would
+// need the excluded index then fail").
+func analyzeQuery(q *Query, composites []index.Definition, ex *index.Exemptions) (*planInputs, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	coll := q.Collection.ID()
-	sortFields := sortFieldsOf(q)
-
-	// Partition predicates.
-	var eqs []Predicate
-	var contains []Predicate
-	ineqs := map[Operator]doc.Value{}
+	in := &planInputs{
+		coll:       q.Collection.ID(),
+		sortFields: sortFieldsOf(q),
+		ineqs:      map[Operator]doc.Value{},
+		composites: composites,
+	}
 	for _, p := range q.Predicates {
 		switch {
 		case p.Op == Eq:
-			eqs = append(eqs, p)
+			in.eqs = append(in.eqs, p)
 		case p.Op == ArrayContains:
-			contains = append(contains, p)
+			in.contains = append(in.contains, p)
 		default:
-			ineqs[p.Op] = p.Value
+			in.ineqs[p.Op] = p.Value
 		}
 	}
 
-	// Exempted fields cannot serve any predicate or order (§III-B:
-	// "queries that would need the excluded index then fail").
 	for _, p := range q.Predicates {
-		if ex.IsExempt(coll, p.Path) {
+		if ex.IsExempt(in.coll, p.Path) {
 			return nil, fmt.Errorf("query: field %q is exempted from indexing: %w",
-				p.Path, &NeedsIndexError{Collection: coll, Fields: requiredFields(q)})
+				p.Path, &NeedsIndexError{Collection: in.coll, Fields: requiredFields(q)})
 		}
 	}
-	for _, o := range sortFields {
-		if ex.IsExempt(coll, o.Path) {
+	for _, o := range in.sortFields {
+		if ex.IsExempt(in.coll, o.Path) {
 			return nil, fmt.Errorf("query: order field %q is exempted from indexing: %w",
-				o.Path, &NeedsIndexError{Collection: coll, Fields: requiredFields(q)})
+				o.Path, &NeedsIndexError{Collection: in.coll, Fields: requiredFields(q)})
 		}
 	}
 
 	// Candidate indexes: registered composites plus the automatic
-	// definitions the paper gives every field.
-	var candidates []index.Definition
+	// definitions the paper gives every field, deduplicated by ID.
+	seen := map[uint64]bool{}
+	add := func(d index.Definition) {
+		if !seen[d.ID] {
+			seen[d.ID] = true
+			in.candidates = append(in.candidates, d)
+		}
+	}
 	for _, d := range composites {
-		if d.Collection == coll {
-			candidates = append(candidates, d)
+		if d.Collection == in.coll {
+			add(d)
 		}
 	}
-	for _, p := range eqs {
-		candidates = append(candidates, index.AutoDef(coll, p.Path, index.Ascending))
+	for _, p := range in.eqs {
+		add(index.AutoDef(in.coll, p.Path, index.Ascending))
 	}
-	if len(sortFields) == 1 {
-		candidates = append(candidates, index.AutoDef(coll, sortFields[0].Path, sortFields[0].Dir))
+	if len(in.sortFields) == 1 {
+		add(index.AutoDef(in.coll, in.sortFields[0].Path, in.sortFields[0].Dir))
 	}
-
-	// Greedy cover: repeatedly select the usable candidate covering the
-	// most uncovered equality predicates ("optimizes for the number of
-	// selected indexes").
-	uncovered := map[doc.FieldPath]doc.Value{}
-	for _, p := range eqs {
-		uncovered[p.Path] = p.Value
-	}
-	var scans []Scan
-	for len(uncovered) > 0 {
-		best, bestCovers := index.Definition{}, []doc.FieldPath(nil)
-		for _, c := range candidates {
-			covers, ok := usable(c, uncovered, sortFields)
-			if ok && len(covers) > len(bestCovers) {
-				best, bestCovers = c, covers
-			}
-		}
-		if len(bestCovers) == 0 {
-			return nil, &NeedsIndexError{Collection: coll, Fields: requiredFields(q)}
-		}
-		values := make([]doc.Value, len(bestCovers))
-		for i, p := range bestCovers {
-			values[i] = uncovered[p]
-			delete(uncovered, p)
-		}
-		scans = append(scans, buildScan(q, best, values))
-	}
-
-	// Array-contains predicates each get their own contains index scan.
-	// They join only on the document ID, so they are incompatible with a
-	// non-empty sort suffix (a composite would be required).
-	for _, p := range contains {
-		if len(sortFields) > 0 {
-			return nil, &NeedsIndexError{Collection: coll, Fields: requiredFields(q)}
-		}
-		scans = append(scans, buildScan(q, index.ContainsDef(coll, p.Path), []doc.Value{p.Value}))
-	}
-
-	// With no equality scans, the sort (or bare collection) needs one
-	// covering index.
-	if len(scans) == 0 {
-		var def index.Definition
-		switch {
-		case len(sortFields) == 0:
-			// Bare collection scan: use the automatic ascending index on
-			// the document's implicit "__name__"... the engine instead
-			// scans the Entities table directly; represent it as a
-			// nameless scan resolved by the executor.
-			def = index.Definition{} // zero ID = Entities scan
-		case len(sortFields) == 1:
-			def = index.AutoDef(coll, sortFields[0].Path, sortFields[0].Dir)
-		default:
-			def = index.CompositeDef(coll, sortFields...)
-			if !hasComposite(composites, def.ID) {
-				return nil, &NeedsIndexError{Collection: coll, Fields: requiredFields(q)}
-			}
-		}
-		scans = append(scans, buildScan(q, def, nil))
-	}
-
-	// Inequality bounds restrict the shared suffix's first component on
-	// every scan.
-	if len(ineqs) > 0 {
-		lo, hi := suffixBounds(ineqs, sortFields[0].Dir)
-		for i := range scans {
-			scans[i].Lo = append(append([]byte(nil), scans[i].Prefix...), lo...)
-			if hi != nil {
-				scans[i].Hi = append(append([]byte(nil), scans[i].Prefix...), hi...)
-			}
-		}
-	}
-	return &Plan{Query: q, Scans: scans}, nil
+	return in, nil
 }
 
 func sortFieldsOf(q *Query) []index.Field {
@@ -176,6 +147,14 @@ func sortFieldsOf(q *Query) []index.Field {
 		out[i] = index.Field{Path: o.Path, Dir: o.Dir}
 	}
 	return out
+}
+
+// SuggestedFields returns the field list of the composite index that
+// would serve q with a single scan — what NeedsIndexError reports, and
+// what the backend's index advisor recommends for queries observed to
+// scan far more entries than they return.
+func SuggestedFields(q *Query) []index.Field {
+	return requiredFields(q)
 }
 
 // requiredFields suggests the composite index that would serve q alone.
