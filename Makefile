@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet lint build test test-race race-pipeline race-obs debug-smoke chaos-smoke chaos-recovery bulk-durable bench-planner fuzz bench
+.PHONY: verify fmt-check vet lint build test test-race race-pipeline race-obs debug-smoke chaos-smoke chaos-recovery bulk-durable bench-planner bench-keyviz fuzz bench
 
 verify: fmt-check vet build lint test-race
 
@@ -38,9 +38,12 @@ race-obs:
 	$(GO) test -race -count=2 ./internal/reqctx/ ./internal/obs/ ./cmd/firestore-server/server/
 
 # End-to-end /debug smoke: boots a region, runs a workload, asserts
-# metricz shows per-layer histograms and tracez nests the layers.
+# metricz shows per-layer histograms, tracez nests the layers, and
+# keyvizz serves the keyspace heatmap (JSON and SVG); then drives the
+# fsctl keyviz renderer and stats -watch against a live server.
 debug-smoke:
 	$(GO) test -run 'TestDebug' -v ./cmd/firestore-server/server/
+	$(GO) test -run 'TestKeyvizCommand|TestStatsWatch' -v ./cmd/fsctl/
 
 # Chaos smoke: two short fixed-seed fault-injection scenarios under the
 # race detector — one trips the out-of-sync/requery recovery path, one
@@ -63,6 +66,12 @@ bulk-durable:
 # must visit <= 1.25x the index entries of the oracle-best alternative.
 bench-planner:
 	$(GO) test -run 'TestPlannerOracleParity' -v ./internal/bench/
+
+# Keyspace-telemetry overhead gate: with the collector enabled, the
+# fixed-op YCSB-A workload must sustain >= 0.98x the disabled region's
+# throughput, and a disarmed Sample must stay a single atomic load.
+bench-keyviz:
+	$(GO) test -run 'TestKeyViz' -v ./internal/bench/
 
 # Short fuzz pass over the trigger-payload decoder.
 fuzz:

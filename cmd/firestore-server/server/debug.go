@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"firestore/internal/fault"
+	"firestore/internal/keyviz"
 	"firestore/internal/reqctx"
 )
 
@@ -30,6 +31,9 @@ type DebugOptions struct {
 //	/debug/listenz   real-time connections and cache ranges
 //	/debug/faultz    fault-injection plane (GET inventory; POST enable/disable)
 //	/debug/advisorz  index advisor: per-query-shape planner outcomes (?db=)
+//	/debug/keyvizz   keyspace heatmap: per-tablet/range heat, hotspots,
+//	                 and the split/rebalance/shed/fault event timeline
+//	                 (JSON; ?format=svg renders a self-contained heatmap)
 //
 // Debug requests bypass the ingress span so scrapes do not pollute the
 // RPC metrics they report.
@@ -43,6 +47,7 @@ func (s *Server) EnableDebug(opts DebugOptions) {
 	s.mux.HandleFunc("/debug/listenz", s.listenz)
 	s.mux.HandleFunc("/debug/faultz", s.faultz)
 	s.mux.HandleFunc("/debug/advisorz", s.advisorz)
+	s.mux.HandleFunc("/debug/keyvizz", s.keyvizz)
 	if opts.Pprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -226,6 +231,25 @@ func (s *Server) faultz(w http.ResponseWriter, r *http.Request) {
 	default:
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 	}
+}
+
+// keyvizz reports the keyspace heatmap collector: windows of per-tablet
+// and per-range heat cells, scored hotspots, and the correlated event
+// timeline. JSON by default; ?format=svg returns a self-contained SVG
+// heatmap an operator can open directly in a browser.
+func (s *Server) keyvizz(w http.ResponseWriter, r *http.Request) {
+	kv := s.region.KeyViz
+	if kv == nil {
+		http.Error(w, "keyviz collector not configured", http.StatusNotFound)
+		return
+	}
+	snap := kv.Snapshot()
+	if r.URL.Query().Get("format") == "svg" {
+		w.Header().Set("Content-Type", "image/svg+xml")
+		w.Write([]byte(keyviz.RenderSVG(snap)))
+		return
+	}
+	writeJSON(w, snap)
 }
 
 // advisorz reports the index advisor: per-query-shape planner choices,

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"firestore/internal/core"
+	"firestore/internal/keyviz"
 )
 
 // newDebugServer builds a region with the fair scheduler enabled and
@@ -280,6 +281,68 @@ func TestDebugStatusPages(t *testing.T) {
 	}
 	if after := count(); after != before {
 		t.Errorf("debug scrapes changed frontend span counts: before=%d after=%d", before, after)
+	}
+}
+
+// TestDebugKeyvizz drives a workload and checks the keyspace heatmap
+// endpoint in both renderings: the JSON snapshot carries tablet heat
+// cells with nonzero ops, and ?format=svg returns a self-contained SVG.
+func TestDebugKeyvizz(t *testing.T) {
+	ts := newDebugServer(t)
+	runTraffic(t, ts)
+
+	resp, body := do(t, ts, "GET", "/debug/keyvizz", nil, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("keyvizz: %d %s", resp.StatusCode, body)
+	}
+	var snap keyviz.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("keyvizz decode: %v\n%s", err, body)
+	}
+	if !snap.Enabled {
+		t.Fatal("keyvizz: collector should be enabled by default")
+	}
+	var tabletOps int64
+	for _, w := range snap.Windows {
+		for _, c := range w.Cells {
+			if c.Source == "tablet" {
+				tabletOps += c.Ops
+			}
+		}
+	}
+	if tabletOps == 0 {
+		t.Errorf("keyvizz: no tablet heat recorded after traffic:\n%s", body)
+	}
+
+	// The text renderer (fsctl keyviz) consumes the same snapshot.
+	if text := keyviz.RenderText(snap, 64); !strings.Contains(text, "tablet/") {
+		t.Errorf("RenderText: no tablet rows:\n%s", text)
+	}
+
+	resp, body = do(t, ts, "GET", "/debug/keyvizz?format=svg", nil, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("keyvizz svg: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "image/svg+xml" {
+		t.Errorf("keyvizz svg content type = %q", ct)
+	}
+	if !strings.HasPrefix(string(body), "<svg") || !strings.Contains(string(body), "</svg>") {
+		t.Errorf("keyvizz svg: not an SVG document: %.80s", body)
+	}
+}
+
+// TestDebugKeyvizzOff verifies the KeyVizOff knob: the endpoint 404s
+// when the region was built without a collector.
+func TestDebugKeyvizzOff(t *testing.T) {
+	region := core.NewRegion(core.Config{Name: "debug", KeyVizOff: true})
+	t.Cleanup(region.Close)
+	srv := New(region)
+	srv.EnableDebug(DebugOptions{})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	resp, _ := do(t, ts, "GET", "/debug/keyvizz", nil, nil)
+	if resp.StatusCode != 404 {
+		t.Errorf("keyvizz with KeyVizOff: got %d, want 404", resp.StatusCode)
 	}
 }
 

@@ -21,6 +21,8 @@
 //	scan <collection> [pageSize]       page through a whole collection by cursor
 //	watch <collection>                 stream real-time snapshots (SSE)
 //	stats [metric-substring]           scrape /debug/metricz and pretty-print
+//	stats -watch <interval> [substr]   rescrape every interval, print deltas/sec
+//	keyviz [svg]                       keyspace heatmap from /debug/keyvizz
 //	storage                            per-tablet storage engines from /debug/storagez
 //	traces [sampled|slow|error] [n]    dump recent traces from /debug/tracez
 //	faults list                        show fault-injection sites and counters
@@ -45,6 +47,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"firestore/internal/keyviz"
 )
 
 func main() {
@@ -84,6 +88,8 @@ func main() {
 		err = c.watch(args[1:])
 	case "stats":
 		err = c.stats(args[1:])
+	case "keyviz":
+		err = c.keyviz(args[1:])
 	case "storage":
 		err = c.storage(args[1:])
 	case "traces":
@@ -382,10 +388,55 @@ func (c *cli) getJSON(path string, out any) error {
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+// statsSnap mirrors /debug/metricz?format=json.
+type statsSnap struct {
+	Counters []struct {
+		Name   string            `json:"name"`
+		Labels map[string]string `json:"labels"`
+		Value  int64             `json:"value"`
+	} `json:"counters"`
+	Gauges []struct {
+		Name   string            `json:"name"`
+		Labels map[string]string `json:"labels"`
+		Value  float64           `json:"value"`
+	} `json:"gauges"`
+	Histograms []struct {
+		Name   string            `json:"name"`
+		Labels map[string]string `json:"labels"`
+		Count  uint64            `json:"count"`
+		Mean   int64             `json:"mean_ns"`
+		P50    int64             `json:"p50_ns"`
+		P95    int64             `json:"p95_ns"`
+		P99    int64             `json:"p99_ns"`
+	} `json:"histograms"`
+}
+
+func (c *cli) scrapeStats() (statsSnap, error) {
+	var snap statsSnap
+	err := c.getJSON("/debug/metricz?format=json", &snap)
+	return snap, err
+}
+
 // stats scrapes /debug/metricz?format=json and renders it as aligned
 // "name{labels} value" lines; an optional argument filters by substring
-// match against the rendered name+labels.
+// match against the rendered name+labels. With -watch <interval>, it
+// rescrapes every interval and prints only the metrics that moved, as
+// deltas per second, until interrupted.
 func (c *cli) stats(args []string) error {
+	if len(args) > 0 && args[0] == "-watch" {
+		if len(args) < 2 || len(args) > 3 {
+			return fmt.Errorf("stats -watch <interval> [metric-substring]")
+		}
+		interval, err := time.ParseDuration(args[1])
+		if err != nil || interval <= 0 {
+			return fmt.Errorf("stats -watch: interval must be a positive duration, got %q", args[1])
+		}
+		filter := ""
+		if len(args) == 3 {
+			filter = args[2]
+		}
+		return c.statsWatch(interval, filter, 0)
+	}
 	if len(args) > 1 {
 		return fmt.Errorf("stats [metric-substring]")
 	}
@@ -393,28 +444,8 @@ func (c *cli) stats(args []string) error {
 	if len(args) == 1 {
 		filter = args[0]
 	}
-	var snap struct {
-		Counters []struct {
-			Name   string            `json:"name"`
-			Labels map[string]string `json:"labels"`
-			Value  int64             `json:"value"`
-		} `json:"counters"`
-		Gauges []struct {
-			Name   string            `json:"name"`
-			Labels map[string]string `json:"labels"`
-			Value  float64           `json:"value"`
-		} `json:"gauges"`
-		Histograms []struct {
-			Name   string            `json:"name"`
-			Labels map[string]string `json:"labels"`
-			Count  uint64            `json:"count"`
-			Mean   int64             `json:"mean_ns"`
-			P50    int64             `json:"p50_ns"`
-			P95    int64             `json:"p95_ns"`
-			P99    int64             `json:"p99_ns"`
-		} `json:"histograms"`
-	}
-	if err := c.getJSON("/debug/metricz?format=json", &snap); err != nil {
+	snap, err := c.scrapeStats()
+	if err != nil {
 		return err
 	}
 	emit := func(key, value string) {
@@ -433,6 +464,97 @@ func (c *cli) stats(args []string) error {
 			"count=%d p50=%s p95=%s p99=%s mean=%s",
 			m.Count, ms(m.P50), ms(m.P95), ms(m.P99), ms(m.Mean)))
 	}
+	return nil
+}
+
+// statsWatch is the -watch loop: scrape a baseline, then every interval
+// print per-second rates for counters and histogram counts that moved
+// (gauges print their current value when it changed). iters > 0 bounds
+// the number of ticks (tests); 0 watches until the process is killed.
+func (c *cli) statsWatch(interval time.Duration, filter string, iters int) error {
+	prev, err := c.scrapeStats()
+	if err != nil {
+		return err
+	}
+	counters := func(s statsSnap) map[string]int64 {
+		out := make(map[string]int64, len(s.Counters)+len(s.Histograms))
+		for _, m := range s.Counters {
+			out[m.Name+labelSuffix(m.Labels)] = m.Value
+		}
+		for _, m := range s.Histograms {
+			out[m.Name+labelSuffix(m.Labels)+" count"] = int64(m.Count)
+		}
+		return out
+	}
+	gauges := func(s statsSnap) map[string]float64 {
+		out := make(map[string]float64, len(s.Gauges))
+		for _, m := range s.Gauges {
+			out[m.Name+labelSuffix(m.Labels)] = m.Value
+		}
+		return out
+	}
+	prevC, prevG := counters(prev), gauges(prev)
+	lastScrape := time.Now()
+	for tick := 0; iters <= 0 || tick < iters; tick++ {
+		time.Sleep(interval)
+		cur, err := c.scrapeStats()
+		if err != nil {
+			return err
+		}
+		now := time.Now()
+		elapsed := now.Sub(lastScrape).Seconds()
+		if elapsed <= 0 {
+			elapsed = interval.Seconds()
+		}
+		lastScrape = now
+		curC, curG := counters(cur), gauges(cur)
+		keys := make([]string, 0, len(curC)+len(curG))
+		for k := range curC {
+			if curC[k] != prevC[k] {
+				keys = append(keys, k)
+			}
+		}
+		for k := range curG {
+			if curG[k] != prevG[k] {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		fmt.Printf("-- %s (over %.1fs)\n", now.Format("15:04:05"), elapsed)
+		if len(keys) == 0 {
+			fmt.Println("(no change)")
+		}
+		for _, k := range keys {
+			if filter != "" && !strings.Contains(k, filter) {
+				continue
+			}
+			if v, ok := curC[k]; ok {
+				fmt.Printf("%-56s %+.1f/s\n", k, float64(v-prevC[k])/elapsed)
+			} else {
+				fmt.Printf("%-56s %g (was %g)\n", k, curG[k], prevG[k])
+			}
+		}
+		prevC, prevG = curC, curG
+	}
+	return nil
+}
+
+// keyviz renders the keyspace heatmap from /debug/keyvizz in the
+// terminal: one shaded row per tablet/range, top hotspots, and the
+// split/rebalance/shed/fault event timeline. "keyviz svg" echoes the
+// server's SVG rendering for piping to a file.
+func (c *cli) keyviz(args []string) error {
+	if len(args) > 1 || (len(args) == 1 && args[0] != "svg") {
+		return fmt.Errorf("keyviz [svg]")
+	}
+	if len(args) == 1 {
+		return c.echo("GET", "/debug/keyvizz?format=svg", "")
+	}
+	var snap keyviz.Snapshot
+	if err := c.getJSON("/debug/keyvizz", &snap); err != nil {
+		return err
+	}
+	fmt.Print(keyviz.RenderText(snap, 64))
 	return nil
 }
 

@@ -10,6 +10,9 @@ import (
 // Histogram) is a compile-time string constant, and composite label
 // literals use constant keys. Formatting a name per request would mint
 // an unbounded family set, blowing up the registry and every scrape.
+// The same discipline covers keyviz instrumentation points: the site
+// argument of keyviz.Collector.Record names a fixed event kind on the
+// keyspace timeline, never a per-request string.
 //
 // A function that merely forwards its own parameter as the name (e.g.
 // the count(name, db) helpers) is treated as a registration wrapper:
@@ -17,11 +20,14 @@ import (
 // package.
 var ObsDiscipline = &Analyzer{
 	Name: "obsdiscipline",
-	Doc:  "metric names registered with internal/obs are compile-time constants with fixed label sets",
+	Doc:  "metric names registered with internal/obs and keyviz event sites are compile-time constants with fixed label sets",
 	Run:  runObsDiscipline,
 }
 
-const obsPath = "firestore/internal/obs"
+const (
+	obsPath    = "firestore/internal/obs"
+	keyvizPath = "firestore/internal/keyviz"
+)
 
 // obsRegistrationMethods maps registration method name to the index of
 // its name argument.
@@ -109,13 +115,10 @@ func runObsDiscipline(pass *Pass) {
 }
 
 // obsNameArgIndex reports whether call is a direct obs.Registry
-// registration and returns the index of its name argument.
+// registration or a keyviz.Collector.Record instrumentation point, and
+// returns the index of its name/site argument.
 func obsNameArgIndex(pass *Pass, call *ast.CallExpr) (int, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return 0, false
-	}
-	idx, ok := obsRegistrationMethods[sel.Sel.Name]
 	if !ok {
 		return 0, false
 	}
@@ -123,10 +126,14 @@ func obsNameArgIndex(pass *Pass, call *ast.CallExpr) (int, bool) {
 	if !ok {
 		return 0, false
 	}
-	if !isNamedType(selection.Recv(), obsPath, "Registry") {
-		return 0, false
+	if idx, ok := obsRegistrationMethods[sel.Sel.Name]; ok &&
+		isNamedType(selection.Recv(), obsPath, "Registry") {
+		return idx, true
 	}
-	return idx, true
+	if sel.Sel.Name == "Record" && isNamedType(selection.Recv(), keyvizPath, "Collector") {
+		return 0, true
+	}
+	return 0, false
 }
 
 // enclosingParam reports whether expr is an identifier bound to a

@@ -6,6 +6,7 @@ package obsd
 import (
 	"fmt"
 
+	"firestore/internal/keyviz"
 	"firestore/internal/obs"
 )
 
@@ -32,4 +33,13 @@ func viaWrapper(r *obs.Registry, db string) {
 
 func badKey(r *obs.Registry, k string) {
 	r.Gauge("fslint_gauge", obs.Labels{k: "v"}).Set(1) // want `obs.Labels key must be a compile-time constant`
+}
+
+// Keyviz instrumentation points follow the same discipline: the event
+// site on the keyspace timeline is a fixed constant, never formatted
+// per request.
+func recordEvents(kv *keyviz.Collector, db string) {
+	kv.Record(keyviz.EvSplit, keyviz.Event{Detail: db})
+	kv.Record("fslint.custom_site", keyviz.Event{})
+	kv.Record(fmt.Sprintf("shed.%s", db), keyviz.Event{}) // want `metric name must be a compile-time constant`
 }

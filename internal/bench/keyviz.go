@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"firestore/internal/backend"
+	"firestore/internal/core"
+	"firestore/internal/doc"
+	"firestore/internal/ycsb"
+)
+
+// KeyVizTrial is one fixed-op-count workload measurement.
+type KeyVizTrial struct {
+	Ops     int
+	Elapsed time.Duration
+}
+
+// OpsPerSec returns the trial's throughput.
+func (t KeyVizTrial) OpsPerSec() float64 {
+	if t.Elapsed <= 0 {
+		return 0
+	}
+	return float64(t.Ops) / t.Elapsed.Seconds()
+}
+
+// KeyVizOverhead measures the keyspace-telemetry collector's cost on the
+// serving path: the same fixed-op-count YCSB-A-style workload (50/50
+// read/update over a small keyspace, the FIG7 shape without autoscaling
+// noise) runs against two fresh regions per round — collector enabled
+// (the default) and collector disabled (KeyVizOff) — and the best round
+// of each is returned. Alternating fresh regions and taking best-of
+// keeps scheduler and allocator noise out of the ratio the gate checks.
+func KeyVizOverhead(opts Options, rounds, opsPerRound int) (enabled, disabled KeyVizTrial) {
+	if rounds <= 0 {
+		rounds = 3
+	}
+	if opsPerRound <= 0 {
+		opsPerRound = 4000
+	}
+	best := func(cur, trial KeyVizTrial) KeyVizTrial {
+		if cur.Elapsed == 0 || trial.Elapsed < cur.Elapsed {
+			return trial
+		}
+		return cur
+	}
+	for r := 0; r < rounds; r++ {
+		enabled = best(enabled, keyVizRound(opts, false, opsPerRound, int64(r)))
+		disabled = best(disabled, keyVizRound(opts, true, opsPerRound, int64(r)))
+		opts.logf("keyviz round %d: enabled %.0f ops/s, disabled %.0f ops/s",
+			r, enabled.OpsPerSec(), disabled.OpsPerSec())
+	}
+	return enabled, disabled
+}
+
+// keyVizRound runs one fixed-op-count workload on a fresh region.
+func keyVizRound(opts Options, off bool, ops int, round int64) KeyVizTrial {
+	region := core.NewRegion(core.Config{
+		Name:         "keyviz-bench",
+		TimeScale:    0, // no synthetic latency: measure the code path itself
+		ClockEpsilon: 10 * time.Microsecond,
+		Seed:         opts.Seed + round,
+		KeyVizOff:    off,
+	})
+	defer region.Close()
+	const dbID = "bench"
+	if _, err := region.CreateDatabase(dbID); err != nil {
+		panic("keyviz bench: " + err.Error())
+	}
+	ctx := context.Background()
+	const docs = 64
+	name := func(i int) doc.Name {
+		n, _ := doc.MustCollection("/ycsb").Doc(ycsb.Key(i))
+		return n
+	}
+	val := make([]byte, 256)
+	for i := 0; i < docs; i++ {
+		if _, err := region.Commit(ctx, dbID, privileged, []backend.WriteOp{{
+			Kind: backend.OpSet, Name: name(i),
+			Fields: map[string]doc.Value{"field0": doc.Bytes(val)},
+		}}); err != nil {
+			panic("keyviz bench preload: " + err.Error())
+		}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed*7919 + round))
+	chooser := ycsb.Uniform{N: docs}
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		k := chooser.Next(rng)
+		if i%2 == 0 {
+			if _, _, err := region.GetDocument(ctx, dbID, privileged, name(k), 0); err != nil {
+				panic(fmt.Sprintf("keyviz bench read: %v", err))
+			}
+		} else {
+			if _, err := region.Commit(ctx, dbID, privileged, []backend.WriteOp{{
+				Kind: backend.OpSet, Name: name(k),
+				Fields: map[string]doc.Value{"field0": doc.Bytes(val)},
+			}}); err != nil {
+				panic(fmt.Sprintf("keyviz bench write: %v", err))
+			}
+		}
+	}
+	return KeyVizTrial{Ops: ops, Elapsed: time.Since(start)}
+}

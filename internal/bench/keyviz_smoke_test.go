@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"testing"
+
+	"firestore/internal/keyviz"
+	"firestore/internal/truetime"
+)
+
+// TestKeyVizOverheadGate is the telemetry overhead gate (make
+// bench-keyviz): at equal op count, the region with the keyspace
+// collector enabled must sustain at least 0.98x the throughput of the
+// same region with it disabled. Best-of-3 alternating rounds keeps
+// scheduler noise out of the ratio.
+func TestKeyVizOverheadGate(t *testing.T) {
+	enabled, disabled := KeyVizOverhead(Options{Seed: 1}, 3, 3000)
+	if disabled.OpsPerSec() <= 0 {
+		t.Fatalf("disabled baseline measured no throughput: %+v", disabled)
+	}
+	ratio := enabled.OpsPerSec() / disabled.OpsPerSec()
+	if ratio < 0.98 {
+		t.Fatalf("keyviz overhead gate failed: enabled %.0f ops/s vs disabled %.0f ops/s (ratio %.3f, want >= 0.98)",
+			enabled.OpsPerSec(), disabled.OpsPerSec(), ratio)
+	}
+	t.Logf("keyviz overhead: enabled %.0f ops/s, disabled %.0f ops/s (ratio %.3f)",
+		enabled.OpsPerSec(), disabled.OpsPerSec(), ratio)
+}
+
+// TestKeyVizDisarmedSampleCost pins the disarmed hot-path contract: a
+// sample against a disabled collector is one atomic load — zero
+// allocations and a handful of nanoseconds even on a loaded CI worker.
+func TestKeyVizDisarmedSampleCost(t *testing.T) {
+	c := keyviz.New(truetime.NewManual(1000, 0), keyviz.Options{})
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Sample(keyviz.SrcTablet, 1, keyviz.OpRead, 1, 0, 0)
+		}
+	})
+	if allocs := res.AllocsPerOp(); allocs != 0 {
+		t.Fatalf("disarmed Sample allocates %d times per op, want 0", allocs)
+	}
+	if perOp := res.NsPerOp(); perOp > 50 {
+		t.Fatalf("disarmed Sample costs %dns/op, want <= 50ns (single atomic load)", perOp)
+	}
+	t.Logf("disarmed Sample: %dns/op, %d allocs/op", res.NsPerOp(), res.AllocsPerOp())
+}

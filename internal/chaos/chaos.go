@@ -43,6 +43,7 @@ import (
 	"firestore/internal/doc"
 	"firestore/internal/fault"
 	"firestore/internal/frontend"
+	"firestore/internal/keyviz"
 	"firestore/internal/obs"
 	"firestore/internal/query"
 	"firestore/internal/triggers"
@@ -80,6 +81,13 @@ type Scenario struct {
 	// ExpectRequery asserts the frontend re-executed at least one
 	// query (reset-and-requery).
 	ExpectRequery bool
+	// ExpectKeyVizCrashFidelity asserts keyviz collector fidelity for
+	// crash faults: the crashed range appears as an event on the keyviz
+	// timeline, the injected fault itself is on the same timeline, and
+	// the crash victim is the top-scored range cell in the window
+	// covering the crash (the scenario keyspace is one collection, so
+	// one range carries all the heat).
+	ExpectKeyVizCrashFidelity bool
 
 	// Durable backs the region's Spanner pool with the disk engine
 	// (WAL + memtable + segments) rooted at Options.Dir, and adds a
@@ -473,6 +481,9 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 		rep.check("injected:"+spec.Site, rep.Injected[spec.Site] > 0,
 			"fault fired %d time(s)", rep.Injected[spec.Site])
 	}
+	if sc.ExpectKeyVizCrashFidelity {
+		checkKeyVizCrashFidelity(rep, region)
+	}
 
 	rep.Recoveries, rep.Flushes, rep.Compactions = storageActivity(region)
 	if sc.ExpectRecoveries {
@@ -524,6 +535,40 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 	}
 
 	return rep, nil
+}
+
+// checkKeyVizCrashFidelity asserts the keyspace-telemetry collector
+// tells the truth about a crash scenario: the crashed range is an event
+// on the timeline, the injected fault is on the same timeline, and the
+// victim is the top-scored range in the window covering the crash.
+func checkKeyVizCrashFidelity(rep *Report, region *core.Region) {
+	kv := region.KeyViz
+	if kv == nil {
+		rep.check("keyviz-crash-fidelity", false, "region has no keyviz collector")
+		return
+	}
+	evs := kv.Events()
+	var crash *keyviz.Event
+	faultOnTimeline := false
+	for i := range evs {
+		if evs[i].Site == keyviz.EvRangeCrash && crash == nil {
+			crash = &evs[i]
+		}
+		if evs[i].Site == keyviz.EvFault {
+			faultOnTimeline = true
+		}
+	}
+	rep.check("keyviz-fault-on-timeline", faultOnTimeline,
+		"injected faults on timeline=%v (fault sink must feed the keyviz event log)", faultOnTimeline)
+	if crash == nil {
+		rep.check("keyviz-crash-fidelity", false,
+			"no %s event on the keyviz timeline (%d events total)", keyviz.EvRangeCrash, len(evs))
+		return
+	}
+	shard, ops, ok := kv.TopShard(keyviz.SrcRange, crash.TS)
+	rep.check("keyviz-crash-fidelity", ok && shard == crash.Shard,
+		"crash victim range %d vs top-scored range %d (%d ops, found=%v) in the window covering the crash",
+		crash.Shard, shard, ops, ok)
 }
 
 // storageActivity sums engine recoveries, flushes, and compactions over

@@ -70,13 +70,14 @@ var scenarios = []Scenario{
 	},
 	{
 		Name: "changelog-crash",
-		Doc:  "Changelog ranges crash and restart with empty state; subscriptions are reset and re-register via requery.",
+		Doc:  "Changelog ranges crash and restart with empty state; subscriptions are reset and re-register via requery. The keyviz timeline must attribute the crash to the range carrying the heat.",
 		Faults: []fault.Spec{
 			{Site: fault.RTCacheChangelogCrash, Mode: fault.ModeCrash, Prob: 1, MaxCount: 4},
 		},
-		Listeners:       2,
-		ExpectOutOfSync: true,
-		ExpectRequery:   true,
+		Listeners:                 2,
+		ExpectOutOfSync:           true,
+		ExpectRequery:             true,
+		ExpectKeyVizCrashFidelity: true,
 	},
 	{
 		Name: "queue-redelivery",

@@ -21,6 +21,7 @@ import (
 	"firestore/internal/fault"
 	"firestore/internal/frontend"
 	"firestore/internal/index"
+	"firestore/internal/keyviz"
 	"firestore/internal/obs"
 	"firestore/internal/query"
 	"firestore/internal/reqctx"
@@ -109,6 +110,17 @@ type Config struct {
 	// segment flush; zero uses the storage default. Ignored without
 	// StorageDir.
 	MemtableCap int64
+	// KeyVizOff disables the keyspace heatmap collector. By default every
+	// region samples per-tablet and per-range heat into a bounded ring of
+	// time windows (the "Key Visualizer"); the disarmed-per-sample cost is
+	// one atomic load, and the armed cost a handful of atomic adds, so it
+	// stays on unless an experiment wants it out of the way.
+	KeyVizOff bool
+	// KeyVizWindow is the heatmap time-bucket width (keyviz.DefaultWindow
+	// if zero). KeyVizWindows is the number of retained buckets
+	// (keyviz.DefaultWindows if zero).
+	KeyVizWindow  time.Duration
+	KeyVizWindows int
 }
 
 // Region is one assembled Firestore region.
@@ -131,6 +143,9 @@ type Region struct {
 	// Tracer assembles spans into hierarchical traces for /debug/tracez
 	// and /debug/requestz.
 	Tracer *reqctx.Tracer
+	// KeyViz is the keyspace heatmap collector behind /debug/keyvizz; nil
+	// only when Config.KeyVizOff is set.
+	KeyViz *keyviz.Collector
 
 	mu       sync.Mutex
 	triggers map[string]*triggers.Service
@@ -175,7 +190,8 @@ func OpenRegion(cfg Config) (*Region, error) {
 	// Default registry serves every region; with multiple regions the last
 	// one built owns the clock and metrics attachment (chaos scenarios run
 	// one region).
-	clock := fault.WrapClock(truetime.NewSystem(cfg.ClockEpsilon))
+	innerClock := truetime.NewSystem(cfg.ClockEpsilon)
+	clock := fault.WrapClock(innerClock)
 	fault.SetClock(clock)
 
 	// Regional deployments commit after a same-metro quorum (~1-2ms);
@@ -203,6 +219,25 @@ func OpenRegion(cfg Config) (*Region, error) {
 	}
 	reg := obs.NewRegistry()
 	fault.SetObs(reg)
+	var kv *keyviz.Collector
+	if !cfg.KeyVizOff {
+		// The collector reads the UNWRAPPED clock: its own timekeeping
+		// must never evaluate fault sites, or the fault sink's event
+		// recording would recurse through the truetime.epsilon hook.
+		kv = keyviz.New(innerClock, keyviz.Options{
+			Window:  cfg.KeyVizWindow,
+			Windows: cfg.KeyVizWindows,
+		})
+		kv.Enable()
+		// Injected faults land on the same timeline as splits, sheds, and
+		// compactions; the sink records the fault site only (shard
+		// attribution happens at the faulting layer's own sample calls).
+		fault.SetEventSink(func(site string) {
+			kv.Record(keyviz.EvFault, keyviz.Event{Source: "fault", Detail: site})
+		})
+	} else {
+		fault.SetEventSink(nil)
+	}
 	tracer := reqctx.NewTracer(reqctx.TracerConfig{
 		SampleProb:    cfg.TraceSampleProb,
 		SlowThreshold: cfg.SlowTraceThreshold,
@@ -220,7 +255,7 @@ func OpenRegion(cfg Config) (*Region, error) {
 			var err error
 			fac, err = storage.NewDiskFactory(
 				filepath.Join(cfg.StorageDir, fmt.Sprintf("spanner-%d", i)),
-				storage.Options{MemtableCap: cfg.MemtableCap, CompactAt: cfg.CompactAt, Obs: reg},
+				storage.Options{MemtableCap: cfg.MemtableCap, CompactAt: cfg.CompactAt, Obs: reg, KeyViz: kv},
 			)
 			if err != nil {
 				closeDBs(pool[:i])
@@ -237,6 +272,7 @@ func OpenRegion(cfg Config) (*Region, error) {
 			Seed:               cfg.Seed + int64(i),
 			Obs:                reg,
 			Storage:            fac,
+			KeyViz:             kv,
 		})
 		if err != nil {
 			closeDBs(pool[:i])
@@ -251,6 +287,7 @@ func OpenRegion(cfg Config) (*Region, error) {
 		HeartbeatEvery: 2 * time.Millisecond,
 		AutoSplitSubs:  cfg.RTAutoSplitSubs,
 		Obs:            reg,
+		KeyViz:         kv,
 	})
 	var sched *wfq.Scheduler
 	if cfg.SchedulerWorkers > 0 {
@@ -259,6 +296,7 @@ func OpenRegion(cfg Config) (*Region, error) {
 			Mode:     cfg.SchedulerMode,
 			MaxQueue: cfg.SchedulerMaxQueue,
 			Obs:      reg,
+			KeyViz:   kv,
 		})
 	}
 	var acct *billing.Accountant
@@ -289,6 +327,7 @@ func OpenRegion(cfg Config) (*Region, error) {
 		Obs:       reg,
 		Recorder:  rec,
 		Tracer:    tracer,
+		KeyViz:    kv,
 		triggers:  map[string]*triggers.Service{},
 	}, nil
 }

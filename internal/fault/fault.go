@@ -194,6 +194,11 @@ type Registry struct {
 	mu    sync.Mutex
 	sites map[string]*site
 	reg   *obs.Registry
+
+	// sink, when set, is called with the site name on every injection
+	// (armed path only), so observability planes can place faults on a
+	// timeline without fault importing them.
+	sink atomic.Pointer[func(site string)]
 }
 
 // NewRegistry returns an empty, disarmed registry whose latency
@@ -232,6 +237,18 @@ func (r *Registry) SetObs(reg *obs.Registry) {
 	for name, s := range r.sites {
 		s.counter.Store(counterFor(reg, name))
 	}
+}
+
+// SetEventSink installs fn to be called with the site name each time a
+// fault actually injects (after the deterministic schedule and MaxCount
+// checks). fn runs on the faulting goroutine, so it must be cheap and
+// must not call back into the registry. A nil fn removes the sink.
+func (r *Registry) SetEventSink(fn func(site string)) {
+	if fn == nil {
+		r.sink.Store(nil)
+		return
+	}
+	r.sink.Store(&fn)
 }
 
 func counterFor(reg *obs.Registry, siteName string) *obs.Counter {
@@ -338,6 +355,9 @@ func (r *Registry) eval(siteName string) (Spec, bool) {
 	}
 	if c := s.counter.Load(); c != nil {
 		c.Inc()
+	}
+	if f := r.sink.Load(); f != nil {
+		(*f)(siteName)
 	}
 	return spec, true
 }
@@ -585,6 +605,9 @@ func SetClock(c truetime.Clock) { Default.SetClock(c) }
 
 // SetObs attaches Default's injection counter family to reg.
 func SetObs(reg *obs.Registry) { Default.SetObs(reg) }
+
+// SetEventSink installs Default's per-injection callback.
+func SetEventSink(fn func(site string)) { Default.SetEventSink(fn) }
 
 // WrapClock wraps inner with Default's ε inflation.
 func WrapClock(inner truetime.Clock) truetime.Clock { return Default.WrapClock(inner) }

@@ -1,0 +1,237 @@
+package keyviz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// rowKey identifies one heatmap row (one cell identity across windows).
+type rowKey struct {
+	source string
+	shard  uint64
+}
+
+// rows collects every cell identity present in the snapshot, tablets
+// first, each group sorted by shard.
+func rows(s Snapshot) []rowKey {
+	seen := map[rowKey]bool{}
+	var out []rowKey
+	for _, w := range s.Windows {
+		for _, c := range w.Cells {
+			k := rowKey{c.Source, c.Shard}
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].source != out[j].source {
+			// "range" < "tablet" alphabetically; show tablets on top.
+			return out[i].source > out[j].source
+		}
+		return out[i].shard < out[j].shard
+	})
+	return out
+}
+
+// grid pivots the snapshot into ops[row][window] plus the global max.
+func grid(s Snapshot, rks []rowKey) (ops [][]int64, max int64) {
+	idx := map[rowKey]int{}
+	for i, k := range rks {
+		idx[k] = i
+	}
+	ops = make([][]int64, len(rks))
+	for i := range ops {
+		ops[i] = make([]int64, len(s.Windows))
+	}
+	for wi, w := range s.Windows {
+		for _, c := range w.Cells {
+			i := idx[rowKey{c.Source, c.Shard}]
+			ops[i][wi] = c.Ops
+			if c.Ops > max {
+				max = c.Ops
+			}
+		}
+	}
+	return ops, max
+}
+
+// heatShades are the terminal intensity ramp, coldest first.
+var heatShades = []rune{' ', '░', '▒', '▓', '█'}
+
+// RenderText renders the snapshot as a terminal heatmap: one row per
+// tablet/range, one column per time window (newest right), intensity
+// scaled to the hottest cell, followed by the detector's findings and
+// the event timeline. maxCols bounds the window columns (0 = all).
+func RenderText(s Snapshot, maxCols int) string {
+	var b strings.Builder
+	wins := s.Windows
+	if maxCols > 0 && len(wins) > maxCols {
+		wins = wins[len(wins)-maxCols:]
+		s = Snapshot{Enabled: s.Enabled, WindowMillis: s.WindowMillis,
+			Windows: wins, Events: s.Events, Hotspots: s.Hotspots, Dropped: s.Dropped}
+	}
+	fmt.Fprintf(&b, "keyviz: %d window(s) x %dms", len(wins), s.WindowMillis)
+	if !s.Enabled {
+		b.WriteString(" (collector disabled)")
+	}
+	b.WriteByte('\n')
+	rks := rows(s)
+	if len(rks) == 0 {
+		b.WriteString("  (no heat recorded)\n")
+		return b.String()
+	}
+	ops, max := grid(s, rks)
+	for i, rk := range rks {
+		fmt.Fprintf(&b, "  %-10s ", fmt.Sprintf("%s/%d", rk.source, rk.shard))
+		var total int64
+		for _, n := range ops[i] {
+			total += n
+			b.WriteRune(shade(n, max))
+		}
+		fmt.Fprintf(&b, "  %d ops\n", total)
+	}
+	if len(s.Hotspots) > 0 {
+		b.WriteString("hotspots:\n")
+		for i, h := range s.Hotspots {
+			if i >= 5 {
+				break
+			}
+			fmt.Fprintf(&b, "  %s/%d score=%.1f ops=%d\n", h.Source, h.Shard, h.Score, h.Ops)
+		}
+	}
+	if len(s.Events) > 0 {
+		b.WriteString("events:\n")
+		ev := s.Events
+		if len(ev) > 10 {
+			ev = ev[len(ev)-10:]
+		}
+		for _, e := range ev {
+			fmt.Fprintf(&b, "  %s %s/%d", e.Site, e.Source, e.Shard)
+			if e.Peer != 0 {
+				fmt.Fprintf(&b, " peer=%d", e.Peer)
+			}
+			if e.HeatBefore != 0 || e.HeatAfter != 0 {
+				fmt.Fprintf(&b, " heat=%d->%d", e.HeatBefore, e.HeatAfter)
+			}
+			if e.Detail != "" {
+				fmt.Fprintf(&b, " (%s)", e.Detail)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func shade(n, max int64) rune {
+	if n <= 0 || max <= 0 {
+		return heatShades[0]
+	}
+	i := 1 + int(int64(len(heatShades)-2)*n/max)
+	if i >= len(heatShades) {
+		i = len(heatShades) - 1
+	}
+	return heatShades[i]
+}
+
+// SVG geometry.
+const (
+	svgCellW   = 14
+	svgCellH   = 16
+	svgLabelW  = 110
+	svgTopPad  = 24
+	svgLegendH = 16
+)
+
+// RenderSVG renders the snapshot as a self-contained SVG heatmap: rows
+// are tablets/ranges, columns are time windows, fill intensity is ops
+// relative to the hottest cell, and timeline events are drawn as
+// markers on their row with <title> tooltips. The output embeds no
+// external resources, so browsers render /debug/keyvizz?format=svg
+// directly.
+func RenderSVG(s Snapshot) []byte {
+	rks := rows(s)
+	ops, max := grid(s, rks)
+	w := svgLabelW + svgCellW*len(s.Windows) + 10
+	if w < 320 {
+		w = 320
+	}
+	h := svgTopPad + svgCellH*len(rks) + svgLegendH + 28
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`, w, h)
+	fmt.Fprintf(&b, `<text x="4" y="14">keyviz heatmap: %d window(s) x %dms, max %d ops/cell</text>`,
+		len(s.Windows), s.WindowMillis, max)
+	if len(rks) == 0 {
+		b.WriteString(`<text x="4" y="34">(no heat recorded)</text></svg>`)
+		return []byte(b.String())
+	}
+	for i, rk := range rks {
+		y := svgTopPad + i*svgCellH
+		fmt.Fprintf(&b, `<text x="4" y="%d">%s/%d</text>`, y+12, rk.source, rk.shard)
+		for wi := range s.Windows {
+			n := ops[i][wi]
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#ddd"><title>%s/%d window %d: %d ops</title></rect>`,
+				svgLabelW+wi*svgCellW, y, svgCellW, svgCellH, heatColor(n, max), rk.source, rk.shard, wi, n)
+		}
+	}
+	// Event markers: a diamond on the owning row at the covering window.
+	rowOf := map[rowKey]int{}
+	for i, k := range rks {
+		rowOf[k] = i
+	}
+	for _, e := range s.Events {
+		ri, ok := rowOf[rowKey{e.Source, e.Shard}]
+		if !ok {
+			continue
+		}
+		wi := -1
+		for i, win := range s.Windows {
+			if e.TS >= win.Start && e.TS < win.End {
+				wi = i
+				break
+			}
+		}
+		if wi < 0 {
+			continue
+		}
+		cx := svgLabelW + wi*svgCellW + svgCellW/2
+		cy := svgTopPad + ri*svgCellH + svgCellH/2
+		fmt.Fprintf(&b, `<path d="M%d %d l4 4 l-4 4 l-4 -4 z" fill="#1565c0"><title>%s %s/%d heat %d-&gt;%d %s</title></path>`,
+			cx, cy-4, e.Site, e.Source, e.Shard, e.HeatBefore, e.HeatAfter, svgEscape(e.Detail))
+	}
+	// Legend.
+	ly := svgTopPad + len(rks)*svgCellH + 8
+	for i := 0; i <= 4; i++ {
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="12" fill="%s" stroke="#ddd"/>`,
+			svgLabelW+i*svgCellW, ly, svgCellW, heatColor(int64(i), 4))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d">cold - hot; diamonds are events (%d on timeline)</text>`,
+		svgLabelW+6*svgCellW, ly+10, len(s.Events))
+	b.WriteString(`</svg>`)
+	return []byte(b.String())
+}
+
+// heatColor maps ops to a white->orange->red ramp.
+func heatColor(n, max int64) string {
+	if n <= 0 || max <= 0 {
+		return "#ffffff"
+	}
+	f := float64(n) / float64(max)
+	// white (255,255,255) -> orange (255,160,0) -> red (200,30,30)
+	var r, g, bl int
+	if f < 0.5 {
+		t := f * 2
+		r, g, bl = 255, int(255-95*t), int(255-255*t)
+	} else {
+		t := (f - 0.5) * 2
+		r, g, bl = int(255-55*t), int(160-130*t), int(30*t)
+	}
+	return fmt.Sprintf("#%02x%02x%02x", r, g, bl)
+}
+
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

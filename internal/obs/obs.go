@@ -17,7 +17,9 @@
 package obs
 
 import (
+	"fmt"
 	"math"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -25,6 +27,12 @@ import (
 
 	"firestore/internal/metric"
 )
+
+// DefaultMaxCardinality caps the labeled instances one metric name may
+// mint before new label sets fold into the "other" bucket. Unbounded
+// label values (document names, user IDs) would otherwise grow scrapes
+// without bound — the classic cardinality explosion.
+const DefaultMaxCardinality = 256
 
 // Labels is one metric instance's label set. Instances are keyed by the
 // canonical (sorted) rendering, so map ordering does not mint duplicates.
@@ -105,6 +113,9 @@ type family[T any] struct {
 	name      string
 	instances map[string]T // canonical label key -> instance
 	labels    map[string]Labels
+	// warned records that this family already logged a cardinality
+	// overflow, so a runaway label does not also spam stderr.
+	warned bool
 }
 
 func newFamily[T any](name string) *family[T] {
@@ -115,20 +126,53 @@ func newFamily[T any](name string) *family[T] {
 // NewRegistry.
 type Registry struct {
 	mu         sync.Mutex
+	maxCard    int
 	counters   map[string]*family[*Counter]
 	gauges     map[string]*family[*Gauge]
 	gaugeFuncs map[string]*family[func() float64]
 	histograms map[string]*family[*metric.Histogram]
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry with the default cardinality cap.
 func NewRegistry() *Registry {
 	return &Registry{
+		maxCard:    DefaultMaxCardinality,
 		counters:   map[string]*family[*Counter]{},
 		gauges:     map[string]*family[*Gauge]{},
 		gaugeFuncs: map[string]*family[func() float64]{},
 		histograms: map[string]*family[*metric.Histogram]{},
 	}
+}
+
+// SetMaxCardinality caps how many labeled instances each metric name may
+// create; past the cap, new label sets fold into a single "other" bucket
+// (every label value replaced by "other") and the family warns once on
+// stderr. n <= 0 removes the cap.
+func (r *Registry) SetMaxCardinality(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.maxCard = n
+}
+
+// capLabels enforces the cardinality cap for one family: when labels
+// would mint a new instance past the cap, it returns the folded "other"
+// label set and its key instead. Caller holds r.mu.
+func capLabels[T any](r *Registry, f *family[T], labels Labels, k string) (Labels, string) {
+	if r.maxCard <= 0 || len(f.instances) < r.maxCard {
+		return labels, k
+	}
+	if _, exists := f.instances[k]; exists {
+		return labels, k
+	}
+	if !f.warned {
+		f.warned = true
+		fmt.Fprintf(os.Stderr, "obs: metric %q reached %d label sets; folding new labels into \"other\"\n", f.name, r.maxCard)
+	}
+	folded := make(Labels, len(labels))
+	for name := range labels {
+		folded[name] = "other"
+	}
+	return folded, folded.key()
 }
 
 // Default is the process-wide registry used by components not wired to an
@@ -146,6 +190,7 @@ func (r *Registry) Counter(name string, labels Labels) *Counter {
 		r.counters[name] = f
 	}
 	k := labels.key()
+	labels, k = capLabels(r, f, labels, k)
 	c, ok := f.instances[k]
 	if !ok {
 		c = &Counter{}
@@ -165,6 +210,7 @@ func (r *Registry) Gauge(name string, labels Labels) *Gauge {
 		r.gauges[name] = f
 	}
 	k := labels.key()
+	labels, k = capLabels(r, f, labels, k)
 	g, ok := f.instances[k]
 	if !ok {
 		g = &Gauge{}
@@ -185,6 +231,7 @@ func (r *Registry) GaugeFunc(name string, labels Labels, fn func() float64) {
 		r.gaugeFuncs[name] = f
 	}
 	k := labels.key()
+	labels, k = capLabels(r, f, labels, k)
 	f.instances[k] = fn
 	f.labels[k] = labels
 }
@@ -200,6 +247,7 @@ func (r *Registry) Histogram(name string, labels Labels) *metric.Histogram {
 		r.histograms[name] = f
 	}
 	k := labels.key()
+	labels, k = capLabels(r, f, labels, k)
 	h, ok := f.instances[k]
 	if !ok {
 		h = &metric.Histogram{}

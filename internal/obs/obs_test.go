@@ -151,3 +151,78 @@ func TestConcurrentScrapeDuringRecording(t *testing.T) {
 		t.Fatal("no counter increments observed")
 	}
 }
+
+// TestCardinalityCap verifies the label-cardinality guard: past the cap
+// a family folds new label sets into the shared "other" bucket instead
+// of minting unbounded instances, and existing instances keep working.
+func TestCardinalityCap(t *testing.T) {
+	r := NewRegistry()
+	r.SetMaxCardinality(3)
+
+	a := r.Counter("reqs", DB("a"))
+	b := r.Counter("reqs", DB("b"))
+	c := r.Counter("reqs", DB("c"))
+	a.Inc()
+	b.Inc()
+	c.Inc()
+
+	// The 4th and 5th distinct label sets share one folded instance.
+	d := r.Counter("reqs", DB("d"))
+	e := r.Counter("reqs", DB("e"))
+	if d != e {
+		t.Fatal("overflow label sets should share the other bucket")
+	}
+	if d == a || d == b || d == c {
+		t.Fatal("other bucket must be a fresh instance")
+	}
+	d.Inc()
+	e.Inc()
+	if got := r.Counter("reqs", Labels{"db": "other"}).Value(); got != 2 {
+		t.Fatalf("other bucket = %d, want 2", got)
+	}
+
+	// Existing instances are still addressable after overflow.
+	if again := r.Counter("reqs", DB("a")); again != a {
+		t.Fatal("pre-overflow instance lost")
+	}
+
+	// The snapshot shows the folded labels, not the runaway values.
+	for _, cs := range r.Snapshot().Counters {
+		if cs.Name == "reqs" && (cs.Labels["db"] == "d" || cs.Labels["db"] == "e") {
+			t.Fatalf("runaway label leaked into snapshot: %v", cs.Labels)
+		}
+	}
+
+	// Other metric kinds share the guard.
+	r.Gauge("depth", DB("a"))
+	r.Gauge("depth", DB("b"))
+	r.Gauge("depth", DB("c"))
+	if g1, g2 := r.Gauge("depth", DB("x")), r.Gauge("depth", DB("y")); g1 != g2 {
+		t.Fatal("gauge overflow should fold")
+	}
+	r.Histogram("lat", DB("a"))
+	r.Histogram("lat", DB("b"))
+	r.Histogram("lat", DB("c"))
+	if h1, h2 := r.Histogram("lat", DB("x")), r.Histogram("lat", DB("y")); h1 != h2 {
+		t.Fatal("histogram overflow should fold")
+	}
+
+	// Each family is capped independently: a fresh name is unaffected.
+	if n1, n2 := r.Counter("fresh", DB("p")), r.Counter("fresh", DB("q")); n1 == n2 {
+		t.Fatal("fresh family should not fold below the cap")
+	}
+}
+
+// TestCardinalityCapDisabled verifies SetMaxCardinality(0) removes the
+// guard entirely.
+func TestCardinalityCapDisabled(t *testing.T) {
+	r := NewRegistry()
+	r.SetMaxCardinality(0)
+	seen := map[*Counter]bool{}
+	for _, db := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		seen[r.Counter("reqs", DB(db))] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("uncapped registry folded instances: %d distinct, want 8", len(seen))
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"firestore/internal/doc"
+	"firestore/internal/keyviz"
 	"firestore/internal/obs"
 	"firestore/internal/query"
 	"firestore/internal/truetime"
@@ -33,6 +34,7 @@ type subscriberQueries struct {
 type nameRange struct {
 	id  int
 	obs *obs.Registry
+	kv  *keyviz.Collector
 
 	mu sync.Mutex
 	// pending maps writeID -> prepare record.
@@ -134,6 +136,12 @@ func (r *nameRange) resolve(writeID, db string, muts []Mutation, ts truetime.Tim
 		if len(deliveries) > 0 {
 			r.obs.Counter("rtcache.fanout", obs.DB(db)).Add(int64(len(deliveries)))
 		}
+	}
+	// Deliver heat: mutations resolved on this range, with fan-out cost
+	// as bytes-free op weight (matcher work scales with deliveries).
+	if muts != nil {
+		r.kv.Sample(keyviz.SrcRange, uint64(r.id), keyviz.OpDeliver,
+			int64(len(muts)+len(deliveries)), 0, 0)
 	}
 	// Deliver outside the lock (subscribers must not re-enter, but they
 	// may take their own locks).
@@ -254,6 +262,15 @@ func (r *nameRange) heartbeat(now truetime.Timestamp, wall time.Time) {
 // pretend to own history it never saw, so subscriptions predating the
 // crash go through the full requery path.
 func (r *nameRange) crash() {
+	// The crash lands on the timeline and as fault heat on the victim
+	// range's cell, so chaos runs can assert the schedule's intended
+	// victim (the busiest range) is what the collector attributed.
+	r.kv.Record(keyviz.EvRangeCrash, keyviz.Event{
+		Source: keyviz.SrcRange.String(),
+		Shard:  uint64(r.id),
+		Detail: "changelog task restart",
+	})
+	r.kv.Sample(keyviz.SrcRange, uint64(r.id), keyviz.OpFault, 1, 0, 0)
 	r.markOutOfSync()
 	r.mu.Lock()
 	r.watermark = 0

@@ -22,11 +22,13 @@ package rtcache
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 
 	"firestore/internal/doc"
 	"firestore/internal/fault"
+	"firestore/internal/keyviz"
 	"firestore/internal/obs"
 	"firestore/internal/status"
 	"firestore/internal/truetime"
@@ -104,6 +106,10 @@ type Config struct {
 	// counters, out-of-sync resets, a subscription gauge, and the
 	// watermark lag updated by the heartbeat loop.
 	Obs *obs.Registry
+	// KeyViz, when set, receives per-range deliver heat and rebalance/
+	// crash events for the keyspace heatmap. A disarmed collector costs
+	// one atomic load per sample site.
+	KeyViz *keyviz.Collector
 }
 
 // Cache is the assembled Real-time Cache.
@@ -112,6 +118,7 @@ type Cache struct {
 	acceptMargin  time.Duration
 	autoSplitSubs int
 	obs           *obs.Registry
+	kv            *keyviz.Collector
 	stop          chan struct{}
 	stopOnce      sync.Once
 	wg            sync.WaitGroup
@@ -142,6 +149,7 @@ func New(cfg Config) *Cache {
 		acceptMargin:  cfg.AcceptMargin,
 		autoSplitSubs: cfg.AutoSplitSubs,
 		obs:           cfg.Obs,
+		kv:            cfg.KeyViz,
 		stop:          make(chan struct{}),
 		writes:        map[string]*writeRecord{},
 		assign:        make([]int32, slots),
@@ -149,6 +157,7 @@ func New(cfg Config) *Cache {
 	for i := 0; i < cfg.Ranges; i++ {
 		r := newNameRange(i)
 		r.obs = c.obs
+		r.kv = c.kv
 		c.ranges = append(c.ranges, r)
 	}
 	for slot := range c.assign {
@@ -256,12 +265,23 @@ func (c *Cache) splitHotRange(threshold int) bool {
 	}
 	fresh := newNameRange(len(c.ranges))
 	fresh.obs = c.obs
+	fresh.kv = c.kv
 	c.ranges = append(c.ranges, fresh)
 	owned := slotsOf[hot.id]
 	for _, slot := range owned[:len(owned)/2] {
 		c.assign[slot] = int32(fresh.id)
 	}
 	c.mu.Unlock()
+	// Annotate the Slicer decision: the hot range, the fresh range that
+	// took half its slots, and the subscription load that triggered it.
+	c.kv.Record(keyviz.EvRebalance, keyviz.Event{
+		Source:     keyviz.SrcRange.String(),
+		Shard:      uint64(hot.id),
+		Peer:       uint64(fresh.id),
+		HeatBefore: int64(hotSubs),
+		HeatAfter:  int64(hotSubs) / 2,
+		Detail:     fmt.Sprintf("%d of %d slots reassigned", len(owned)/2, len(owned)),
+	})
 	// The old range's subscriptions may now span reassigned slots; reset
 	// them all (fast requery) so they re-subscribe under the new
 	// ownership.

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"firestore/internal/fault"
+	"firestore/internal/keyviz"
 	"firestore/internal/obs"
 	"firestore/internal/status"
 	"firestore/internal/storage"
@@ -93,6 +94,11 @@ type Config struct {
 	// WAL-logged and group-fsynced, and Open recovers every tablet the
 	// factory lists (manifest load + WAL replay).
 	Storage storage.Factory
+	// KeyViz, when set, receives per-tablet heat samples (reads, scans,
+	// commit applies, lock waits, fault hits) and split/merge events
+	// annotated with before/after load. Nil disables attribution; a
+	// disarmed collector costs one atomic load per sample site.
+	KeyViz *keyviz.Collector
 }
 
 // Latencies returns a CommitLatency sampler: base plus uniform jitter.
@@ -120,6 +126,7 @@ type DB struct {
 	commitRowDelay   func(int) time.Duration
 	lockTimeout      time.Duration
 	obs              *obs.Registry
+	kv               *keyviz.Collector
 
 	locks *lockTable
 
@@ -200,6 +207,7 @@ func Open(cfg Config) (*DB, error) {
 		commitRowDelay:   cfg.CommitRowLatency,
 		lockTimeout:      lt,
 		obs:              cfg.Obs,
+		kv:               cfg.KeyViz,
 		locks:            newLockTable(clock),
 		storage:          fac,
 		splitThreshold:   cfg.SplitThreshold,
@@ -423,6 +431,19 @@ func (db *DB) tabletFor(key []byte) *tablet {
 	return db.tablets[db.tabletIndexLocked(key)]
 }
 
+// sampleFault attributes an injected fault to the tablet owning key so
+// the heatmap shows where the fault plane bit. The tablet resolution
+// sits behind the collector's armed check, so a disarmed collector pays
+// only the single atomic load.
+func (db *DB) sampleFault(key []byte) {
+	if !db.kv.Armed() {
+		return
+	}
+	if t := db.tabletFor(key); t != nil {
+		db.kv.Sample(keyviz.SrcTablet, t.id, keyviz.OpFault, 1, 0, 0)
+	}
+}
+
 // TabletIndex returns the index (in start-key order) of the tablet
 // owning key, letting callers group keys by the tablet that serves them.
 // The index is only stable until the next split, which is fine for its
@@ -474,6 +495,7 @@ func (db *DB) tabletsInRange(begin, end []byte) []*tablet {
 // transaction with a commit timestamp <= ts.
 func (db *DB) SnapshotGet(ctx context.Context, key []byte, ts truetime.Timestamp) ([]byte, truetime.Timestamp, bool, error) {
 	if err := fault.Point(ctx, fault.SpannerRead); err != nil {
+		db.sampleFault(key)
 		return nil, 0, false, err
 	}
 	for {
@@ -484,7 +506,7 @@ func (db *DB) SnapshotGet(ctx context.Context, key []byte, ts truetime.Timestamp
 		if err := t.waitSafe(ctx, ts); err != nil {
 			return nil, 0, false, err
 		}
-		t.recordOp(1)
+		t.recordOp(1, keyviz.OpRead)
 		v, vts, ok := t.readAt(key, ts)
 		if !t.ownsKey(key) {
 			// A split or merge moved the key between resolution and the
@@ -506,7 +528,7 @@ func (db *DB) readOwned(key []byte, ts truetime.Timestamp) ([]byte, truetime.Tim
 		if t == nil {
 			return nil, 0, false, ErrClosed
 		}
-		t.recordOp(1)
+		t.recordOp(1, keyviz.OpRead)
 		v, vts, ok := t.readAt(key, ts)
 		if t.ownsKey(key) {
 			return v, vts, ok, nil
@@ -527,6 +549,7 @@ type ScanRow struct {
 // each row until fn returns false or the range is exhausted.
 func (db *DB) SnapshotScan(ctx context.Context, begin, end []byte, ts truetime.Timestamp, reverse bool, fn func(ScanRow) bool) error {
 	if err := fault.Point(ctx, fault.SpannerRead); err != nil {
+		db.sampleFault(begin)
 		return err
 	}
 	db.bumpScans(1)
@@ -548,7 +571,7 @@ func (db *DB) SnapshotScan(ctx context.Context, begin, end []byte, ts truetime.T
 			if err := t.waitSafe(ctx, ts); err != nil {
 				return err
 			}
-			t.recordOp(1)
+			t.recordOp(1, keyviz.OpScan)
 			more, valid := t.scanAt(lo, hi, ts, reverse, emit)
 			if !valid {
 				// A split or merge migrated part of the range mid-scan.

@@ -3,9 +3,11 @@ package spanner
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
+	"firestore/internal/keyviz"
 	"firestore/internal/storage"
 	"firestore/internal/truetime"
 )
@@ -99,7 +101,7 @@ func (t *tablet) ownsKey(key []byte) bool {
 // loadWindow is the decay window for tablet load accounting.
 const loadWindow = time.Second
 
-func (t *tablet) recordOp(n int64) {
+func (t *tablet) recordOp(n int64, op keyviz.Op) {
 	now := t.clock.Now().Latest
 	t.mu.Lock()
 	if now.Sub(t.windowStart) > loadWindow {
@@ -108,6 +110,9 @@ func (t *tablet) recordOp(n int64) {
 	}
 	t.load += n
 	t.mu.Unlock()
+	// Heat attribution reuses the clock reading the load window already
+	// paid for; a disarmed collector costs one atomic load here.
+	t.db.kv.SampleAt(now, keyviz.SrcTablet, t.id, op, n, 0, 0)
 }
 
 func (t *tablet) currentLoad() int64 {
@@ -409,6 +414,7 @@ func (db *DB) maybeSplit() {
 			continue
 		}
 		midKey = append([]byte(nil), midKey...)
+		loadBefore := t.load
 		right := db.splitLocked(t, e, midKey)
 		t.mu.Unlock()
 		if right == nil {
@@ -420,6 +426,22 @@ func (db *DB) maybeSplit() {
 		db.tablets[i+1] = right
 		db.stats.Splits++
 		db.count("spanner.splits", "")
+		// Annotate the decision with the triggering hot cell: the source
+		// tablet and the load that crossed the threshold, plus the
+		// per-child load after halving.
+		trigger := "hot"
+		if !hot {
+			trigger = "big"
+		}
+		db.kv.Record(keyviz.EvSplit, keyviz.Event{
+			Source:     keyviz.SrcTablet.String(),
+			Shard:      t.id,
+			Peer:       right.id,
+			Key:        fmt.Sprintf("%q", midKey),
+			HeatBefore: loadBefore,
+			HeatAfter:  loadBefore / 2,
+			Detail:     trigger,
+		})
 	}
 	db.mergeColdLocked()
 }
@@ -542,6 +564,14 @@ func (db *DB) mergeColdLocked() {
 		db.tablets = append(db.tablets[:i+1], db.tablets[i+2:]...)
 		db.stats.Merges++
 		db.count("spanner.merges", "")
+		// Both tablets were cold (load 0) by definition; annotate the
+		// merge with the surviving row count for the timeline.
+		db.kv.Record(keyviz.EvMerge, keyviz.Event{
+			Source: keyviz.SrcTablet.String(),
+			Shard:  a.id,
+			Peer:   b.id,
+			Detail: fmt.Sprintf("%d rows absorbed", len(chains)),
+		})
 		i--
 	}
 }

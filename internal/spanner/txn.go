@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"firestore/internal/fault"
+	"firestore/internal/keyviz"
 	"firestore/internal/reqctx"
 	"firestore/internal/storage"
 	"firestore/internal/truetime"
@@ -53,6 +54,7 @@ func (t *Txn) lock(ctx context.Context, key []byte, mode lockMode) error {
 		return nil
 	}
 	if err := fault.Point(ctx, fault.SpannerLockWait); err != nil {
+		t.db.sampleFault(key)
 		return err
 	}
 	start := t.db.clock.Now().Latest
@@ -63,8 +65,18 @@ func (t *Txn) lock(ctx context.Context, key []byte, mode lockMode) error {
 		t.db.count("spanner.lock_timeout", reqctx.From(ctx).DB)
 		return err
 	}
-	if t.db.obs != nil {
-		t.db.obs.Histogram("spanner.lock_wait", dbLabel(reqctx.From(ctx).DB)).Record(t.db.clock.Now().Latest.Sub(start))
+	if t.db.obs != nil || t.db.kv.Armed() {
+		wait := t.db.clock.Now().Latest.Sub(start)
+		if t.db.obs != nil {
+			t.db.obs.Histogram("spanner.lock_wait", dbLabel(reqctx.From(ctx).DB)).Record(wait)
+		}
+		// Lock-wait heat lands on the tablet owning the contended key —
+		// the per-range contention signal a heatmap is for.
+		if t.db.kv.Armed() {
+			if tab := t.db.tabletFor(key); tab != nil {
+				t.db.kv.Sample(keyviz.SrcTablet, tab.id, keyviz.OpLockWait, 1, 0, wait)
+			}
+		}
 	}
 	t.held[k] = mode
 	return nil
@@ -124,7 +136,7 @@ func (t *Txn) Scan(ctx context.Context, begin, end []byte, fn func(ScanRow) bool
 		rows = rows[:0]
 		ok := true
 		for _, tab := range t.db.tabletsInRange(begin, end) {
-			tab.recordOp(1)
+			tab.recordOp(1, keyviz.OpScan)
 			_, valid := tab.scanAt(begin, end, truetime.Max, false, func(r ScanRow) bool {
 				rows = append(rows, r)
 				return true
@@ -304,6 +316,12 @@ func (t *Txn) Commit(ctx context.Context, minTS, maxTS truetime.Timestamp) (_ tr
 	if t.done {
 		return 0, ErrTxnDone
 	}
+	// Commit latency for the heatmap's sketch, measured only when the
+	// collector is armed (the check is one atomic load).
+	var kvStart truetime.Timestamp
+	if t.db.kv.Armed() {
+		kvStart = t.db.clock.Now().Latest
+	}
 	if maxTS == 0 {
 		maxTS = truetime.Max
 	}
@@ -380,6 +398,11 @@ func (t *Txn) Commit(ctx context.Context, minTS, maxTS truetime.Timestamp) (_ tr
 	// quorum after prepare — the commit aborts cleanly, no tablet applied
 	// anything; injected latency models a quorum slowdown.
 	if err := fault.Point(ctx, fault.SpannerCommitQuorum); err != nil {
+		if t.db.kv.Armed() {
+			for _, tab := range participants {
+				t.db.kv.Sample(keyviz.SrcTablet, tab.id, keyviz.OpFault, 1, 0, 0)
+			}
+		}
 		for _, tab := range participants {
 			tab.finish(t)
 		}
@@ -440,7 +463,7 @@ func (t *Txn) Commit(ctx context.Context, minTS, maxTS truetime.Timestamp) (_ tr
 			t.rollForwardAsync(participants, i, groups, ts)
 			return 0, err
 		}
-		tab.recordOp(int64(len(groups[tab])))
+		tab.recordOp(int64(len(groups[tab])), keyviz.OpCommit)
 	}
 	// Injected tablet crash AFTER the applies are durable: the tablet
 	// drops its volatile engine state and recovers from disk before the
@@ -457,6 +480,18 @@ func (t *Txn) Commit(ctx context.Context, minTS, maxTS truetime.Timestamp) (_ tr
 	if t.db.obs != nil {
 		t.db.obs.Histogram("spanner.commit_wait", dbLabel(dbID)).Record(t.db.clock.Now().Latest.Sub(cwStart))
 		t.db.obs.Counter("spanner.2pc_participants", dbLabel(dbID)).Add(int64(len(participants)))
+	}
+	// Per-participant commit bytes and end-to-end commit latency; ops
+	// were already counted by recordOp at apply time, so n is zero.
+	if t.db.kv.Armed() {
+		lat := t.db.clock.Now().Latest.Sub(kvStart)
+		for _, tab := range participants {
+			var nbytes int64
+			for _, w := range groups[tab] {
+				nbytes += int64(len(w.key) + len(w.value))
+			}
+			t.db.kv.Sample(keyviz.SrcTablet, tab.id, keyviz.OpCommit, 0, nbytes, lat)
+		}
 	}
 	for _, tab := range participants {
 		tab.finish(t)

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"firestore/internal/fault"
+	"firestore/internal/keyviz"
 	"firestore/internal/obs"
 	"firestore/internal/truetime"
 )
@@ -47,6 +48,9 @@ type Options struct {
 	CompactAt int
 	// Obs, when set, registers storage counters and gauges.
 	Obs *obs.Registry
+	// KeyViz, when set, records flush and compaction events on the
+	// keyspace heatmap timeline, keyed by tablet ID.
+	KeyViz *keyviz.Collector
 }
 
 // factoryMetrics are the obs instruments shared by a factory's engines
@@ -956,6 +960,13 @@ func (e *Disk) flushLocked(ctx context.Context) {
 	e.flushes.Add(1)
 	met := e.metrics()
 	met.add(met.flushes, 1)
+	// Background-work attribution: the flush lands on this tablet's
+	// heatmap row so operators can correlate write stalls with it.
+	e.opts.KeyViz.Record(keyviz.EvFlush, keyviz.Event{
+		Source: keyviz.SrcTablet.String(),
+		Shard:  e.id,
+		Detail: fmt.Sprintf("%d chains -> %s (%d bytes)", len(chains), name, meta.Bytes),
+	})
 	// Covered generations are garbage now; deletion is best-effort
 	// (recovery re-deletes anything left behind).
 	removeWALsBelow(e.dir, newSeq)
@@ -1047,6 +1058,11 @@ func (e *Disk) maybeCompactLocked() {
 	e.compactions.Add(1)
 	met := e.metrics()
 	met.add(met.compactions, 1)
+	e.opts.KeyViz.Record(keyviz.EvCompaction, keyviz.Event{
+		Source: keyviz.SrcTablet.String(),
+		Shard:  e.id,
+		Detail: fmt.Sprintf("%d segments -> %d chains (%d bytes)", len(olds), len(chains), meta.Bytes),
+	})
 }
 
 func (e *Disk) LastDurable() truetime.Timestamp {

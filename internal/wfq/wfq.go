@@ -16,10 +16,12 @@ package wfq
 import (
 	"container/heap"
 	"context"
+	"fmt"
 	"sort"
 	"sync"
 	"time"
 
+	"firestore/internal/keyviz"
 	"firestore/internal/obs"
 	"firestore/internal/status"
 )
@@ -64,6 +66,10 @@ type Config struct {
 	// expired/dispatched counters, queue-wait histograms, and queue
 	// gauges.
 	Obs *obs.Registry
+	// KeyViz, when set, receives shed events (queue-depth and in-flight
+	// rejections) on the keyspace timeline so noisy-neighbor shedding can
+	// be correlated with tablet/range heat.
+	KeyViz *keyviz.Collector
 }
 
 // task is one queued work item.
@@ -223,13 +229,23 @@ func (s *Scheduler) Submit(ctx context.Context, key string, cost time.Duration, 
 		return ErrClosed
 	}
 	if s.cfg.MaxQueue > 0 && s.queued >= s.cfg.MaxQueue {
+		depth := s.queued
 		s.mu.Unlock()
 		s.count(s.shed, "wfq.shed", key)
+		s.cfg.KeyViz.Record(keyviz.EvShed, keyviz.Event{
+			Source: "wfq", Key: key,
+			Detail: fmt.Sprintf("queue depth %d >= %d", depth, s.cfg.MaxQueue),
+		})
 		return ErrOverloaded
 	}
 	if limit, ok := s.limits[key]; ok && s.inflight[key] >= limit {
+		inflight := s.inflight[key]
 		s.mu.Unlock()
 		s.count(s.shed, "wfq.inflight_limited", key)
+		s.cfg.KeyViz.Record(keyviz.EvShed, keyviz.Event{
+			Source: "wfq", Key: key,
+			Detail: fmt.Sprintf("in-flight %d >= limit %d", inflight, limit),
+		})
 		return ErrInFlightLimit
 	}
 	s.seq++
