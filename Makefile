@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet lint build test test-race race-pipeline race-obs debug-smoke chaos-smoke chaos-recovery bulk-durable bench-planner bench-keyviz fuzz bench
+.PHONY: verify fmt-check vet lint lint-budget lock-graph build test test-race race-pipeline race-obs race-keyviz debug-smoke chaos-smoke chaos-recovery bulk-durable bench-planner bench-keyviz fuzz bench
 
 verify: fmt-check vet build lint test-race
 
@@ -11,10 +11,25 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-# fslint: the repo's own analyzers (status/lock/ctx/clock/obs discipline).
-# Exits non-zero on any finding; see DESIGN.md "Static analysis".
+# fslint: the repo's own analyzers (status/lock/lockorder/atomic/ctx/
+# clock/obs/io discipline). Exits non-zero on any finding; see DESIGN.md
+# "Static analysis".
 lint:
 	$(GO) run ./cmd/fslint ./...
+
+# Wall-clock budget for the interprocedural suite: the whole-repo load,
+# call-graph build, and all eight analyzers must finish inside 60s or
+# the lint gate stops being something people run before every push.
+lint-budget:
+	@start=$$(date +%s); $(GO) run ./cmd/fslint ./... ; \
+	end=$$(date +%s); took=$$((end - start)); \
+	echo "fslint took $${took}s (budget 60s)"; \
+	if [ $$took -gt 60 ]; then echo "fslint exceeded the 60s budget"; exit 1; fi
+
+# Regenerate the DESIGN.md lock-hierarchy figure from the analyzer's own
+# ordering graph (cycles would render red — there must be none).
+lock-graph:
+	$(GO) run ./cmd/fslint -graph ./...
 
 build:
 	$(GO) build ./...
@@ -36,6 +51,13 @@ race-pipeline:
 # metrics registry, and the /debug suite under concurrent scrapes.
 race-obs:
 	$(GO) test -race -count=2 ./internal/reqctx/ ./internal/obs/ ./cmd/firestore-server/server/
+
+# Focused race pass over the lock-free keyviz collector (atomic cell
+# tables, window swaps) and the durable storage engine (WAL append vs
+# sync vs segment refcounts) — the two layers the lockorder and
+# atomicdiscipline analyzers watch most closely.
+race-keyviz:
+	$(GO) test -race -count=2 ./internal/keyviz/ ./internal/storage/
 
 # End-to-end /debug smoke: boots a region, runs a workload, asserts
 # metricz shows per-layer histograms, tracez nests the layers, and

@@ -1,18 +1,23 @@
-// Command fslint runs the repository's static-analysis suite: five
+// Command fslint runs the repository's static-analysis suite: the
 // analyzers that mechanically enforce the cross-cutting invariants the
 // codebase is built on (canonical status codes, context propagation,
-// the *Locked mutex convention, TrueTime-only timestamps, and constant
+// the *Locked mutex convention, global lock-acquisition order,
+// atomic-field discipline, TrueTime-only timestamps, and constant
 // metric names). See internal/analysis for the invariants and the
 // //fslint:ignore allowlist syntax.
 //
 // Usage:
 //
-//	fslint [-json] [-list] [packages...]
+//	fslint [-json] [-list] [-graph] [packages...]
 //
 // Packages default to ./... relative to the current directory. The exit
 // status is 1 when any finding survives the allowlist, so `make lint`
 // and CI gate on it. -json emits machine-readable findings (path, line,
 // col, analyzer, message) for diffing finding counts across PRs.
+// -graph skips the analyzers and emits the interprocedural lock-order
+// graph as Graphviz DOT (mutex classes as nodes, acquisition-order
+// edges labeled with their witness function, cycles in red) — the
+// DESIGN.md "Lock hierarchy" figure is generated with it.
 package main
 
 import (
@@ -28,8 +33,9 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	graph := flag.Bool("graph", false, "emit the lock-order graph as Graphviz DOT instead of running the analyzers")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: fslint [-json] [-list] [packages...]\n\nAnalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: fslint [-json] [-list] [-graph] [packages...]\n\nAnalyzers:\n")
 		for _, a := range analysis.Analyzers() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-18s %s\n", a.Name, a.Doc)
 		}
@@ -59,6 +65,11 @@ func main() {
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *graph {
+		fmt.Print(analysis.LockOrderDOT(analysis.BuildProgram(pkgs)))
+		return
 	}
 
 	findings := analysis.Run(pkgs, analysis.Analyzers())

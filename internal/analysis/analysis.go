@@ -4,8 +4,11 @@
 // *Locked mutex-held naming convention, and TrueTime-driven timestamps —
 // and this package makes them mechanically un-violable: a loader drives
 // go/parser and go/types over packages enumerated with `go list -json`
-// (keeping go.mod dependency-free), and six repo-specific analyzers
-// report violations as findings a CI gate turns into failures.
+// (keeping go.mod dependency-free), and eight repo-specific analyzers
+// report violations as findings a CI gate turns into failures. Packages
+// type-check from source in dependency order, so type identities unify
+// across the whole load — the substrate the interprocedural layer
+// (callgraph.go) builds its CHA call graph on.
 //
 // The analyzers are:
 //
@@ -15,6 +18,14 @@
 //   - lockdiscipline: a fooLocked method is only called with its
 //     receiver's mutex held; mutex-containing values are never copied;
 //     defer mu.Unlock() never follows a conditional Lock.
+//   - lockorder: the global lock-acquisition order over mutex classes is
+//     acyclic — held sets propagate through the call graph and every
+//     cycle is reported with concrete witness call chains (the AB-BA
+//     deadlock class that per-function checks cannot see).
+//   - atomicdiscipline: a struct field accessed through sync/atomic
+//     anywhere is accessed atomically everywhere, wrapper-typed fields
+//     are never copied or overwritten, and pre-1.19 64-bit atomics sit
+//     at 8-aligned offsets under 32-bit layout.
 //   - ctxdiscipline: context.Context parameters come first, and
 //     request-path packages never mint context.Background()/TODO()
 //     outside tests.
@@ -45,7 +56,8 @@ import (
 	"sort"
 )
 
-// Analyzer is one named invariant check.
+// Analyzer is one named invariant check. Exactly one of Run (per
+// package) or RunProgram (whole program, with the call graph) is set.
 type Analyzer struct {
 	// Name identifies the analyzer in findings and ignore directives.
 	Name string
@@ -53,10 +65,35 @@ type Analyzer struct {
 	Doc string
 	// Applies reports whether the analyzer runs over the package with
 	// the given import path. A nil Applies runs everywhere. The golden
-	// tests bypass it by invoking Run directly.
+	// tests bypass it by invoking Run directly. Program analyzers ignore
+	// it: they see every loaded package at once.
 	Applies func(importPath string) bool
 	// Run inspects one package and reports findings via pass.Reportf.
 	Run func(pass *Pass)
+	// RunProgram inspects the whole program — every loaded package plus
+	// the call graph — and reports findings via pass.Reportf. Used by
+	// the interprocedural analyzers (lockorder, atomicdiscipline).
+	RunProgram func(pass *ProgramPass)
+}
+
+// ProgramPass carries the whole program to an interprocedural analyzer.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	report func(Finding)
+}
+
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Prog.Fset.Position(pos)
+	p.report(Finding{
+		Path:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
 }
 
 // Pass carries one package's syntax and type information to an analyzer.
@@ -105,6 +142,8 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		StatusDiscipline,
 		LockDiscipline,
+		LockOrder,
+		AtomicDiscipline,
 		CtxDiscipline,
 		ClockDiscipline,
 		ObsDiscipline,
@@ -145,12 +184,24 @@ func IsRequestPath(importPath string) bool {
 // the pseudo-analyzer "fslint".
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	var all []Finding
+	var programAnalyzers []*Analyzer
+	// The ignore index is global (keyed by file), so directives suppress
+	// findings from program-wide analyzers the same way as per-package
+	// ones.
+	var allFiles []*ast.File
+	var fset *token.FileSet
 	for _, pkg := range pkgs {
-		idx := buildIgnoreIndex(pkg.Fset, pkg.Files)
-		for _, bad := range idx.malformed {
-			all = append(all, bad)
-		}
+		allFiles = append(allFiles, pkg.Files...)
+		fset = pkg.Fset
+	}
+	idx := buildIgnoreIndex(fset, allFiles)
+	all = append(all, idx.malformed...)
+
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			if a.Applies != nil && !a.Applies(pkg.ImportPath) {
 				continue
 			}
@@ -169,6 +220,24 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 				}
 			}
 			a.Run(pass)
+		}
+	}
+
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			programAnalyzers = append(programAnalyzers, a)
+		}
+	}
+	if len(programAnalyzers) > 0 {
+		prog := BuildProgram(pkgs)
+		for _, a := range programAnalyzers {
+			pass := &ProgramPass{Analyzer: a, Prog: prog}
+			pass.report = func(f Finding) {
+				if !idx.suppressed(f) {
+					all = append(all, f)
+				}
+			}
+			a.RunProgram(pass)
 		}
 	}
 	sort.Slice(all, func(i, j int) bool {

@@ -1,0 +1,468 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AtomicDiscipline enforces all-or-nothing atomicity on struct fields:
+// once any code in the repository touches a field through sync/atomic,
+// every access to that field everywhere must be atomic. A single plain
+// read or write next to atomic ones is a data race the compiler will
+// happily reorder — the precise bug class the lock-free keyviz cell
+// tables, fault-site hit counters, and the truetime epoch base cannot
+// afford.
+//
+// The analyzer is whole-program and two-phase. Phase one collects the
+// atomic field set:
+//
+//   - fields passed by address to a sync/atomic function
+//     (atomic.AddInt64(&s.n, 1), pre-Go-1.19 style), and
+//   - fields declared with the atomic wrapper types (atomic.Int64,
+//     atomic.Bool, atomic.Pointer[T], atomic.Value, ...).
+//
+// Phase two flags violations:
+//
+//   - any plain read, write, ++/--, or compound assignment of an
+//     old-style atomic field;
+//   - taking an old-style atomic field's address for anything other
+//     than a direct sync/atomic argument (an escaped *int64 launders
+//     plain access past the checker);
+//   - copying a wrapper-typed field by value, or overwriting it with
+//     assignment (x.f = atomic.Int64{} resets it non-atomically);
+//   - a pre-1.19 64-bit call (atomic.*Int64/Uint64) on a field whose
+//     offset is not 8-aligned under 32-bit layout — such fields panic
+//     on 386/arm at runtime; hoist them to the front of the struct or
+//     migrate to atomic.Int64, which self-aligns.
+//
+// Keyed composite-literal initialization (S{n: 0}) is allowed: the
+// struct is unpublished while it is being built. Genuinely sequential
+// plain access (a constructor, a test helper owning the value) is
+// allowlisted per site with //fslint:ignore atomicdiscipline <reason>.
+var AtomicDiscipline = &Analyzer{
+	Name:       "atomicdiscipline",
+	Doc:        "fields touched via sync/atomic are accessed atomically everywhere; pre-1.19 64-bit atomics on struct fields must be 64-bit aligned",
+	RunProgram: runAtomicDiscipline,
+}
+
+// atomicWrapperTypes are the sync/atomic value types introduced in Go
+// 1.19; a field of one of these is atomic by declaration.
+var atomicWrapperTypes = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+// isAtomicFuncCall reports whether call invokes a sync/atomic
+// package-level function, and whether it is a 64-bit-word operation.
+func isAtomicFuncCall(info *types.Info, call *ast.CallExpr) (fn *types.Func, is64 bool, ok bool) {
+	obj := calleeOf(info, call)
+	f, isFn := obj.(*types.Func)
+	if !isFn || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" {
+		return nil, false, false
+	}
+	if f.Type().(*types.Signature).Recv() != nil {
+		return nil, false, false // wrapper-type method, not the old API
+	}
+	return f, strings.Contains(f.Name(), "64"), true
+}
+
+// isAtomicWrapperType reports whether t is one of the sync/atomic
+// wrapper value types, or an array of them (a bank of counters — the
+// keyviz cell latency sketch — copies just as wrongly as one).
+func isAtomicWrapperType(t types.Type) bool {
+	if arr, isArr := t.Underlying().(*types.Array); isArr {
+		return isAtomicWrapperType(arr.Elem())
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false
+	}
+	obj := named.Origin().Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && atomicWrapperTypes[obj.Name()]
+}
+
+// fieldRef is one resolved use of a struct field: the selector
+// expression, its parent chain, and the field object.
+type fieldRef struct {
+	pkg     *Package
+	expr    ast.Expr // the selector (or ident) referring to the field
+	parents []ast.Node
+	field   *types.Var
+	recv    types.Type // type the field was selected from
+}
+
+// atomicFieldInfo accumulates what phase one learned about one field.
+type atomicFieldInfo struct {
+	field *types.Var
+	// oldStyle holds the first &f-passed-to-atomic site, if any.
+	oldStyle token.Pos
+	// wrapper is true for atomic.Int64-style declarations.
+	wrapper bool
+	// sites64 lists pre-1.19 64-bit call sites (for the alignment check).
+	sites64 []token.Pos
+	// owner is a named struct type owning the field, for messages and
+	// the alignment offset computation.
+	owner *types.Named
+}
+
+func fieldClassName(owner *types.Named, field *types.Var) string {
+	if owner == nil || owner.Obj().Pkg() == nil {
+		return field.Name()
+	}
+	return shortPkg(owner.Obj().Pkg().Path()) + "." + owner.Obj().Name() + "." + field.Name()
+}
+
+func runAtomicDiscipline(pass *ProgramPass) {
+	prog := pass.Prog
+
+	// Collect every field selection in the program once, with parents.
+	var refs []fieldRef
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			collectFieldRefs(pkg, file, &refs)
+		}
+	}
+
+	// Phase one: the atomic field set.
+	info := map[*types.Var]*atomicFieldInfo{}
+	get := func(f *types.Var, recv types.Type) *atomicFieldInfo {
+		fi, have := info[f]
+		if !have {
+			fi = &atomicFieldInfo{field: f}
+			info[f] = fi
+		}
+		if fi.owner == nil {
+			fi.owner = namedOf(recv)
+		}
+		return fi
+	}
+	for _, r := range refs {
+		if isAtomicWrapperType(r.field.Type()) {
+			get(r.field, r.recv).wrapper = true
+			continue
+		}
+		// &x.f as a direct argument of a sync/atomic call?
+		if call, is64, isArg := addressArgOfAtomic(r); isArg {
+			fi := get(r.field, r.recv)
+			if fi.oldStyle == token.NoPos {
+				fi.oldStyle = call.Pos()
+			}
+			if is64 {
+				fi.sites64 = append(fi.sites64, call.Pos())
+			}
+		}
+	}
+	// Also catch wrapper-typed fields never referenced anywhere (still
+	// relevant for the copy check via struct copies — out of scope) and
+	// old-style package-level vars: a plain var accessed atomically.
+	vars := map[*types.Var]token.Pos{}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			collectAtomicVarUses(pkg, file, vars)
+		}
+	}
+
+	// Phase two: flag mixed access.
+	for _, r := range refs {
+		fi, tracked := info[r.field]
+		if !tracked {
+			continue
+		}
+		if fi.wrapper {
+			checkWrapperUse(pass, r, fi)
+		} else if fi.oldStyle != token.NoPos {
+			checkOldStyleUse(pass, r, fi)
+		}
+	}
+	checkPlainVarUses(pass, prog, vars)
+
+	// Alignment: pre-1.19 64-bit atomics on struct fields must sit at an
+	// 8-aligned offset under 32-bit layout.
+	sizes := types.SizesFor("gc", "386")
+	reported := map[*types.Var]bool{}
+	var flat []*atomicFieldInfo
+	for _, fi := range info {
+		flat = append(flat, fi)
+	}
+	sort.Slice(flat, func(i, j int) bool { return flat[i].field.Pos() < flat[j].field.Pos() })
+	for _, fi := range flat {
+		if len(fi.sites64) == 0 || fi.owner == nil || reported[fi.field] {
+			continue
+		}
+		st, isStruct := fi.owner.Underlying().(*types.Struct)
+		if !isStruct {
+			continue
+		}
+		var fields []*types.Var
+		idx := -1
+		for i := 0; i < st.NumFields(); i++ {
+			fields = append(fields, st.Field(i))
+			if st.Field(i) == fi.field {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		offsets := sizes.Offsetsof(fields)
+		if offsets[idx]%8 != 0 {
+			reported[fi.field] = true
+			pass.Reportf(fi.field.Pos(),
+				"field %s is used with 64-bit sync/atomic calls but sits at offset %d under 32-bit layout; move it to an 8-aligned position or use atomic.Int64, which aligns itself",
+				fieldClassName(fi.owner, fi.field), offsets[idx])
+		}
+	}
+}
+
+// namedOf unwraps pointers to the named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// collectFieldRefs appends a fieldRef for every selector resolving to a
+// struct field, and for every composite-literal key naming one.
+func collectFieldRefs(pkg *Package, file *ast.File, out *[]fieldRef) {
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if sel, isSel := n.(*ast.SelectorExpr); isSel {
+			if s, isSelection := pkg.Info.Selections[sel]; isSelection && s.Kind() == types.FieldVal {
+				if f, isVar := s.Obj().(*types.Var); isVar && f.IsField() {
+					parents := make([]ast.Node, len(stack))
+					copy(parents, stack)
+					*out = append(*out, fieldRef{pkg: pkg, expr: sel, parents: parents, field: f, recv: s.Recv()})
+				}
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// addressArgOfAtomic reports whether r.expr appears as &expr passed
+// directly as an argument to a sync/atomic call, returning that call.
+func addressArgOfAtomic(r fieldRef) (call *ast.CallExpr, is64, ok bool) {
+	// parents: ... call, unary(&), expr
+	if len(r.parents) < 2 {
+		return nil, false, false
+	}
+	unary, isUnary := r.parents[len(r.parents)-1].(*ast.UnaryExpr)
+	if !isUnary || unary.Op != token.AND || ast.Unparen(unary.X) != r.expr {
+		return nil, false, false
+	}
+	for i := len(r.parents) - 2; i >= 0; i-- {
+		switch p := r.parents[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.CallExpr:
+			if _, is64, isAtomic := isAtomicFuncCall(r.pkg.Info, p); isAtomic {
+				for _, arg := range p.Args {
+					if ast.Unparen(arg) == unary {
+						return p, is64, true
+					}
+				}
+			}
+			return nil, false, false
+		default:
+			return nil, false, false
+		}
+	}
+	return nil, false, false
+}
+
+// checkOldStyleUse flags plain access to a field that is elsewhere
+// accessed through old-style sync/atomic calls.
+func checkOldStyleUse(pass *ProgramPass, r fieldRef, fi *atomicFieldInfo) {
+	if _, _, isArg := addressArgOfAtomic(r); isArg {
+		return
+	}
+	name := fieldClassName(fi.owner, r.field)
+	atomicAt := pass.Prog.Fset.Position(fi.oldStyle)
+	if len(r.parents) > 0 {
+		switch p := r.parents[len(r.parents)-1].(type) {
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				pass.Reportf(r.expr.Pos(),
+					"address of atomic field %s escapes a sync/atomic call; accesses through the pointer evade the atomic discipline (atomic use at %s:%d)",
+					name, atomicAt.Filename, atomicAt.Line)
+				return
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if ast.Unparen(lhs) == r.expr {
+					pass.Reportf(r.expr.Pos(),
+						"plain write to atomic field %s races with its sync/atomic accesses (atomic use at %s:%d); use atomic.Store* or atomic.Add*",
+						name, atomicAt.Filename, atomicAt.Line)
+					return
+				}
+			}
+		case *ast.IncDecStmt:
+			pass.Reportf(r.expr.Pos(),
+				"plain %s on atomic field %s races with its sync/atomic accesses (atomic use at %s:%d); use atomic.Add*",
+				p.Tok, name, atomicAt.Filename, atomicAt.Line)
+			return
+		}
+	}
+	pass.Reportf(r.expr.Pos(),
+		"plain read of atomic field %s races with its sync/atomic accesses (atomic use at %s:%d); use atomic.Load*",
+		name, atomicAt.Filename, atomicAt.Line)
+}
+
+// checkWrapperUse flags value copies and overwrites of fields declared
+// with the sync/atomic wrapper types. Method calls (x.f.Load()) and
+// address-taking (&x.f keeps pointer semantics) are the sanctioned
+// access paths.
+func checkWrapperUse(pass *ProgramPass, r fieldRef, fi *atomicFieldInfo) {
+	name := fieldClassName(fi.owner, r.field)
+	if len(r.parents) == 0 {
+		return
+	}
+	switch p := r.parents[len(r.parents)-1].(type) {
+	case *ast.SelectorExpr:
+		if p.X == r.expr {
+			return // x.f.Load(): method access (or nested field of Value)
+		}
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return // &x.f: pointer retains atomic semantics
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if ast.Unparen(lhs) == r.expr {
+				pass.Reportf(r.expr.Pos(),
+					"atomic field %s overwritten by assignment; concurrent readers see a torn or reset value — use its Store method",
+					name)
+				return
+			}
+		}
+		pass.Reportf(r.expr.Pos(),
+			"atomic field %s copied by value; the copy is a dead snapshot and vet flags the noCopy — read it with Load",
+			name)
+	case *ast.KeyValueExpr:
+		if p.Value == r.expr {
+			pass.Reportf(r.expr.Pos(),
+				"atomic field %s copied by value into a composite literal; read it with Load",
+				name)
+		}
+	case *ast.CallExpr:
+		for _, arg := range p.Args {
+			if ast.Unparen(arg) == r.expr {
+				pass.Reportf(r.expr.Pos(),
+					"atomic field %s passed by value; the callee receives a dead copy — pass &%s or a Load() snapshot",
+					name, types.ExprString(r.expr))
+				return
+			}
+		}
+	case *ast.StarExpr, *ast.IndexExpr:
+		// Dereference/index of something containing the field — not a
+		// copy of the field itself (c.ops[i].Store is the access path
+		// for atomic arrays).
+	case *ast.RangeStmt:
+		if p.X == r.expr && p.Value != nil {
+			pass.Reportf(r.expr.Pos(),
+				"ranging over atomic field %s by value copies each element; range by index and use Load", name)
+		}
+	case *ast.ReturnStmt:
+		pass.Reportf(r.expr.Pos(),
+			"atomic field %s returned by value; return a pointer or a Load() snapshot", name)
+	}
+}
+
+// collectAtomicVarUses records package-level variables passed by
+// address to sync/atomic calls, keyed to the first such site.
+func collectAtomicVarUses(pkg *Package, file *ast.File, out map[*types.Var]token.Pos) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		if _, _, isAtomic := isAtomicFuncCall(pkg.Info, call); !isAtomic {
+			return true
+		}
+		for _, arg := range call.Args {
+			unary, isUnary := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !isUnary || unary.Op != token.AND {
+				continue
+			}
+			id, isIdent := ast.Unparen(unary.X).(*ast.Ident)
+			if !isIdent {
+				continue
+			}
+			v, isVar := pkg.Info.Uses[id].(*types.Var)
+			if isVar && !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				if _, have := out[v]; !have {
+					out[v] = call.Pos()
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkPlainVarUses flags plain uses of package-level variables that
+// are elsewhere accessed atomically.
+func checkPlainVarUses(pass *ProgramPass, prog *Program, vars map[*types.Var]token.Pos) {
+	if len(vars) == 0 {
+		return
+	}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			var stack []ast.Node
+			ast.Inspect(file, func(n ast.Node) bool {
+				if n == nil {
+					stack = stack[:len(stack)-1]
+					return true
+				}
+				if id, isIdent := n.(*ast.Ident); isIdent {
+					if v, isVar := pkg.Info.Uses[id].(*types.Var); isVar {
+						if first, tracked := vars[v]; tracked && !identIsAtomicArg(pkg, id, stack) {
+							at := prog.Fset.Position(first)
+							pass.Reportf(id.Pos(),
+								"plain access to atomic variable %s.%s races with its sync/atomic accesses (atomic use at %s:%d)",
+								shortPkg(v.Pkg().Path()), v.Name(), at.Filename, at.Line)
+						}
+					}
+				}
+				stack = append(stack, n)
+				return true
+			})
+		}
+	}
+}
+
+// identIsAtomicArg reports whether ident appears as &ident directly in
+// a sync/atomic call argument.
+func identIsAtomicArg(pkg *Package, id *ast.Ident, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	unary, isUnary := stack[len(stack)-1].(*ast.UnaryExpr)
+	if !isUnary || unary.Op != token.AND {
+		return false
+	}
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.CallExpr:
+			_, _, isAtomic := isAtomicFuncCall(pkg.Info, p)
+			return isAtomic
+		default:
+			return false
+		}
+	}
+	return false
+}

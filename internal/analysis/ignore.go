@@ -1,10 +1,31 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
+
+// knownAnalyzers is the directive-name universe: the registered suite
+// plus the "fslint" pseudo-analyzer for directive findings themselves.
+func knownAnalyzers() map[string]bool {
+	set := map[string]bool{"fslint": true}
+	for _, a := range Analyzers() {
+		set[a.Name] = true
+	}
+	return set
+}
+
+func knownAnalyzerNames() []string {
+	var names []string
+	for n := range knownAnalyzers() {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
 
 // ignorePrefix is the allowlist directive: //fslint:ignore <analyzer|*> <reason>
 const ignorePrefix = "fslint:ignore"
@@ -64,7 +85,22 @@ func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) *ignoreIndex {
 				d := ignoreDirective{line: pos.Line}
 				if fields[0] != "*" {
 					d.analyzers = map[string]bool{}
+					// One directive may name several analyzers:
+					// //fslint:ignore lockorder,atomicdiscipline <reason>.
+					// Unknown names are themselves findings — a typo'd
+					// directive silently suppressing nothing (or the
+					// wrong thing) defeats the allowlist.
 					for _, name := range strings.Split(fields[0], ",") {
+						if !knownAnalyzers()[name] {
+							idx.malformed = append(idx.malformed, Finding{
+								Path:     pos.Filename,
+								Line:     pos.Line,
+								Col:      pos.Column,
+								Analyzer: "fslint",
+								Message:  fmt.Sprintf("fslint:ignore names unknown analyzer %q; known: %s", name, strings.Join(knownAnalyzerNames(), ", ")),
+							})
+							continue
+						}
 						d.analyzers[name] = true
 					}
 				}

@@ -72,3 +72,53 @@ func f() {
 		}
 	}
 }
+
+// TestIgnoreDirectiveInterprocedural pins the multi-analyzer form the
+// ISSUE calls out: one directive naming both interprocedural analyzers.
+func TestIgnoreDirectiveInterprocedural(t *testing.T) {
+	idx := indexOf(t, `package p
+
+func f() {
+	//fslint:ignore lockorder,atomicdiscipline init path, value unpublished
+	_ = 1
+}
+`)
+	if n := len(idx.malformed); n != 0 {
+		t.Fatalf("malformed = %d findings, want 0", n)
+	}
+	for _, analyzer := range []string{"lockorder", "atomicdiscipline"} {
+		if !idx.suppressed(Finding{Path: "ignore_input.go", Line: 5, Analyzer: analyzer}) {
+			t.Errorf("directive did not suppress %s", analyzer)
+		}
+	}
+	if idx.suppressed(Finding{Path: "ignore_input.go", Line: 5, Analyzer: "lockdiscipline"}) {
+		t.Error("directive suppressed an analyzer it does not name")
+	}
+}
+
+// TestIgnoreDirectiveUnknownAnalyzer: a typo'd name is itself a finding —
+// a directive that silently suppresses nothing defeats the allowlist.
+func TestIgnoreDirectiveUnknownAnalyzer(t *testing.T) {
+	idx := indexOf(t, `package p
+
+func f() {
+	//fslint:ignore lockorder,lockodrer typo in the second name
+	_ = 1
+}
+`)
+	if len(idx.malformed) != 1 {
+		t.Fatalf("malformed = %d findings, want 1: %v", len(idx.malformed), idx.malformed)
+	}
+	msg := idx.malformed[0].Message
+	if !strings.Contains(msg, `unknown analyzer "lockodrer"`) || !strings.Contains(msg, "known:") {
+		t.Errorf("malformed message = %q, want the unknown name and the known list", msg)
+	}
+	// The valid half of the directive still works.
+	if !idx.suppressed(Finding{Path: "ignore_input.go", Line: 5, Analyzer: "lockorder"}) {
+		t.Error("valid name in a partly-bad directive stopped suppressing")
+	}
+	// The typo suppresses nothing.
+	if idx.suppressed(Finding{Path: "ignore_input.go", Line: 5, Analyzer: "lockodrer"}) {
+		t.Error("unknown analyzer name suppressed a finding")
+	}
+}

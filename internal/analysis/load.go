@@ -32,6 +32,7 @@ type listPackage struct {
 	ImportPath string
 	Export     string
 	GoFiles    []string
+	Imports    []string
 	Standard   bool
 	Module     *struct{ Path, Dir string }
 	Error      *struct{ Err string }
@@ -47,6 +48,25 @@ type Loader struct {
 	fset    *token.FileSet
 	exports map[string]string // import path -> export data file
 	imp     types.Importer
+	// srcPkgs caches packages this loader has already type-checked from
+	// source. Imports prefer these over export data so that types.Object
+	// identities unify across the whole load — the property the
+	// interprocedural analyzers (call graph, lockorder, atomicdiscipline)
+	// rely on to match a method seen at a call site in one package with
+	// its declaration in another.
+	srcPkgs map[string]*Package
+}
+
+// preferSource resolves imports against already source-checked packages
+// first, falling back to compiler export data for the standard library
+// and anything outside the load.
+type preferSource struct{ l *Loader }
+
+func (p preferSource) Import(path string) (*types.Package, error) {
+	if pkg, ok := p.l.srcPkgs[path]; ok {
+		return pkg.Types, nil
+	}
+	return p.l.imp.Import(path)
 }
 
 // NewLoader prepares a loader rooted at the module directory dir. It
@@ -69,6 +89,7 @@ func NewLoader(dir string, patterns ...string) (*Loader, error) {
 		dir:     dir,
 		fset:    token.NewFileSet(),
 		exports: map[string]string{},
+		srcPkgs: map[string]*Package{},
 	}
 	dec := json.NewDecoder(&stdout)
 	for {
@@ -115,7 +136,7 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	if err := cmd.Run(); err != nil {
 		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
 	}
-	var pkgs []*Package
+	var listed []listPackage
 	dec := json.NewDecoder(&stdout)
 	for {
 		var p listPackage
@@ -130,6 +151,40 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		if p.Standard || len(p.GoFiles) == 0 {
 			continue
 		}
+		listed = append(listed, p)
+	}
+
+	// Check in dependency order so that when package B imports package A,
+	// A's source-checked types.Package is already cached and B resolves
+	// A's objects to the same identities the analyzers see when walking
+	// A itself. (go list does not guarantee an order for explicit
+	// pattern lists, so sort here.)
+	byPath := map[string]*listPackage{}
+	for i := range listed {
+		byPath[listed[i].ImportPath] = &listed[i]
+	}
+	var ordered []*listPackage
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *listPackage)
+	visit = func(p *listPackage) {
+		if state[p.ImportPath] != 0 {
+			return // import cycles are a compile error; trust the checker
+		}
+		state[p.ImportPath] = 1
+		for _, imp := range p.Imports {
+			if dep, ok := byPath[imp]; ok {
+				visit(dep)
+			}
+		}
+		state[p.ImportPath] = 2
+		ordered = append(ordered, p)
+	}
+	for i := range listed {
+		visit(&listed[i])
+	}
+
+	var pkgs []*Package
+	for _, p := range ordered {
 		files := make([]string, len(p.GoFiles))
 		for i, f := range p.GoFiles {
 			files[i] = filepath.Join(p.Dir, f)
@@ -138,6 +193,7 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		l.srcPkgs[p.ImportPath] = pkg
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
@@ -178,7 +234,7 @@ func (l *Loader) check(importPath, dir string, filenames []string) (*Package, er
 		Uses:       map[*ast.Ident]types.Object{},
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 	}
-	conf := types.Config{Importer: l.imp, FakeImportC: true}
+	conf := types.Config{Importer: preferSource{l}, FakeImportC: true}
 	tpkg, err := conf.Check(importPath, l.fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)

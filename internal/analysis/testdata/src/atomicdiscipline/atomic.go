@@ -1,0 +1,99 @@
+// Package atomicdiscipline seeds every violation class the analyzer
+// must catch: plain access mixed with old-style sync/atomic calls,
+// wrapper-type copies and overwrites, escaped field addresses, 64-bit
+// misalignment under 32-bit layout, and plain use of a package-level
+// variable that is elsewhere accessed atomically.
+package atomicdiscipline
+
+import "sync/atomic"
+
+// counters deliberately puts a 1-byte field first so hits lands at
+// offset 4 under GOARCH=386 — the pre-1.19 atomic.AddInt64 below would
+// panic there at runtime.
+type counters struct {
+	flag bool
+	hits int64 // want `field atomicdiscipline.counters.hits is used with 64-bit sync/atomic calls but sits at offset 4 under 32-bit layout`
+	n    atomic.Int64
+}
+
+// aligned shows the fix: the 64-bit word leads the struct, so the same
+// old-style call draws no alignment finding.
+type aligned struct {
+	hits int64
+	flag bool
+}
+
+func bumpAligned(a *aligned) { atomic.AddInt64(&a.hits, 1) }
+
+// bump is the sanctioned access path; it is also what marks
+// counters.hits as an atomic field for the whole program.
+func bump(c *counters) {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// mixed is the seeded mutation from the acceptance criteria: plain
+// access interleaved with the atomic sites above.
+func mixed(c *counters) int64 {
+	c.hits++     // want `plain \+\+ on atomic field atomicdiscipline.counters.hits races with its sync/atomic accesses`
+	c.hits = 0   // want `plain write to atomic field atomicdiscipline.counters.hits races with its sync/atomic accesses`
+	p := &c.hits // want `address of atomic field atomicdiscipline.counters.hits escapes a sync/atomic call`
+	_ = p
+	return c.hits // want `plain read of atomic field atomicdiscipline.counters.hits races with its sync/atomic accesses`
+}
+
+// wrapperMisuse copies and overwrites an atomic.Int64 field — every one
+// a torn read or reset invisible to the race detector until it fires.
+func wrapperMisuse(c *counters) atomic.Int64 {
+	v := c.n // want `atomic field atomicdiscipline.counters.n copied by value`
+	_ = v
+	c.n = atomic.Int64{} // want `atomic field atomicdiscipline.counters.n overwritten by assignment`
+	sink(c.n)            // want `atomic field atomicdiscipline.counters.n passed by value`
+	return c.n           // want `atomic field atomicdiscipline.counters.n returned by value`
+}
+
+func sink(atomic.Int64) {}
+
+// wrapperOK exercises the sanctioned wrapper access paths: methods,
+// address-taking, and keyed composite-literal initialization (the
+// struct is unpublished while it is being built).
+func wrapperOK(c *counters) int64 {
+	c.n.Store(1)
+	p := &c.n
+	p.Add(2)
+	return c.n.Load()
+}
+
+func newCounters() *counters {
+	return &counters{flag: true, hits: 0}
+}
+
+// bank is the keyviz shape: an array of atomics is atomic per element.
+type bank struct {
+	ops [4]atomic.Int64
+}
+
+func (b *bank) hit(i int) { b.ops[i].Add(1) } // indexing is the access path: allowed
+
+func (b *bank) snapshot() [4]atomic.Int64 {
+	return b.ops // want `atomic field atomicdiscipline.bank.ops returned by value`
+}
+
+func (b *bank) total() int64 {
+	var t int64
+	for _, v := range b.ops { // want `ranging over atomic field atomicdiscipline.bank.ops by value copies each element`
+		_ = v
+	}
+	for i := range b.ops {
+		t += b.ops[i].Load()
+	}
+	return t
+}
+
+// total is marked atomic by addTotal; readTotal's plain read races.
+var total int64
+
+func addTotal() { atomic.AddInt64(&total, 1) }
+
+func readTotal() int64 {
+	return total // want `plain access to atomic variable atomicdiscipline.total races with its sync/atomic accesses`
+}

@@ -1,0 +1,66 @@
+// Package callgraph exercises the resolution rules of the
+// interprocedural call-graph layer: static calls, CHA interface
+// fan-out, defer/go, method values, bare function references, IIFEs,
+// and literals passed as callback arguments. callgraph_test.go asserts
+// the expected edges and kinds; there are no `// want` lines because
+// the graph itself is not an analyzer.
+package callgraph
+
+type store interface {
+	Get(k string) string
+}
+
+type memStore struct{ m map[string]string }
+
+func (s *memStore) Get(k string) string { return s.m[k] }
+
+type diskStore struct{}
+
+func (diskStore) Get(k string) string { return k }
+
+// lookup calls through the interface: CHA fans out to both implementers.
+func lookup(s store, k string) string {
+	return s.Get(k)
+}
+
+// direct binds statically to the concrete method.
+func direct() string {
+	s := &memStore{}
+	return s.Get("x")
+}
+
+// deferred runs in the caller's frame at return: a synchronous edge.
+func deferred(s *memStore) {
+	defer s.Get("x")
+}
+
+// spawns runs concurrently: the callee inherits no caller flow state.
+func spawns(s *memStore) {
+	go s.Get("x")
+}
+
+// methodValue lets the method escape as a function value.
+func methodValue(s *memStore) func(string) string {
+	return s.Get
+}
+
+// escapes is the bare-ident flavor of the same thing.
+func escapes() func() string {
+	f := direct
+	return f
+}
+
+func callback(f func(string) string) string { return f("k") }
+
+// usesCallback passes a literal as an argument: the dominant visitor
+// pattern (engine Scan/Ascend, sort.Slice), assumed synchronous.
+func usesCallback() string {
+	return callback(func(k string) string {
+		return direct()
+	})
+}
+
+// iife invokes its literal immediately.
+func iife() string {
+	return func() string { return direct() }()
+}

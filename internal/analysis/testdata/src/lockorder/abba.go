@@ -1,0 +1,89 @@
+// Package lockorder reproduces the PR 6 recoverTablet AB-BA deadlock
+// shape that was caught only by human review: maybeSplit takes db.mu
+// then t.mu, while the original recoverTablet bumped db-level stats
+// under db.mu while still holding t.mu. The lockorder analyzer must
+// report the cycle with both witness chains — including the
+// cross-function one (recover -> bumpStats), which no per-function
+// check can see.
+package lockorder
+
+import "sync"
+
+type DB struct {
+	mu      sync.RWMutex
+	tablets []*tablet
+	stats   int
+}
+
+type tablet struct {
+	mu    sync.Mutex
+	db    *DB
+	store engine
+}
+
+// engine exists so the fixture also exercises CHA interface fan-out:
+// the t.store.Recover() call below must resolve to (*diskEngine).Recover
+// and contribute the tablet.mu -> diskEngine.mu edge.
+type engine interface {
+	Crashed() bool
+	Recover()
+}
+
+type diskEngine struct {
+	mu      sync.Mutex
+	crashed bool
+}
+
+func (e *diskEngine) Crashed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.crashed
+}
+
+func (e *diskEngine) Recover() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.crashed = false
+}
+
+// maybeSplit scans tablets under db.mu, taking each tablet's mu: the
+// sanctioned DB.mu -> tablet.mu order. The finding lands on the inner
+// acquisition because it is the witness of the cycle's first edge.
+func (db *DB) maybeSplit() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, t := range db.tablets {
+		t.mu.Lock() // want `lock-order cycle lockorder.DB.mu -> lockorder.tablet.mu -> lockorder.DB.mu: lockorder.DB.mu -> lockorder.tablet.mu via \(\*lockorder.DB\).maybeSplit \(lock at .*abba.go:\d+\); lockorder.tablet.mu -> lockorder.DB.mu via \(\*lockorder.tablet\).recover -> \(\*lockorder.tablet\).bumpStats \(lock at .*abba.go:\d+\)`
+		if t.store.Crashed() {
+			t.store.Recover()
+		}
+		t.mu.Unlock()
+	}
+}
+
+// recover is the PR 6 bug shape: it still holds t.mu when bumpStats
+// acquires db.mu — the reverse of maybeSplit's order, two functions
+// apart.
+func (t *tablet) recover() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.store.Recover()
+	t.bumpStats()
+}
+
+func (t *tablet) bumpStats() {
+	t.db.mu.Lock()
+	t.db.stats++
+	t.db.mu.Unlock()
+}
+
+// recoverFixed is the corrected shape: t.mu is released before the
+// stats bump, so no tablet.mu -> DB.mu edge comes from here.
+func (t *tablet) recoverFixed() {
+	t.mu.Lock()
+	t.store.Recover()
+	t.mu.Unlock()
+	t.db.mu.Lock()
+	t.db.stats++
+	t.db.mu.Unlock()
+}
