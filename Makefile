@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet lint lint-budget lock-graph build test test-race race-pipeline race-obs race-keyviz debug-smoke chaos-smoke chaos-recovery bulk-durable bench-planner bench-keyviz fuzz bench
+.PHONY: verify fmt-check vet lint lint-budget lock-graph build test test-race race-pipeline race-obs race-keyviz debug-smoke chaos-smoke chaos-recovery cluster-smoke bulk-durable bulk-cluster bench-planner bench-keyviz fuzz bench
 
 verify: fmt-check vet build lint test-race
 
@@ -18,7 +18,7 @@ lint:
 	$(GO) run ./cmd/fslint ./...
 
 # Wall-clock budget for the interprocedural suite: the whole-repo load,
-# call-graph build, and all eight analyzers must finish inside 60s or
+# call-graph build, and all nine analyzers must finish inside 60s or
 # the lint gate stops being something people run before every push.
 lint-budget:
 	@start=$$(date +%s); $(GO) run ./cmd/fslint ./... ; \
@@ -79,10 +79,25 @@ chaos-smoke:
 chaos-recovery:
 	$(GO) test -race -run 'TestChaosRecovery' -v ./internal/chaos/
 
+# Multi-process cluster smoke: a coordinator plus two tablet-server
+# child processes on TCP loopback run a write/listen mix under network
+# faults, then again with one child SIGKILLed mid-run and respawned —
+# the rejoined peer must serve its WAL state and ValidateDatabase must
+# report zero divergence (the validation-clean invariant).
+cluster-smoke:
+	$(GO) test -race -run 'TestChaosCluster' -v ./internal/chaos/
+
 # Disk-backed BULK parity gate: the BulkWriter on the durable engine
 # must hold >= 0.2x in-memory docs/s and recover every doc on restart.
 bulk-durable:
 	$(GO) test -run 'TestBulkLoadDurableParity' -v ./internal/bench/
+
+# Wire-overhead BULK parity gate: the BulkWriter against tablet servers
+# over TCP loopback must hold the parity floor vs in-process engines and
+# actually cross the wire (non-zero engine RPCs). Full-scale floor: 0.5x
+# via `firestore-bench -bulk-cluster`.
+bulk-cluster:
+	$(GO) test -run 'TestBulkLoadClusterParity' -v ./internal/bench/
 
 # Cost-based planner gate: the plan picked on every ABL4 query shape
 # must visit <= 1.25x the index entries of the oracle-best alternative.

@@ -22,15 +22,20 @@ import (
 
 	"firestore/internal/bench"
 	"firestore/internal/chaos"
+	"firestore/internal/cluster"
 	"firestore/internal/reqctx"
 )
 
 func main() {
+	// Cluster chaos scenarios and -bulk-cluster re-exec this binary as
+	// tablet-server child processes; the hook must run before flags.
+	cluster.MaybeRunTabletChild()
 	fig := flag.String("fig", "", "figure to regenerate: 6, 7, 8, 7+8, 9, 10a, 10b, 11")
 	tab := flag.String("tab", "", "table to regenerate: 1")
 	abl := flag.String("abl", "", "ablation to run: zigzag, multiregion, shedding, planner")
 	bulk := flag.Bool("bulk", false, "run the YCSB bulk-load comparison (sequential Set vs BulkWriter)")
 	bulkDurable := flag.Bool("bulk-durable", false, "run the BulkWriter load on in-memory vs durable storage (WAL + segments) and verify restart recovery")
+	bulkCluster := flag.Bool("bulk-cluster", false, "run the BulkWriter load on in-process engines vs tablet servers over TCP loopback")
 	chaosName := flag.String("chaos", "", "fault-injection scenario to run (or \"list\", \"all\")")
 	all := flag.Bool("all", false, "run every experiment")
 	scale := flag.Float64("scale", 1.0, "experiment size/duration multiplier")
@@ -128,6 +133,15 @@ func main() {
 		ran = true
 		runBulkDurable(out, opts)
 	}
+	if *bulkCluster {
+		ran = true
+		tbl, err := bench.BulkLoadCluster(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bulk-cluster: %v\n", err)
+			os.Exit(1)
+		}
+		tbl.Fprint(out)
+	}
 	if *chaosName != "" {
 		ran = true
 		if !runChaos(out, logw, *chaosName, *seed) {
@@ -203,7 +217,7 @@ func runChaos(out, logw io.Writer, name string, seed int64) bool {
 	pass := true
 	for _, sc := range run {
 		opt := chaos.Options{Seed: seed}
-		if sc.Durable {
+		if sc.Durable || sc.Cluster {
 			dir, err := os.MkdirTemp("", "firestore-chaos-"+sc.Name+"-")
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "chaos %s: %v\n", sc.Name, err)

@@ -34,6 +34,8 @@ type DebugOptions struct {
 //	/debug/keyvizz   keyspace heatmap: per-tablet/range heat, hotspots,
 //	                 and the split/rebalance/shed/fault event timeline
 //	                 (JSON; ?format=svg renders a self-contained heatmap)
+//	/debug/clusterz  multi-process cluster peer table: roles, addresses,
+//	                 owned tablet ranges, pool health, last heartbeat
 //
 // Debug requests bypass the ingress span so scrapes do not pollute the
 // RPC metrics they report.
@@ -48,6 +50,7 @@ func (s *Server) EnableDebug(opts DebugOptions) {
 	s.mux.HandleFunc("/debug/faultz", s.faultz)
 	s.mux.HandleFunc("/debug/advisorz", s.advisorz)
 	s.mux.HandleFunc("/debug/keyvizz", s.keyvizz)
+	s.mux.HandleFunc("/debug/clusterz", s.clusterz)
 	if opts.Pprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -250,6 +253,18 @@ func (s *Server) keyvizz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, snap)
+}
+
+// clusterz reports the multi-process cluster's peer table (tablet-server
+// roles, addresses, owned ranges, connection-pool health, heartbeats)
+// when the region runs behind a cluster coordinator; single-process
+// regions report enabled=false.
+func (s *Server) clusterz(w http.ResponseWriter, r *http.Request) {
+	if s.clusterInfo == nil {
+		writeJSON(w, map[string]any{"enabled": false})
+		return
+	}
+	writeJSON(w, map[string]any{"enabled": true, "cluster": s.clusterInfo()})
 }
 
 // advisorz reports the index advisor: per-query-shape planner choices,

@@ -235,6 +235,7 @@ func TestDebugStatusPages(t *testing.T) {
 		"/debug/tabletz",
 		"/debug/storagez",
 		"/debug/listenz",
+		"/debug/clusterz",
 		"/debug/vars",
 	} {
 		resp, body := do(t, ts, "GET", path, nil, nil)

@@ -26,7 +26,15 @@ import (
 type Server struct {
 	region *core.Region
 	mux    *http.ServeMux
+	// clusterInfo, when set, feeds /debug/clusterz (the cluster
+	// coordinator's peer-table snapshot in multi-process deployments).
+	clusterInfo func() any
 }
+
+// SetClusterInfo installs the /debug/clusterz data source — typically
+// the cluster coordinator's Snapshot. Without it the endpoint reports
+// single-process mode.
+func (s *Server) SetClusterInfo(fn func() any) { s.clusterInfo = fn }
 
 // New builds the handler for a region.
 func New(region *core.Region) *Server {

@@ -24,6 +24,7 @@
 //	stats -watch <interval> [substr]   rescrape every interval, print deltas/sec
 //	keyviz [svg]                       keyspace heatmap from /debug/keyvizz
 //	storage                            per-tablet storage engines from /debug/storagez
+//	cluster                            multi-process peer table from /debug/clusterz
 //	traces [sampled|slow|error] [n]    dump recent traces from /debug/tracez
 //	faults list                        show fault-injection sites and counters
 //	faults enable <site> <mode> [k=v]  arm a fault (prob= latency= code= max= seed=)
@@ -92,6 +93,8 @@ func main() {
 		err = c.keyviz(args[1:])
 	case "storage":
 		err = c.storage(args[1:])
+	case "cluster":
+		err = c.cluster(args[1:])
 	case "traces":
 		err = c.traces(args[1:])
 	case "faults":
@@ -614,6 +617,86 @@ func (c *cli) storage(args []string) error {
 		parts = append(parts, fmt.Sprintf("%s=%d", k, view.Totals[k]))
 	}
 	fmt.Println("totals:", strings.Join(parts, " "))
+	return nil
+}
+
+// cluster prints the multi-process peer table from /debug/clusterz: one
+// line per tablet server (role, address, heartbeat age, connection-pool
+// health) and one line per owned tablet range.
+func (c *cli) cluster(args []string) error {
+	if len(args) != 0 {
+		return fmt.Errorf("cluster takes no arguments")
+	}
+	var view struct {
+		Enabled bool `json:"enabled"`
+		Cluster struct {
+			Coordinator string `json:"coordinator"`
+			Peers       []struct {
+				Name            string `json:"name"`
+				Addr            string `json:"addr"`
+				Kind            string `json:"kind"`
+				LastHeartbeat   int64  `json:"last_heartbeat_unix_nano"`
+				TabletsReported int    `json:"tablets_reported"`
+				Owned           []struct {
+					DB     int    `json:"db"`
+					Tablet uint64 `json:"tablet"`
+					Start  []byte `json:"start"`
+					End    []byte `json:"end"`
+					Live   bool   `json:"live"`
+				} `json:"owned"`
+				Pool struct {
+					Healthy             bool   `json:"healthy"`
+					Connected           bool   `json:"connected"`
+					ConsecutiveFailures int64  `json:"consecutive_failures"`
+					Reconnects          int64  `json:"reconnects"`
+					Calls               int64  `json:"calls"`
+					Errors              int64  `json:"errors"`
+					LastError           string `json:"last_error,omitempty"`
+				} `json:"pool"`
+			} `json:"peers"`
+		} `json:"cluster"`
+	}
+	if err := c.getJSON("/debug/clusterz", &view); err != nil {
+		return err
+	}
+	if !view.Enabled {
+		fmt.Println("single-process region (no cluster coordinator)")
+		return nil
+	}
+	bound := func(b []byte, inf string) string {
+		if b == nil {
+			return inf
+		}
+		return strconv.Quote(string(b))
+	}
+	fmt.Printf("coordinator %s, %d peer(s)\n", view.Cluster.Coordinator, len(view.Cluster.Peers))
+	for _, p := range view.Cluster.Peers {
+		hb := "never"
+		if p.LastHeartbeat > 0 {
+			hb = time.Since(time.Unix(0, p.LastHeartbeat)).Truncate(time.Millisecond).String() + " ago"
+		}
+		health := "healthy"
+		if !p.Pool.Healthy {
+			health = fmt.Sprintf("UNHEALTHY (%d consecutive failures)", p.Pool.ConsecutiveFailures)
+		}
+		if !p.Pool.Connected {
+			health += " disconnected"
+		}
+		fmt.Printf("peer %-8s %-4s addr=%-21s hb=%-12s engines=%d pool: %s calls=%d errs=%d reconnects=%d\n",
+			p.Name, p.Kind, p.Addr, hb, p.TabletsReported,
+			health, p.Pool.Calls, p.Pool.Errors, p.Pool.Reconnects)
+		if p.Pool.LastError != "" {
+			fmt.Printf("  last error: %s\n", p.Pool.LastError)
+		}
+		for _, o := range p.Owned {
+			live := "live"
+			if !o.Live {
+				live = "recovering"
+			}
+			fmt.Printf("  db %d tablet %-4d [%s, %s) %s\n",
+				o.DB, o.Tablet, bound(o.Start, "-inf"), bound(o.End, "+inf"), live)
+		}
+	}
 	return nil
 }
 

@@ -4,7 +4,7 @@
 // *Locked mutex-held naming convention, and TrueTime-driven timestamps —
 // and this package makes them mechanically un-violable: a loader drives
 // go/parser and go/types over packages enumerated with `go list -json`
-// (keeping go.mod dependency-free), and eight repo-specific analyzers
+// (keeping go.mod dependency-free), and nine repo-specific analyzers
 // report violations as findings a CI gate turns into failures. Packages
 // type-check from source in dependency order, so type identities unify
 // across the whole load — the substrate the interprocedural layer
@@ -39,6 +39,10 @@
 //     internal/storage (plus the analysis loader, cmd/, and examples/);
 //     every other layer must route durable state through the storage
 //     engine so the WAL/manifest crash-recovery protocol governs it.
+//   - netdiscipline: direct socket creation (net.Dial*/net.Listen*) is
+//     confined to internal/transport (plus cmd/ and examples/ entry
+//     points), so the wire protocol's framing, fault sites, and
+//     per-peer health metrics cover every cross-process byte.
 //
 // A finding on a line is suppressed by an allowlist directive on the
 // same line or the line above:
@@ -148,6 +152,7 @@ func Analyzers() []*Analyzer {
 		ClockDiscipline,
 		ObsDiscipline,
 		IODiscipline,
+		NetDiscipline,
 	}
 }
 

@@ -215,6 +215,35 @@ func TestIODisciplineOutOfScope(t *testing.T) {
 	}
 }
 
+func TestNetDisciplineGolden(t *testing.T) {
+	findings := runGolden(t, filepath.Join("testdata", "src", "netdiscipline"),
+		"firestore/internal/cluster", NetDiscipline)
+	if len(findings) == 0 {
+		t.Fatal("seeded socket violations produced no findings; fslint would exit 0")
+	}
+}
+
+// TestNetDisciplineOutOfScope loads the same seeded violations under the
+// allowlisted trees: internal/transport (the sole socket owner) and the
+// cmd/ and examples/ prefixes (entry points bind their own HTTP and
+// control-plane listeners).
+func TestNetDisciplineOutOfScope(t *testing.T) {
+	l := goldenLoader(t)
+	for _, importPath := range []string{
+		"firestore/internal/transport",
+		"firestore/cmd/firestore-server",
+		"firestore/examples/restaurants",
+	} {
+		pkg, err := l.LoadDir(filepath.Join("testdata", "src", "netdiscipline"), importPath)
+		if err != nil {
+			t.Fatalf("LoadDir: %v", err)
+		}
+		if findings := Run([]*Package{pkg}, []*Analyzer{NetDiscipline}); len(findings) != 0 {
+			t.Errorf("netdiscipline ran inside allowlisted %s: %v", importPath, findings)
+		}
+	}
+}
+
 // TestLockOrderGolden is the acceptance fixture: the PR 6 recoverTablet
 // AB-BA shape must surface as one cycle finding carrying both witness
 // chains, including the cross-function recover -> bumpStats chain.

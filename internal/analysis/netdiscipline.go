@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// netAllowed lists the packages that may open sockets directly. The
+// multi-process cluster's contract is that every connection, frame, and
+// retry decision lives in internal/transport: that is where the fault
+// plane's partition/slow-link/half-open/conn-reset sites sit, where
+// per-peer metrics and health are recorded, and where status codes map
+// onto wire errors. A stray net.Dial in another layer is invisible to
+// all three.
+var netAllowed = map[string]bool{
+	"firestore/internal/transport": true,
+	"firestore/internal/analysis":  true,
+}
+
+// netAllowedPrefixes extends netAllowed to whole trees: process entry
+// points bind their own HTTP/control-plane listeners (they pass
+// addresses IN to the transport but also serve net/http directly).
+var netAllowedPrefixes = []string{
+	"firestore/cmd/",
+	"firestore/examples/",
+}
+
+// netBanned is the set of net package functions that create
+// connections or listeners.
+var netBanned = map[string]bool{
+	"Dial": true, "DialTimeout": true, "DialIP": true,
+	"DialTCP": true, "DialUDP": true, "DialUnix": true,
+	"Listen": true, "ListenIP": true, "ListenMulticastUDP": true,
+	"ListenPacket": true, "ListenTCP": true, "ListenUDP": true,
+	"ListenUnix": true, "ListenUnixgram": true,
+	"FileConn": true, "FileListener": true, "FilePacketConn": true,
+}
+
+// NetDiscipline bans direct socket creation outside internal/transport
+// (and the deliberate exceptions above). The wire is a protocol —
+// length-prefixed frames, trace/deadline propagation, canonical status
+// mapping, injectable network faults — and the protocol is only
+// enforceable if internal/transport is the sole owner of sockets.
+var NetDiscipline = &Analyzer{
+	Name: "netdiscipline",
+	Doc:  "sockets live in internal/transport; no direct net.Dial/net.Listen elsewhere (the wire protocol, fault sites, and peer metrics all hang off the one transport)",
+	Applies: func(importPath string) bool {
+		if netAllowed[importPath] {
+			return false
+		}
+		for _, p := range netAllowedPrefixes {
+			if len(importPath) >= len(p) && importPath[:len(p)] == p {
+				return false
+			}
+		}
+		return true
+	},
+	Run: runNetDiscipline,
+}
+
+func runNetDiscipline(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(pass.Info, call)
+			for name := range netBanned {
+				if isFuncNamed(callee, "net", name) {
+					pass.Reportf(call.Pos(),
+						"net.%s() outside internal/transport; connections must go through the transport so frames, fault injection, and per-peer health govern every byte on the wire", name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,58 @@
+// Package netdiscipline is golden-test input loaded under a
+// non-transport import path: direct socket creation is banned there —
+// every connection must flow through internal/transport.
+package netdiscipline
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+func dial(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr) // want `net\.Dial\(\) outside internal/transport`
+}
+
+func dialDeadline(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, 5*time.Second) // want `net\.DialTimeout\(\) outside internal/transport`
+}
+
+func serve(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr) // want `net\.Listen\(\) outside internal/transport`
+}
+
+func datagram(addr string) (net.PacketConn, error) {
+	return net.ListenPacket("udp", addr) // want `net\.ListenPacket\(\) outside internal/transport`
+}
+
+func exempted(addr string) (net.Listener, error) {
+	//fslint:ignore netdiscipline golden example of an allowlisted listener
+	return net.Listen("tcp", addr)
+}
+
+// Non-socket net functions stay legal everywhere: parsing addresses and
+// splitting host/port never touch the wire.
+func parse(hostport string) (string, string, error) {
+	host, port, err := net.SplitHostPort(hostport)
+	if err != nil {
+		return "", "", err
+	}
+	if ip := net.ParseIP(host); ip != nil {
+		host = ip.String()
+	}
+	return host, port, nil
+}
+
+// Using net types (conns handed IN by the transport) is fine; only
+// creating them is fenced.
+func consume(c net.Conn) error {
+	defer c.Close()
+	_, err := c.Write([]byte("ping"))
+	return err
+}
+
+// net/http clients ride whatever transport the caller configured; the
+// discipline governs raw sockets, not HTTP round trips.
+func fetch(url string) (*http.Response, error) {
+	return http.Get(url)
+}

@@ -10,6 +10,7 @@ package backend
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -304,6 +305,22 @@ func (b *Backend) commitOps(ctx context.Context, db *catalog.Database, p Princip
 	// commit), then buffer the Entities row and the IndexEntries diff.
 	// Indexes under backfill are maintained too so they stay consistent
 	// (§IV-D1).
+	// Coalesce the per-op reads: every op's current row is locked
+	// exclusively and read up front with one batched engine call per
+	// tablet, so a clustered deployment pays one round trip per tablet
+	// instead of one per op. Locks are taken in op order — the same
+	// order the loop below would acquire them — and ops still observe
+	// their predecessors through the transaction's write buffer.
+	if len(ops) > 1 {
+		prefetch := make([][]byte, len(ops))
+		for i, op := range ops {
+			prefetch[i] = db.EntityKey(encoding.EncodeName(nil, op.Name))
+		}
+		if err := txn.PrefetchForUpdate(ctx, prefetch); err != nil {
+			return abort(err)
+		}
+	}
+
 	changes := make([]change, 0, len(ops))
 	names := make([]doc.Name, 0, len(ops))
 	muts := make([]rtcache.Mutation, 0, len(ops))
@@ -439,7 +456,17 @@ func (b *Backend) commitOps(ctx context.Context, db *catalog.Database, p Princip
 	ts, err := txn.Commit(ctx, minTS, maxTS)
 	if err != nil {
 		if b.cache != nil {
-			b.cache.Accept(ctx, writeID, rtcache.OutcomeFailure, 0, nil)
+			// A definitive abort releases the prepare with a failure; an
+			// unknown outcome (phase-2 roll-forward still completing in
+			// the background) must NOT be reported as failed — the write
+			// may land durably after this return, so the cache resets and
+			// requeries the affected ranges instead of serving a view
+			// that silently misses the mutation.
+			outcome := rtcache.OutcomeFailure
+			if errors.Is(err, spanner.ErrOutcomeUnknown) {
+				outcome = rtcache.OutcomeUnknown
+			}
+			b.cache.Accept(ctx, writeID, outcome, 0, nil)
 		}
 		return 0, err
 	}

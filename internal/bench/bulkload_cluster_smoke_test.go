@@ -1,0 +1,37 @@
+package bench
+
+import "testing"
+
+// TestBulkLoadClusterParity is the wire-overhead BULK parity gate: the
+// BulkWriter with the Spanner pool's storage served by tablet-server
+// peers over TCP loopback must load with zero per-record errors, hold a
+// docs/s parity floor against the in-process run, and actually cross
+// the wire (non-zero engine RPCs, zero RPC errors — this run injects no
+// faults). The full-scale acceptance floor is 0.5x (firestore-bench
+// -bulk-cluster); at this test's tiny op count (a handful of batch
+// commits) fixed per-run costs and suite noise dominate, so the smoke
+// asserts 0.35x.
+func TestBulkLoadClusterParity(t *testing.T) {
+	res, err := runBulkLoadCluster(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InProc.Errors != 0 || res.Cluster.Errors != 0 {
+		t.Fatalf("load errors: in-process=%d cluster=%d", res.InProc.Errors, res.Cluster.Errors)
+	}
+	if res.InProc.DocsPerSec() <= 0 {
+		t.Fatalf("in-process docs/s = %v", res.InProc.DocsPerSec())
+	}
+	if p := res.Parity(); p < 0.35 {
+		t.Fatalf("cluster parity = %.2fx (in-process %.0f docs/s, cluster %.0f docs/s), want >= 0.35x",
+			p, res.InProc.DocsPerSec(), res.Cluster.DocsPerSec())
+	}
+	if res.RPCs == 0 {
+		t.Fatal("cluster load issued zero engine RPCs (the load never crossed the wire)")
+	}
+	if res.RPCErrs != 0 {
+		t.Fatalf("cluster load hit %d RPC errors with no faults armed", res.RPCErrs)
+	}
+	t.Logf("cluster parity: %.2fx (in-process %.0f docs/s, cluster %.0f docs/s), %d RPCs over %d peers",
+		res.Parity(), res.InProc.DocsPerSec(), res.Cluster.DocsPerSec(), res.RPCs, res.Peers)
+}

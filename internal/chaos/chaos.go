@@ -33,12 +33,15 @@ package chaos
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
 	"firestore/internal/backend"
+	"firestore/internal/cluster"
 	"firestore/internal/core"
 	"firestore/internal/doc"
 	"firestore/internal/fault"
@@ -46,6 +49,7 @@ import (
 	"firestore/internal/keyviz"
 	"firestore/internal/obs"
 	"firestore/internal/query"
+	"firestore/internal/storage"
 	"firestore/internal/triggers"
 	"firestore/internal/truetime"
 	"firestore/internal/ycsb"
@@ -89,6 +93,24 @@ type Scenario struct {
 	// one range carries all the heat).
 	ExpectKeyVizCrashFidelity bool
 
+	// Cluster runs the region's storage on tablet-server child
+	// processes behind a cluster coordinator: every engine op crosses
+	// the wire transport, so the transport.* fault sites are on the
+	// path and SIGKILL of a child is a real process crash. Options.Dir
+	// roots per-peer data directories (disk children) and the host
+	// binary must call cluster.MaybeRunTabletChild() first thing in
+	// main()/TestMain(). Children host disk engines when Durable is
+	// set, mem engines otherwise (mem survives reconnects, not kills).
+	Cluster bool
+	// ClusterPeers is the tablet-server process count (default 2).
+	ClusterPeers int
+	// KillPeer SIGKILLs one tablet-server process once, mid-run, after
+	// roughly half the writes have been issued, then respawns it under
+	// the same name and data directory. Acknowledged commits must
+	// survive by WAL roll-forward and the peer must rejoin and reclaim
+	// its tablets. Requires Cluster and Durable.
+	KillPeer bool
+
 	// Durable backs the region's Spanner pool with the disk engine
 	// (WAL + memtable + segments) rooted at Options.Dir, and adds a
 	// restart-durability invariant: after the run, the whole region is
@@ -117,6 +139,9 @@ func (s Scenario) withDefaults() Scenario {
 	}
 	if s.Writes == 0 {
 		s.Writes = 25
+	}
+	if s.Cluster && s.ClusterPeers == 0 {
+		s.ClusterPeers = 2
 	}
 	if s.Durable && s.MemtableCap == 0 {
 		// Tiny on purpose: even the Quick workload must flush every few
@@ -267,6 +292,44 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 		cfg.StorageDir = opt.Dir
 		cfg.MemtableCap = sc.MemtableCap
 	}
+
+	// Cluster scenarios put a coordinator and tablet-server child
+	// processes under the region before it opens: storage ops cross the
+	// wire, and the harness can SIGKILL a child mid-run.
+	var harn *cluster.Harness
+	var coord *cluster.Coordinator
+	if sc.Cluster {
+		if opt.Dir == "" {
+			return nil, fmt.Errorf("scenario %s is clustered: Options.Dir must point at a scratch directory", sc.Name)
+		}
+		var err error
+		coord, err = cluster.NewCoordinator(cluster.CoordinatorConfig{})
+		if err != nil {
+			return nil, fmt.Errorf("start coordinator: %w", err)
+		}
+		defer coord.Close()
+		kind := cluster.KindMem
+		if sc.Durable {
+			kind = cluster.KindDisk
+		}
+		harn = cluster.NewHarness(coord, filepath.Join(opt.Dir, "peers"), kind)
+		harn.MemtableCap = sc.MemtableCap
+		defer harn.Close()
+		for i := 0; i < sc.ClusterPeers; i++ {
+			name := fmt.Sprintf("ts%d", i)
+			if err := harn.Spawn(name); err != nil {
+				return nil, fmt.Errorf("spawn tablet server %s: %w", name, err)
+			}
+		}
+		opt.logf("cluster up: coordinator %s + %d %s tablet-server process(es)", coord.Addr(), sc.ClusterPeers, kind)
+		// The pool's storage now lives in the children; the region talks
+		// to it through the coordinator's remote factories.
+		cfg.StorageDir = ""
+		cfg.StorageFactory = func(i int) (storage.Factory, error) { return coord.Factory(i), nil }
+	} else if sc.KillPeer {
+		return nil, fmt.Errorf("scenario %s sets KillPeer without Cluster", sc.Name)
+	}
+
 	region, err := core.OpenRegion(cfg)
 	if err != nil {
 		return nil, err
@@ -387,7 +450,70 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 			}
 		}(w)
 	}
+
+	// KillPeer: once half the writes have been issued, SIGKILL one
+	// tablet-server process and respawn it under the same name and data
+	// directory. Commits against its tablets fail while it is down; the
+	// respawned peer rejoins, WAL replay rolls acknowledged commits
+	// forward, and lazy recovery re-opens engines on the next access.
+	killerDone := make(chan struct{})
+	var killErr error
+	if sc.KillPeer {
+		// The victim must host the tablets the workload actually writes:
+		// the chaos database hashes to one pool database (the catalog's
+		// fnv placement rule), and only the peer(s) owning that pool
+		// database's tablets feel a kill.
+		h := fnv.New32a()
+		h.Write([]byte(dbID))
+		poolIdx := int(h.Sum32()) % cfg.SpannerPoolSize
+		victim := ""
+		owned := 0
+		for _, p := range coord.Snapshot().Peers {
+			n := 0
+			for _, ot := range p.Owned {
+				if ot.DB == poolIdx {
+					n++
+				}
+			}
+			if n > owned {
+				victim, owned = p.Name, n
+			}
+		}
+		if victim == "" {
+			return nil, fmt.Errorf("scenario %s: no peer owns tablets of pool database %d, nothing to kill", sc.Name, poolIdx)
+		}
+		half := int64(sc.Writers*sc.Writes) / 2
+		go func() {
+			defer close(killerDone)
+			for {
+				commitMu.Lock()
+				issued := seq
+				commitMu.Unlock()
+				if issued >= half {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+			opt.logf("SIGKILL peer %s (%d tablet(s)) mid-run (%d/%d writes issued)", victim, owned, half, sc.Writers*sc.Writes)
+			if err := harn.Kill(victim); err != nil {
+				killErr = fmt.Errorf("kill %s: %w", victim, err)
+				return
+			}
+			if err := harn.Respawn(victim); err != nil {
+				killErr = fmt.Errorf("respawn %s: %w", victim, err)
+				return
+			}
+			opt.logf("peer %s respawned and rejoined", victim)
+		}()
+	} else {
+		close(killerDone)
+	}
+
 	wg.Wait()
+	<-killerDone
+	if sc.KillPeer {
+		rep.check("peer-kill-respawn", killErr == nil, "SIGKILL + respawn of one tablet-server process: %v", killErr)
+	}
 	rep.Commits = len(commits)
 	rep.CommitErrs = commitErrs
 

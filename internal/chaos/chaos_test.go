@@ -1,11 +1,20 @@
 package chaos
 
 import (
+	"os"
 	"strings"
 	"testing"
 
+	"firestore/internal/cluster"
 	"firestore/internal/fault"
 )
+
+// TestMain lets the cluster scenarios re-exec this test binary as
+// tablet-server child processes.
+func TestMain(m *testing.M) {
+	cluster.MaybeRunTabletChild()
+	os.Exit(m.Run())
+}
 
 func runScenario(t *testing.T, name string, seed int64) *Report {
 	t.Helper()
@@ -67,6 +76,28 @@ func TestChaosRecovery(t *testing.T) {
 	}
 
 	runScenario(t, "segment-flush-flake", 7)
+}
+
+// TestChaosCluster is the multi-process gate (make cluster-smoke rides
+// on it too): tablet-server child processes host the storage, the wire
+// partitions, and one child is SIGKILLed mid-commit and respawned. Both
+// scenarios must recover remote engines and keep every invariant.
+func TestChaosCluster(t *testing.T) {
+	rep := runScenario(t, "net-partition", 7)
+	if rep.Injected[fault.TransportPartition] == 0 {
+		t.Errorf("net-partition: partition fault never fired")
+	}
+	if rep.Recoveries == 0 {
+		t.Errorf("net-partition: partitions never forced an engine recovery")
+	}
+
+	rep = runScenario(t, "tablet-proc-kill", 7)
+	if rep.Recoveries == 0 {
+		t.Errorf("tablet-proc-kill: SIGKILL never forced an engine recovery")
+	}
+	if rep.CommitErrs == 0 {
+		t.Logf("tablet-proc-kill: no commit errors (kill window may not have overlapped a commit)")
+	}
 }
 
 // TestAllScenarios runs the full catalog in quick mode: every named

@@ -153,6 +153,43 @@ var scenarios = []Scenario{
 		ExpectFlushes:     true,
 		ExpectCompactions: true,
 	},
+	// Cluster scenarios run the region's storage on tablet-server child
+	// processes behind a coordinator, so the transport.* fault sites sit
+	// on every engine op and process kills are real SIGKILLs. They need
+	// Options.Dir and a binary that calls cluster.MaybeRunTabletChild()
+	// first thing in main()/TestMain().
+	{
+		Name: "net-partition",
+		Doc:  "The wire to the tablet-server processes partitions intermittently while the link slows; remote engines crash-classify, lazy recovery re-opens them once reachable, and every invariant holds after the partition heals.",
+		Faults: []fault.Spec{
+			{Site: fault.TransportPartition, Mode: fault.ModeError, Code: status.Unavailable, Prob: 0.2, MaxCount: 16},
+			{Site: fault.TransportSlowLink, Mode: fault.ModeLatency, Latency: 200 * time.Microsecond, Prob: 0.5},
+		},
+		Listeners:        1,
+		Cluster:          true,
+		ExpectRecoveries: true,
+	},
+	{
+		Name: "link-flap",
+		Doc:  "Peer connections reset mid-conversation and responses vanish (half-open RPCs); the pool re-dials, ambiguous applies roll forward idempotently on retry, and state stays consistent.",
+		Faults: []fault.Spec{
+			{Site: fault.TransportConnReset, Mode: fault.ModeCrash, Prob: 0.15, MaxCount: 8},
+			{Site: fault.TransportHalfOpen, Mode: fault.ModeDrop, Prob: 0.1, MaxCount: 4},
+		},
+		Listeners:        1,
+		Cluster:          true,
+		ExpectRecoveries: true,
+	},
+	{
+		Name:             "tablet-proc-kill",
+		Doc:              "A tablet-server process is SIGKILLed mid-commit and respawned under the same name and data dir; WAL replay rolls acknowledged commits forward, the peer rejoins and reclaims its tablets, and the full state survives a region restart.",
+		Listeners:        1,
+		Cluster:          true,
+		KillPeer:         true,
+		Durable:          true,
+		ExpectRecoveries: true,
+		ExpectFlushes:    true,
+	},
 }
 
 // Scenarios returns the catalog (copy; callers may not mutate it).

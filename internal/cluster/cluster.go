@@ -1,0 +1,286 @@
+// Package cluster runs the Spanner tablet-server layer as separately
+// spawnable processes behind the internal/transport wire protocol,
+// turning the single-process reproduction into the paper's §III shape: a
+// coordinator process keeps the catalog, routing, MVCC transaction and
+// 2PC logic, and dials tablet servers that own the durable row storage —
+// the Taurus-style compute/storage separation that makes availability
+// and scale-out independently tunable.
+//
+// The remote boundary is storage.Engine. Every engine method becomes an
+// RPC against the owning peer; a transport failure (partition, process
+// death, connection reset) marks the client-side engine Crashed(), which
+// drives the exact recovery machinery the durable engine already has:
+// readers discard and retry, recoverTablet re-opens through the factory
+// (re-dialing the peer, which replays its WAL), and interrupted commits
+// roll forward. A SIGKILLed tablet server that rejoins therefore heals
+// with no new protocol: the coordinator's roll-forward loop finds the
+// reopened engine and completes phase 2.
+//
+// Tablet handoff between live processes reuses the split/commission
+// protocol: the source's engine is sealed (no new applies), its chains
+// are exported, the target opens a fresh engine on its own WAL
+// directory, ingests durably, and commissions — only then is the source
+// demoted and destroyed. The swap itself rides the recovery path: the
+// moved tablet's client engine is poisoned, and the next touch re-opens
+// it on the target.
+package cluster
+
+import (
+	"firestore/internal/storage"
+	"firestore/internal/truetime"
+)
+
+// RPC method names spoken between the coordinator and tablet servers.
+const (
+	// Control plane: tablet server -> coordinator.
+	MJoin      = "cluster.join"
+	MHeartbeat = "cluster.heartbeat"
+
+	// Engine plane: coordinator -> tablet server. One RPC per
+	// storage.Engine method, addressed by the handle MOpen returned.
+	MOpen       = "engine.open"
+	MGet        = "engine.get"
+	MGetBatch   = "engine.getbatch"
+	MScan       = "engine.scan"
+	MApply      = "engine.apply"
+	MLen        = "engine.len"
+	MKeyAt      = "engine.key-at"
+	MChains     = "engine.chains"
+	MIngest     = "engine.ingest"
+	MPurge      = "engine.purge"
+	MSetBounds  = "engine.set-bounds"
+	MCommission = "engine.commission"
+	MStats      = "engine.stats"
+	MCloseEng   = "engine.close"
+	MSeal       = "engine.seal"
+
+	// Factory plane: coordinator -> tablet server.
+	MList    = "factory.list"
+	MDestroy = "factory.destroy"
+
+	// Introspection: coordinator -> tablet server.
+	MPeerInfo = "peer.info"
+)
+
+// Engine kinds a tablet server can host.
+const (
+	KindDisk = "disk"
+	KindMem  = "mem"
+)
+
+// dbTablet addresses one tablet of one pool database across the cluster.
+type dbTablet struct {
+	DB     int
+	Tablet uint64
+}
+
+// Wire DTOs. []byte fields ride JSON base64; nil bounds (= unbounded)
+// survive the trip because they marshal as null, not "".
+
+type joinReq struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"`
+	Kind string `json:"kind"`
+}
+
+type heartbeatReq struct {
+	Name    string `json:"name"`
+	Tablets int    `json:"tablets"`
+}
+
+type openReq struct {
+	DB     int    `json:"db"`
+	Tablet uint64 `json:"tablet"`
+	Start  []byte `json:"start"`
+	End    []byte `json:"end"`
+}
+
+type openResp struct {
+	Handle      uint64             `json:"h"`
+	LastDurable truetime.Timestamp `json:"last_durable"`
+	FlushedTS   truetime.Timestamp `json:"flushed_ts"`
+}
+
+type getReq struct {
+	H   uint64             `json:"h"`
+	Key []byte             `json:"key"`
+	TS  truetime.Timestamp `json:"ts"`
+}
+
+type getResp struct {
+	Value []byte             `json:"value,omitempty"`
+	VTS   truetime.Timestamp `json:"vts,omitempty"`
+	OK    bool               `json:"ok"`
+}
+
+type getBatchReq struct {
+	H    uint64             `json:"h"`
+	Keys [][]byte           `json:"keys"`
+	TS   truetime.Timestamp `json:"ts"`
+}
+
+type getBatchResp struct {
+	// Results aligns with the request's Keys.
+	Results []getResp `json:"results"`
+}
+
+type scanReq struct {
+	H       uint64             `json:"h"`
+	Lo      []byte             `json:"lo"`
+	Hi      []byte             `json:"hi"`
+	TS      truetime.Timestamp `json:"ts"`
+	Reverse bool               `json:"reverse,omitempty"`
+}
+
+type scanResp struct {
+	Rows []wireRow `json:"rows,omitempty"`
+}
+
+type wireRow struct {
+	Key   []byte             `json:"k"`
+	Value []byte             `json:"v,omitempty"`
+	TS    truetime.Timestamp `json:"ts"`
+}
+
+type applyReq struct {
+	H      uint64             `json:"h"`
+	Writes []wireWrite        `json:"writes"`
+	TS     truetime.Timestamp `json:"ts"`
+}
+
+type wireWrite struct {
+	Key    []byte `json:"k"`
+	Value  []byte `json:"v,omitempty"`
+	Delete bool   `json:"d,omitempty"`
+}
+
+type handleReq struct {
+	H uint64 `json:"h"`
+}
+
+type lenResp struct {
+	N int `json:"n"`
+}
+
+type keyAtReq struct {
+	H uint64 `json:"h"`
+	I int    `json:"i"`
+}
+
+type keyAtResp struct {
+	Key []byte `json:"key,omitempty"`
+	OK  bool   `json:"ok"`
+}
+
+type chainsReq struct {
+	H  uint64 `json:"h"`
+	Lo []byte `json:"lo"`
+	Hi []byte `json:"hi"`
+}
+
+type chainsResp struct {
+	Chains []wireChain `json:"chains,omitempty"`
+}
+
+type wireChain struct {
+	Key      []byte        `json:"k"`
+	Versions []wireVersion `json:"vs"`
+	Purged   bool          `json:"p,omitempty"`
+}
+
+type wireVersion struct {
+	TS      truetime.Timestamp `json:"ts"`
+	Value   []byte             `json:"v,omitempty"`
+	Deleted bool               `json:"d,omitempty"`
+}
+
+type ingestReq struct {
+	H      uint64      `json:"h"`
+	Chains []wireChain `json:"chains"`
+}
+
+type purgeReq struct {
+	H    uint64   `json:"h"`
+	Keys [][]byte `json:"keys"`
+}
+
+type setBoundsReq struct {
+	H     uint64 `json:"h"`
+	Start []byte `json:"start"`
+	End   []byte `json:"end"`
+}
+
+type statsResp struct {
+	Stats       storage.Stats      `json:"stats"`
+	LastDurable truetime.Timestamp `json:"last_durable"`
+	FlushedTS   truetime.Timestamp `json:"flushed_ts"`
+}
+
+type sealReq struct {
+	DB     int    `json:"db"`
+	Tablet uint64 `json:"tablet"`
+}
+
+type sealResp struct {
+	Handle uint64 `json:"h"`
+}
+
+type listReq struct {
+	DB int `json:"db"`
+}
+
+type listResp struct {
+	Tablets []wireMeta `json:"tablets,omitempty"`
+}
+
+type wireMeta struct {
+	ID    uint64 `json:"id"`
+	Start []byte `json:"start"`
+	End   []byte `json:"end"`
+}
+
+type destroyReq struct {
+	DB     int    `json:"db"`
+	Tablet uint64 `json:"tablet"`
+}
+
+// PeerIntrospection is a tablet server's self-report for /debug/clusterz.
+type PeerIntrospection struct {
+	Name    string           `json:"name"`
+	Kind    string           `json:"kind"`
+	Tablets []TabletHostInfo `json:"tablets,omitempty"`
+}
+
+// TabletHostInfo describes one engine a tablet server hosts.
+type TabletHostInfo struct {
+	DB     int           `json:"db"`
+	Tablet uint64        `json:"tablet"`
+	Start  []byte        `json:"start"`
+	End    []byte        `json:"end"`
+	Sealed bool          `json:"sealed,omitempty"`
+	Stats  storage.Stats `json:"stats"`
+}
+
+func toWireChains(chains []storage.Chain) []wireChain {
+	out := make([]wireChain, len(chains))
+	for i, c := range chains {
+		vs := make([]wireVersion, len(c.Versions))
+		for j, v := range c.Versions {
+			vs[j] = wireVersion{TS: v.TS, Value: v.Value, Deleted: v.Deleted}
+		}
+		out[i] = wireChain{Key: c.Key, Versions: vs, Purged: c.Purged}
+	}
+	return out
+}
+
+func fromWireChains(chains []wireChain) []storage.Chain {
+	out := make([]storage.Chain, len(chains))
+	for i, c := range chains {
+		vs := make([]storage.Version, len(c.Versions))
+		for j, v := range c.Versions {
+			vs[j] = storage.Version{TS: v.TS, Value: v.Value, Deleted: v.Deleted}
+		}
+		out[i] = storage.Chain{Key: c.Key, Versions: vs, Purged: c.Purged}
+	}
+	return out
+}

@@ -1,0 +1,453 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"sort"
+	"sync"
+	"time"
+
+	"firestore/internal/obs"
+	"firestore/internal/status"
+	"firestore/internal/storage"
+	"firestore/internal/transport"
+)
+
+// CoordinatorConfig configures the cluster control plane.
+type CoordinatorConfig struct {
+	// Listen is the control-plane address tablet servers join (default
+	// "127.0.0.1:0").
+	Listen string
+	// Obs (optional) receives the connection pool's per-peer transport
+	// metrics.
+	Obs *obs.Registry
+}
+
+// peerState is the coordinator's view of one joined tablet server.
+type peerState struct {
+	name            string
+	addr            string
+	kind            string
+	joinedAt        time.Time
+	lastJoin        time.Time
+	lastHeartbeat   time.Time
+	tabletsReported int
+}
+
+// Coordinator is the cluster control plane: it accepts tablet-server
+// joins and heartbeats, owns the tablet→peer assignment table, hands
+// internal/core a storage.Factory per pool database that remotes every
+// engine over the wire, and drives live tablet handoffs.
+type Coordinator struct {
+	srv  *transport.Server
+	pool *transport.Pool
+	addr string
+
+	mu     sync.Mutex
+	peers  map[string]*peerState
+	order  []string // join order, for round-robin assignment
+	assign map[dbTablet]string
+	live   map[dbTablet]*remoteEngine
+	moving map[dbTablet]chan struct{}
+	nextRR int
+	joined chan struct{} // signaled (by replacement) on every join
+}
+
+// NewCoordinator starts the control-plane listener.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	c := &Coordinator{
+		srv:    transport.NewServer(),
+		pool:   transport.NewPool(cfg.Obs),
+		peers:  map[string]*peerState{},
+		assign: map[dbTablet]string{},
+		live:   map[dbTablet]*remoteEngine{},
+		moving: map[dbTablet]chan struct{}{},
+		joined: make(chan struct{}),
+	}
+	c.srv.Handle(MJoin, c.handleJoin)
+	c.srv.Handle(MHeartbeat, c.handleHeartbeat)
+	addr, err := c.srv.Listen(cfg.Listen)
+	if err != nil {
+		return nil, err
+	}
+	c.addr = addr
+	return c, nil
+}
+
+// Addr is the control-plane address tablet servers join (-join flag).
+func (c *Coordinator) Addr() string { return c.addr }
+
+// Pool exposes the engine-plane connection pool (clusterz health view).
+func (c *Coordinator) Pool() *transport.Pool { return c.pool }
+
+// SetObs attaches the region's metrics registry to the connection pool
+// once the region exists (OpenRegion builds its own registry, but
+// already drives pool RPCs during recovery).
+func (c *Coordinator) SetObs(reg *obs.Registry) { c.pool.SetObs(reg) }
+
+func (c *Coordinator) handleJoin(ctx context.Context, body json.RawMessage) (any, error) {
+	var req joinReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, status.Wrap(status.InvalidArgument, "cluster", err)
+	}
+	if req.Name == "" || req.Addr == "" {
+		return nil, status.New(status.InvalidArgument, "cluster", "join needs name and addr")
+	}
+	c.mu.Lock()
+	ps := c.peers[req.Name]
+	if ps == nil {
+		ps = &peerState{name: req.Name, joinedAt: time.Now()}
+		c.peers[req.Name] = ps
+		c.order = append(c.order, req.Name)
+	}
+	ps.addr = req.Addr
+	ps.kind = req.Kind
+	ps.lastJoin = time.Now()
+	ps.lastHeartbeat = ps.lastJoin
+	close(c.joined)
+	c.joined = make(chan struct{})
+	c.mu.Unlock()
+	// A rejoining process listens on a fresh port: repoint the pool so
+	// recovery re-opens dial the new incarnation.
+	c.pool.SetPeer(req.Name, req.Addr)
+	return nil, nil
+}
+
+func (c *Coordinator) handleHeartbeat(ctx context.Context, body json.RawMessage) (any, error) {
+	var req heartbeatReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, status.Wrap(status.InvalidArgument, "cluster", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ps := c.peers[req.Name]
+	if ps == nil {
+		return nil, status.Errorf(status.NotFound, "cluster", "heartbeat from unjoined peer %q", req.Name)
+	}
+	ps.lastHeartbeat = time.Now()
+	ps.tabletsReported = req.Tablets
+	return nil, nil
+}
+
+// WaitForPeers blocks until at least n tablet servers have joined.
+func (c *Coordinator) WaitForPeers(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		have := len(c.peers)
+		ch := c.joined
+		c.mu.Unlock()
+		if have >= n {
+			return nil
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return status.Errorf(status.DeadlineExceeded, "cluster",
+				"waited %v for %d tablet servers, have %d", timeout, n, have)
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+		}
+	}
+}
+
+// waitForPeerJoin blocks until peer name has (re)joined after the given
+// time — the Harness uses it to know a spawned child is serving.
+func (c *Coordinator) waitForPeerJoin(name string, after time.Time, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		ps := c.peers[name]
+		ok := ps != nil && ps.lastJoin.After(after)
+		ch := c.joined
+		c.mu.Unlock()
+		if ok {
+			return nil
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return status.Errorf(status.DeadlineExceeded, "cluster", "peer %q did not join within %v", name, timeout)
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+		}
+	}
+}
+
+// Factory returns the storage.Factory for pool database db, pluggable
+// directly into core.Config.StorageFactory.
+func (c *Coordinator) Factory(db int) storage.Factory {
+	return &RemoteFactory{coord: c, db: db}
+}
+
+// peerNames lists joined peers in join order.
+func (c *Coordinator) peerNames() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.order...)
+}
+
+// pickPeer resolves (assigning sticky round-robin if new) the owner of
+// dt.
+func (c *Coordinator) pickPeer(dt dbTablet) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if peer, ok := c.assign[dt]; ok {
+		if _, known := c.peers[peer]; known {
+			return peer, nil
+		}
+	}
+	if len(c.order) == 0 {
+		return "", status.New(status.Unavailable, "cluster", "no tablet servers joined")
+	}
+	peer := c.order[c.nextRR%len(c.order)]
+	c.nextRR++
+	c.assign[dt] = peer
+	return peer, nil
+}
+
+// ownerOf reports dt's assigned peer.
+func (c *Coordinator) ownerOf(dt dbTablet) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	peer, ok := c.assign[dt]
+	return peer, ok
+}
+
+// adopt records that peer holds dt's durable state (discovered by List
+// during recovery) unless an assignment already exists.
+func (c *Coordinator) adopt(dt dbTablet, peer string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.assign[dt]; !ok {
+		c.assign[dt] = peer
+	}
+}
+
+func (c *Coordinator) unassign(dt dbTablet) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.assign, dt)
+}
+
+func (c *Coordinator) setLive(dt dbTablet, e *remoteEngine) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.live[dt] = e
+}
+
+// dropLive forgets dt's live engine if it is still e (a re-open may
+// already have replaced it).
+func (c *Coordinator) dropLive(dt dbTablet, e *remoteEngine) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.live[dt] == e {
+		delete(c.live, dt)
+	}
+}
+
+// waitMove blocks while a handoff of dt is in flight.
+func (c *Coordinator) waitMove(dt dbTablet) {
+	for {
+		c.mu.Lock()
+		ch := c.moving[dt]
+		c.mu.Unlock()
+		if ch == nil {
+			return
+		}
+		<-ch
+	}
+}
+
+// MoveTablet hands tablet (db, id) off from its current owner to target,
+// live. The protocol mirrors a tablet split's durability order:
+//
+//  1. seal the source engine (reads and writes start failing, which at
+//     worst sends concurrent transactions down the recovery path — Open
+//     blocks on the in-flight move),
+//  2. export the source's version chains through the sealed handle,
+//  3. open a fresh engine on the target (its own WAL directory), ingest
+//     the chains durably, and commission it — the point of no return,
+//  4. flip the assignment, then poison the live coordinator-side engine
+//     so its next touch recovers onto the target,
+//  5. best-effort destroy the source's state (a crash before this leaves
+//     a duplicate catalog entry, which List resolves toward the assigned
+//     owner).
+//
+// A failure before step 3 completes leaves the assignment on the source;
+// the sealed engine heals because recovery's re-open supersedes the
+// sealed handle with a fresh one.
+func (c *Coordinator) MoveTablet(db int, id uint64, target string) error {
+	dt := dbTablet{db, id}
+	c.mu.Lock()
+	if _, ok := c.peers[target]; !ok {
+		c.mu.Unlock()
+		return status.Errorf(status.NotFound, "cluster", "unknown target peer %q", target)
+	}
+	source, ok := c.assign[dt]
+	if !ok {
+		c.mu.Unlock()
+		return status.Errorf(status.NotFound, "cluster", "tablet %d/%d has no owner", db, id)
+	}
+	if source == target {
+		c.mu.Unlock()
+		return nil
+	}
+	if _, inFlight := c.moving[dt]; inFlight {
+		c.mu.Unlock()
+		return status.Errorf(status.Aborted, "cluster", "tablet %d/%d is already moving", db, id)
+	}
+	done := make(chan struct{})
+	c.moving[dt] = done
+	eng := c.live[dt]
+	c.mu.Unlock()
+
+	finish := func() {
+		c.mu.Lock()
+		delete(c.moving, dt)
+		c.mu.Unlock()
+		close(done)
+	}
+
+	if eng == nil {
+		finish()
+		return status.Errorf(status.FailedPrecondition, "cluster", "tablet %d/%d has no live engine to move", db, id)
+	}
+	start, end := eng.bounds()
+	ctx := context.Background()
+
+	// 1. Seal. On failure nothing changed; on later failures the sealed
+	// source heals via recovery's re-open.
+	var sealed sealResp
+	if err := c.pool.Call(ctx, source, MSeal, sealReq{DB: db, Tablet: id}, &sealed); err != nil {
+		finish()
+		return err
+	}
+	abort := func(err error) error {
+		// Kick the live engine onto the recovery path now rather than on
+		// its next organic failure; Open will re-open on the source and
+		// supersede the sealed handle.
+		eng.crashed.Store(true)
+		finish()
+		return err
+	}
+
+	// 2. Export.
+	var chains chainsResp
+	if err := c.pool.Call(ctx, source, MChains, chainsReq{H: sealed.Handle}, &chains); err != nil {
+		return abort(err)
+	}
+
+	// 3. Open + ingest + commission on the target.
+	var opened openResp
+	if err := c.pool.Call(ctx, target, MOpen, openReq{DB: db, Tablet: id, Start: start, End: end}, &opened); err != nil {
+		return abort(err)
+	}
+	if len(chains.Chains) > 0 {
+		if err := c.pool.Call(ctx, target, MIngest, ingestReq{H: opened.Handle, Chains: chains.Chains}, nil); err != nil {
+			return abort(err)
+		}
+	}
+	if err := c.pool.Call(ctx, target, MCommission, handleReq{H: opened.Handle}, nil); err != nil {
+		return abort(err)
+	}
+	// The target copy is durable and live: close its bootstrap handle so
+	// the recovery re-open below owns the engine lifecycle.
+	c.pool.Call(ctx, target, MCloseEng, handleReq{H: opened.Handle}, nil) //nolint:errcheck
+
+	// 4. Flip ownership, then poison the old engine.
+	c.mu.Lock()
+	c.assign[dt] = target
+	c.mu.Unlock()
+	eng.poison()
+
+	// 5. Demote the source.
+	err := c.pool.Call(ctx, source, MDestroy, destroyReq{DB: db, Tablet: id}, nil)
+	finish()
+	return err
+}
+
+// OwnedTablet is one tablet in a peer's clusterz listing.
+type OwnedTablet struct {
+	DB     int    `json:"db"`
+	Tablet uint64 `json:"tablet"`
+	Start  []byte `json:"start,omitempty"`
+	End    []byte `json:"end,omitempty"`
+	Live   bool   `json:"live"`
+}
+
+// PeerStatus is one tablet server's row in the clusterz peer table.
+type PeerStatus struct {
+	Name                  string               `json:"name"`
+	Addr                  string               `json:"addr"`
+	Kind                  string               `json:"kind"`
+	LastHeartbeatUnixNano int64                `json:"last_heartbeat_unix_nano,omitempty"`
+	TabletsReported       int                  `json:"tablets_reported"`
+	Owned                 []OwnedTablet        `json:"owned,omitempty"`
+	Pool                  transport.PeerHealth `json:"pool"`
+}
+
+// ClusterStatus is the /debug/clusterz payload.
+type ClusterStatus struct {
+	Coordinator string       `json:"coordinator"`
+	Peers       []PeerStatus `json:"peers"`
+}
+
+// Snapshot reports the peer table from the coordinator's own state (no
+// RPCs: it must render during partitions).
+func (c *Coordinator) Snapshot() ClusterStatus {
+	health := map[string]transport.PeerHealth{}
+	for _, h := range c.pool.Health() {
+		health[h.Peer] = h
+	}
+	c.mu.Lock()
+	st := ClusterStatus{Coordinator: c.addr}
+	for _, name := range c.order {
+		ps := c.peers[name]
+		row := PeerStatus{
+			Name:            ps.name,
+			Addr:            ps.addr,
+			Kind:            ps.kind,
+			TabletsReported: ps.tabletsReported,
+			Pool:            health[name],
+		}
+		if !ps.lastHeartbeat.IsZero() {
+			row.LastHeartbeatUnixNano = ps.lastHeartbeat.UnixNano()
+		}
+		for dt, peer := range c.assign {
+			if peer != name {
+				continue
+			}
+			ot := OwnedTablet{DB: dt.DB, Tablet: dt.Tablet}
+			if e := c.live[dt]; e != nil {
+				ot.Start, ot.End = e.bounds()
+				ot.Live = !e.Crashed()
+			}
+			row.Owned = append(row.Owned, ot)
+		}
+		sort.Slice(row.Owned, func(i, j int) bool {
+			if row.Owned[i].DB != row.Owned[j].DB {
+				return row.Owned[i].DB < row.Owned[j].DB
+			}
+			return row.Owned[i].Tablet < row.Owned[j].Tablet
+		})
+		st.Peers = append(st.Peers, row)
+	}
+	c.mu.Unlock()
+	return st
+}
+
+// Close stops the control plane and drops every pooled connection.
+func (c *Coordinator) Close() {
+	c.srv.Close()
+	c.pool.Close()
+}

@@ -1,0 +1,334 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"firestore/internal/status"
+	"firestore/internal/storage"
+	"firestore/internal/truetime"
+)
+
+// remoteEngine is the coordinator-side storage.Engine speaking to the
+// tablet server that owns the rows. Every RPC failure — partition,
+// process death, stale handle after a handoff — marks the engine
+// Crashed(), which is exactly the contract the durable engine already
+// has: the tablet layer discards it, re-opens through the factory
+// (re-dialing the owner, or the new owner after a move), and rolls
+// interrupted commits forward.
+type remoteEngine struct {
+	fac    *RemoteFactory
+	id     uint64
+	peer   string
+	handle uint64
+
+	crashed  atomic.Bool
+	detached atomic.Bool // superseded by a handoff: skip the close RPC
+
+	mu          sync.Mutex
+	start, end  []byte
+	lastDurable truetime.Timestamp
+	flushedTS   truetime.Timestamp
+}
+
+var _ storage.Engine = (*remoteEngine)(nil)
+
+// call performs one engine RPC against the owning peer; any error marks
+// the engine crashed.
+func (e *remoteEngine) call(ctx context.Context, method string, req, resp any) error {
+	err := e.fac.coord.pool.Call(ctx, e.peer, method, req, resp)
+	if err != nil {
+		e.crashed.Store(true)
+	}
+	return err
+}
+
+func (e *remoteEngine) Get(key []byte, ts truetime.Timestamp) ([]byte, truetime.Timestamp, bool) {
+	var resp getResp
+	if err := e.call(context.Background(), MGet, getReq{H: e.handle, Key: key, TS: ts}, &resp); err != nil {
+		return nil, 0, false
+	}
+	if !resp.OK {
+		return nil, 0, false
+	}
+	return resp.Value, resp.VTS, true
+}
+
+// GetBatch implements storage.BatchGetter: one round trip for a
+// commit's whole read set against this tablet. On an RPC failure every
+// result reads as missing and the engine is marked crashed; the tablet
+// layer discards the batch and retries against the recovered engine.
+func (e *remoteEngine) GetBatch(keys [][]byte, ts truetime.Timestamp) []storage.BatchGet {
+	out := make([]storage.BatchGet, len(keys))
+	var resp getBatchResp
+	if err := e.call(context.Background(), MGetBatch, getBatchReq{H: e.handle, Keys: keys, TS: ts}, &resp); err != nil {
+		return out
+	}
+	if len(resp.Results) != len(keys) {
+		e.crashed.Store(true)
+		return out
+	}
+	for i, r := range resp.Results {
+		if r.OK {
+			out[i] = storage.BatchGet{Value: r.Value, TS: r.VTS, OK: true}
+		}
+	}
+	return out
+}
+
+var _ storage.BatchGetter = (*remoteEngine)(nil)
+
+func (e *remoteEngine) Scan(lo, hi []byte, ts truetime.Timestamp, reverse bool, fn func(storage.Row) bool) bool {
+	var resp scanResp
+	req := scanReq{H: e.handle, Lo: lo, Hi: hi, TS: ts, Reverse: reverse}
+	if err := e.call(context.Background(), MScan, req, &resp); err != nil {
+		return true
+	}
+	for _, r := range resp.Rows {
+		if !fn(storage.Row{Key: r.Key, Value: r.Value, TS: r.TS}) {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *remoteEngine) Apply(ctx context.Context, writes []storage.Write, ts truetime.Timestamp) error {
+	ws := make([]wireWrite, len(writes))
+	for i, w := range writes {
+		ws[i] = wireWrite{Key: w.Key, Value: w.Value, Delete: w.Delete}
+	}
+	if err := e.call(ctx, MApply, applyReq{H: e.handle, Writes: ws, TS: ts}, nil); err != nil {
+		// Surface every remote apply failure as a crash: whether the peer
+		// died mid-fsync or the response was lost, the coordinator cannot
+		// know if the batch landed, so the commit must take the
+		// recover-and-roll-forward path (re-applying at the same timestamp
+		// is idempotent).
+		return fmt.Errorf("%w: %v", storage.ErrCrashed, err)
+	}
+	e.mu.Lock()
+	// Mem-backed peers report Max (never recover to less than they
+	// serve); durable peers advance with each applied commit.
+	if e.lastDurable != truetime.Max && ts > e.lastDurable {
+		e.lastDurable = ts
+	}
+	e.mu.Unlock()
+	return nil
+}
+
+func (e *remoteEngine) Len() int {
+	var resp lenResp
+	if err := e.call(context.Background(), MLen, handleReq{H: e.handle}, &resp); err != nil {
+		return 0
+	}
+	return resp.N
+}
+
+func (e *remoteEngine) KeyAt(i int) ([]byte, bool) {
+	var resp keyAtResp
+	if err := e.call(context.Background(), MKeyAt, keyAtReq{H: e.handle, I: i}, &resp); err != nil {
+		return nil, false
+	}
+	return resp.Key, resp.OK
+}
+
+func (e *remoteEngine) AscendChains(lo, hi []byte, fn func(storage.Chain) bool) {
+	var resp chainsResp
+	if err := e.call(context.Background(), MChains, chainsReq{H: e.handle, Lo: lo, Hi: hi}, &resp); err != nil {
+		return
+	}
+	for _, c := range fromWireChains(resp.Chains) {
+		if !fn(c) {
+			return
+		}
+	}
+}
+
+func (e *remoteEngine) IngestChains(chains []storage.Chain) error {
+	return e.call(context.Background(), MIngest, ingestReq{H: e.handle, Chains: toWireChains(chains)}, nil)
+}
+
+func (e *remoteEngine) PurgeChains(keys [][]byte) error {
+	return e.call(context.Background(), MPurge, purgeReq{H: e.handle, Keys: keys}, nil)
+}
+
+func (e *remoteEngine) SetBounds(start, end []byte) error {
+	if err := e.call(context.Background(), MSetBounds, setBoundsReq{H: e.handle, Start: start, End: end}, nil); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.start, e.end = start, end
+	e.mu.Unlock()
+	return nil
+}
+
+func (e *remoteEngine) Commission() error {
+	return e.call(context.Background(), MCommission, handleReq{H: e.handle}, nil)
+}
+
+func (e *remoteEngine) LastDurable() truetime.Timestamp {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastDurable
+}
+
+func (e *remoteEngine) FlushedTS() truetime.Timestamp {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.flushedTS
+}
+
+func (e *remoteEngine) Crashed() bool { return e.crashed.Load() }
+
+func (e *remoteEngine) Stats() storage.Stats {
+	var resp statsResp
+	if err := e.call(context.Background(), MStats, handleReq{H: e.handle}, &resp); err != nil {
+		return storage.Stats{Kind: "remote"}
+	}
+	s := resp.Stats
+	s.Kind = "remote-" + s.Kind
+	e.mu.Lock()
+	e.flushedTS = resp.FlushedTS
+	e.mu.Unlock()
+	return s
+}
+
+func (e *remoteEngine) Close() error {
+	e.fac.coord.dropLive(dbTablet{e.fac.db, e.id}, e)
+	if e.detached.Load() {
+		// A handoff already closed (or destroyed) the remote side; the
+		// handle is gone.
+		return nil
+	}
+	// Best-effort: a dead peer's handle dies with the process anyway.
+	e.fac.coord.pool.Call(context.Background(), e.peer, MCloseEng, handleReq{H: e.handle}, nil) //nolint:errcheck
+	return nil
+}
+
+// bounds snapshots the engine's current key range.
+func (e *remoteEngine) bounds() (start, end []byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.start, e.end
+}
+
+// poison marks the engine crashed and detached so the next touch takes
+// the recovery path, which re-opens via the factory on whichever peer
+// now owns the tablet. MoveTablet calls it after the handoff commits.
+func (e *remoteEngine) poison() {
+	e.detached.Store(true)
+	e.crashed.Store(true)
+}
+
+// RemoteFactory is the coordinator-side storage.Factory for one pool
+// database: Open dials whichever tablet server owns (or is assigned) the
+// tablet, List merges every peer's durable catalog, Destroy reclaims the
+// owner's state. It is handed to internal/core exactly where a
+// DiskFactory would be, so the tablet, transaction, and recovery layers
+// run unmodified over the wire.
+type RemoteFactory struct {
+	coord *Coordinator
+	db    int
+}
+
+var _ storage.Factory = (*RemoteFactory)(nil)
+
+// Open opens tablet id on its owning peer, blocking while a handoff of
+// that tablet is in flight (the recovery path lands here when a moved
+// tablet's engine is poisoned; it must observe the post-move owner).
+func (f *RemoteFactory) Open(id uint64, start, end []byte) (storage.Engine, error) {
+	dt := dbTablet{f.db, id}
+	f.coord.waitMove(dt)
+	peer, err := f.coord.pickPeer(dt)
+	if err != nil {
+		return nil, err
+	}
+	var resp openResp
+	req := openReq{DB: f.db, Tablet: id, Start: start, End: end}
+	if err := f.coord.pool.Call(context.Background(), peer, MOpen, req, &resp); err != nil {
+		return nil, err
+	}
+	e := &remoteEngine{
+		fac: f, id: id, peer: peer, handle: resp.Handle,
+		start: start, end: end,
+		lastDurable: resp.LastDurable, flushedTS: resp.FlushedTS,
+	}
+	f.coord.setLive(dt, e)
+	return e, nil
+}
+
+// List merges the durable tablet catalogs of every joined peer, sorted
+// by start key. A tablet listed by several peers (a crashed handoff that
+// never destroyed the source) resolves to the assigned owner's copy.
+func (f *RemoteFactory) List() ([]storage.TabletMeta, error) {
+	type candidate struct {
+		meta storage.TabletMeta
+		peer string
+	}
+	byID := map[uint64]candidate{}
+	peers := f.coord.peerNames()
+	if len(peers) == 0 {
+		return nil, status.New(status.Unavailable, "cluster", "no tablet servers joined")
+	}
+	for _, peer := range peers {
+		var resp listResp
+		if err := f.coord.pool.Call(context.Background(), peer, MList, listReq{DB: f.db}, &resp); err != nil {
+			return nil, err
+		}
+		for _, m := range resp.Tablets {
+			dt := dbTablet{f.db, m.ID}
+			owner, owned := f.coord.ownerOf(dt)
+			prev, seen := byID[m.ID]
+			switch {
+			case owned && peer == owner:
+				byID[m.ID] = candidate{storage.TabletMeta{ID: m.ID, Start: m.Start, End: m.End}, peer}
+			case seen && owned && prev.peer == owner:
+				// keep the assigned owner's copy
+			case !seen:
+				byID[m.ID] = candidate{storage.TabletMeta{ID: m.ID, Start: m.Start, End: m.End}, peer}
+			}
+		}
+	}
+	metas := make([]storage.TabletMeta, 0, len(byID))
+	for _, c := range byID {
+		// Recovery discovered this tablet on a peer: make the assignment
+		// sticky so Open dials the same peer that has the WAL.
+		f.coord.adopt(dbTablet{f.db, c.meta.ID}, c.peer)
+		metas = append(metas, c.meta)
+	}
+	sortMetas(metas)
+	return metas, nil
+}
+
+// Destroy removes tablet id's state on its owner (after a merge).
+func (f *RemoteFactory) Destroy(id uint64) error {
+	dt := dbTablet{f.db, id}
+	peer, ok := f.coord.ownerOf(dt)
+	if !ok {
+		return nil
+	}
+	err := f.coord.pool.Call(context.Background(), peer, MDestroy, destroyReq{DB: f.db, Tablet: id}, nil)
+	if err == nil {
+		f.coord.unassign(dt)
+	}
+	return err
+}
+
+// sortMetas orders by start key, nil (unbounded) first.
+func sortMetas(metas []storage.TabletMeta) {
+	lt := func(a, b storage.TabletMeta) bool {
+		if a.Start == nil {
+			return b.Start != nil
+		}
+		if b.Start == nil {
+			return false
+		}
+		return string(a.Start) < string(b.Start)
+	}
+	for i := 1; i < len(metas); i++ {
+		for j := i; j > 0 && lt(metas[j], metas[j-1]); j-- {
+			metas[j], metas[j-1] = metas[j-1], metas[j]
+		}
+	}
+}

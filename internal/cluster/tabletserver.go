@@ -1,0 +1,662 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"firestore/internal/status"
+	"firestore/internal/storage"
+	"firestore/internal/transport"
+)
+
+// ErrStaleHandle reports an engine RPC addressed to a handle that was
+// superseded (the tablet was re-opened, moved away, or sealed for
+// handoff). The coordinator-side engine treats it like a crash: discard,
+// re-open through the factory, retry.
+var ErrStaleHandle = status.New(status.FailedPrecondition, "cluster", "stale engine handle")
+
+// ErrSealed reports a mutation against an engine sealed for handoff.
+var ErrSealed = status.New(status.FailedPrecondition, "cluster", "engine sealed for handoff")
+
+// TabletServerConfig configures one tablet-server process (or in-process
+// instance, for benchmarks).
+type TabletServerConfig struct {
+	// Name is the peer's stable identity. A respawned process that keeps
+	// its Name and DataDir reclaims its tablets (WAL recovery needs the
+	// same directory).
+	Name string
+	// Join is the coordinator's transport address.
+	Join string
+	// Listen is the engine-plane listen address (default "127.0.0.1:0").
+	Listen string
+	// DataDir roots this peer's durable state; pool database i lives
+	// under DataDir/db-i. Required for KindDisk.
+	DataDir string
+	// Kind selects the hosted engine kind: KindDisk (default) or KindMem.
+	// Mem engines survive reconnects (the process keeps them) but not
+	// process death.
+	Kind string
+	// MemtableCap / CompactAt tune hosted disk engines (storage.Options).
+	MemtableCap int64
+	CompactAt   int
+	// HeartbeatEvery is the control-plane heartbeat period (default
+	// 250ms).
+	HeartbeatEvery time.Duration
+}
+
+// hostedEngine is one engine a tablet server serves, addressed by handle.
+type hostedEngine struct {
+	db     int
+	tablet uint64
+	start  []byte
+	end    []byte
+	eng    storage.Engine
+
+	mu     sync.Mutex
+	sealed bool
+}
+
+func (h *hostedEngine) isSealed() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sealed
+}
+
+// TabletServer hosts storage engines behind the wire protocol: the
+// "storage half" of a Spanner tablet server. All row durability (WAL,
+// memtable, segments) lives here; MVCC, locks, and 2PC stay with the
+// coordinator.
+type TabletServer struct {
+	cfg  TabletServerConfig
+	srv  *transport.Server
+	addr string
+
+	mu         sync.Mutex
+	factories  map[int]storage.Factory
+	memFact    map[int]*stickyMemFactory
+	handles    map[uint64]*hostedEngine
+	byTablet   map[dbTablet]uint64
+	nextHandle uint64
+	closed     bool
+
+	coordMu sync.Mutex
+	coord   *transport.Conn
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	orphaned chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewTabletServer builds and starts a tablet server: it listens, joins
+// the coordinator, and begins heartbeating.
+func NewTabletServer(cfg TabletServerConfig) (*TabletServer, error) {
+	if cfg.Kind == "" {
+		cfg.Kind = KindDisk
+	}
+	if cfg.Kind != KindDisk && cfg.Kind != KindMem {
+		return nil, status.Errorf(status.InvalidArgument, "cluster", "unknown engine kind %q", cfg.Kind)
+	}
+	if cfg.Kind == KindDisk && cfg.DataDir == "" {
+		return nil, status.New(status.InvalidArgument, "cluster", "disk tablet server needs DataDir")
+	}
+	if cfg.Name == "" {
+		return nil, status.New(status.InvalidArgument, "cluster", "tablet server needs a Name")
+	}
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = 250 * time.Millisecond
+	}
+	ts := &TabletServer{
+		cfg:       cfg,
+		srv:       transport.NewServer(),
+		factories: map[int]storage.Factory{},
+		memFact:   map[int]*stickyMemFactory{},
+		handles:   map[uint64]*hostedEngine{},
+		byTablet:  map[dbTablet]uint64{},
+		stop:      make(chan struct{}),
+		orphaned:  make(chan struct{}),
+	}
+	ts.registerHandlers()
+	addr, err := ts.srv.Listen(cfg.Listen)
+	if err != nil {
+		return nil, err
+	}
+	ts.addr = addr
+	if err := ts.join(); err != nil {
+		ts.srv.Close()
+		return nil, err
+	}
+	ts.wg.Add(1)
+	go ts.heartbeatLoop()
+	return ts, nil
+}
+
+// Addr returns the engine-plane address peers dial.
+func (ts *TabletServer) Addr() string { return ts.addr }
+
+// Orphaned is closed when the coordinator has been unreachable long
+// enough that a child process should exit rather than linger after its
+// parent died.
+func (ts *TabletServer) Orphaned() <-chan struct{} { return ts.orphaned }
+
+// join dials the coordinator and registers this peer.
+func (ts *TabletServer) join() error {
+	conn, err := transport.Dial(ts.cfg.Join)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), transport.DialTimeout)
+	defer cancel()
+	req := joinReq{Name: ts.cfg.Name, Addr: ts.addr, Kind: ts.cfg.Kind}
+	if err := conn.Call(ctx, MJoin, req, nil); err != nil {
+		conn.Close()
+		return err
+	}
+	ts.coordMu.Lock()
+	old := ts.coord
+	ts.coord = conn
+	ts.coordMu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	return nil
+}
+
+// orphanAfter is how long heartbeats may fail before Orphaned fires; it
+// keeps SIGKILLed-coordinator children from leaking in test runs.
+const orphanAfter = 15 * time.Second
+
+func (ts *TabletServer) heartbeatLoop() {
+	defer ts.wg.Done()
+	ticker := time.NewTicker(ts.cfg.HeartbeatEvery)
+	defer ticker.Stop()
+	var failingSince time.Time
+	for {
+		select {
+		case <-ts.stop:
+			return
+		case <-ticker.C:
+		}
+		if err := ts.heartbeat(); err != nil {
+			if failingSince.IsZero() {
+				failingSince = time.Now()
+			} else if time.Since(failingSince) > orphanAfter {
+				select {
+				case <-ts.orphaned:
+				default:
+					close(ts.orphaned)
+				}
+				return
+			}
+			// The coordinator conn broke (or it restarted): re-join so it
+			// relearns our address.
+			ts.join() //nolint:errcheck // retried next tick
+			continue
+		}
+		failingSince = time.Time{}
+	}
+}
+
+func (ts *TabletServer) heartbeat() error {
+	ts.coordMu.Lock()
+	conn := ts.coord
+	ts.coordMu.Unlock()
+	if conn == nil {
+		return status.New(status.Unavailable, "cluster", "no coordinator connection")
+	}
+	ts.mu.Lock()
+	n := len(ts.byTablet)
+	ts.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), transport.DialTimeout)
+	defer cancel()
+	return conn.Call(ctx, MHeartbeat, heartbeatReq{Name: ts.cfg.Name, Tablets: n}, nil)
+}
+
+// Close stops heartbeats, the server, and every hosted engine.
+func (ts *TabletServer) Close() {
+	ts.stopOnce.Do(func() { close(ts.stop) })
+	ts.wg.Wait()
+	ts.coordMu.Lock()
+	if ts.coord != nil {
+		ts.coord.Close()
+		ts.coord = nil
+	}
+	ts.coordMu.Unlock()
+	ts.srv.Close()
+	ts.mu.Lock()
+	handles := ts.handles
+	ts.handles = map[uint64]*hostedEngine{}
+	ts.byTablet = map[dbTablet]uint64{}
+	ts.closed = true
+	ts.mu.Unlock()
+	for _, h := range handles {
+		h.eng.Close()
+	}
+}
+
+// factory returns (creating lazily) the storage factory for pool
+// database db.
+func (ts *TabletServer) factory(db int) (storage.Factory, error) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ts.cfg.Kind == KindMem {
+		f := ts.memFact[db]
+		if f == nil {
+			f = &stickyMemFactory{engines: map[uint64]*storage.Mem{}}
+			ts.memFact[db] = f
+		}
+		return f, nil
+	}
+	if f := ts.factories[db]; f != nil {
+		return f, nil
+	}
+	f, err := storage.NewDiskFactory(
+		filepath.Join(ts.cfg.DataDir, fmt.Sprintf("db-%d", db)),
+		storage.Options{MemtableCap: ts.cfg.MemtableCap, CompactAt: ts.cfg.CompactAt},
+	)
+	if err != nil {
+		return nil, err
+	}
+	ts.factories[db] = f
+	return f, nil
+}
+
+// stickyMemFactory keeps mem engines alive across re-opens: a reconnect
+// after a transient network failure must not wipe an in-memory tablet
+// (the process didn't die, only the connection did).
+type stickyMemFactory struct {
+	mu      sync.Mutex
+	engines map[uint64]*storage.Mem
+}
+
+func (f *stickyMemFactory) Open(id uint64, start, end []byte) (storage.Engine, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if e := f.engines[id]; e != nil {
+		return e, nil
+	}
+	e := storage.NewMem()
+	f.engines[id] = e
+	return e, nil
+}
+
+func (f *stickyMemFactory) List() ([]storage.TabletMeta, error) { return nil, nil }
+
+func (f *stickyMemFactory) Destroy(id uint64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.engines, id)
+	return nil
+}
+
+// lookup resolves a live handle.
+func (ts *TabletServer) lookup(h uint64) (*hostedEngine, error) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	he := ts.handles[h]
+	if he == nil {
+		return nil, ErrStaleHandle
+	}
+	return he, nil
+}
+
+// lookupServing is lookup plus the seal check, for the data-plane ops a
+// sealed engine must refuse.
+func (ts *TabletServer) lookupServing(h uint64) (*hostedEngine, error) {
+	he, err := ts.lookup(h)
+	if err != nil {
+		return nil, err
+	}
+	if he.isSealed() {
+		return nil, ErrSealed
+	}
+	return he, nil
+}
+
+func (ts *TabletServer) registerHandlers() {
+	handle := func(method string, fn func(ctx context.Context, body json.RawMessage) (any, error)) {
+		ts.srv.Handle(method, fn)
+	}
+
+	handle(MOpen, func(ctx context.Context, body json.RawMessage) (any, error) {
+		var req openReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, status.Wrap(status.InvalidArgument, "cluster", err)
+		}
+		return ts.open(req)
+	})
+	handle(MGet, func(ctx context.Context, body json.RawMessage) (any, error) {
+		var req getReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, status.Wrap(status.InvalidArgument, "cluster", err)
+		}
+		he, err := ts.lookupServing(req.H)
+		if err != nil {
+			return nil, err
+		}
+		v, vts, ok := he.eng.Get(req.Key, req.TS)
+		if he.eng.Crashed() {
+			return nil, storage.ErrCrashed
+		}
+		return getResp{Value: v, VTS: vts, OK: ok}, nil
+	})
+	handle(MGetBatch, func(ctx context.Context, body json.RawMessage) (any, error) {
+		var req getBatchReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, status.Wrap(status.InvalidArgument, "cluster", err)
+		}
+		he, err := ts.lookupServing(req.H)
+		if err != nil {
+			return nil, err
+		}
+		results := make([]getResp, len(req.Keys))
+		for i, key := range req.Keys {
+			v, vts, ok := he.eng.Get(key, req.TS)
+			results[i] = getResp{Value: v, VTS: vts, OK: ok}
+		}
+		if he.eng.Crashed() {
+			return nil, storage.ErrCrashed
+		}
+		return getBatchResp{Results: results}, nil
+	})
+	handle(MScan, func(ctx context.Context, body json.RawMessage) (any, error) {
+		var req scanReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, status.Wrap(status.InvalidArgument, "cluster", err)
+		}
+		he, err := ts.lookupServing(req.H)
+		if err != nil {
+			return nil, err
+		}
+		var rows []wireRow
+		he.eng.Scan(req.Lo, req.Hi, req.TS, req.Reverse, func(r storage.Row) bool {
+			rows = append(rows, wireRow{Key: r.Key, Value: r.Value, TS: r.TS})
+			return true
+		})
+		if he.eng.Crashed() {
+			return nil, storage.ErrCrashed
+		}
+		return scanResp{Rows: rows}, nil
+	})
+	handle(MApply, func(ctx context.Context, body json.RawMessage) (any, error) {
+		var req applyReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, status.Wrap(status.InvalidArgument, "cluster", err)
+		}
+		he, err := ts.lookupServing(req.H)
+		if err != nil {
+			return nil, err
+		}
+		writes := make([]storage.Write, len(req.Writes))
+		for i, w := range req.Writes {
+			writes[i] = storage.Write{Key: w.Key, Value: w.Value, Delete: w.Delete}
+		}
+		if err := he.eng.Apply(ctx, writes, req.TS); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	})
+	handle(MLen, func(ctx context.Context, body json.RawMessage) (any, error) {
+		var req handleReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, status.Wrap(status.InvalidArgument, "cluster", err)
+		}
+		he, err := ts.lookup(req.H)
+		if err != nil {
+			return nil, err
+		}
+		return lenResp{N: he.eng.Len()}, nil
+	})
+	handle(MKeyAt, func(ctx context.Context, body json.RawMessage) (any, error) {
+		var req keyAtReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, status.Wrap(status.InvalidArgument, "cluster", err)
+		}
+		he, err := ts.lookup(req.H)
+		if err != nil {
+			return nil, err
+		}
+		k, ok := he.eng.KeyAt(req.I)
+		return keyAtResp{Key: k, OK: ok}, nil
+	})
+	handle(MChains, func(ctx context.Context, body json.RawMessage) (any, error) {
+		var req chainsReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, status.Wrap(status.InvalidArgument, "cluster", err)
+		}
+		// Chains export is allowed on sealed engines: handoff reads the
+		// frozen state through it.
+		he, err := ts.lookup(req.H)
+		if err != nil {
+			return nil, err
+		}
+		var chains []storage.Chain
+		he.eng.AscendChains(req.Lo, req.Hi, func(c storage.Chain) bool {
+			chains = append(chains, c)
+			return true
+		})
+		if he.eng.Crashed() {
+			return nil, storage.ErrCrashed
+		}
+		return chainsResp{Chains: toWireChains(chains)}, nil
+	})
+	handle(MIngest, func(ctx context.Context, body json.RawMessage) (any, error) {
+		var req ingestReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, status.Wrap(status.InvalidArgument, "cluster", err)
+		}
+		he, err := ts.lookupServing(req.H)
+		if err != nil {
+			return nil, err
+		}
+		return nil, he.eng.IngestChains(fromWireChains(req.Chains))
+	})
+	handle(MPurge, func(ctx context.Context, body json.RawMessage) (any, error) {
+		var req purgeReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, status.Wrap(status.InvalidArgument, "cluster", err)
+		}
+		he, err := ts.lookupServing(req.H)
+		if err != nil {
+			return nil, err
+		}
+		return nil, he.eng.PurgeChains(req.Keys)
+	})
+	handle(MSetBounds, func(ctx context.Context, body json.RawMessage) (any, error) {
+		var req setBoundsReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, status.Wrap(status.InvalidArgument, "cluster", err)
+		}
+		he, err := ts.lookupServing(req.H)
+		if err != nil {
+			return nil, err
+		}
+		if err := he.eng.SetBounds(req.Start, req.End); err != nil {
+			return nil, err
+		}
+		he.mu.Lock()
+		he.start, he.end = req.Start, req.End
+		he.mu.Unlock()
+		return nil, nil
+	})
+	handle(MCommission, func(ctx context.Context, body json.RawMessage) (any, error) {
+		var req handleReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, status.Wrap(status.InvalidArgument, "cluster", err)
+		}
+		he, err := ts.lookupServing(req.H)
+		if err != nil {
+			return nil, err
+		}
+		return nil, he.eng.Commission()
+	})
+	handle(MStats, func(ctx context.Context, body json.RawMessage) (any, error) {
+		var req handleReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, status.Wrap(status.InvalidArgument, "cluster", err)
+		}
+		he, err := ts.lookup(req.H)
+		if err != nil {
+			return nil, err
+		}
+		return statsResp{Stats: he.eng.Stats(), LastDurable: he.eng.LastDurable(), FlushedTS: he.eng.FlushedTS()}, nil
+	})
+	handle(MCloseEng, func(ctx context.Context, body json.RawMessage) (any, error) {
+		var req handleReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, status.Wrap(status.InvalidArgument, "cluster", err)
+		}
+		ts.mu.Lock()
+		he := ts.handles[req.H]
+		if he != nil {
+			delete(ts.handles, req.H)
+			dt := dbTablet{he.db, he.tablet}
+			if ts.byTablet[dt] == req.H {
+				delete(ts.byTablet, dt)
+			}
+		}
+		ts.mu.Unlock()
+		if he == nil {
+			return nil, nil // closing a stale handle is a no-op
+		}
+		return nil, he.eng.Close()
+	})
+	handle(MSeal, func(ctx context.Context, body json.RawMessage) (any, error) {
+		var req sealReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, status.Wrap(status.InvalidArgument, "cluster", err)
+		}
+		ts.mu.Lock()
+		h, ok := ts.byTablet[dbTablet{req.DB, req.Tablet}]
+		he := ts.handles[h]
+		ts.mu.Unlock()
+		if !ok || he == nil {
+			return nil, ErrStaleHandle
+		}
+		he.mu.Lock()
+		he.sealed = true
+		he.mu.Unlock()
+		return sealResp{Handle: h}, nil
+	})
+	handle(MList, func(ctx context.Context, body json.RawMessage) (any, error) {
+		var req listReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, status.Wrap(status.InvalidArgument, "cluster", err)
+		}
+		fac, err := ts.factory(req.DB)
+		if err != nil {
+			return nil, err
+		}
+		metas, err := fac.List()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]wireMeta, len(metas))
+		for i, m := range metas {
+			out[i] = wireMeta{ID: m.ID, Start: m.Start, End: m.End}
+		}
+		return listResp{Tablets: out}, nil
+	})
+	handle(MDestroy, func(ctx context.Context, body json.RawMessage) (any, error) {
+		var req destroyReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, status.Wrap(status.InvalidArgument, "cluster", err)
+		}
+		dt := dbTablet{req.DB, req.Tablet}
+		ts.mu.Lock()
+		if h, ok := ts.byTablet[dt]; ok {
+			if he := ts.handles[h]; he != nil {
+				he.eng.Close()
+				delete(ts.handles, h)
+			}
+			delete(ts.byTablet, dt)
+		}
+		ts.mu.Unlock()
+		fac, err := ts.factory(req.DB)
+		if err != nil {
+			return nil, err
+		}
+		return nil, fac.Destroy(req.Tablet)
+	})
+	handle(MPeerInfo, func(ctx context.Context, body json.RawMessage) (any, error) {
+		return ts.introspect(), nil
+	})
+}
+
+// open opens (recovering if state exists) tablet (db, id), superseding
+// any previous handle for it: the coordinator only re-opens after it
+// lost trust in the old one, so the old engine is closed first and stale
+// callers get ErrStaleHandle.
+func (ts *TabletServer) open(req openReq) (*openResp, error) {
+	fac, err := ts.factory(req.DB)
+	if err != nil {
+		return nil, err
+	}
+	dt := dbTablet{req.DB, req.Tablet}
+	ts.mu.Lock()
+	if ts.closed {
+		ts.mu.Unlock()
+		return nil, status.New(status.Unavailable, "cluster", "tablet server closing")
+	}
+	if oldH, ok := ts.byTablet[dt]; ok {
+		if old := ts.handles[oldH]; old != nil {
+			delete(ts.handles, oldH)
+			// Mem engines are sticky (the factory hands the same one back);
+			// closing one is a no-op. Disk engines quiesce their files so
+			// the re-open below replays a clean WAL.
+			ts.mu.Unlock()
+			old.eng.Close()
+			ts.mu.Lock()
+		}
+		delete(ts.byTablet, dt)
+	}
+	ts.mu.Unlock()
+
+	eng, err := fac.Open(req.Tablet, req.Start, req.End)
+	if err != nil {
+		return nil, err
+	}
+	he := &hostedEngine{db: req.DB, tablet: req.Tablet, start: req.Start, end: req.End, eng: eng}
+	ts.mu.Lock()
+	if ts.closed {
+		ts.mu.Unlock()
+		eng.Close()
+		return nil, status.New(status.Unavailable, "cluster", "tablet server closing")
+	}
+	ts.nextHandle++
+	h := ts.nextHandle
+	ts.handles[h] = he
+	ts.byTablet[dt] = h
+	ts.mu.Unlock()
+	return &openResp{Handle: h, LastDurable: eng.LastDurable(), FlushedTS: eng.FlushedTS()}, nil
+}
+
+// introspect reports every hosted engine for /debug/clusterz.
+func (ts *TabletServer) introspect() PeerIntrospection {
+	ts.mu.Lock()
+	hosted := make([]*hostedEngine, 0, len(ts.handles))
+	for _, he := range ts.handles {
+		hosted = append(hosted, he)
+	}
+	ts.mu.Unlock()
+	info := PeerIntrospection{Name: ts.cfg.Name, Kind: ts.cfg.Kind}
+	for _, he := range hosted {
+		he.mu.Lock()
+		thi := TabletHostInfo{
+			DB: he.db, Tablet: he.tablet,
+			Start: he.start, End: he.end,
+			Sealed: he.sealed,
+		}
+		he.mu.Unlock()
+		thi.Stats = he.eng.Stats()
+		info.Tablets = append(info.Tablets, thi)
+	}
+	return info
+}

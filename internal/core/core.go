@@ -110,6 +110,12 @@ type Config struct {
 	// segment flush; zero uses the storage default. Ignored without
 	// StorageDir.
 	MemtableCap int64
+	// StorageFactory, when set, supplies the storage factory for pool
+	// database i and takes precedence over StorageDir. The cluster
+	// coordinator plugs in here to back every pool database with remote
+	// tablet-server processes; the rest of the region is unaware the
+	// engines live across a wire.
+	StorageFactory func(i int) (storage.Factory, error)
 	// KeyVizOff disables the keyspace heatmap collector. By default every
 	// region samples per-tablet and per-range heat into a bounded ring of
 	// time windows (the "Key Visualizer"); the disarmed-per-sample cost is
@@ -251,7 +257,14 @@ func OpenRegion(cfg Config) (*Region, error) {
 	pool := make([]*spanner.DB, cfg.SpannerPoolSize)
 	for i := range pool {
 		var fac storage.Factory
-		if cfg.StorageDir != "" {
+		if cfg.StorageFactory != nil {
+			var err error
+			fac, err = cfg.StorageFactory(i)
+			if err != nil {
+				closeDBs(pool[:i])
+				return nil, err
+			}
+		} else if cfg.StorageDir != "" {
 			var err error
 			fac, err = storage.NewDiskFactory(
 				filepath.Join(cfg.StorageDir, fmt.Sprintf("spanner-%d", i)),

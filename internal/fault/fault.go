@@ -81,6 +81,22 @@ const (
 	// apply: volatile engine state is dropped and the tablet recovers from
 	// manifest + WAL replay before serving again.
 	TabletCrashRestart = "tablet.crash-restart"
+	// TransportPartition: the peer is unreachable — the RPC fails before
+	// anything is sent, with the injected status code (default
+	// Unavailable). The connection itself stays up, so the partition heals
+	// the moment the site disarms or its MaxCount runs out.
+	TransportPartition = "transport.partition"
+	// TransportSlowLink: added one-way latency on the wire before the
+	// request is sent (ModeLatency on the registry's clock).
+	TransportSlowLink = "transport.slow-link"
+	// TransportHalfOpen: the request reaches the peer and is executed, but
+	// the response never comes back — the caller sees DeadlineExceeded and
+	// cannot know whether the work happened (the classic ambiguous RPC).
+	TransportHalfOpen = "transport.half-open"
+	// TransportConnReset: the peer's TCP connection is torn down
+	// mid-conversation; every in-flight call on it fails and the pool must
+	// re-dial.
+	TransportConnReset = "transport.conn-reset"
 )
 
 // SiteDoc describes one known injection point for operators (fsctl
@@ -109,6 +125,10 @@ var Sites = []SiteDoc{
 	{WALFsync, "storage", "error,latency", "group fsync fails after append: commit outcome unknown"},
 	{SegmentFlush, "storage", "error,latency", "memtable flush to segment fails; retried later"},
 	{TabletCrashRestart, "storage", "crash", "tablet crash after apply: drop volatile state, recover from disk"},
+	{TransportPartition, "transport", "error", "peer unreachable: RPC fails before send, nothing on the wire"},
+	{TransportSlowLink, "transport", "latency", "added wire latency before the request is sent"},
+	{TransportHalfOpen, "transport", "drop", "request executes on the peer but the response is lost (ambiguous RPC)"},
+	{TransportConnReset, "transport", "crash", "peer connection torn down; in-flight calls fail, pool re-dials"},
 }
 
 // Mode selects a site's injected behavior.

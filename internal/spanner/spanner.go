@@ -53,6 +53,14 @@ var (
 	// Unavailable, so the caller's retry policy treats it like any other
 	// stopped replica.
 	ErrClosed = status.New(status.Unavailable, "spanner", "database closed")
+	// ErrOutcomeUnknown reports a commit whose phase-2 applies did not
+	// all complete before the attempt budget ran out: some participant
+	// may already hold the writes durably, and a background roll-forward
+	// is completing the transaction. Callers must treat the write as
+	// possibly committed — NOT failed — and re-read rather than trust a
+	// failure signal (the Real-time Cache maps this to OutcomeUnknown,
+	// which resets and requeries the affected ranges).
+	ErrOutcomeUnknown = status.New(status.Unavailable, "spanner", "commit outcome unknown: roll-forward in progress")
 )
 
 // Config tunes a DB instance.
@@ -534,6 +542,45 @@ func (db *DB) readOwned(key []byte, ts truetime.Timestamp) ([]byte, truetime.Tim
 			return v, vts, ok, nil
 		}
 	}
+}
+
+// readOwnedBatch is readOwned over many keys: it groups keys by owning
+// tablet, reads each group in one engine call, and re-resolves keys a
+// concurrent split or merge migrates mid-read. Results align with keys.
+func (db *DB) readOwnedBatch(keys [][]byte, ts truetime.Timestamp) ([]storage.BatchGet, error) {
+	out := make([]storage.BatchGet, len(keys))
+	pending := make([]int, len(keys))
+	for i := range keys {
+		pending[i] = i
+	}
+	for len(pending) > 0 {
+		groups := map[*tablet][]int{}
+		for _, i := range pending {
+			t := db.tabletFor(keys[i])
+			if t == nil {
+				return nil, ErrClosed
+			}
+			groups[t] = append(groups[t], i)
+		}
+		pending = pending[:0]
+		for t, idxs := range groups {
+			ks := make([][]byte, len(idxs))
+			for j, i := range idxs {
+				ks[j] = keys[i]
+			}
+			t.recordOp(int64(len(ks)), keyviz.OpRead)
+			res := t.readBatchAt(ks, ts)
+			for j, i := range idxs {
+				if !t.ownsKey(keys[i]) {
+					pending = append(pending, i)
+					continue
+				}
+				out[i] = res[j]
+			}
+		}
+	}
+	db.bumpReads(int64(len(keys)))
+	return out, nil
 }
 
 // ScanRow is one row produced by a scan.

@@ -203,6 +203,37 @@ func (t *tablet) readAt(key []byte, ts truetime.Timestamp) ([]byte, truetime.Tim
 	}
 }
 
+// readBatchAt is readAt over many keys in one engine call when the
+// engine supports batched reads (the cluster's remote engine coalesces
+// the batch into a single round trip), falling back to per-key gets.
+// Results align with keys.
+func (t *tablet) readBatchAt(keys [][]byte, ts truetime.Timestamp) []storage.BatchGet {
+	for {
+		e := t.engine()
+		var res []storage.BatchGet
+		if bg, ok := e.(storage.BatchGetter); ok {
+			res = bg.GetBatch(keys, ts)
+		} else {
+			res = make([]storage.BatchGet, len(keys))
+			for i, k := range keys {
+				v, vts, ok := e.Get(k, ts)
+				res[i] = storage.BatchGet{Value: v, TS: vts, OK: ok}
+			}
+		}
+		if !e.Crashed() {
+			return res
+		}
+		if t.isRetired() {
+			// Every key reads as missing; the caller's ownership check
+			// re-resolves each to the absorbing tablet.
+			return make([]storage.BatchGet, len(keys))
+		}
+		if !t.db.recoverTablet(t, e) {
+			t.clock.Sleep(time.Millisecond)
+		}
+	}
+}
+
 // scanAt iterates rows of [begin, end) ∩ [t.start, t.end) visible at ts.
 // The first result is false if fn stopped the scan. valid is false when
 // a concurrent split or merge changed what the tablet owns of [begin,

@@ -34,6 +34,11 @@ type Txn struct {
 	writes map[string]bufferedWrite
 	// held are the lock-table keys this transaction holds.
 	held map[string]lockMode
+	// cached are row versions read by PrefetchForUpdate under exclusive
+	// locks this transaction still holds, so they cannot change under us;
+	// later Gets on these keys are served locally. Buffered writes shadow
+	// the cache (the writes map is always consulted first).
+	cached map[string]storage.BatchGet
 	// msgs are transactional messages delivered only on commit.
 	msgs []Message
 }
@@ -109,6 +114,11 @@ func (t *Txn) GetVersioned(ctx context.Context, key []byte, forUpdate bool) ([]b
 	if err := fault.Point(ctx, fault.SpannerRead); err != nil {
 		return nil, 0, false, err
 	}
+	if c, ok := t.cached[string(key)]; ok {
+		// Prefetched under an exclusive lock this transaction still
+		// holds: the committed version cannot have changed.
+		return c.Value, c.TS, c.OK, nil
+	}
 	if err := t.lock(ctx, key, mode); err != nil {
 		return nil, 0, false, err
 	}
@@ -118,6 +128,52 @@ func (t *Txn) GetVersioned(ctx context.Context, key []byte, forUpdate bool) ([]b
 	}
 	t.db.bumpReads(1)
 	return v, vts, ok, nil
+}
+
+// PrefetchForUpdate locks each distinct key exclusively (in first-
+// occurrence order, exactly as a per-key Get loop would) and reads the
+// current versions with one batched engine call per owning tablet,
+// seeding the transaction's read cache. Later Gets on these keys are
+// served locally — on a clustered deployment this turns a commit's
+// per-row read RPCs into one round trip per tablet. Keys already read
+// or written by this transaction are skipped.
+func (t *Txn) PrefetchForUpdate(ctx context.Context, keys [][]byte) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if err := fault.Point(ctx, fault.SpannerRead); err != nil {
+		return err
+	}
+	fetch := make([][]byte, 0, len(keys))
+	seen := make(map[string]bool, len(keys))
+	for _, key := range keys {
+		k := string(key)
+		if _, already := t.cached[k]; seen[k] || already {
+			continue
+		}
+		if _, buffered := t.writes[k]; buffered {
+			continue
+		}
+		seen[k] = true
+		if err := t.lock(ctx, key, lockExclusive); err != nil {
+			return err
+		}
+		fetch = append(fetch, key)
+	}
+	if len(fetch) == 0 {
+		return nil
+	}
+	res, err := t.db.readOwnedBatch(fetch, truetime.Max)
+	if err != nil {
+		return err
+	}
+	if t.cached == nil {
+		t.cached = make(map[string]storage.BatchGet, len(fetch))
+	}
+	for i, key := range fetch {
+		t.cached[string(key)] = res[i]
+	}
+	return nil
 }
 
 // Scan reads [begin, end) in order with shared locks on each returned
@@ -461,7 +517,7 @@ func (t *Txn) Commit(ctx context.Context, minTS, maxTS truetime.Timestamp) (_ tr
 			// The caller sees the outcome as unknown (Unavailable) and
 			// its retry finds the transaction fully applied.
 			t.rollForwardAsync(participants, i, groups, ts)
-			return 0, err
+			return 0, fmt.Errorf("%w: %v", ErrOutcomeUnknown, err)
 		}
 		tab.recordOp(int64(len(groups[tab])), keyviz.OpCommit)
 	}

@@ -110,6 +110,23 @@ type Stats struct {
 	FlushedTS   truetime.Timestamp `json:"flushed_ts"`
 }
 
+// BatchGet is one result of a BatchGetter read, aligned with the
+// requested key.
+type BatchGet struct {
+	Value []byte
+	TS    truetime.Timestamp
+	OK    bool
+}
+
+// BatchGetter is an optional Engine capability: read many keys at one
+// timestamp in a single call, returning one result per key in order.
+// Engines where each Get crosses a process boundary (the cluster's
+// remote engine) implement it so a commit's per-row reads coalesce into
+// one round trip; callers fall back to per-key Get when absent.
+type BatchGetter interface {
+	GetBatch(keys [][]byte, ts truetime.Timestamp) []BatchGet
+}
+
 // Engine is what a tablet needs from its row store. Implementations are
 // safe for concurrent use; Apply batches are atomic and, for durable
 // engines, recoverable once Apply returns.

@@ -1,0 +1,217 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net"
+	"sync"
+	"time"
+
+	"firestore/internal/reqctx"
+	"firestore/internal/status"
+)
+
+// DialTimeout bounds how long establishing a peer connection may take; a
+// dead peer should fail fast so recovery loops can spin cheaply until it
+// rejoins.
+const DialTimeout = 2 * time.Second
+
+// Conn is one multiplexed client connection: many concurrent Calls share
+// it, matched to responses by frame ID. A Conn that hits a read or
+// write error is broken for good (every pending and future call fails
+// with ErrPeerUnreachable); the Pool re-dials.
+type Conn struct {
+	nc  net.Conn
+	br  *bufio.Reader // owned by readLoop, the sole reader
+	wmu sync.Mutex    // serializes request frames
+
+	mu      sync.Mutex
+	pending map[uint64]chan *frame
+	nextID  uint64
+	err     error // non-nil once broken; guarded by mu
+}
+
+// Dial connects to a peer's transport address.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, DialTimeout)
+	if err != nil {
+		return nil, unreachable(err)
+	}
+	return NewConn(nc), nil
+}
+
+// NewConn wraps an established connection (tests use net.Pipe halves)
+// and starts its response-demultiplexing loop.
+func NewConn(nc net.Conn) *Conn {
+	c := &Conn{nc: nc, br: bufio.NewReaderSize(nc, 32<<10), pending: map[uint64]chan *frame{}}
+	go c.readLoop()
+	return c
+}
+
+func (c *Conn) readLoop() {
+	for {
+		f, err := readFrame(c.br)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[f.ID]
+		delete(c.pending, f.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- f
+		}
+		// A response with no waiter was abandoned (deadline, injected
+		// half-open); drop it.
+	}
+}
+
+// fail breaks the connection: every pending call is woken with nil (it
+// reads c.err) and future calls fail immediately.
+func (c *Conn) fail(cause error) {
+	c.mu.Lock()
+	if c.err == nil {
+		if cause == nil || isClosedConn(cause) {
+			cause = status.New(status.Unavailable, "transport", "connection closed")
+		}
+		c.err = unreachable(cause)
+	}
+	waiters := c.pending
+	c.pending = map[uint64]chan *frame{}
+	c.mu.Unlock()
+	c.nc.Close()
+	for _, ch := range waiters {
+		close(ch)
+	}
+}
+
+// Broken reports whether the connection has failed and must be replaced.
+func (c *Conn) Broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err != nil
+}
+
+// Close tears the connection down; pending calls fail.
+func (c *Conn) Close() {
+	c.fail(nil)
+}
+
+// Reset hard-closes the underlying socket without the polite shutdown,
+// modeling a peer RST (the transport.conn-reset fault site).
+func (c *Conn) Reset() {
+	c.nc.Close() // the read loop observes the error and fails the conn
+}
+
+// Call performs one RPC: req is marshaled as the request body, the
+// response body (if any) is unmarshaled into resp (which may be nil).
+// The ctx's reqctx metadata and deadline travel in the frame header.
+// Transport-level failures wrap ErrPeerUnreachable; remote application
+// errors come back with their canonical status code intact.
+func (c *Conn) Call(ctx context.Context, method string, req, resp any) error {
+	ch, err := c.send(ctx, method, req)
+	if err != nil {
+		return err
+	}
+	select {
+	case f, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			return err
+		}
+		if err := remoteError(f); err != nil {
+			return err
+		}
+		if resp != nil && len(f.Body) > 0 {
+			if err := json.Unmarshal(f.Body, resp); err != nil {
+				return status.Errorf(status.Internal, "transport", "unmarshaling %q response: %v", method, err)
+			}
+		}
+		return nil
+	case <-ctx.Done():
+		c.abandon(ch)
+		return status.FromContext("transport", ctx.Err())
+	}
+}
+
+// Post sends a request and abandons its response: the peer executes the
+// method but the caller never learns the outcome. The half-open fault
+// site uses it to model a response lost on the wire.
+func (c *Conn) Post(ctx context.Context, method string, req any) error {
+	ch, err := c.send(ctx, method, req)
+	if err != nil {
+		return err
+	}
+	c.abandon(ch)
+	return nil
+}
+
+// abandon unregisters a pending call so its late response is dropped by
+// the read loop.
+func (c *Conn) abandon(ch chan *frame) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, pch := range c.pending {
+		if pch == ch {
+			delete(c.pending, id)
+			return
+		}
+	}
+}
+
+// send marshals and writes one request frame, returning the channel its
+// response will arrive on.
+func (c *Conn) send(ctx context.Context, method string, req any) (chan *frame, error) {
+	var body json.RawMessage
+	if req != nil {
+		b, err := json.Marshal(req)
+		if err != nil {
+			return nil, status.Errorf(status.InvalidArgument, "transport", "marshaling %q request: %v", method, err)
+		}
+		body = b
+	}
+	meta := reqctx.From(ctx)
+	f := &frame{
+		Method: method,
+		RID:    meta.RequestID,
+		DB:     meta.DB,
+		QoS:    int(meta.QoS),
+		Body:   body,
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		f.Deadline = dl.UnixNano()
+	}
+
+	ch := make(chan *frame, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	f.ID = c.nextID
+	c.pending[f.ID] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	if dl, ok := ctx.Deadline(); ok {
+		c.nc.SetWriteDeadline(dl)
+	} else {
+		c.nc.SetWriteDeadline(time.Time{})
+	}
+	err := writeFrame(c.nc, f)
+	c.wmu.Unlock()
+	if err != nil {
+		c.fail(err)
+		c.mu.Lock()
+		err = c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	return ch, nil
+}

@@ -1,0 +1,309 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"firestore/internal/fault"
+	"firestore/internal/obs"
+	"firestore/internal/status"
+)
+
+// PeerHealth is one peer's connection-pool state for /debug/clusterz and
+// fsctl cluster.
+type PeerHealth struct {
+	Peer string `json:"peer"`
+	Addr string `json:"addr"`
+	// Healthy means the last call on the peer succeeded (no live failure
+	// streak).
+	Healthy bool `json:"healthy"`
+	// Connected means a dialed, unbroken connection is being held.
+	Connected bool `json:"connected"`
+	// ConsecutiveFailures is the current failure streak; it resets to
+	// zero on any success.
+	ConsecutiveFailures int64 `json:"consecutive_failures"`
+	// Reconnects counts dials after the first.
+	Reconnects int64  `json:"reconnects"`
+	Calls      int64  `json:"calls"`
+	Errors     int64  `json:"errors"`
+	LastError  string `json:"last_error,omitempty"`
+	// LastOKUnixNano is the wall-clock time of the last successful call.
+	LastOKUnixNano int64 `json:"last_ok_unix_nano,omitempty"`
+}
+
+// Pool dials and holds one multiplexed connection per peer, tracking
+// per-peer health (failure streaks, reconnects) and feeding per-peer RPC
+// metrics into an obs.Registry. It is the single place network fault
+// sites are evaluated, so an armed transport.partition covers every RPC
+// the coordinator makes.
+type Pool struct {
+	mu    sync.Mutex
+	peers map[string]*poolPeer
+	dial  func(addr string) (*Conn, error)
+	reg   *obs.Registry
+}
+
+type poolPeer struct {
+	name string
+
+	mu          sync.Mutex
+	addr        string
+	conn        *Conn
+	dialed      bool // a first dial happened (later dials count as reconnects)
+	consecFails int64
+	reconnects  int64
+	calls       int64
+	errs        int64
+	lastErr     string
+	lastOK      time.Time
+}
+
+// NewPool returns a pool dialing TCP; reg (optional) receives
+// transport.rpcs_total{peer,method}, transport.errors_total{peer,method},
+// transport.rpc_latency{peer}, and transport.reconnects_total{peer}.
+func NewPool(reg *obs.Registry) *Pool {
+	return &Pool{peers: map[string]*poolPeer{}, dial: Dial, reg: reg}
+}
+
+// SetDialer replaces the dial function (tests inject net.Pipe loopbacks).
+func (p *Pool) SetDialer(dial func(addr string) (*Conn, error)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dial = dial
+}
+
+// SetObs attaches (or replaces) the metrics registry. The coordinator
+// uses it after the fact: the region's registry only exists once the
+// region opens, which itself already drives pool RPCs during recovery.
+func (p *Pool) SetObs(reg *obs.Registry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.reg = reg
+}
+
+// obs returns the current registry.
+func (p *Pool) obs() *obs.Registry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.reg
+}
+
+// SetPeer adds a peer or updates its address (a rejoining process
+// listens on a fresh port). An address change drops the old connection.
+func (p *Pool) SetPeer(name, addr string) {
+	p.mu.Lock()
+	pp := p.peers[name]
+	if pp == nil {
+		pp = &poolPeer{name: name}
+		p.peers[name] = pp
+	}
+	p.mu.Unlock()
+	pp.mu.Lock()
+	var stale *Conn
+	if pp.addr != addr {
+		stale = pp.conn
+		pp.conn = nil
+		pp.addr = addr
+	}
+	pp.mu.Unlock()
+	if stale != nil {
+		stale.Close()
+	}
+}
+
+// RemovePeer forgets a peer and closes its connection.
+func (p *Pool) RemovePeer(name string) {
+	p.mu.Lock()
+	pp := p.peers[name]
+	delete(p.peers, name)
+	p.mu.Unlock()
+	if pp == nil {
+		return
+	}
+	pp.mu.Lock()
+	conn := pp.conn
+	pp.conn = nil
+	pp.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// Peers lists the known peer names.
+func (p *Pool) Peers() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	names := make([]string, 0, len(p.peers))
+	for n := range p.peers {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Call performs one RPC against peer, evaluating the network fault sites
+// and recording per-peer metrics and health.
+func (p *Pool) Call(ctx context.Context, peer, method string, req, resp any) error {
+	p.mu.Lock()
+	pp := p.peers[peer]
+	dial := p.dial
+	p.mu.Unlock()
+	if pp == nil {
+		return status.Errorf(status.NotFound, "transport", "unknown peer %q", peer)
+	}
+
+	// Network fault sites, evaluated before anything touches the wire.
+	// slow-link first (latency mode returns nil after sleeping), then the
+	// hard failures.
+	if err := fault.Point(ctx, fault.TransportSlowLink); err != nil {
+		return p.finish(pp, method, 0, unreachable(err))
+	}
+	if err := fault.Point(ctx, fault.TransportPartition); err != nil {
+		return p.finish(pp, method, 0, unreachable(err))
+	}
+	reset := fault.Decide(ctx, fault.TransportConnReset).Kind == fault.KindCrash
+	halfOpen := fault.Decide(ctx, fault.TransportHalfOpen).Kind == fault.KindDrop
+
+	conn, reconnected, err := p.connFor(pp, dial)
+	if err != nil {
+		return p.finish(pp, method, 0, err)
+	}
+	if reconnected {
+		if reg := p.obs(); reg != nil {
+			reg.Counter("transport.reconnects_total", obs.Labels{"peer": peer}).Inc()
+		}
+	}
+
+	if reset {
+		// Tear the socket down mid-conversation: every in-flight call on
+		// it fails and the next call re-dials.
+		conn.Reset()
+		return p.finish(pp, method, 0, unreachable(status.New(status.Unavailable, "transport", "injected connection reset")))
+	}
+	if halfOpen {
+		// The request reaches the peer and executes; the response is
+		// abandoned, so the caller's outcome is ambiguous.
+		if err := conn.Post(ctx, method, req); err != nil {
+			return p.finish(pp, method, 0, err)
+		}
+		return p.finish(pp, method, 0,
+			status.New(status.DeadlineExceeded, "transport", "injected half-open connection: response lost"))
+	}
+
+	start := time.Now()
+	err = conn.Call(ctx, method, req, resp)
+	return p.finish(pp, method, time.Since(start), err)
+}
+
+// connFor returns the peer's live connection, dialing if absent or
+// broken. reconnected reports a dial that replaced a previous one.
+func (p *Pool) connFor(pp *poolPeer, dial func(string) (*Conn, error)) (conn *Conn, reconnected bool, err error) {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	if pp.conn != nil && !pp.conn.Broken() {
+		return pp.conn, false, nil
+	}
+	if pp.addr == "" {
+		return nil, false, unreachable(status.Errorf(status.Unavailable, "transport", "peer %q has no address", pp.name))
+	}
+	c, err := dial(pp.addr)
+	if err != nil {
+		return nil, false, err
+	}
+	reconnected = pp.dialed
+	if reconnected {
+		pp.reconnects++
+	}
+	pp.dialed = true
+	pp.conn = c
+	return c, reconnected, nil
+}
+
+// finish records one call's outcome in health state and metrics,
+// returning err unchanged.
+func (p *Pool) finish(pp *poolPeer, method string, latency time.Duration, err error) error {
+	pp.mu.Lock()
+	pp.calls++
+	if err != nil {
+		pp.errs++
+		pp.consecFails++
+		pp.lastErr = err.Error()
+		if errors.Is(err, ErrPeerUnreachable) && pp.conn != nil && pp.conn.Broken() {
+			pp.conn = nil
+		}
+	} else {
+		pp.consecFails = 0
+		pp.lastOK = time.Now()
+	}
+	pp.mu.Unlock()
+	if reg := p.obs(); reg != nil {
+		labels := obs.Labels{"peer": pp.name, "method": method}
+		reg.Counter("transport.rpcs_total", labels).Inc()
+		if err != nil {
+			reg.Counter("transport.errors_total", labels).Inc()
+		} else if latency > 0 {
+			reg.Histogram("transport.rpc_latency", obs.Labels{"peer": pp.name}).Record(latency)
+		}
+	}
+	return err
+}
+
+// Health snapshots every peer's pool state, sorted by peer name.
+func (p *Pool) Health() []PeerHealth {
+	p.mu.Lock()
+	peers := make([]*poolPeer, 0, len(p.peers))
+	for _, pp := range p.peers {
+		peers = append(peers, pp)
+	}
+	p.mu.Unlock()
+	out := make([]PeerHealth, 0, len(peers))
+	for _, pp := range peers {
+		pp.mu.Lock()
+		h := PeerHealth{
+			Peer:                pp.name,
+			Addr:                pp.addr,
+			Healthy:             pp.consecFails == 0,
+			Connected:           pp.conn != nil && !pp.conn.Broken(),
+			ConsecutiveFailures: pp.consecFails,
+			Reconnects:          pp.reconnects,
+			Calls:               pp.calls,
+			Errors:              pp.errs,
+			LastError:           pp.lastErr,
+		}
+		if !pp.lastOK.IsZero() {
+			h.LastOKUnixNano = pp.lastOK.UnixNano()
+		}
+		pp.mu.Unlock()
+		out = append(out, h)
+	}
+	sortHealth(out)
+	return out
+}
+
+func sortHealth(hs []PeerHealth) {
+	for i := 1; i < len(hs); i++ {
+		for j := i; j > 0 && hs[j].Peer < hs[j-1].Peer; j-- {
+			hs[j], hs[j-1] = hs[j-1], hs[j]
+		}
+	}
+}
+
+// Close drops every connection.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	peers := make([]*poolPeer, 0, len(p.peers))
+	for _, pp := range p.peers {
+		peers = append(peers, pp)
+	}
+	p.mu.Unlock()
+	for _, pp := range peers {
+		pp.mu.Lock()
+		conn := pp.conn
+		pp.conn = nil
+		pp.mu.Unlock()
+		if conn != nil {
+			conn.Close()
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"firestore/internal/reqctx"
+	"firestore/internal/status"
+)
+
+// Handler serves one RPC method. The ctx carries the caller's reqctx
+// metadata and absolute deadline (propagated in the frame header); body
+// is the request's JSON payload. The returned value is marshaled as the
+// response body; a returned error is mapped to a canonical status code
+// with status.CodeOf.
+type Handler func(ctx context.Context, body json.RawMessage) (any, error)
+
+// Server listens for frame connections and dispatches requests to
+// registered method handlers, each on its own goroutine.
+type Server struct {
+	mu       sync.Mutex
+	handlers map[string]Handler
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer returns a server with no handlers and no listener.
+func NewServer() *Server {
+	return &Server{
+		handlers: map[string]Handler{},
+		conns:    map[net.Conn]struct{}{},
+	}
+}
+
+// Handle registers h for method. Must be called before the first
+// connection arrives for deterministic behavior; re-registering replaces.
+func (s *Server) Handle(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = h
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts accepting in the
+// background, returning the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", status.Errorf(status.Unavailable, "transport", "listen %s: %v", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", status.New(status.Unavailable, "transport", "server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.serve(ln)
+	}()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) serve(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !s.track(conn) {
+			conn.Close()
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.ServeConn(conn)
+		}()
+	}
+}
+
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, conn)
+}
+
+// ServeConn serves one already-established connection (the accept loop
+// uses it; tests can pass one half of a net.Pipe for a loopback
+// transport with no listener). It returns when the connection closes.
+func (s *Server) ServeConn(conn net.Conn) {
+	defer conn.Close()
+	defer s.untrack(conn)
+	var wmu sync.Mutex // serializes response frames from handler goroutines
+	var hwg sync.WaitGroup
+	defer hwg.Wait()
+	br := bufio.NewReaderSize(conn, 32<<10)
+	for {
+		req, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		hwg.Add(1)
+		go func() {
+			defer hwg.Done()
+			resp := s.dispatch(req)
+			wmu.Lock()
+			defer wmu.Unlock()
+			if err := writeFrame(conn, resp); err != nil {
+				conn.Close() // the read loop will observe it and exit
+			}
+		}()
+	}
+}
+
+// dispatch runs one request through its handler, rebuilding the caller's
+// request context (metadata + deadline) on this side of the wire.
+func (s *Server) dispatch(req *frame) (resp *frame) {
+	resp = &frame{ID: req.ID}
+	defer func() {
+		if r := recover(); r != nil {
+			resp.Code = int(status.Internal)
+			resp.Err = fmt.Sprintf("transport: handler panic: %v", r)
+			resp.Body = nil
+		}
+	}()
+	s.mu.Lock()
+	h := s.handlers[req.Method]
+	s.mu.Unlock()
+	if h == nil {
+		resp.Code = int(status.NotFound)
+		resp.Err = fmt.Sprintf("transport: no handler for method %q", req.Method)
+		return resp
+	}
+	ctx := context.Background()
+	if req.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, time.Unix(0, req.Deadline))
+		defer cancel()
+	}
+	if req.RID != "" || req.DB != "" || req.QoS != 0 {
+		ctx = reqctx.With(ctx, reqctx.Meta{RequestID: req.RID, DB: req.DB, QoS: reqctx.QoS(req.QoS)})
+	}
+	out, err := h(ctx, req.Body)
+	if err != nil {
+		resp.Code = int(status.CodeOf(err))
+		if resp.Code == int(status.OK) {
+			resp.Code = int(status.Internal)
+		}
+		resp.Err = err.Error()
+		return resp
+	}
+	if out != nil {
+		body, err := json.Marshal(out)
+		if err != nil {
+			resp.Code = int(status.Internal)
+			resp.Err = fmt.Sprintf("transport: marshaling %q response: %v", req.Method, err)
+			return resp
+		}
+		resp.Body = body
+	}
+	return resp
+}
+
+// Close stops the listener, closes every live connection, and waits for
+// in-flight handlers to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}

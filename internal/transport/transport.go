@@ -1,0 +1,143 @@
+// Package transport is the cluster wire protocol: a minimal stdlib-only
+// RPC layer the coordinator process and tablet-server processes speak to
+// each other (§III: the production system is a fleet of separate
+// services — frontends, backends, tablet servers — talking over a
+// network; until this layer existed the reproduction ran everything in
+// one process and network failure was unrepresentable).
+//
+// Framing is deliberately boring: a 4-byte big-endian total length, a
+// 4-byte header length, one small JSON header object, then the body
+// bytes verbatim. One frame shape serves both directions — requests
+// carry a method name plus reqctx metadata (request ID, database, QoS,
+// absolute deadline), responses carry a canonical internal/status code
+// and an error message or a result body. The body rides outside the
+// header JSON so the codec never re-scans or re-compacts it (bulk
+// payloads dominate frame size; the header stays ~100 bytes). A single
+// TCP connection multiplexes many in-flight calls, matched by frame ID;
+// the server executes each request on its own goroutine, so a slow RPC
+// does not head-of-line block the connection.
+//
+// This package owns every net.Dial and net.Listen in the repository
+// outside cmd/ — the fslint netdiscipline analyzer enforces it — so the
+// fault plane's network sites (transport.partition, transport.slow-link,
+// transport.half-open, transport.conn-reset) cover every byte that
+// crosses a process boundary.
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"firestore/internal/status"
+)
+
+// MaxFrame bounds a single frame's JSON payload. Tablet-handoff chain
+// exports are the largest frames in practice; 64 MiB leaves two orders
+// of magnitude of headroom over the biggest tablet the tests build.
+const MaxFrame = 64 << 20
+
+// ErrPeerUnreachable marks a transport-level failure: the call never
+// produced a response frame (dial failure, connection reset, partition,
+// response lost). The work may or may not have happened on the peer.
+// Detect with errors.Is; remote application errors do NOT wrap it.
+var ErrPeerUnreachable = status.New(status.Unavailable, "transport", "peer unreachable")
+
+// unreachable wraps a transport-level cause so errors.Is(err,
+// ErrPeerUnreachable) holds on it.
+func unreachable(cause error) error {
+	return fmt.Errorf("%w: %v", ErrPeerUnreachable, cause)
+}
+
+// frame is one wire message in either direction. Requests set Method
+// (plus the reqctx headers); responses set Code/Err or Body.
+type frame struct {
+	ID     uint64 `json:"id"`
+	Method string `json:"m,omitempty"`
+
+	// Request headers: reqctx trace/deadline propagation.
+	RID      string `json:"rid,omitempty"`
+	DB       string `json:"db,omitempty"`
+	QoS      int    `json:"qos,omitempty"`
+	Deadline int64  `json:"dl,omitempty"` // absolute, unix nanoseconds
+
+	// Response: canonical status code (0 = OK) and error message.
+	Code int    `json:"code,omitempty"`
+	Err  string `json:"err,omitempty"`
+
+	// Body is the request or response payload. It travels after the
+	// header JSON, not inside it, so the codec copies it verbatim
+	// instead of re-scanning it through encoding/json.
+	Body json.RawMessage `json:"-"`
+}
+
+// writeFrame writes f as [total len][header len][header JSON][body] in
+// one Write call. The caller serializes concurrent writers.
+func writeFrame(w io.Writer, f *frame) error {
+	body := f.Body
+	f.Body = nil
+	hdr, err := json.Marshal(f)
+	f.Body = body
+	if err != nil {
+		return err
+	}
+	total := 4 + len(hdr) + len(body)
+	if total > MaxFrame {
+		return status.Errorf(status.InvalidArgument, "transport", "frame of %d bytes exceeds MaxFrame", total)
+	}
+	buf := make([]byte, 8, 8+len(hdr)+len(body))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(total))
+	binary.BigEndian.PutUint32(buf[4:8], uint32(len(hdr)))
+	buf = append(buf, hdr...)
+	buf = append(buf, body...)
+	_, err = w.Write(buf)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) (*frame, error) {
+	var pfx [4]byte
+	if _, err := io.ReadFull(r, pfx[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(pfx[:])
+	if n > MaxFrame {
+		return nil, status.Errorf(status.InvalidArgument, "transport", "incoming frame of %d bytes exceeds MaxFrame", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	if len(payload) < 4 {
+		return nil, status.Errorf(status.Internal, "transport", "malformed frame: %d-byte payload", len(payload))
+	}
+	h := binary.BigEndian.Uint32(payload[:4])
+	if int(h) > len(payload)-4 {
+		return nil, status.Errorf(status.Internal, "transport", "malformed frame: header of %d bytes in %d-byte payload", h, len(payload))
+	}
+	f := &frame{}
+	if err := json.Unmarshal(payload[4:4+h], f); err != nil {
+		return nil, status.Errorf(status.Internal, "transport", "malformed frame: %v", err)
+	}
+	if body := payload[4+h:]; len(body) > 0 {
+		f.Body = body
+	}
+	return f, nil
+}
+
+// remoteError reconstructs a response frame's error on the caller side.
+// The canonical code survives the wire; the message keeps the remote
+// layer's own rendering.
+func remoteError(f *frame) error {
+	if f.Code == 0 {
+		return nil
+	}
+	return &status.Error{Code: status.Code(f.Code), Layer: "remote", Msg: f.Err}
+}
+
+// isClosedConn reports errors that just mean the connection went away.
+func isClosedConn(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.ErrClosedPipe)
+}

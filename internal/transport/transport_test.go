@@ -1,0 +1,433 @@
+package transport
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"firestore/internal/fault"
+	"firestore/internal/obs"
+	"firestore/internal/reqctx"
+	"firestore/internal/status"
+)
+
+type echoReq struct {
+	Msg string `json:"msg"`
+	N   int    `json:"n"`
+}
+
+type echoResp struct {
+	Msg string `json:"msg"`
+	N   int    `json:"n"`
+}
+
+func startEchoServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	srv := NewServer()
+	srv.Handle("echo", func(ctx context.Context, body json.RawMessage) (any, error) {
+		var req echoReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		return echoResp{Msg: req.Msg, N: req.N * 2}, nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(srv.Close)
+	return srv, addr
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	_, addr := startEchoServer(t)
+	conn, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer conn.Close()
+	var resp echoResp
+	if err := conn.Call(context.Background(), "echo", echoReq{Msg: "hi", N: 21}, &resp); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if resp.Msg != "hi" || resp.N != 42 {
+		t.Fatalf("got %+v, want {hi 42}", resp)
+	}
+}
+
+func TestConcurrentCallsMultiplex(t *testing.T) {
+	_, addr := startEchoServer(t)
+	conn, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer conn.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var resp echoResp
+			if err := conn.Call(context.Background(), "echo", echoReq{N: i}, &resp); err != nil {
+				t.Errorf("call %d: %v", i, err)
+				return
+			}
+			if resp.N != i*2 {
+				t.Errorf("call %d: got %d, want %d", i, resp.N, i*2)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestRemoteErrorKeepsCode(t *testing.T) {
+	srv := NewServer()
+	srv.Handle("fail", func(ctx context.Context, body json.RawMessage) (any, error) {
+		return nil, status.New(status.Aborted, "spanner", "lock conflict")
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+	conn, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer conn.Close()
+	err = conn.Call(context.Background(), "fail", nil, nil)
+	if status.CodeOf(err) != status.Aborted {
+		t.Fatalf("got code %v (%v), want Aborted", status.CodeOf(err), err)
+	}
+	if errors.Is(err, ErrPeerUnreachable) {
+		t.Fatalf("remote application error must not read as unreachable: %v", err)
+	}
+	if err := conn.Call(context.Background(), "no-such-method", nil, nil); status.CodeOf(err) != status.NotFound {
+		t.Fatalf("unknown method: got %v, want NotFound", err)
+	}
+}
+
+func TestMetaAndDeadlinePropagate(t *testing.T) {
+	srv := NewServer()
+	srv.Handle("inspect", func(ctx context.Context, body json.RawMessage) (any, error) {
+		m := reqctx.From(ctx)
+		dl, ok := ctx.Deadline()
+		return map[string]any{
+			"rid": m.RequestID, "db": m.DB, "qos": int(m.QoS),
+			"has_deadline": ok, "deadline_ns": dl.UnixNano(),
+		}, nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+	conn, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer conn.Close()
+
+	ctx := reqctx.With(context.Background(), reqctx.Meta{RequestID: "req-1", DB: "db-a", QoS: reqctx.Batch})
+	dl := time.Now().Add(5 * time.Second)
+	ctx, cancel := context.WithDeadline(ctx, dl)
+	defer cancel()
+	var got struct {
+		RID         string `json:"rid"`
+		DB          string `json:"db"`
+		QoS         int    `json:"qos"`
+		HasDeadline bool   `json:"has_deadline"`
+		DeadlineNS  int64  `json:"deadline_ns"`
+	}
+	if err := conn.Call(ctx, "inspect", nil, &got); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if got.RID != "req-1" || got.DB != "db-a" || got.QoS != int(reqctx.Batch) {
+		t.Fatalf("meta did not propagate: %+v", got)
+	}
+	if !got.HasDeadline || got.DeadlineNS != dl.UnixNano() {
+		t.Fatalf("deadline did not propagate: %+v (want %d)", got, dl.UnixNano())
+	}
+}
+
+func TestCallDeadlineExpires(t *testing.T) {
+	srv := NewServer()
+	release := make(chan struct{})
+	srv.Handle("stall", func(ctx context.Context, body json.RawMessage) (any, error) {
+		<-release
+		return nil, nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+	defer close(release)
+	conn, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer conn.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	err = conn.Call(ctx, "stall", nil, nil)
+	if status.CodeOf(err) != status.DeadlineExceeded {
+		t.Fatalf("got %v, want DeadlineExceeded", err)
+	}
+	// The connection survives an abandoned call.
+	if conn.Broken() {
+		t.Fatal("conn broken after an abandoned call")
+	}
+}
+
+func TestPoolReconnectsAfterServerDrop(t *testing.T) {
+	srv, addr := startEchoServer(t)
+	reg := obs.NewRegistry()
+	pool := NewPool(reg)
+	defer pool.Close()
+	pool.SetPeer("t1", addr)
+
+	var resp echoResp
+	if err := pool.Call(context.Background(), "t1", "echo", echoReq{N: 1}, &resp); err != nil {
+		t.Fatalf("first call: %v", err)
+	}
+
+	// Kill every server-side conn; the pooled conn breaks and the next
+	// call must re-dial transparently (the listener is still up).
+	srv.mu.Lock()
+	for c := range srv.conns {
+		c.Close()
+	}
+	srv.mu.Unlock()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := pool.Call(context.Background(), "t1", "echo", echoReq{N: 2}, &resp)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never recovered: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var h PeerHealth
+	for _, ph := range pool.Health() {
+		if ph.Peer == "t1" {
+			h = ph
+		}
+	}
+	if h.Reconnects == 0 {
+		t.Fatalf("expected a reconnect, health=%+v", h)
+	}
+	if !h.Healthy || !h.Connected {
+		t.Fatalf("peer should be healthy after recovery, health=%+v", h)
+	}
+	if got := reg.Counter("transport.reconnects_total", obs.Labels{"peer": "t1"}).Value(); got == 0 {
+		t.Fatal("transport.reconnects_total not bumped")
+	}
+	if got := reg.Counter("transport.rpcs_total", obs.Labels{"peer": "t1", "method": "echo"}).Value(); got < 2 {
+		t.Fatalf("transport.rpcs_total = %d, want >= 2", got)
+	}
+}
+
+func TestFaultPartition(t *testing.T) {
+	_, addr := startEchoServer(t)
+	pool := NewPool(nil)
+	defer pool.Close()
+	pool.SetPeer("t1", addr)
+	fault.Reset()
+	defer fault.Reset()
+	if err := fault.Enable(fault.Spec{Site: fault.TransportPartition, Mode: fault.ModeError, MaxCount: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var resp echoResp
+	for i := 0; i < 2; i++ {
+		err := pool.Call(context.Background(), "t1", "echo", echoReq{N: 1}, &resp)
+		if !errors.Is(err, ErrPeerUnreachable) || status.CodeOf(err) != status.Unavailable {
+			t.Fatalf("partitioned call %d: got %v, want unreachable/Unavailable", i, err)
+		}
+	}
+	// MaxCount exhausted: the partition heals.
+	if err := pool.Call(context.Background(), "t1", "echo", echoReq{N: 1}, &resp); err != nil {
+		t.Fatalf("after partition healed: %v", err)
+	}
+	if n := fault.Injected(fault.TransportPartition); n != 2 {
+		t.Fatalf("injected = %d, want 2", n)
+	}
+}
+
+func TestFaultHalfOpenExecutesButLosesResponse(t *testing.T) {
+	srv := NewServer()
+	var executed atomic.Int64
+	srv.Handle("bump", func(ctx context.Context, body json.RawMessage) (any, error) {
+		executed.Add(1)
+		return nil, nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+	pool := NewPool(nil)
+	defer pool.Close()
+	pool.SetPeer("t1", addr)
+	fault.Reset()
+	defer fault.Reset()
+	if err := fault.Enable(fault.Spec{Site: fault.TransportHalfOpen, Mode: fault.ModeDrop, MaxCount: 1}); err != nil {
+		t.Fatal(err)
+	}
+	err = pool.Call(context.Background(), "t1", "bump", nil, nil)
+	if status.CodeOf(err) != status.DeadlineExceeded {
+		t.Fatalf("half-open call: got %v, want DeadlineExceeded", err)
+	}
+	// The request still executed on the peer — that is the ambiguity the
+	// site models.
+	deadline := time.Now().Add(5 * time.Second)
+	for executed.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("handler never executed behind the half-open fault")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestFaultConnReset(t *testing.T) {
+	_, addr := startEchoServer(t)
+	pool := NewPool(nil)
+	defer pool.Close()
+	pool.SetPeer("t1", addr)
+	var resp echoResp
+	if err := pool.Call(context.Background(), "t1", "echo", echoReq{N: 1}, &resp); err != nil {
+		t.Fatalf("pre-reset call: %v", err)
+	}
+	fault.Reset()
+	defer fault.Reset()
+	if err := fault.Enable(fault.Spec{Site: fault.TransportConnReset, Mode: fault.ModeCrash, MaxCount: 1}); err != nil {
+		t.Fatal(err)
+	}
+	err := pool.Call(context.Background(), "t1", "echo", echoReq{N: 1}, &resp)
+	if !errors.Is(err, ErrPeerUnreachable) {
+		t.Fatalf("reset call: got %v, want unreachable", err)
+	}
+	// Next call re-dials and succeeds.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := pool.Call(context.Background(), "t1", "echo", echoReq{N: 3}, &resp); err == nil {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("pool never recovered after reset: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, h := range pool.Health() {
+		if h.Peer == "t1" && h.Reconnects == 0 {
+			t.Fatalf("expected reconnect after reset, health=%+v", h)
+		}
+	}
+}
+
+func TestUnknownPeerAndDeadPeer(t *testing.T) {
+	pool := NewPool(nil)
+	defer pool.Close()
+	if err := pool.Call(context.Background(), "ghost", "echo", nil, nil); status.CodeOf(err) != status.NotFound {
+		t.Fatalf("unknown peer: got %v, want NotFound", err)
+	}
+	// A peer whose address refuses connections fails as unreachable.
+	srv := NewServer()
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	pool.SetPeer("dead", addr)
+	if err := pool.Call(context.Background(), "dead", "echo", nil, nil); !errors.Is(err, ErrPeerUnreachable) {
+		t.Fatalf("dead peer: got %v, want unreachable", err)
+	}
+	for _, h := range pool.Health() {
+		if h.Peer == "dead" && (h.Healthy || h.ConsecutiveFailures == 0) {
+			t.Fatalf("dead peer should be unhealthy: %+v", h)
+		}
+	}
+}
+
+func TestHandlerPanicIsInternal(t *testing.T) {
+	srv := NewServer()
+	srv.Handle("boom", func(ctx context.Context, body json.RawMessage) (any, error) {
+		panic("kapow")
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	err = conn.Call(context.Background(), "boom", nil, nil)
+	if status.CodeOf(err) != status.Internal {
+		t.Fatalf("got %v, want Internal", err)
+	}
+	// The connection survives the panic.
+	srv.Handle("ok", func(ctx context.Context, body json.RawMessage) (any, error) { return nil, nil })
+	if err := conn.Call(context.Background(), "ok", nil, nil); err != nil {
+		t.Fatalf("call after panic: %v", err)
+	}
+}
+
+func TestLargeFrames(t *testing.T) {
+	_, addr := startEchoServer(t)
+	conn, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte('a' + i%26)
+	}
+	var resp echoResp
+	if err := conn.Call(context.Background(), "echo", echoReq{Msg: string(big)}, &resp); err != nil {
+		t.Fatalf("1MiB call: %v", err)
+	}
+	if resp.Msg != string(big) {
+		t.Fatal("large payload corrupted in transit")
+	}
+}
+
+func BenchmarkLoopbackCall(b *testing.B) {
+	srv := NewServer()
+	srv.Handle("echo", func(ctx context.Context, body json.RawMessage) (any, error) {
+		var req echoReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		return echoResp(req), nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	req := echoReq{Msg: "payload-of-reasonable-size-for-a-storage-get", N: 7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var resp echoResp
+		if err := conn.Call(context.Background(), "echo", req, &resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = fmt.Sprint()
+}
